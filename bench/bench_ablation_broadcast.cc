@@ -1,0 +1,99 @@
+// A3 ablation — context-directed NSM selection vs the multicast search §2
+// rejects. As system types accumulate, the broadcast design probes O(k)
+// subsystems per lookup (each miss a full failed remote query), while the
+// HNS's context points straight at the right one. The harness integrates k
+// host-table system types and measures both designs at each k.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baseline/broadcast_locator.h"
+#include "src/common/strings.h"
+#include "src/nsm/host_table.h"
+#include "src/rpc/ports.h"
+#include "src/testbed/testbed.h"
+
+namespace hcs {
+namespace {
+
+constexpr int kMaxTypes = 10;
+
+void Run() {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  Hns* hns = client.session->local_hns();
+  WireValue no_args = WireValue::OfRecord({});
+
+  BroadcastLocator locator;
+
+  PrintHeader("A3 ablation: context-directed selection vs multicast search (sim msec)");
+  std::printf("  %-8s %20s %22s %10s\n", "types k", "HNS (context)", "broadcast (search)",
+              "probes");
+  PrintRule();
+
+  std::vector<std::string> type_hosts;
+  for (int k = 1; k <= kMaxTypes; ++k) {
+    // Integrate the k-th host-table system type.
+    std::string type_name = StrFormat("Net%02d", k);
+    std::string host = StrFormat("gw%02d.net.local", k);
+    std::string target = StrFormat("node.net%02d.local", k);
+    (void)bed.world().network().AddHost(host, MachineType::kTektronix4400,
+                                        OsType::kUniflex);
+    HostTableServer* table = HostTableServer::InstallOn(&bed.world(), host).value();
+    table->Put(target, 0xa0000000u + static_cast<uint32_t>(k));
+    type_hosts.push_back(host);
+
+    NameServiceInfo ns;
+    ns.name = type_name + "-HostTable";
+    ns.type = type_name;
+    if (!hns->RegisterNameService(ns).ok()) std::abort();
+    if (!hns->RegisterContext(type_name, ns.name).ok()) std::abort();
+    NsmInfo info;
+    info.nsm_name = "HostAddrNSM-" + type_name;
+    info.query_class = kQueryClassHostAddress;
+    info.ns_name = ns.name;
+    info.host = kNsmServerHost;
+    info.host_context = kContextBind;
+    info.program = kNsmProgram;
+    info.port = static_cast<uint16_t>(830 + k);
+    if (!hns->RegisterNsm(info).ok()) std::abort();
+    auto nsm = std::make_shared<HostTableHostAddressNsm>(&bed.world(), kClientHost,
+                                                         &bed.transport(), info, host,
+                                                         CacheMode::kNone);
+    if (!client.session->LinkNsm(nsm).ok()) std::abort();
+    locator.AddNsm(std::move(nsm));
+
+    // --- Resolve a name in the *newest* subsystem with both designs -------
+    // (worst case for search order; caches disabled on the NSMs so every
+    // probe really hits the wire.)
+    HnsName name;
+    name.context = type_name;
+    name.individual = target;
+    // Warm the HNS meta cache so the comparison isolates the *selection*
+    // mechanism, not cold meta lookups.
+    (void)client.session->Query(name, kQueryClassHostAddress, no_args);
+    double hns_ms = MeasureMs(&bed.world(), [&] {
+      if (!client.session->Query(name, kQueryClassHostAddress, no_args).ok()) std::abort();
+    });
+
+    uint64_t probes_before = locator.probes();
+    double broadcast_ms = MeasureMs(&bed.world(), [&] {
+      if (!locator.Query(target, no_args).ok()) std::abort();
+    });
+
+    std::printf("  %-8d %20.1f %22.1f %10llu\n", k, hns_ms, broadcast_ms,
+                static_cast<unsigned long long>(locator.probes() - probes_before));
+  }
+
+  PrintRule();
+  std::printf("  Shape checks: the HNS column stays flat in k while the broadcast\n"
+              "  column grows ~linearly — the §2 argument for context-based naming.\n");
+}
+
+}  // namespace
+}  // namespace hcs
+
+int main() {
+  hcs::Run();
+  return 0;
+}

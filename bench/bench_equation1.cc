@@ -1,0 +1,97 @@
+// In-text experiment E4 — Equation (1), the colocation break-even analysis:
+//
+//   remote location is preferable whenever
+//       q > C(remote call) / (C(cache miss) - C(cache hit))          (1)
+//
+// where q is the extra cache-hit fraction a long-lived remote server enjoys
+// over a locally linked copy. Using its measured costs the paper computes:
+//   * remote HNS needs an extra ~11% hit fraction to win,
+//   * remote NSMs need an extra ~42%.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/hns/import.h"
+#include "src/testbed/testbed.h"
+
+namespace hcs {
+namespace {
+
+double MeasureImport(World* world, HnsSession* session) {
+  Importer importer(session);
+  return MeasureMs(world, [&] {
+    Result<HrpcBinding> binding = importer.Import(
+        kDesiredService, std::string(kContextBindBinding) + "!" + kSunServerHost);
+    if (!binding.ok()) std::abort();
+  });
+}
+
+// One remote exchange between client and a server process (the cost a
+// colocation step saves or adds).
+double MeasureRemoteCall(Testbed* bed) {
+  // The agent hop on a fully warm path, minus the same work done linked,
+  // isolates one client<->server exchange.
+  ClientSetup agent = bed->MakeClient(Arrangement::kAgent);
+  agent.FlushAll();
+  (void)MeasureImport(&bed->world(), agent.session.get());
+  double agent_warm = MeasureImport(&bed->world(), agent.session.get());
+
+  ClientSetup linked = bed->MakeClient(Arrangement::kAllLinked);
+  linked.FlushAll();
+  (void)MeasureImport(&bed->world(), linked.session.get());
+  double linked_warm = MeasureImport(&bed->world(), linked.session.get());
+  return agent_warm - linked_warm;
+}
+
+void Run() {
+  Testbed bed;
+
+  PrintHeader("E4: Equation (1) — required extra hit fraction q for remote location");
+
+  double remote_call = MeasureRemoteCall(&bed);
+  PrintComparison("C(remote call)", remote_call, 33);
+
+  // --- Remote HNS: row-5 hit/miss (the paper uses these) -------------------
+  {
+    ClientSetup client = bed.MakeClient(Arrangement::kAllRemote);
+    client.FlushAll();
+    double miss = MeasureImport(&bed.world(), client.session.get());
+    double hit = MeasureImport(&bed.world(), client.session.get());
+    PrintComparison("C(cache miss), all remote", miss, 547);
+    PrintComparison("C(cache hit), all remote", hit, 261);
+    double q = remote_call / (miss - hit);
+    std::printf("  %-44s %7.1f %%   (paper: ~11 %%)\n",
+                "q threshold for remote HNS", 100.0 * q);
+  }
+
+  // --- Remote NSMs: row-4 style hit/miss ------------------------------------
+  {
+    ClientSetup client = bed.MakeClient(Arrangement::kRemoteNsms);
+    client.FlushAll();
+    (void)MeasureImport(&bed.world(), client.session.get());
+    // The NSM-relevant miss/hit pair: NSM caches cold vs warm with the HNS
+    // cache warm throughout (paper: 225 vs 147).
+    client.FlushNsmCaches();
+    double miss = MeasureImport(&bed.world(), client.session.get());
+    double hit = MeasureImport(&bed.world(), client.session.get());
+    PrintComparison("C(cache miss), NSM caches cold", miss, 225);
+    PrintComparison("C(cache hit), NSM caches warm", hit, 147);
+    double q = remote_call / (miss - hit);
+    std::printf("  %-44s %7.1f %%   (paper: ~42 %%)\n",
+                "q threshold for remote NSMs", 100.0 * q);
+  }
+
+  PrintRule();
+  std::printf(
+      "  Shape checks: q(remote HNS) << q(remote NSMs) — the HNS cache saves many\n"
+      "  remote calls per hit while an NSM cache saves few, so remote NSMs need a\n"
+      "  much larger hit-rate advantage before leaving the client pays off.\n");
+}
+
+}  // namespace
+}  // namespace hcs
+
+int main() {
+  hcs::Run();
+  return 0;
+}

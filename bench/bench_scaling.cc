@@ -1,0 +1,120 @@
+// S1 (design claim, §2 "Scalability") — scalability in the *heterogeneity*
+// dimension: the environment has a large and increasing number of different
+// system types but only a few instances of many of them, so what must stay
+// flat as system types accumulate is
+//   (a) the effort to integrate the k-th type (one NSM + O(1) registrations),
+//   (b) query latency against any one type (load is naturally distributed
+//       across the underlying name services),
+//   (c) the global meta-state, which grows linearly in types, not in names.
+//
+// The harness integrates k host-table system types one after another and
+// reports per-type integration cost, per-type query latency, and meta-zone
+// growth.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/strings.h"
+#include "src/nsm/host_table.h"
+#include "src/rpc/ports.h"
+#include "src/testbed/testbed.h"
+
+namespace hcs {
+namespace {
+
+constexpr int kSystemTypes = 12;
+
+void Run() {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  Hns* hns = client.session->local_hns();
+  WireValue no_args = WireValue::OfRecord({});
+
+  PrintHeader("S1: scalability in the heterogeneity dimension (sim msec)");
+  std::printf("  %-6s %16s %14s %16s %16s %12s\n", "type#", "integrate(ms)", "regs",
+              "cold query", "warm query", "type1 warm");
+  PrintRule();
+
+  // Baseline: how the first (BIND) system behaves before anything is added.
+  HnsName first_type_name;
+  first_type_name.context = kContextBind;
+  first_type_name.individual = kSunServerHost;
+  (void)client.session->Query(first_type_name, kQueryClassHostAddress, no_args);
+
+  size_t meta_records_before = bed.meta_bind()->FindZone(MetaStore::kMetaZoneOrigin)->size();
+
+  for (int k = 1; k <= kSystemTypes; ++k) {
+    std::string type_name = StrFormat("Uniflex%02d", k);
+    std::string host = StrFormat("tek%02d.uniflex.local", k);
+    std::string machine = StrFormat("ws%02d.uniflex.local", k);
+
+    // --- Integrate the k-th system type -----------------------------------
+    double integrate_ms = MeasureMs(&bed.world(), [&] {
+      (void)bed.world().network().AddHost(host, MachineType::kTektronix4400,
+                                          OsType::kUniflex);
+      HostTableServer* table = HostTableServer::InstallOn(&bed.world(), host).value();
+      table->Put(host, 0x90000000u + static_cast<uint32_t>(k));
+      table->Put(machine, 0x90000100u + static_cast<uint32_t>(k));
+
+      NameServiceInfo ns;
+      ns.name = type_name + "-HostTable";
+      ns.type = type_name;
+      if (!hns->RegisterNameService(ns).ok()) std::abort();
+      if (!hns->RegisterContext(type_name, ns.name).ok()) std::abort();
+
+      NsmInfo info;
+      info.nsm_name = "HostAddrNSM-" + type_name;
+      info.query_class = kQueryClassHostAddress;
+      info.ns_name = ns.name;
+      info.host = kNsmServerHost;
+      info.host_context = kContextBind;
+      info.program = kNsmProgram;
+      info.port = static_cast<uint16_t>(800 + k);
+      if (!hns->RegisterNsm(info).ok()) std::abort();
+
+      auto nsm = std::make_shared<HostTableHostAddressNsm>(
+          &bed.world(), kClientHost, &bed.transport(), info, host);
+      if (!client.session->LinkNsm(std::move(nsm)).ok()) std::abort();
+    });
+    constexpr int kRegistrations = 3;  // name service + context + NSM
+
+    // --- Query the new type, cold then warm --------------------------------
+    HnsName name;
+    name.context = type_name;
+    name.individual = machine;
+    double cold = MeasureMs(&bed.world(), [&] {
+      if (!client.session->Query(name, kQueryClassHostAddress, no_args).ok()) std::abort();
+    });
+    double warm = MeasureMs(&bed.world(), [&] {
+      if (!client.session->Query(name, kQueryClassHostAddress, no_args).ok()) std::abort();
+    });
+
+    // --- The first system type is unaffected -------------------------------
+    double type1 = MeasureMs(&bed.world(), [&] {
+      if (!client.session->Query(first_type_name, kQueryClassHostAddress, no_args).ok()) {
+        std::abort();
+      }
+    });
+
+    std::printf("  %-6d %16.1f %14d %16.1f %16.1f %12.1f\n", k, integrate_ms,
+                kRegistrations, cold, warm, type1);
+  }
+
+  size_t meta_records_after = bed.meta_bind()->FindZone(MetaStore::kMetaZoneOrigin)->size();
+  PrintRule();
+  std::printf("  meta zone: %zu -> %zu records (+%.1f records per system type)\n",
+              meta_records_before, meta_records_after,
+              static_cast<double>(meta_records_after - meta_records_before) / kSystemTypes);
+  std::printf("  Shape checks: integration cost and query latencies stay flat in k;\n"
+              "  meta state grows linearly in *types*, and the processing load of\n"
+              "  name data stays on each type's own name service.\n");
+}
+
+}  // namespace
+}  // namespace hcs
+
+int main() {
+  hcs::Run();
+  return 0;
+}

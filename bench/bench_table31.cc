@@ -1,0 +1,121 @@
+// Table 3.1 — Performance of HRPC Binding for Various Colocation
+// Arrangements (msec). Five colocation arrangements x three cache states:
+//   A. cache miss (everything cold)
+//   B. HNS cache hit (meta-naming cache warm, NSM caches cold)
+//   C. HNS and NSM cache hit (everything warm)
+// The workload is the paper's: HRPC Import of a Sun RPC service whose host
+// is named in BIND. Caches store marshalled entries, as the measured
+// prototype's did.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/hns/import.h"
+#include "src/testbed/testbed.h"
+
+namespace hcs {
+namespace {
+
+struct Row {
+  Arrangement arrangement;
+  // Paper's Table 3.1 values for columns A, B, C.
+  double paper_a;
+  double paper_b;
+  double paper_c;
+};
+
+const std::vector<Row>& Rows() {
+  static const std::vector<Row>* rows = new std::vector<Row>{
+      {Arrangement::kAllLinked, 460, 180, 104},
+      {Arrangement::kAgent, 517, 235, 137},
+      {Arrangement::kRemoteHns, 515, 232, 140},
+      {Arrangement::kRemoteNsms, 509, 225, 147},
+      {Arrangement::kAllRemote, 547, 261, 181},
+  };
+  return *rows;
+}
+
+double MeasureImport(World* world, HnsSession* session) {
+  Importer importer(session);
+  return MeasureMs(world, [&] {
+    Result<HrpcBinding> binding =
+        importer.Import(kDesiredService,
+                        std::string(kContextBindBinding) + "!" + kSunServerHost);
+    if (!binding.ok()) {
+      std::fprintf(stderr, "import failed: %s\n", binding.status().ToString().c_str());
+      std::abort();
+    }
+  });
+}
+
+void Run() {
+  Testbed bed;
+
+  PrintHeader(
+      "Table 3.1: HRPC binding latency by colocation arrangement (sim msec vs paper)");
+  std::printf("  %-28s %21s %21s %21s\n", "Colocation", "A: cache miss",
+              "B: HNS cache hit", "C: HNS+NSM hit");
+  PrintRule();
+
+  for (const Row& row : Rows()) {
+    ClientSetup client = bed.MakeClient(row.arrangement);
+
+    // Column A: everything cold.
+    client.FlushAll();
+    double a = MeasureImport(&bed.world(), client.session.get());
+
+    // Column B: warm everything with one query, then flush the NSM caches.
+    double b;
+    {
+      client.FlushAll();
+      (void)MeasureImport(&bed.world(), client.session.get());
+      client.FlushNsmCaches();
+      b = MeasureImport(&bed.world(), client.session.get());
+    }
+
+    // Column C: everything warm (the query right after a full warm-up).
+    double c = MeasureImport(&bed.world(), client.session.get());
+
+    std::printf("  %-28s %8.1f (%5.0f)      %8.1f (%5.0f)      %8.1f (%5.0f)\n",
+                ArrangementName(row.arrangement).c_str(), a, row.paper_a, b, row.paper_b, c,
+                row.paper_c);
+  }
+  PrintRule();
+
+  // The paper's parenthetical: "(Locating them on the same host reduces the
+  // timings by about 20 msec. in applicable configurations.)" — measure the
+  // agent arrangement with the client on the agent's own host.
+  {
+    SessionOptions options;
+    options.hns_location = HnsLocation::kAgent;
+    options.agent_host = kAgentHost;
+
+    auto measure_from = [&](const char* client_host) {
+      HnsSession session(&bed.world(), client_host, &bed.transport(), options);
+      Importer importer(&session);
+      std::string host_name = std::string(kContextBindBinding) + "!" + kSunServerHost;
+      (void)importer.Import(kDesiredService, host_name);  // warm
+      return MeasureMs(&bed.world(), [&] {
+        (void)importer.Import(kDesiredService, host_name);
+      });
+    };
+    double cross_host = measure_from(kClientHost);
+    double same_host = measure_from(kAgentHost);
+    std::printf("  same-host colocation: agent query %.1f ms cross-host vs %.1f ms\n"
+                "  same-host — %.1f ms cheaper (paper: ~20 ms; our model attributes\n"
+                "  more of a hop to marshalling, which colocation does not avoid)\n",
+                cross_host, same_host, cross_host - same_host);
+  }
+
+  std::printf("  (paper values in parentheses; shape checks: caching wins >> colocation,\n"
+              "   every column orders row1 cheapest / row5 costliest, B between A and C)\n");
+}
+
+}  // namespace
+}  // namespace hcs
+
+int main() {
+  hcs::Run();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Shared helpers for the experiment harnesses. Each bench binary
+// regenerates one table or figure from the paper: it prints the paper's
+// reported numbers next to the simulated measurements so the shape
+// comparison is immediate.
+
+#ifndef HCS_BENCH_BENCH_UTIL_H_
+#define HCS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "src/sim/world.h"
+
+namespace hcs {
+
+// Runs `fn` and returns the simulated milliseconds it consumed.
+inline double MeasureMs(World* world, const std::function<void()>& fn) {
+  double before = world->clock().NowMs();
+  fn();
+  return world->clock().NowMs() - before;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+// "measured vs paper" with the ratio, the honest way to show a simulated
+// reproduction.
+inline void PrintComparison(const std::string& label, double measured_ms, double paper_ms) {
+  std::printf("  %-44s %8.1f ms   (paper: %6.1f ms, x%.2f)\n", label.c_str(), measured_ms,
+              paper_ms, paper_ms > 0 ? measured_ms / paper_ms : 0.0);
+}
+
+inline void PrintValue(const std::string& label, double measured_ms) {
+  std::printf("  %-44s %8.1f ms\n", label.c_str(), measured_ms);
+}
+
+}  // namespace hcs
+
+#endif  // HCS_BENCH_BENCH_UTIL_H_

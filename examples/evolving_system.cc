@@ -1,0 +1,104 @@
+// The evolution story — the paper's reason to exist. A new system type
+// arrives (a small machine whose only "name service" is a host-table
+// daemon, the testbed's Uniflex/Tektronix situation). Integrating it into
+// the global name space takes:
+//
+//   1. one NSM implementation for the query classes worth supporting
+//      (~a page of code; the paper's binding NSMs were ~230 lines),
+//   2. three registration calls against the live HNS (dynamic updates to
+//      the modified BIND) — no client anywhere is recompiled or restarted.
+//
+// After that, names created by *native* applications on the new system are
+// instantly visible to every HNS client, with no reregistration step — the
+// direct-access property.
+
+#include <cstdio>
+
+#include "src/hns/session.h"
+#include "src/nsm/host_table.h"
+#include "src/rpc/ports.h"
+#include "src/testbed/testbed.h"
+
+using namespace hcs;  // NOLINT: example brevity
+
+int main() {
+  Testbed bed;
+
+  // An existing, unmodified client, already running.
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  WireValue no_args = WireValue::OfRecord({});
+
+  // ---- Day 0: the new system type arrives -------------------------------
+  // A Tektronix workstation running Uniflex joins the network, with its
+  // host-table daemon.
+  const char* kUniflexHost = "tek4404.uniflex.local";
+  (void)bed.world().network().AddHost(kUniflexHost, MachineType::kTektronix4400,
+                                      OsType::kUniflex);
+  HostTableServer* table = HostTableServer::InstallOn(&bed.world(), kUniflexHost).value();
+  table->Put(kUniflexHost, 0x80020001);
+
+  HnsName new_name = HnsName::Parse("Uniflex!workstation7.uniflex.local").value();
+  Result<WireValue> before =
+      client.session->Query(new_name, kQueryClassHostAddress, no_args);
+  std::printf("before integration, %s -> %s\n", new_name.ToString().c_str(),
+              before.ok() ? before->ToString().c_str() : before.status().ToString().c_str());
+
+  // ---- Integration: one NSM + three registrations ------------------------
+  Hns* hns = client.session->local_hns();
+
+  NameServiceInfo ns;
+  ns.name = "Tek-HostTable";
+  ns.type = "Uniflex";
+  if (!hns->RegisterNameService(ns).ok()) {
+    return 1;
+  }
+  if (!hns->RegisterContext("Uniflex", ns.name).ok()) {
+    return 1;
+  }
+
+  NsmInfo info;
+  info.nsm_name = "HostAddrNSM-Uniflex";
+  info.query_class = kQueryClassHostAddress;
+  info.ns_name = ns.name;
+  info.host = kNsmServerHost;  // where a served instance would run
+  info.host_context = kContextBind;
+  info.program = kNsmProgram;
+  info.port = 720;
+  if (!hns->RegisterNsm(info).ok()) {
+    return 1;
+  }
+  // Link an instance into this client (any process may link NSMs).
+  auto nsm = std::make_shared<HostTableHostAddressNsm>(
+      &bed.world(), kClientHost, &bed.transport(), info, kUniflexHost);
+  if (!client.session->LinkNsm(nsm).ok()) {
+    return 1;
+  }
+  std::printf("integrated system type 'Uniflex': 1 NSM + 3 registrations\n");
+
+  // ---- Native applications keep working, and the HNS sees their updates --
+  // A native program on the Tektronix adds a machine to the host table with
+  // the *native* operation (it has never heard of the HNS).
+  RpcClient native_app(&bed.world(), kUniflexHost, &bed.transport());
+  if (!HostTablePut(&native_app, kUniflexHost, "workstation7.uniflex.local", 0x80020007)
+           .ok()) {
+    return 1;
+  }
+
+  // The unmodified HNS client resolves it immediately.
+  Result<WireValue> after =
+      client.session->Query(new_name, kQueryClassHostAddress, no_args);
+  if (!after.ok()) {
+    std::fprintf(stderr, "resolution failed: %s\n", after.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("after integration,  %s -> %s\n", new_name.ToString().c_str(),
+              after->ToString().c_str());
+
+  // The older systems are untouched: the same client still resolves them.
+  HnsName old_name = HnsName::Parse("BIND!fiji.cs.washington.edu").value();
+  Result<WireValue> still_works =
+      client.session->Query(old_name, kQueryClassHostAddress, no_args);
+  std::printf("existing systems untouched: %s -> %s\n", old_name.ToString().c_str(),
+              still_works.ok() ? still_works->ToString().c_str() : "FAILED");
+  return still_works.ok() ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// hns_admin: the operator's view of the confederation. One zone transfer
+// from the meta store's authority lists every registered name service,
+// context, and NSM — the complete description of an evolving system's
+// naming topology, kept in one small zone (~3 KB here).
+//
+// The tool then exercises the administrative workflow: it retires a query
+// class for one subsystem (UnregisterNsm) and shows clients failing over
+// cleanly, then restores it.
+
+#include <cstdio>
+
+#include "src/hns/session.h"
+#include "src/testbed/testbed.h"
+
+using namespace hcs;  // NOLINT: example brevity
+
+int main() {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  MetaStore& meta = client.session->local_hns()->meta();
+
+  Result<MetaStore::Inventory> inventory = meta.TakeInventory();
+  if (!inventory.ok()) {
+    std::fprintf(stderr, "inventory failed: %s\n", inventory.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("HNS confederation inventory\n===========================\n");
+  std::printf("\nname services (%zu):\n", inventory->name_services.size());
+  for (const NameServiceInfo& ns : inventory->name_services) {
+    std::printf("  %-16s type=%s\n", ns.name.c_str(), ns.type.c_str());
+  }
+  std::printf("\ncontexts (%zu):\n", inventory->contexts.size());
+  for (const auto& [context, ns] : inventory->contexts) {
+    std::printf("  %-20s -> %s\n", context.c_str(), ns.c_str());
+  }
+  std::printf("\nNSMs (%zu):\n", inventory->nsms.size());
+  for (const NsmInfo& nsm : inventory->nsms) {
+    std::printf("  %-22s %-14s for %-14s at %s:%u\n", nsm.nsm_name.c_str(),
+                nsm.query_class.c_str(), nsm.ns_name.c_str(), nsm.host.c_str(), nsm.port);
+  }
+
+  // Administrative change: retire MailboxInfo for the BIND world...
+  std::printf("\nretiring (UW-BIND, MailboxInfo)...\n");
+  if (!meta.UnregisterNsm(kNsBind, kQueryClassMailboxInfo).ok()) {
+    return 1;
+  }
+  HnsName name = HnsName::Parse("Mail-BIND!cs.washington.edu").value();
+  WireValue no_args = WireValue::OfRecord({});
+  Result<WireValue> gone = client.session->Query(name, kQueryClassMailboxInfo, no_args);
+  std::printf("  client query now: %s\n", gone.status().ToString().c_str());
+
+  // ...and restore it: one registration extends every machine at once.
+  if (!meta.RegisterNsm(bed.MailboxBindInfo()).ok()) {
+    return 1;
+  }
+  Result<WireValue> back = client.session->Query(name, kQueryClassMailboxInfo, no_args);
+  std::printf("  after re-registration: %s\n",
+              back.ok() ? back->ToString().c_str() : back.status().ToString().c_str());
+  return back.ok() ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Mail across heterogeneous name services — the application domain the
+// paper's related-work section opens with (sendmail's rewriting rules).
+// Where sendmail centralizes every network's naming rules in one component
+// and guesses semantics from name *syntax*, the HCS mail agent routes by
+// *context*: MailboxInfo finds the responsible relay, HRPCBinding binds its
+// mail drop, and one DELIVER call files the message — whichever world the
+// recipient lives in.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/apps/mail.h"
+#include "src/testbed/testbed.h"
+
+using namespace hcs;  // NOLINT: example brevity
+
+int main() {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  MailAgent mta(client.session.get());
+
+  std::printf("one MTA, two mail systems:\n\n");
+
+  std::vector<std::pair<std::string, std::string>> outbox = {
+      {"Mail-BIND!notkin@cs.washington.edu", "Subject: SOSP camera-ready\n..."},
+      {"Mail-CH!Purcell:CSL:Xerox", "Subject: Clearinghouse account\n..."},
+      // Same domain again: resolution and binding are cached now.
+      {"Mail-BIND!zahorjan@cs.washington.edu", "Subject: measurements\n..."},
+  };
+
+  for (const auto& [recipient, message] : outbox) {
+    double before = bed.world().clock().NowMs();
+    Result<std::string> relay = mta.Deliver(recipient, message);
+    if (!relay.ok()) {
+      std::fprintf(stderr, "delivery to %s failed: %s\n", recipient.c_str(),
+                   relay.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-40s -> relay %-28s (%.1f simulated ms)\n", recipient.c_str(),
+                relay->c_str(), bed.world().clock().NowMs() - before);
+  }
+
+  std::printf("\nspools after delivery:\n");
+  std::printf("  june.cs.washington.edu: notkin=%zu zahorjan=%zu\n",
+              bed.mail_drop_unix()->SpoolSize("notkin@cs.washington.edu"),
+              bed.mail_drop_unix()->SpoolSize("zahorjan@cs.washington.edu"));
+  std::printf("  %s: Purcell=%zu\n", kChServerHost,
+              bed.mail_drop_xerox()->SpoolSize("Purcell:CSL:Xerox"));
+
+  bool all_delivered =
+      bed.mail_drop_unix()->SpoolSize("notkin@cs.washington.edu") == 1 &&
+      bed.mail_drop_unix()->SpoolSize("zahorjan@cs.washington.edu") == 1 &&
+      bed.mail_drop_xerox()->SpoolSize("Purcell:CSL:Xerox") == 1;
+  return all_delivered ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+#include "src/apps/export.h"
+
+#include "src/common/strings.h"
+#include "src/nsm/bind_nsms.h"
+#include "src/rpc/ports.h"
+
+namespace hcs {
+
+// ---------------------------------------------------------------------------
+// BindPublisher
+// ---------------------------------------------------------------------------
+
+Status BindPublisher::Publish(const std::string& host, const std::string& service,
+                              uint32_t program, uint32_t version, uint16_t port) {
+  Zone* zone = zone_server_->FindZone(host);
+  if (zone == nullptr) {
+    return NotFoundError("no zone for " + host + " on " + zone_server_->host());
+  }
+  // Replace any previous descriptor for this (host, service).
+  zone->Remove(SunServiceRecordName(host, service), RrType::kWks);
+  HCS_RETURN_IF_ERROR(
+      zone->Add(MakeSunServiceRecord(host, service, program, version, kIpProtoUdp)));
+
+  // The Sun-native half: tell the host's portmapper where the service
+  // listens. (SET is idempotent here: re-export refreshes the mapping.)
+  XdrEncoder enc;
+  enc.PutUint32(program);
+  enc.PutUint32(version);
+  enc.PutUint32(kIpProtoUdp);
+  enc.PutUint32(port);
+  HrpcBinding pmap;
+  pmap.service_name = "portmapper";
+  pmap.host = host;
+  pmap.port = kPortmapperPort;
+  pmap.program = kPortmapperProgram;
+  pmap.version = 2;
+  pmap.control = ControlKind::kSunRpc;
+  HCS_ASSIGN_OR_RETURN(Bytes reply,
+                       portmapper_client_->Call(pmap, kPmapProcSet, enc.Take()));
+  (void)reply;  // "already registered" is fine on re-export
+  return Status::Ok();
+}
+
+Status BindPublisher::Withdraw(const std::string& host, const std::string& service) {
+  Zone* zone = zone_server_->FindZone(host);
+  if (zone == nullptr) {
+    return NotFoundError("no zone for " + host);
+  }
+  if (zone->Remove(SunServiceRecordName(host, service), RrType::kWks) == 0) {
+    return NotFoundError(service + " was not exported from " + host);
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// ChPublisher
+// ---------------------------------------------------------------------------
+
+Status ChPublisher::Publish(const std::string& host, const std::string& service,
+                            uint32_t program, uint32_t version, uint16_t port) {
+  HCS_ASSIGN_OR_RETURN(ChName name, ChName::Parse(host));
+  // Merge with existing service entries on the object.
+  std::vector<WireField> entries;
+  Result<ChRetrieveItemResponse> existing = client_->RetrieveItem(name, kChPropService);
+  if (existing.ok()) {
+    HCS_ASSIGN_OR_RETURN(entries, existing->item.AsRecord());
+  }
+  std::string key = AsciiToLower(service);
+  WireValue entry = RecordBuilder()
+                        .U32("program", program)
+                        .U32("version", version)
+                        .U32("port", port)
+                        .Build();
+  bool replaced = false;
+  for (WireField& field : entries) {
+    if (field.first == key) {
+      field.second = entry;
+      replaced = true;
+    }
+  }
+  if (!replaced) {
+    entries.emplace_back(key, std::move(entry));
+  }
+  return client_->AddItem(name, kChPropService, WireValue::OfRecord(std::move(entries)));
+}
+
+Status ChPublisher::Withdraw(const std::string& host, const std::string& service) {
+  HCS_ASSIGN_OR_RETURN(ChName name, ChName::Parse(host));
+  HCS_ASSIGN_OR_RETURN(ChRetrieveItemResponse existing,
+                       client_->RetrieveItem(name, kChPropService));
+  HCS_ASSIGN_OR_RETURN(std::vector<WireField> entries, existing.item.AsRecord());
+  std::string key = AsciiToLower(service);
+  size_t before = entries.size();
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [&](const WireField& field) { return field.first == key; }),
+                entries.end());
+  if (entries.size() == before) {
+    return NotFoundError(service + " was not exported from " + host);
+  }
+  if (entries.empty()) {
+    return client_->DeleteItem(name, kChPropService);
+  }
+  return client_->AddItem(name, kChPropService, WireValue::OfRecord(std::move(entries)));
+}
+
+// ---------------------------------------------------------------------------
+// ExportService
+// ---------------------------------------------------------------------------
+
+Status ExportService(World* world, NativePublisher* publisher, const std::string& host,
+                     const std::string& service, uint32_t program, uint32_t version,
+                     uint16_t port, RpcServer* server) {
+  HCS_RETURN_IF_ERROR(world->RegisterService(host, port, server));
+  Status published = publisher->Publish(host, service, program, version, port);
+  if (!published.ok()) {
+    world->UnregisterService(host, port);
+    return published;
+  }
+  return Status::Ok();
+}
+
+}  // namespace hcs

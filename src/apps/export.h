@@ -1,0 +1,78 @@
+// Export: the server-side complement of Import. A service exports itself
+// the way its *own* system type always has — registering with the local
+// portmapper and publishing a descriptor in the local name service (BIND
+// zone data on the Unix side, a service property in the Clearinghouse on
+// the Xerox side). No HNS registration happens at export time: that is the
+// direct-access property — the binding NSMs read this native data when a
+// client imports, so a freshly exported service is immediately importable
+// everywhere.
+
+#ifndef HCS_SRC_APPS_EXPORT_H_
+#define HCS_SRC_APPS_EXPORT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/bindns/server.h"
+#include "src/ch/client.h"
+#include "src/rpc/portmapper.h"
+#include "src/rpc/server.h"
+#include "src/sim/world.h"
+
+namespace hcs {
+
+// How an exporter publishes a service descriptor in its native name
+// service. Each system type supplies one (the export-side analogue of a
+// binding NSM).
+class NativePublisher {
+ public:
+  virtual ~NativePublisher() = default;
+  // Publishes "host exports `service` as (program, version, protocol)".
+  virtual Status Publish(const std::string& host, const std::string& service,
+                         uint32_t program, uint32_t version, uint16_t port) = 0;
+  // Withdraws the descriptor.
+  virtual Status Withdraw(const std::string& host, const std::string& service) = 0;
+};
+
+// Unix side: a WKS service record in the host's BIND zone plus a
+// portmapper registration. (The zone write models the site administrator's
+// native operation; the portmapper SET is a real Sun RPC call.)
+class BindPublisher : public NativePublisher {
+ public:
+  // `zone_server` is the authoritative BIND for the host's zone;
+  // `portmapper_client` calls the target host's portmapper.
+  BindPublisher(BindServer* zone_server, RpcClient* portmapper_client)
+      : zone_server_(zone_server), portmapper_client_(portmapper_client) {}
+
+  Status Publish(const std::string& host, const std::string& service, uint32_t program,
+                 uint32_t version, uint16_t port) override;
+  Status Withdraw(const std::string& host, const std::string& service) override;
+
+ private:
+  BindServer* zone_server_;
+  RpcClient* portmapper_client_;
+};
+
+// Xerox side: an entry in the host object's service property.
+class ChPublisher : public NativePublisher {
+ public:
+  explicit ChPublisher(ChClient* client) : client_(client) {}
+
+  Status Publish(const std::string& host, const std::string& service, uint32_t program,
+                 uint32_t version, uint16_t port) override;
+  Status Withdraw(const std::string& host, const std::string& service) override;
+
+ private:
+  ChClient* client_;
+};
+
+// The Export call: installs the server at (host, port) in the world and
+// publishes it natively. Returns an error (and installs nothing) when the
+// port is taken or publishing fails.
+Status ExportService(World* world, NativePublisher* publisher, const std::string& host,
+                     const std::string& service, uint32_t program, uint32_t version,
+                     uint16_t port, RpcServer* server);
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_APPS_EXPORT_H_

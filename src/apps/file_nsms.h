@@ -1,0 +1,58 @@
+// FileService NSMs: the naming-semantics managers for the filing query
+// class. Beyond locating the file service, these own the *syntax* of file
+// names in each world — the client hands the whole individual name to the
+// NSM, which splits host from path by its system's own rules:
+//
+//   BIND side:  "fiji.cs.washington.edu:/usr/doc/readme"  (first colon)
+//   CH side:    "Dorado:CSL:Xerox!<Docs>readme.press"     (three-part CH
+//                name, '!' separator, XDE angle-bracket path)
+//
+// The standard FileService result is a record
+//   { flavor, path, binding }
+// where flavor selects the file protocol the facade must speak ("nfs" block
+// access vs "xde" whole-file transfer).
+
+#ifndef HCS_SRC_APPS_FILE_NSMS_H_
+#define HCS_SRC_APPS_FILE_NSMS_H_
+
+#include <string>
+
+#include "src/apps/file_services.h"
+#include "src/bindns/resolver.h"
+#include "src/ch/client.h"
+#include "src/nsm/nsm_base.h"
+
+namespace hcs {
+
+inline constexpr char kFileFlavorNfs[] = "nfs";
+inline constexpr char kFileFlavorXde[] = "xde";
+
+class BindFileServiceNsm : public NsmBase {
+ public:
+  BindFileServiceNsm(World* world, const std::string& locus_host, Transport* transport,
+                     NsmInfo info, std::string bind_server_host,
+                     CacheMode cache_mode = CacheMode::kMarshalled);
+
+  // Individual name: "<domain-host>:<absolute-path>".
+  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+
+ private:
+  BindResolver resolver_;
+};
+
+class ChFileServiceNsm : public NsmBase {
+ public:
+  ChFileServiceNsm(World* world, const std::string& locus_host, Transport* transport,
+                   NsmInfo info, std::string ch_server_host, ChCredentials credentials,
+                   CacheMode cache_mode = CacheMode::kMarshalled);
+
+  // Individual name: "<object:domain:org>!<xde-file-name>".
+  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+
+ private:
+  ChClient client_stub_;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_APPS_FILE_NSMS_H_

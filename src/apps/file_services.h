@@ -1,0 +1,104 @@
+// The heterogeneous filing substrates. The paper's conclusion names a
+// "heterogeneous file system that mediates access to the set of local file
+// systems" as the next application of the HNS software structure; this
+// module provides the two incompatible local file services that facade
+// mediates between:
+//
+//   NfsLiteServer — the Unix side: handle-based, block-at-a-time access
+//                   (LOOKUP / READ / WRITE / GETATTR) over Sun RPC + XDR.
+//   XdeFileServer — the Xerox side: whole-file transfer (RETRIEVE / STORE /
+//                   ENUMERATE) over Courier, authenticated like the
+//                   Clearinghouse.
+//
+// Both are real servers over the HRPC runtime; their protocols are
+// deliberately different in grain and semantics, which is exactly the
+// heterogeneity the HcsFile facade (file_system.h) must absorb.
+
+#ifndef HCS_SRC_APPS_FILE_SERVICES_H_
+#define HCS_SRC_APPS_FILE_SERVICES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/rpc/server.h"
+#include "src/sim/world.h"
+
+namespace hcs {
+
+// --- NFS-lite (Unix) ----------------------------------------------------------
+
+constexpr uint32_t kNfsLiteProgram = 700003;
+constexpr uint16_t kNfsLitePort = 2050;
+constexpr uint32_t kNfsProcLookup = 1;   // path -> file handle + size
+constexpr uint32_t kNfsProcRead = 2;     // handle, offset, count -> data
+constexpr uint32_t kNfsProcWrite = 3;    // handle, offset, data -> new size
+constexpr uint32_t kNfsProcCreate = 4;   // path -> handle
+// Block size of the era's NFS READ calls.
+constexpr size_t kNfsBlockBytes = 1024;
+
+class NfsLiteServer {
+ public:
+  // Installs at (host, kNfsLitePort) and registers with the host's
+  // portmapper when one is present.
+  static Result<NfsLiteServer*> InstallOn(World* world, const std::string& host);
+
+  // Local administrative file creation.
+  void PutFile(const std::string& path, Bytes contents);
+  Result<Bytes> GetFile(const std::string& path) const;
+  size_t file_count() const { return files_.size(); }
+
+  RpcServer* rpc() { return &rpc_server_; }
+
+ private:
+  NfsLiteServer(World* world, std::string host);
+  void RegisterHandlers();
+
+  struct File {
+    uint32_t handle;
+    Bytes contents;
+  };
+
+  World* world_;
+  std::string host_;
+  RpcServer rpc_server_;
+  std::map<std::string, File> files_;  // by path
+  std::map<uint32_t, std::string> paths_by_handle_;
+  uint32_t next_handle_ = 1;
+};
+
+// --- XDE filing (Xerox) ---------------------------------------------------------
+
+constexpr uint32_t kXdeFilingProgram = 700010;
+constexpr uint16_t kXdeFilingPort = 3010;
+constexpr uint32_t kXdeProcRetrieve = 1;   // credentials, name -> whole file
+constexpr uint32_t kXdeProcStore = 2;      // credentials, name, contents
+constexpr uint32_t kXdeProcEnumerate = 3;  // credentials, prefix -> names
+
+class XdeFileServer {
+ public:
+  static Result<XdeFileServer*> InstallOn(World* world, const std::string& host);
+
+  void AddAccount(const std::string& user, const std::string& password);
+  void PutFile(const std::string& name, Bytes contents);
+  Result<Bytes> GetFile(const std::string& name) const;
+  size_t file_count() const { return files_.size(); }
+
+  RpcServer* rpc() { return &rpc_server_; }
+
+ private:
+  XdeFileServer(World* world, std::string host);
+  void RegisterHandlers();
+  Status Authenticate(const std::string& user, const std::string& password);
+
+  World* world_;
+  std::string host_;
+  RpcServer rpc_server_;
+  std::map<std::string, Bytes> files_;  // by file name (case-insensitive keys)
+  std::map<std::string, std::string> accounts_;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_APPS_FILE_SERVICES_H_

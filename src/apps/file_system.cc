@@ -1,0 +1,151 @@
+#include "src/apps/file_system.h"
+
+#include "src/apps/file_nsms.h"
+#include "src/common/strings.h"
+#include "src/wire/courier.h"
+#include "src/wire/xdr.h"
+
+namespace hcs {
+
+HcsFile::HcsFile(HnsSession* session, ChCredentials credentials)
+    : session_(session), credentials_(std::move(credentials)) {}
+
+Result<HcsFile::ResolvedFile> HcsFile::Resolve(const HnsName& file_name) {
+  WireValue no_args = WireValue::OfRecord({});
+  HCS_ASSIGN_OR_RETURN(WireValue result,
+                       session_->Query(file_name, kQueryClassFileService, no_args));
+  ResolvedFile file;
+  HCS_ASSIGN_OR_RETURN(file.flavor, result.StringField("flavor"));
+  HCS_ASSIGN_OR_RETURN(file.path, result.StringField("path"));
+  HCS_ASSIGN_OR_RETURN(WireValue binding_wire, result.Field("binding"));
+  HCS_ASSIGN_OR_RETURN(file.binding, HrpcBinding::FromWire(binding_wire));
+  return file;
+}
+
+Result<Bytes> HcsFile::Fetch(const HnsName& file_name) {
+  HCS_ASSIGN_OR_RETURN(ResolvedFile file, Resolve(file_name));
+  if (file.flavor == kFileFlavorNfs) {
+    return NfsFetch(file);
+  }
+  if (file.flavor == kFileFlavorXde) {
+    return XdeFetch(file);
+  }
+  return UnimplementedError("unknown file service flavor: " + file.flavor);
+}
+
+Status HcsFile::Store(const HnsName& file_name, const Bytes& contents) {
+  HCS_ASSIGN_OR_RETURN(ResolvedFile file, Resolve(file_name));
+  if (file.flavor == kFileFlavorNfs) {
+    return NfsStore(file, contents);
+  }
+  if (file.flavor == kFileFlavorXde) {
+    return XdeStore(file, contents);
+  }
+  return UnimplementedError("unknown file service flavor: " + file.flavor);
+}
+
+Result<Bytes> HcsFile::Fetch(const std::string& file_name_text) {
+  HCS_ASSIGN_OR_RETURN(HnsName name, HnsName::Parse(file_name_text));
+  return Fetch(name);
+}
+
+Status HcsFile::Store(const std::string& file_name_text, const Bytes& contents) {
+  HCS_ASSIGN_OR_RETURN(HnsName name, HnsName::Parse(file_name_text));
+  return Store(name, contents);
+}
+
+// ---------------------------------------------------------------------------
+// NFS-lite: handle-based block access.
+// ---------------------------------------------------------------------------
+
+Result<Bytes> HcsFile::NfsFetch(const ResolvedFile& file) {
+  RpcClient& rpc = session_->rpc_client();
+
+  XdrEncoder lookup;
+  lookup.PutString(file.path);
+  HCS_ASSIGN_OR_RETURN(Bytes lookup_reply,
+                       rpc.Call(file.binding, kNfsProcLookup, lookup.Take()));
+  XdrDecoder lookup_dec(lookup_reply);
+  HCS_ASSIGN_OR_RETURN(uint32_t handle, lookup_dec.GetUint32());
+  HCS_ASSIGN_OR_RETURN(uint32_t size, lookup_dec.GetUint32());
+
+  Bytes contents;
+  contents.reserve(size);
+  uint32_t offset = 0;
+  while (true) {
+    XdrEncoder read;
+    read.PutUint32(handle);
+    read.PutUint32(offset);
+    read.PutUint32(static_cast<uint32_t>(kNfsBlockBytes));
+    HCS_ASSIGN_OR_RETURN(Bytes read_reply, rpc.Call(file.binding, kNfsProcRead, read.Take()));
+    XdrDecoder read_dec(read_reply);
+    HCS_ASSIGN_OR_RETURN(Bytes block, read_dec.GetOpaque());
+    HCS_ASSIGN_OR_RETURN(bool eof, read_dec.GetBool());
+    contents.insert(contents.end(), block.begin(), block.end());
+    offset += static_cast<uint32_t>(block.size());
+    if (eof || block.empty()) {
+      break;
+    }
+  }
+  return contents;
+}
+
+Status HcsFile::NfsStore(const ResolvedFile& file, const Bytes& contents) {
+  RpcClient& rpc = session_->rpc_client();
+
+  XdrEncoder create;
+  create.PutString(file.path);
+  HCS_ASSIGN_OR_RETURN(Bytes create_reply,
+                       rpc.Call(file.binding, kNfsProcCreate, create.Take()));
+  XdrDecoder create_dec(create_reply);
+  HCS_ASSIGN_OR_RETURN(uint32_t handle, create_dec.GetUint32());
+
+  size_t offset = 0;
+  do {
+    size_t n = std::min(kNfsBlockBytes, contents.size() - offset);
+    XdrEncoder write;
+    write.PutUint32(handle);
+    write.PutUint32(static_cast<uint32_t>(offset));
+    write.PutOpaque(Bytes(contents.begin() + offset, contents.begin() + offset + n));
+    HCS_ASSIGN_OR_RETURN(Bytes write_reply,
+                         rpc.Call(file.binding, kNfsProcWrite, write.Take()));
+    (void)write_reply;
+    offset += n;
+  } while (offset < contents.size());
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// XDE filing: authenticated whole-file transfer.
+// ---------------------------------------------------------------------------
+
+Result<Bytes> HcsFile::XdeFetch(const ResolvedFile& file) {
+  CourierEncoder enc;
+  enc.PutString(credentials_.user);
+  enc.PutString(credentials_.password);
+  enc.PutString(file.path);
+  HCS_ASSIGN_OR_RETURN(Bytes reply,
+                       session_->rpc_client().Call(file.binding, kXdeProcRetrieve,
+                                                   enc.Take()));
+  CourierDecoder dec(reply);
+  return dec.GetSequence();
+}
+
+Status HcsFile::XdeStore(const ResolvedFile& file, const Bytes& contents) {
+  if (contents.size() > 0xffff) {
+    // Courier sequences carry a 16-bit length; real XDE filing switched to
+    // bulk-data transfer for large files, which this facade does not model.
+    return ResourceExhaustedError("XDE filing transfers are limited to 64 KB");
+  }
+  CourierEncoder enc;
+  enc.PutString(credentials_.user);
+  enc.PutString(credentials_.password);
+  enc.PutString(file.path);
+  enc.PutSequence(contents);
+  HCS_ASSIGN_OR_RETURN(Bytes reply, session_->rpc_client().Call(file.binding, kXdeProcStore,
+                                                                enc.Take()));
+  (void)reply;
+  return Status::Ok();
+}
+
+}  // namespace hcs

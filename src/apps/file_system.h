@@ -1,0 +1,56 @@
+// HcsFile: the heterogeneous filing facade — a Jasmine-style Fetch/Store
+// interface mediating access to the set of local file systems, built on the
+// HNS/NSM structure exactly as the paper's conclusion proposes. The facade
+// never parses file names itself: the FileService NSM for the file's
+// context does, and tells the facade which native file protocol to speak.
+
+#ifndef HCS_SRC_APPS_FILE_SYSTEM_H_
+#define HCS_SRC_APPS_FILE_SYSTEM_H_
+
+#include <string>
+
+#include "src/apps/file_services.h"
+#include "src/ch/protocol.h"
+#include "src/hns/session.h"
+#include "src/rpc/client.h"
+
+namespace hcs {
+
+class HcsFile {
+ public:
+  // `session` supplies HNS resolution; `credentials` authenticate against
+  // Xerox filing services.
+  HcsFile(HnsSession* session, ChCredentials credentials);
+
+  // Fetches the whole file named by `file_name` (context picks the world;
+  // the individual name uses that world's native file-name syntax).
+  Result<Bytes> Fetch(const HnsName& file_name);
+  // Stores `contents` as `file_name`, creating the file if needed.
+  Status Store(const HnsName& file_name, const Bytes& contents);
+
+  // Convenience overloads on "context!individual" text.
+  Result<Bytes> Fetch(const std::string& file_name_text);
+  Status Store(const std::string& file_name_text, const Bytes& contents);
+
+ private:
+  struct ResolvedFile {
+    std::string flavor;
+    std::string path;
+    HrpcBinding binding;
+  };
+
+  Result<ResolvedFile> Resolve(const HnsName& file_name);
+
+  // The native protocols.
+  Result<Bytes> NfsFetch(const ResolvedFile& file);
+  Status NfsStore(const ResolvedFile& file, const Bytes& contents);
+  Result<Bytes> XdeFetch(const ResolvedFile& file);
+  Status XdeStore(const ResolvedFile& file, const Bytes& contents);
+
+  HnsSession* session_;
+  ChCredentials credentials_;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_APPS_FILE_SYSTEM_H_

@@ -1,0 +1,28 @@
+#include "src/baseline/broadcast_locator.h"
+
+namespace hcs {
+
+void BroadcastLocator::AddNsm(std::shared_ptr<Nsm> nsm) {
+  nsms_.push_back(std::move(nsm));
+}
+
+Result<WireValue> BroadcastLocator::Query(const std::string& local_name,
+                                          const WireValue& args) {
+  Status last = NotFoundError("no subsystem recognizes " + local_name);
+  for (const std::shared_ptr<Nsm>& nsm : nsms_) {
+    ++probes_;
+    HnsName probe;
+    // Without contexts the locator can only guess: it presents the bare
+    // local name to each subsystem in its own terms.
+    probe.context = nsm->info().ns_name;
+    probe.individual = local_name;
+    Result<WireValue> result = nsm->Query(probe, args);
+    if (result.ok()) {
+      return result;
+    }
+    last = result.status();
+  }
+  return last;
+}
+
+}  // namespace hcs

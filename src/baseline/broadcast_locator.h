@@ -1,0 +1,48 @@
+// The multicast alternative §2 rejects: "locating the appropriate local
+// name server ... through some multicast technique ... is either too
+// inefficient in our environment, has the flavor of relative name spaces,
+// or requires excessive development cost."
+//
+// BroadcastLocator models that design: with no context to direct the query,
+// it asks every known NSM of the query class in turn until one recognizes
+// the name — each wrong subsystem costs a full (failed) remote lookup, so
+// expected cost grows with the number of system types. It also surfaces the
+// *ambiguity* problem: without contexts, a name present in two subsystems
+// is answered by whichever happens to be probed first.
+
+#ifndef HCS_SRC_BASELINE_BROADCAST_LOCATOR_H_
+#define HCS_SRC_BASELINE_BROADCAST_LOCATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hns/nsm_interface.h"
+
+namespace hcs {
+
+class BroadcastLocator {
+ public:
+  BroadcastLocator() = default;
+
+  // Registers one more subsystem's NSM (the multicast group grows with
+  // every system type).
+  void AddNsm(std::shared_ptr<Nsm> nsm);
+
+  // Resolves `local_name` by probing every NSM with a synthetic name in its
+  // own context until one answers. Returns the first success; counts the
+  // probes spent.
+  Result<WireValue> Query(const std::string& local_name, const WireValue& args);
+
+  // Probes issued over the locator's lifetime (failed + successful).
+  uint64_t probes() const { return probes_; }
+  size_t subsystems() const { return nsms_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<Nsm>> nsms_;
+  uint64_t probes_ = 0;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_BASELINE_BROADCAST_LOCATOR_H_

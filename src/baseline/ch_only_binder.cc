@@ -1,0 +1,59 @@
+#include "src/baseline/ch_only_binder.h"
+
+#include "src/common/strings.h"
+
+namespace hcs {
+
+ChOnlyBinder::ChOnlyBinder(World* world, std::string locus_host, Transport* transport,
+                           std::string ch_server_host, ChCredentials credentials,
+                           std::string registry_domain, std::string registry_org)
+    : world_(world),
+      locus_host_(std::move(locus_host)),
+      rpc_client_(world, locus_host_, transport),
+      client_stub_(&rpc_client_, std::move(ch_server_host), std::move(credentials)),
+      registry_domain_(std::move(registry_domain)),
+      registry_org_(std::move(registry_org)) {}
+
+ChName ChOnlyBinder::RegistryName(const std::string& host, const std::string& service) const {
+  ChName name;
+  name.object = AsciiToLower(service) + "@" + AsciiToLower(host);
+  name.domain = registry_domain_;
+  name.organization = registry_org_;
+  return name;
+}
+
+Status ChOnlyBinder::Register(const std::string& host, const std::string& service,
+                              uint32_t program, uint32_t version, uint16_t port,
+                              uint32_t address) {
+  WireValue item = RecordBuilder()
+                       .U32("program", program)
+                       .U32("version", version)
+                       .U32("port", port)
+                       .U32("address", address)
+                       .Build();
+  return client_stub_.AddItem(RegistryName(host, service), kChPropService, item);
+}
+
+Result<HrpcBinding> ChOnlyBinder::Bind(const std::string& service, const std::string& host) {
+  HCS_ASSIGN_OR_RETURN(ChRetrieveItemResponse response,
+                       client_stub_.RetrieveItem(RegistryName(host, service), kChPropService));
+  HCS_ASSIGN_OR_RETURN(uint32_t program, response.item.Uint32Field("program"));
+  HCS_ASSIGN_OR_RETURN(uint32_t version, response.item.Uint32Field("version"));
+  HCS_ASSIGN_OR_RETURN(uint32_t port, response.item.Uint32Field("port"));
+  HCS_ASSIGN_OR_RETURN(uint32_t address, response.item.Uint32Field("address"));
+
+  HrpcBinding binding;
+  binding.service_name = service;
+  binding.host = host;
+  binding.address = address;
+  binding.port = static_cast<uint16_t>(port);
+  binding.program = program;
+  binding.version = version;
+  binding.data_rep = DataRep::kXdr;
+  binding.transport = TransportKind::kUdp;
+  binding.control = ControlKind::kSunRpc;
+  binding.bind_protocol = BindProtocol::kStatic;
+  return binding;
+}
+
+}  // namespace hcs

@@ -1,0 +1,50 @@
+// The second baseline §3 measures: a single *reregistered* global name
+// service — all binding data copied into one Clearinghouse, bindings served
+// by one authenticated Clearinghouse access (measured at 166 ms in the
+// paper). This is the "make one service hold everything" design the HNS
+// rejects for evolving systems: it performs tolerably, but every change in
+// any subsystem must be reregistered, and the global service becomes the
+// bottleneck for heterogeneity growth.
+
+#ifndef HCS_SRC_BASELINE_CH_ONLY_BINDER_H_
+#define HCS_SRC_BASELINE_CH_ONLY_BINDER_H_
+
+#include <string>
+
+#include "src/ch/client.h"
+#include "src/rpc/binding.h"
+#include "src/rpc/client.h"
+#include "src/sim/world.h"
+
+namespace hcs {
+
+class ChOnlyBinder {
+ public:
+  // `registry_domain`/`registry_org` name the Clearinghouse domain that
+  // holds the reregistered data.
+  ChOnlyBinder(World* world, std::string locus_host, Transport* transport,
+               std::string ch_server_host, ChCredentials credentials,
+               std::string registry_domain, std::string registry_org);
+
+  // Reregisters one service's binding data into the global registry (the
+  // periodic job this baseline needs and the HNS does not).
+  Status Register(const std::string& host, const std::string& service, uint32_t program,
+                  uint32_t version, uint16_t port, uint32_t address);
+
+  // One authenticated Clearinghouse access returns the whole binding.
+  Result<HrpcBinding> Bind(const std::string& service, const std::string& host);
+
+ private:
+  ChName RegistryName(const std::string& host, const std::string& service) const;
+
+  World* world_;
+  std::string locus_host_;
+  RpcClient rpc_client_;
+  ChClient client_stub_;
+  std::string registry_domain_;
+  std::string registry_org_;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_BASELINE_CH_ONLY_BINDER_H_

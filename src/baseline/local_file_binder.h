@@ -1,0 +1,65 @@
+// The interim HRPC binding mechanism used before the HNS prototype existed:
+// binding information *reregistered* into replicated local files, one copy
+// per host (paper §3 measures it at 200 ms per binding). Every bind opens
+// and scans the local file, then runs the Sun binding protocol against the
+// target host's portmapper.
+//
+// This is the baseline the HNS's direct-access design replaces: the file
+// must be re-distributed whenever any system's binding data changes, and
+// its contents go stale in between — exactly the reregistration costs §2
+// argues against.
+
+#ifndef HCS_SRC_BASELINE_LOCAL_FILE_BINDER_H_
+#define HCS_SRC_BASELINE_LOCAL_FILE_BINDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/rpc/binding.h"
+#include "src/rpc/client.h"
+#include "src/rpc/transport.h"
+#include "src/sim/world.h"
+
+namespace hcs {
+
+// The replicated file's contents. One instance is shared by every host's
+// binder — modelling perfectly synchronized replicas (generous to the
+// baseline).
+class ReplicatedBindingFile {
+ public:
+  // Appends one line: "host service program version protocol address".
+  void Register(const std::string& host, const std::string& service, uint32_t program,
+                uint32_t version, uint32_t protocol, uint32_t address);
+
+  // Number of reregistration events so far (every update touches every
+  // replica; tests use this to quantify the reregistration burden).
+  uint64_t registrations() const { return registrations_; }
+  const std::string& text() const { return text_; }
+  size_t line_count() const { return lines_; }
+
+ private:
+  std::string text_;
+  size_t lines_ = 0;
+  uint64_t registrations_ = 0;
+};
+
+class LocalFileBinder {
+ public:
+  LocalFileBinder(World* world, std::string locus_host, Transport* transport,
+                  std::shared_ptr<ReplicatedBindingFile> file);
+
+  // Scans the local replica for (service, host), then asks the target
+  // host's portmapper for the current port.
+  Result<HrpcBinding> Bind(const std::string& service, const std::string& host);
+
+ private:
+  World* world_;
+  std::string locus_host_;
+  RpcClient rpc_client_;
+  std::shared_ptr<ReplicatedBindingFile> file_;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_BASELINE_LOCAL_FILE_BINDER_H_

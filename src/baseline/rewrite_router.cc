@@ -1,0 +1,59 @@
+#include "src/baseline/rewrite_router.h"
+
+#include "src/common/strings.h"
+
+namespace hcs {
+
+bool RewriteRouter::Matches(const RewriteRule& rule, const std::string& recipient) {
+  if (rule.pattern == "has-at") {
+    return recipient.find('@') != std::string::npos;
+  }
+  if (rule.pattern == "has-colon") {
+    return recipient.find(':') != std::string::npos;
+  }
+  if (StartsWith(rule.pattern, "contains:")) {
+    return recipient.find(rule.pattern.substr(9)) != std::string::npos;
+  }
+  if (StartsWith(rule.pattern, "suffix:")) {
+    return EndsWith(AsciiToLower(recipient), AsciiToLower(rule.pattern.substr(7)));
+  }
+  return false;
+}
+
+std::string RewriteRouter::Apply(const RewriteRule& rule, const std::string& recipient) {
+  if (rule.action == "domain-part") {
+    size_t at = recipient.find('@');
+    return at == std::string::npos ? recipient : recipient.substr(at + 1);
+  }
+  if (rule.action == "strip-at-host") {
+    size_t at = recipient.find('@');
+    return at == std::string::npos ? recipient : recipient.substr(0, at);
+  }
+  return recipient;  // "whole"
+}
+
+Result<RouteDecision> RewriteRouter::Route(const std::string& recipient) const {
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (Matches(rules_[i], recipient)) {
+      RouteDecision decision;
+      decision.network = rules_[i].network;
+      decision.mailbox_query = Apply(rules_[i], recipient);
+      decision.rule_index = i;
+      return decision;
+    }
+  }
+  return NotFoundError("no rewriting rule matches: " + recipient);
+}
+
+std::vector<RewriteRule> TestbedRewriteRules() {
+  // The administrator's best guess at telling the two worlds apart by
+  // syntax alone. The ordering matters — and names containing both '@' and
+  // ':' route by whichever rule happens to come first.
+  return {
+      {"suffix:.edu", "internet", "domain-part"},
+      {"has-colon", "xns", "whole"},
+      {"has-at", "internet", "domain-part"},
+  };
+}
+
+}  // namespace hcs

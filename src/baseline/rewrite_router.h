@@ -1,0 +1,65 @@
+// The sendmail approach §4 contrasts with: rewriting rules that *parse* a
+// recipient's syntax to decide which mail network it belongs to. The paper
+// lists its drawbacks — the understanding of every network's naming is
+// centralized in one component (replicated on each host), and semantics are
+// guessed from syntax, which "impedes name space administration and
+// reflects the complexity of heterogeneous naming to clients".
+//
+// RewriteRouter implements that design faithfully enough to demonstrate
+// both failure modes next to the context-routed MailAgent:
+//   * adding a network means shipping a new rule table to every host,
+//   * syntactically ambiguous names route by rule *order*, silently.
+
+#ifndef HCS_SRC_BASELINE_REWRITE_ROUTER_H_
+#define HCS_SRC_BASELINE_REWRITE_ROUTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace hcs {
+
+// One rewriting rule: if the recipient matches `pattern`, it belongs to
+// `network` and its mailbox query name is produced by the action.
+struct RewriteRule {
+  // Pattern elements: "contains:<s>", "suffix:<s>", "has-at", "has-colon".
+  std::string pattern;
+  // The mail network the match implies (opaque label).
+  std::string network;
+  // Action: "domain-part" (text after '@'), "whole", "strip-at-host"
+  // (text before '@').
+  std::string action;
+};
+
+struct RouteDecision {
+  std::string network;
+  std::string mailbox_query;
+  // Which rule fired (index), for the administrator debugging misroutes.
+  size_t rule_index;
+};
+
+class RewriteRouter {
+ public:
+  // Rules are evaluated in order; the first match wins (sendmail
+  // semantics — order is load-bearing).
+  explicit RewriteRouter(std::vector<RewriteRule> rules) : rules_(std::move(rules)) {}
+
+  // Routes a bare recipient string with no context to lean on.
+  Result<RouteDecision> Route(const std::string& recipient) const;
+
+  size_t rule_count() const { return rules_.size(); }
+
+ private:
+  static bool Matches(const RewriteRule& rule, const std::string& recipient);
+  static std::string Apply(const RewriteRule& rule, const std::string& recipient);
+
+  std::vector<RewriteRule> rules_;
+};
+
+// The rule table a 1987 site might ship for the testbed's two networks.
+std::vector<RewriteRule> TestbedRewriteRules();
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_BASELINE_REWRITE_ROUTER_H_

@@ -1,0 +1,252 @@
+#include "src/bindns/master_file.h"
+
+#include <cctype>
+
+#include "src/common/strings.h"
+
+namespace hcs {
+
+namespace {
+
+// Splits a master-file line into fields, honouring double-quoted strings
+// and stripping ';' comments.
+Result<std::vector<std::string>> Tokenize(const std::string& line, int line_number) {
+  std::vector<std::string> fields;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (c == ';') {
+      break;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      size_t end = line.find('"', i + 1);
+      if (end == std::string::npos) {
+        return InvalidArgumentError(StrFormat("line %d: unterminated string", line_number));
+      }
+      fields.push_back(line.substr(i + 1, end - i - 1));
+      i = end + 1;
+      continue;
+    }
+    size_t start = i;
+    while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i])) &&
+           line[i] != ';') {
+      ++i;
+    }
+    fields.push_back(line.substr(start, i - start));
+  }
+  return fields;
+}
+
+// Completes a possibly-relative name against the origin.
+std::string CompleteName(const std::string& name, const std::string& origin) {
+  if (!name.empty() && name.back() == '.') {
+    return name.substr(0, name.size() - 1);
+  }
+  if (name == "@") {
+    return origin;
+  }
+  if (origin.empty()) {
+    return name;
+  }
+  return name + "." + origin;
+}
+
+Result<RrType> ParseType(const std::string& token, int line_number) {
+  std::string t = AsciiToLower(token);
+  if (t == "a") {
+    return RrType::kA;
+  }
+  if (t == "ns") {
+    return RrType::kNs;
+  }
+  if (t == "cname") {
+    return RrType::kCname;
+  }
+  if (t == "ptr") {
+    return RrType::kPtr;
+  }
+  if (t == "hinfo") {
+    return RrType::kHinfo;
+  }
+  if (t == "mx") {
+    return RrType::kMx;
+  }
+  if (t == "txt") {
+    return RrType::kTxt;
+  }
+  if (t == "wks") {
+    return RrType::kWks;
+  }
+  return InvalidArgumentError(
+      StrFormat("line %d: unsupported record type '%s'", line_number, token.c_str()));
+}
+
+bool IsAllDigits(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<uint32_t> ParseAddress(const std::string& text) {
+  std::vector<std::string> parts = StrSplit(text, '.');
+  if (parts.size() != 4) {
+    return InvalidArgumentError("address is not a dotted quad: " + text);
+  }
+  uint32_t address = 0;
+  for (const std::string& part : parts) {
+    if (!IsAllDigits(part) || part.size() > 3) {
+      return InvalidArgumentError("bad address octet: " + text);
+    }
+    int v = std::stoi(part);
+    if (v > 255) {
+      return InvalidArgumentError("address octet out of range: " + text);
+    }
+    address = (address << 8) | static_cast<uint32_t>(v);
+  }
+  return address;
+}
+
+std::string FormatAddress(uint32_t address) {
+  return StrFormat("%u.%u.%u.%u", (address >> 24) & 0xff, (address >> 16) & 0xff,
+                   (address >> 8) & 0xff, address & 0xff);
+}
+
+Result<std::vector<ResourceRecord>> ParseMasterFile(const std::string& text) {
+  std::vector<ResourceRecord> records;
+  std::string origin;
+  uint32_t default_ttl = 3600;
+  std::string last_name;
+
+  int line_number = 0;
+  for (const std::string& raw_line : StrSplit(text, '\n')) {
+    ++line_number;
+    HCS_ASSIGN_OR_RETURN(std::vector<std::string> fields, Tokenize(raw_line, line_number));
+    if (fields.empty()) {
+      continue;
+    }
+
+    if (fields[0] == "$ORIGIN") {
+      if (fields.size() != 2) {
+        return InvalidArgumentError(StrFormat("line %d: $ORIGIN takes one field", line_number));
+      }
+      origin = fields[1];
+      if (!origin.empty() && origin.back() == '.') {
+        origin.pop_back();
+      }
+      continue;
+    }
+    if (fields[0] == "$TTL") {
+      if (fields.size() != 2 || !IsAllDigits(fields[1])) {
+        return InvalidArgumentError(StrFormat("line %d: bad $TTL", line_number));
+      }
+      default_ttl = static_cast<uint32_t>(std::stoul(fields[1]));
+      continue;
+    }
+
+    // Leading whitespace means "same name as the previous record"; our
+    // tokenizer has already stripped whitespace, so detect it from the raw
+    // line instead.
+    size_t field_index = 0;
+    std::string name;
+    if (std::isspace(static_cast<unsigned char>(raw_line[0]))) {
+      if (last_name.empty()) {
+        return InvalidArgumentError(
+            StrFormat("line %d: no previous owner name to continue", line_number));
+      }
+      name = last_name;
+    } else {
+      name = CompleteName(fields[field_index++], origin);
+    }
+    last_name = name;
+
+    if (field_index >= fields.size()) {
+      return InvalidArgumentError(StrFormat("line %d: missing record type", line_number));
+    }
+
+    uint32_t ttl = default_ttl;
+    if (IsAllDigits(fields[field_index])) {
+      ttl = static_cast<uint32_t>(std::stoul(fields[field_index]));
+      ++field_index;
+    }
+    if (field_index >= fields.size()) {
+      return InvalidArgumentError(StrFormat("line %d: missing record type", line_number));
+    }
+    HCS_ASSIGN_OR_RETURN(RrType type, ParseType(fields[field_index++], line_number));
+    if (field_index >= fields.size()) {
+      return InvalidArgumentError(StrFormat("line %d: missing rdata", line_number));
+    }
+
+    ResourceRecord rr;
+    rr.name = name;
+    rr.type = type;
+    rr.ttl_seconds = ttl;
+    const std::string& rdata_text = fields[field_index];
+    switch (type) {
+      case RrType::kA: {
+        HCS_ASSIGN_OR_RETURN(uint32_t address, ParseAddress(rdata_text));
+        rr = ResourceRecord::MakeA(name, address, ttl);
+        break;
+      }
+      case RrType::kCname:
+      case RrType::kNs:
+      case RrType::kPtr:
+        rr.rdata = BytesFromString(CompleteName(rdata_text, origin));
+        break;
+      default:
+        rr.rdata = BytesFromString(rdata_text);
+        break;
+    }
+    if (rr.rdata.size() > kMaxRdataBytes) {
+      return InvalidArgumentError(StrFormat("line %d: rdata too large", line_number));
+    }
+    records.push_back(std::move(rr));
+  }
+  return records;
+}
+
+Status LoadZoneFromMasterFile(Zone* zone, const std::string& text) {
+  HCS_ASSIGN_OR_RETURN(std::vector<ResourceRecord> records, ParseMasterFile(text));
+  for (ResourceRecord& rr : records) {
+    HCS_RETURN_IF_ERROR(zone->Add(std::move(rr)));
+  }
+  return Status::Ok();
+}
+
+std::string FormatMasterFile(const std::vector<ResourceRecord>& records) {
+  std::string out;
+  for (const ResourceRecord& rr : records) {
+    std::string rdata_text;
+    switch (rr.type) {
+      case RrType::kA: {
+        Result<uint32_t> address = rr.AddressRdata();
+        rdata_text = address.ok() ? FormatAddress(*address) : "0.0.0.0";
+        break;
+      }
+      case RrType::kCname:
+      case RrType::kNs:
+      case RrType::kPtr:
+        rdata_text = StringFromBytes(rr.rdata) + ".";
+        break;
+      default:
+        rdata_text = "\"" + StringFromBytes(rr.rdata) + "\"";
+        break;
+    }
+    out += StrFormat("%s. %u %s %s\n", rr.name.c_str(), rr.ttl_seconds,
+                     RrTypeName(rr.type).c_str(), rdata_text.c_str());
+  }
+  return out;
+}
+
+}  // namespace hcs

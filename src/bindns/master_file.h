@@ -1,0 +1,45 @@
+// A small master-file (zone file) dialect for loading BIND zones from text:
+//
+//   ; comment
+//   $ORIGIN cs.washington.edu
+//   $TTL 3600
+//   fiji        3600  A      128.95.1.4
+//   tahiti            A      128.95.1.5
+//   www               CNAME  fiji.cs.washington.edu.
+//   fiji              TXT    "4.3BSD name server"
+//   fiji              HINFO  "MicroVAX-II Unix"
+//
+// Relative names are completed with the current $ORIGIN; absolute names end
+// with a dot. The per-record TTL column is optional ($TTL is the default).
+
+#ifndef HCS_SRC_BINDNS_MASTER_FILE_H_
+#define HCS_SRC_BINDNS_MASTER_FILE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/bindns/record.h"
+#include "src/bindns/zone.h"
+#include "src/common/result.h"
+
+namespace hcs {
+
+// Parses master-file text into records. Reports the first syntax error with
+// its line number.
+Result<std::vector<ResourceRecord>> ParseMasterFile(const std::string& text);
+
+// Parses and loads into `zone`; every record must fall inside the zone.
+Status LoadZoneFromMasterFile(Zone* zone, const std::string& text);
+
+// Renders records back to master-file text (round-trips with the parser for
+// the supported types).
+std::string FormatMasterFile(const std::vector<ResourceRecord>& records);
+
+// Renders a dotted-quad address.
+std::string FormatAddress(uint32_t address);
+// Parses a dotted-quad address.
+Result<uint32_t> ParseAddress(const std::string& text);
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_BINDNS_MASTER_FILE_H_

@@ -1,0 +1,162 @@
+#include "src/bindns/record.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace hcs {
+
+std::string RrTypeName(RrType type) {
+  switch (type) {
+    case RrType::kA:
+      return "A";
+    case RrType::kNs:
+      return "NS";
+    case RrType::kCname:
+      return "CNAME";
+    case RrType::kSoa:
+      return "SOA";
+    case RrType::kPtr:
+      return "PTR";
+    case RrType::kHinfo:
+      return "HINFO";
+    case RrType::kMx:
+      return "MX";
+    case RrType::kTxt:
+      return "TXT";
+    case RrType::kWks:
+      return "WKS";
+    case RrType::kUnspec:
+      return "UNSPEC";
+    case RrType::kAny:
+      return "ANY";
+  }
+  return StrFormat("TYPE%u", static_cast<unsigned>(type));
+}
+
+ResourceRecord ResourceRecord::MakeA(std::string record_name, uint32_t address,
+                                     uint32_t ttl) {
+  ResourceRecord rr;
+  rr.name = std::move(record_name);
+  rr.type = RrType::kA;
+  rr.ttl_seconds = ttl;
+  rr.rdata = {static_cast<uint8_t>(address >> 24), static_cast<uint8_t>(address >> 16),
+              static_cast<uint8_t>(address >> 8), static_cast<uint8_t>(address)};
+  return rr;
+}
+
+ResourceRecord ResourceRecord::MakeTxt(std::string record_name, const std::string& text,
+                                       uint32_t ttl) {
+  ResourceRecord rr;
+  rr.name = std::move(record_name);
+  rr.type = RrType::kTxt;
+  rr.ttl_seconds = ttl;
+  rr.rdata = BytesFromString(text);
+  return rr;
+}
+
+ResourceRecord ResourceRecord::MakeCname(std::string record_name, const std::string& target,
+                                         uint32_t ttl) {
+  ResourceRecord rr;
+  rr.name = std::move(record_name);
+  rr.type = RrType::kCname;
+  rr.ttl_seconds = ttl;
+  rr.rdata = BytesFromString(target);
+  return rr;
+}
+
+Result<uint32_t> ResourceRecord::AddressRdata() const {
+  if (type != RrType::kA || rdata.size() != 4) {
+    return ProtocolError("record does not carry a 4-byte address");
+  }
+  return (static_cast<uint32_t>(rdata[0]) << 24) | (static_cast<uint32_t>(rdata[1]) << 16) |
+         (static_cast<uint32_t>(rdata[2]) << 8) | static_cast<uint32_t>(rdata[3]);
+}
+
+Result<std::string> ResourceRecord::TextRdata() const {
+  if (type != RrType::kTxt && type != RrType::kCname && type != RrType::kPtr &&
+      type != RrType::kNs && type != RrType::kHinfo) {
+    return ProtocolError("record does not carry text data");
+  }
+  return StringFromBytes(rdata);
+}
+
+void ResourceRecord::EncodeTo(XdrEncoder* enc) const {
+  enc->PutString(name);
+  enc->PutUint32(static_cast<uint32_t>(type));
+  enc->PutUint32(ttl_seconds);
+  enc->PutOpaque(rdata);
+}
+
+Result<ResourceRecord> ResourceRecord::DecodeFrom(XdrDecoder* dec) {
+  ResourceRecord rr;
+  HCS_ASSIGN_OR_RETURN(rr.name, dec->GetString());
+  HCS_ASSIGN_OR_RETURN(uint32_t type, dec->GetUint32());
+  rr.type = static_cast<RrType>(type);
+  HCS_ASSIGN_OR_RETURN(rr.ttl_seconds, dec->GetUint32());
+  HCS_ASSIGN_OR_RETURN(rr.rdata, dec->GetOpaque());
+  if (rr.rdata.size() > kMaxRdataBytes) {
+    return ProtocolError(StrFormat("rdata exceeds %zu bytes", kMaxRdataBytes));
+  }
+  return rr;
+}
+
+std::string ResourceRecord::ToString() const {
+  return StrFormat("%s %u %s %s", name.c_str(), ttl_seconds, RrTypeName(type).c_str(),
+                   HexDump(rdata, 16).c_str());
+}
+
+bool operator==(const ResourceRecord& a, const ResourceRecord& b) {
+  return EqualsIgnoreCase(a.name, b.name) && a.type == b.type &&
+         a.ttl_seconds == b.ttl_seconds && a.rdata == b.rdata;
+}
+
+std::vector<ResourceRecord> UnspecRecordsFromValue(const std::string& name,
+                                                   const WireValue& value, uint32_t ttl) {
+  Bytes encoded = value.Encode();
+  // Each chunk carries a 2-byte chunk index so reassembly is order
+  // independent (BIND makes no ordering promise across records of a name).
+  constexpr size_t kChunkPayload = kMaxRdataBytes - 2;
+  std::vector<ResourceRecord> out;
+  size_t offset = 0;
+  uint16_t index = 0;
+  do {
+    size_t n = std::min(kChunkPayload, encoded.size() - offset);
+    ResourceRecord rr;
+    rr.name = name;
+    rr.type = RrType::kUnspec;
+    rr.ttl_seconds = ttl;
+    rr.rdata.push_back(static_cast<uint8_t>(index >> 8));
+    rr.rdata.push_back(static_cast<uint8_t>(index));
+    rr.rdata.insert(rr.rdata.end(), encoded.begin() + offset, encoded.begin() + offset + n);
+    out.push_back(std::move(rr));
+    offset += n;
+    ++index;
+  } while (offset < encoded.size());
+  return out;
+}
+
+Result<WireValue> ValueFromUnspecRecords(std::vector<ResourceRecord> records) {
+  if (records.empty()) {
+    return NotFoundError("no unspecified-type records to reassemble");
+  }
+  std::sort(records.begin(), records.end(),
+            [](const ResourceRecord& a, const ResourceRecord& b) {
+              return a.rdata < b.rdata;  // chunk index is the rdata prefix
+            });
+  Bytes encoded;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const ResourceRecord& rr = records[i];
+    if (rr.type != RrType::kUnspec || rr.rdata.size() < 2) {
+      return ProtocolError("malformed unspecified-type record");
+    }
+    uint16_t index = static_cast<uint16_t>((rr.rdata[0] << 8) | rr.rdata[1]);
+    if (index != i) {
+      return ProtocolError(StrFormat("unspecified-type chunk gap: want %zu got %u", i, index));
+    }
+    encoded.insert(encoded.end(), rr.rdata.begin() + 2, rr.rdata.end());
+  }
+  return WireValue::Decode(encoded);
+}
+
+}  // namespace hcs

@@ -1,0 +1,66 @@
+// An authoritative zone: the records under one origin suffix, plus the
+// serial number that secondaries use to detect change.
+
+#ifndef HCS_SRC_BINDNS_ZONE_H_
+#define HCS_SRC_BINDNS_ZONE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/bindns/record.h"
+#include "src/common/result.h"
+
+namespace hcs {
+
+class Zone {
+ public:
+  // `origin` is the zone's suffix, e.g. "cs.washington.edu". Names are
+  // case-insensitive throughout.
+  explicit Zone(std::string origin);
+
+  const std::string& origin() const { return origin_; }
+  uint32_t serial() const { return serial_; }
+
+  // True when `name` falls under this zone's origin.
+  bool Contains(const std::string& name) const;
+
+  // Adds a record. Enforces the 256-byte rdata limit and zone membership.
+  // Multiple records may share a (name, type) — that is how BIND stores
+  // alternate data for one name. Bumps the serial.
+  Status Add(ResourceRecord rr);
+
+  // Removes records. With `type` unset removes all records of `name`.
+  // Returns the number removed; bumps the serial when nonzero.
+  size_t Remove(const std::string& name, std::optional<RrType> type);
+
+  // Authoritative lookup. Follows one level of CNAME indirection within the
+  // zone when the requested type has no records. kAny returns everything
+  // under the name. Returns an empty vector (not an error) when the name
+  // exists with other types; kNotFound when the name is absent entirely.
+  Result<std::vector<ResourceRecord>> Lookup(const std::string& name, RrType type) const;
+
+  // Every record in the zone (zone-transfer order: by name, then type).
+  std::vector<ResourceRecord> All() const;
+
+  // Replaces the whole zone contents (secondary refresh after a zone
+  // transfer). The serial is taken from the primary.
+  Status ReplaceAll(std::vector<ResourceRecord> records, uint32_t new_serial);
+
+  // Number of records.
+  size_t size() const;
+
+ private:
+  static std::string Key(const std::string& name);
+
+  std::string origin_;
+  std::string origin_key_;
+  uint32_t serial_ = 1;
+  // name (lower-cased) -> type -> records.
+  std::map<std::string, std::map<RrType, std::vector<ResourceRecord>>> names_;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_BINDNS_ZONE_H_

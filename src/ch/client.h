@@ -1,0 +1,56 @@
+// ChClient: the client-side Clearinghouse stub. Calls travel over Courier;
+// marshalling uses the native hand-coded routines. This is what a
+// Clearinghouse NSM (and native Xerox applications) use to reach the
+// service.
+
+#ifndef HCS_SRC_CH_CLIENT_H_
+#define HCS_SRC_CH_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ch/protocol.h"
+#include "src/rpc/client.h"
+
+namespace hcs {
+
+class ChClient {
+ public:
+  // `client` is the HRPC runtime; `server_host` the Clearinghouse machine;
+  // `credentials` presented on every access.
+  ChClient(RpcClient* client, std::string server_host, ChCredentials credentials);
+  // With replicas: hosts are tried in order when earlier ones are
+  // unreachable (reads and writes alike; replicas hold full copies).
+  ChClient(RpcClient* client, std::vector<std::string> server_hosts,
+           ChCredentials credentials);
+
+  // Retrieves (name, property). The response includes the distinguished
+  // name with aliases resolved.
+  Result<ChRetrieveItemResponse> RetrieveItem(const ChName& name, uint32_t property);
+
+  // Adds or replaces an item.
+  Status AddItem(const ChName& name, uint32_t property, const WireValue& item);
+
+  // Deletes an item.
+  Status DeleteItem(const ChName& name, uint32_t property);
+
+  // Lists the objects in a domain.
+  Result<std::vector<std::string>> ListObjects(const std::string& domain,
+                                               const std::string& organization);
+
+  const std::string& server_host() const { return server_hosts_.front(); }
+
+ private:
+  HrpcBinding ServerBinding(const std::string& host) const;
+  // Calls `procedure`, failing over across the configured hosts when a host
+  // is unreachable.
+  Result<Bytes> CallWithFailover(uint32_t procedure, const Bytes& body);
+
+  RpcClient* client_;
+  std::vector<std::string> server_hosts_;
+  ChCredentials credentials_;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_CH_CLIENT_H_

@@ -1,0 +1,31 @@
+#include "src/ch/name.h"
+
+#include "src/common/strings.h"
+
+namespace hcs {
+
+Result<ChName> ChName::Parse(const std::string& text) {
+  std::vector<std::string> parts = StrSplit(text, ':');
+  if (parts.size() != 3 || parts[0].empty() || parts[1].empty() || parts[2].empty()) {
+    return InvalidArgumentError(
+        "Clearinghouse names have the form object:domain:organization, got: " + text);
+  }
+  ChName name;
+  name.object = parts[0];
+  name.domain = parts[1];
+  name.organization = parts[2];
+  return name;
+}
+
+std::string ChName::ToString() const { return object + ":" + domain + ":" + organization; }
+
+std::string ChName::DomainKey() const {
+  return AsciiToLower(domain) + ":" + AsciiToLower(organization);
+}
+
+bool operator==(const ChName& a, const ChName& b) {
+  return EqualsIgnoreCase(a.object, b.object) && EqualsIgnoreCase(a.domain, b.domain) &&
+         EqualsIgnoreCase(a.organization, b.organization);
+}
+
+}  // namespace hcs

@@ -1,0 +1,30 @@
+#include "src/common/bytes.h"
+
+#include "src/common/strings.h"
+
+namespace hcs {
+
+std::string HexDump(const Bytes& bytes, size_t max_bytes) {
+  std::string out;
+  size_t n = bytes.size() < max_bytes ? bytes.size() : max_bytes;
+  for (size_t i = 0; i < n; ++i) {
+    if (i != 0) {
+      out += ' ';
+    }
+    out += StrFormat("%02x", bytes[i]);
+  }
+  if (bytes.size() > max_bytes) {
+    out += StrFormat(" ... (%zu bytes total)", bytes.size());
+  }
+  return out;
+}
+
+Bytes BytesFromString(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string StringFromBytes(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace hcs

@@ -1,0 +1,24 @@
+// Byte-buffer helpers used by the wire formats and transports.
+
+#ifndef HCS_SRC_COMMON_BYTES_H_
+#define HCS_SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hcs {
+
+// All wire-format code in the tree operates on this alias.
+using Bytes = std::vector<uint8_t>;
+
+// Hex dump ("de ad be ef") of at most `max_bytes` bytes, for diagnostics.
+std::string HexDump(const Bytes& bytes, size_t max_bytes = 64);
+
+// Conversions between Bytes and std::string payloads.
+Bytes BytesFromString(const std::string& s);
+std::string StringFromBytes(const Bytes& b);
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_COMMON_BYTES_H_

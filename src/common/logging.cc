@@ -1,0 +1,49 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace hcs {
+
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kWarning};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kSilent:
+      return "S";
+  }
+  return "?";
+}
+
+// Basename of a path, for compact log prefixes.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogThreshold(LogLevel level) { g_threshold.store(level); }
+
+LogLevel GetLogThreshold() { return g_threshold.load(); }
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_threshold.load())) {
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file), line,
+               message.c_str());
+}
+
+}  // namespace hcs

@@ -1,0 +1,42 @@
+// Deterministic pseudo-random numbers for tests, property sweeps, and
+// workload generators. Seeded explicitly everywhere so runs reproduce.
+
+#ifndef HCS_SRC_COMMON_RAND_H_
+#define HCS_SRC_COMMON_RAND_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hcs {
+
+// SplitMix64 core with convenience distributions. Not suitable for
+// cryptography; entirely suitable for deterministic test workloads.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  // Next raw 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound). Precondition: bound > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Random lowercase identifier of the given length, e.g. for host names.
+  std::string Identifier(size_t length);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_COMMON_RAND_H_

@@ -1,0 +1,100 @@
+// Status: lightweight error propagation for the HCS libraries.
+//
+// The HCS code base does not use exceptions for anticipated failures (name
+// not found, timeouts, protocol errors); every fallible operation returns a
+// Status or a Result<T> (see result.h). This mirrors the error discipline of
+// contemporary systems code and keeps failure paths explicit and testable.
+
+#ifndef HCS_SRC_COMMON_STATUS_H_
+#define HCS_SRC_COMMON_STATUS_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace hcs {
+
+// Canonical error space shared by every HCS subsystem. Codes are coarse on
+// purpose: callers branch on the class of failure, and the message carries
+// the detail.
+enum class StatusCode : int {
+  kOk = 0,
+  // The named entity does not exist in the queried name space.
+  kNotFound = 1,
+  // The request was malformed or violated an interface precondition.
+  kInvalidArgument = 2,
+  // The entity being created already exists.
+  kAlreadyExists = 3,
+  // A remote party did not answer within the allotted time.
+  kTimeout = 4,
+  // Peer spoke a protocol variant we do not understand, or sent bytes that
+  // fail to demarshal.
+  kProtocolError = 5,
+  // The target service exists but is not currently reachable.
+  kUnavailable = 6,
+  // Authentication with the target service failed (Clearinghouse paths).
+  kPermissionDenied = 7,
+  // An internal invariant was violated; indicates a bug, not bad input.
+  kInternal = 8,
+  // The requested operation is not supported by this implementation.
+  kUnimplemented = 9,
+  // A resource limit (buffer size, record size, table capacity) was hit.
+  kResourceExhausted = 10,
+};
+
+// Human-readable name of a status code ("NOT_FOUND" etc.).
+std::string_view StatusCodeToString(StatusCode code);
+
+// A (code, message) pair. Cheap to copy in the OK case.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "NOT_FOUND: no such host" — for logs and test failure output.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Constructors for each error class; each takes the human-readable detail.
+Status NotFoundError(std::string message);
+Status InvalidArgumentError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status TimeoutError(std::string message);
+Status ProtocolError(std::string message);
+Status UnavailableError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+
+// Evaluates `expr` (a Status); returns it from the enclosing function if it
+// is not OK.
+#define HCS_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::hcs::Status hcs_status_tmp_ = (expr);  \
+    if (!hcs_status_tmp_.ok()) {             \
+      return hcs_status_tmp_;                \
+    }                                        \
+  } while (false)
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_COMMON_STATUS_H_

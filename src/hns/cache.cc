@@ -1,0 +1,88 @@
+#include "src/hns/cache.h"
+
+namespace hcs {
+
+std::string CacheModeName(CacheMode mode) {
+  switch (mode) {
+    case CacheMode::kNone:
+      return "none";
+    case CacheMode::kMarshalled:
+      return "marshalled";
+    case CacheMode::kDemarshalled:
+      return "demarshalled";
+  }
+  return "unknown";
+}
+
+Result<WireValue> HnsCache::Get(const std::string& key) {
+  if (mode_ == CacheMode::kNone) {
+    ++stats_.misses;
+    return NotFoundError("cache disabled");
+  }
+  if (world_ != nullptr) {
+    world_->ChargeMs(world_->costs().cache_probe_ms);
+  }
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return NotFoundError("cache miss: " + key);
+  }
+  if (world_ != nullptr && it->second.expires <= Now()) {
+    entries_.erase(it);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return NotFoundError("cache entry expired: " + key);
+  }
+  ++stats_.hits;
+
+  if (mode_ == CacheMode::kMarshalled) {
+    // Demarshal the stored wire form on every access — the expensive
+    // stub-generated path the prototype started with.
+    if (world_ != nullptr) {
+      ChargeDemarshal(world_, MarshalEngine::kStubGenerated,
+                      static_cast<int>(it->second.units));
+    }
+    return WireValue::Decode(it->second.marshalled);
+  }
+
+  // Demarshalled mode: probe plus a copy of the parsed value.
+  if (world_ != nullptr) {
+    world_->ChargeMs(world_->costs().cache_copy_per_record_ms *
+                     static_cast<double>(it->second.units));
+  }
+  return it->second.value;
+}
+
+void HnsCache::Put(const std::string& key, const WireValue& value, uint32_t ttl_seconds) {
+  if (mode_ == CacheMode::kNone) {
+    return;
+  }
+  Entry entry;
+  Bytes encoded = value.Encode();
+  entry.units = static_cast<size_t>(MarshalUnitsForBytes(encoded.size()));
+  if (mode_ == CacheMode::kMarshalled) {
+    entry.marshalled = std::move(encoded);
+  } else {
+    entry.value = value;
+  }
+  entry.expires = Now() + MsToSim(static_cast<double>(ttl_seconds) * 1000.0);
+  if (world_ != nullptr) {
+    world_->ChargeMs(world_->costs().cache_insert_ms);
+  }
+  entries_[key] = std::move(entry);
+  ++stats_.inserts;
+}
+
+size_t HnsCache::ApproximateBytes() const {
+  size_t total = 0;
+  for (const auto& [key, entry] : entries_) {
+    total += key.size();
+    total += entry.marshalled.size();
+    if (entry.marshalled.empty()) {
+      total += entry.value.Encode().size();
+    }
+  }
+  return total;
+}
+
+}  // namespace hcs

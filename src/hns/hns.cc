@@ -1,0 +1,148 @@
+#include "src/hns/hns.h"
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+
+namespace hcs {
+
+Hns::Hns(World* world, std::string local_host, Transport* transport, HnsOptions options)
+    : world_(world),
+      local_host_(std::move(local_host)),
+      rpc_client_(world, local_host_, transport),
+      cache_(world, options.cache_mode),
+      meta_(&rpc_client_, options.meta_server_host, options.meta_authority_host, &cache_) {}
+
+Status Hns::LinkNsm(std::shared_ptr<Nsm> nsm) {
+  std::string key = AsciiToLower(nsm->info().nsm_name);
+  if (key.empty()) {
+    return InvalidArgumentError("NSM has no name");
+  }
+  if (linked_nsms_.count(key) != 0) {
+    return AlreadyExistsError("NSM already linked: " + nsm->info().nsm_name);
+  }
+  linked_nsms_[key] = std::move(nsm);
+  return Status::Ok();
+}
+
+bool Hns::HasLinkedNsm(const std::string& nsm_name) const {
+  return linked_nsms_.count(AsciiToLower(nsm_name)) != 0;
+}
+
+Nsm* Hns::LinkedNsm(const std::string& nsm_name) const {
+  auto it = linked_nsms_.find(AsciiToLower(nsm_name));
+  return it == linked_nsms_.end() ? nullptr : it->second.get();
+}
+
+Result<NsmHandle> Hns::FindNsm(const HnsName& name, const QueryClass& query_class) {
+  // Mapping 1: context -> name service name.
+  HCS_ASSIGN_OR_RETURN(std::string ns_name, meta_.ContextToNameService(name.context));
+  // Mapping 2: (name service, query class) -> NSM name.
+  HCS_ASSIGN_OR_RETURN(std::string nsm_name, meta_.NsmNameFor(ns_name, query_class));
+
+  NsmHandle handle;
+  handle.nsm_name = nsm_name;
+  // Colocation decides how the designated NSM gets *called*, not which
+  // mappings run: FindNSM determines the full handle either way, so a linked
+  // instance is noted here but the binding is still resolved below. (Only
+  // the HostAddress NSMs used inside mapping 3 short-circuit — that is the
+  // recursion-avoidance linking of §3.)
+  handle.linked = LinkedNsm(nsm_name);
+
+  // Mapping 3: NSM name -> binding information. The stored record carries
+  // the NSM's host *name*; resolving it to an address is itself an HNS
+  // naming operation (two more meta mappings plus one underlying-service
+  // lookup when cold).
+  HCS_ASSIGN_OR_RETURN(NsmInfo info, meta_.NsmLocation(nsm_name));
+  HCS_ASSIGN_OR_RETURN(uint32_t address, ResolveHostAddress(info.host_context, info.host));
+
+  handle.binding.service_name = info.nsm_name;
+  handle.binding.host = info.host;
+  handle.binding.address = address;
+  handle.binding.port = info.port;
+  handle.binding.program = info.program;
+  handle.binding.version = info.version;
+  handle.binding.data_rep = info.data_rep;
+  handle.binding.transport = info.transport;
+  handle.binding.control = info.control;
+  handle.binding.bind_protocol = BindProtocol::kStatic;
+  return handle;
+}
+
+Result<uint32_t> Hns::ResolveHostAddress(const std::string& host_context,
+                                         const std::string& host) {
+  return ResolveHostAddressAtDepth(host_context, host, 0);
+}
+
+Result<uint32_t> Hns::ResolveHostAddressAtDepth(const std::string& host_context,
+                                                const std::string& host, int depth) {
+  if (depth > kMaxAddressRecursionDepth) {
+    return UnavailableError(
+        "host address recursion too deep; link a HostAddress NSM into this process");
+  }
+  HCS_ASSIGN_OR_RETURN(std::string ns_name, meta_.ContextToNameService(host_context));
+  HCS_ASSIGN_OR_RETURN(std::string nsm_name,
+                       meta_.NsmNameFor(ns_name, kQueryClassHostAddress));
+
+  HnsName host_name;
+  host_name.context = host_context;
+  host_name.individual = host;
+
+  WireValue no_args = WireValue::OfRecord({});
+
+  if (Nsm* linked = LinkedNsm(nsm_name); linked != nullptr) {
+    HCS_ASSIGN_OR_RETURN(WireValue result, linked->Query(host_name, no_args));
+    return result.Uint32Field("address");
+  }
+
+  // The HostAddress NSM is not linked here; find and call it remotely. This
+  // recursion is bounded by the depth guard; production deployments link
+  // the HostAddress NSMs exactly to avoid paying this path.
+  HCS_LOG(Debug) << "host-address NSM " << nsm_name << " not linked; recursing";
+  HCS_ASSIGN_OR_RETURN(NsmInfo info, meta_.NsmLocation(nsm_name));
+  HCS_ASSIGN_OR_RETURN(uint32_t nsm_address,
+                       ResolveHostAddressAtDepth(info.host_context, info.host, depth + 1));
+
+  HrpcBinding binding;
+  binding.service_name = info.nsm_name;
+  binding.host = info.host;
+  binding.address = nsm_address;
+  binding.port = info.port;
+  binding.program = info.program;
+  binding.version = info.version;
+  binding.data_rep = info.data_rep;
+  binding.transport = info.transport;
+  binding.control = info.control;
+
+  // Remote NSM query protocol (see NsmServer): context, individual, args.
+  XdrEncoder enc;
+  enc.PutString(host_name.context);
+  enc.PutString(host_name.individual);
+  enc.PutFixedOpaque(no_args.Encode());
+  if (world_ != nullptr) {
+    ChargeMarshal(world_, MarshalEngine::kStubGenerated, 1);
+  }
+  HCS_ASSIGN_OR_RETURN(Bytes reply, rpc_client_.Call(binding, 1, enc.Take()));
+  HCS_ASSIGN_OR_RETURN(WireValue result, WireValue::Decode(reply));
+  if (world_ != nullptr) {
+    ChargeDemarshal(world_, MarshalEngine::kStubGenerated, MarshalUnits(result));
+  }
+  return result.Uint32Field("address");
+}
+
+Status Hns::RegisterNameService(const NameServiceInfo& info) {
+  return meta_.RegisterNameService(info);
+}
+
+Status Hns::RegisterContext(const std::string& context, const std::string& ns_name) {
+  return meta_.RegisterContext(context, ns_name);
+}
+
+Status Hns::RegisterNsm(const NsmInfo& info) { return meta_.RegisterNsm(info); }
+
+Status Hns::UnregisterNsm(const std::string& ns_name, const QueryClass& query_class) {
+  return meta_.UnregisterNsm(ns_name, query_class);
+}
+
+Result<size_t> Hns::PreloadCache() { return meta_.Preload(); }
+
+}  // namespace hcs

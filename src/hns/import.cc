@@ -1,0 +1,19 @@
+#include "src/hns/import.h"
+
+namespace hcs {
+
+Result<HrpcBinding> Importer::Import(const std::string& service_name,
+                                     const HnsName& host_name) {
+  WireValue args = RecordBuilder().Str("service", service_name).Build();
+  HCS_ASSIGN_OR_RETURN(WireValue result,
+                       session_->Query(host_name, kQueryClassHrpcBinding, args));
+  return HrpcBinding::FromWire(result);
+}
+
+Result<HrpcBinding> Importer::Import(const std::string& service_name,
+                                     const std::string& host_name_text) {
+  HCS_ASSIGN_OR_RETURN(HnsName host_name, HnsName::Parse(host_name_text));
+  return Import(service_name, host_name);
+}
+
+}  // namespace hcs

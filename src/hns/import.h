@@ -1,0 +1,39 @@
+// Import: HRPC binding through the HNS — the first and stress-test
+// application of the name service (paper §3). The client presents a service
+// name and the HNS name of the host; Import finds the binding NSM for the
+// host's system type, calls it, and returns a system-independent HRPC
+// Binding for the desired service.
+//
+//   Import("DesiredService", "HRPCBinding-BIND!fiji.cs.washington.edu")
+//     -> HrpcBinding usable with RpcClient::Call
+
+#ifndef HCS_SRC_HNS_IMPORT_H_
+#define HCS_SRC_HNS_IMPORT_H_
+
+#include <string>
+
+#include "src/hns/session.h"
+
+namespace hcs {
+
+class Importer {
+ public:
+  explicit Importer(HnsSession* session) : session_(session) {}
+
+  // Binds to `service_name` on the host named by `host_name`. The query
+  // class is kQueryClassHrpcBinding; whichever NSM the HNS designates runs
+  // the system type's native binding protocol (Sun portmapper, Courier
+  // handshake, ...).
+  Result<HrpcBinding> Import(const std::string& service_name, const HnsName& host_name);
+
+  // Convenience overload taking "context!host" text.
+  Result<HrpcBinding> Import(const std::string& service_name,
+                             const std::string& host_name_text);
+
+ private:
+  HnsSession* session_;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_HNS_IMPORT_H_

@@ -1,0 +1,320 @@
+#include "src/hns/meta_store.h"
+
+#include <map>
+
+#include "src/common/strings.h"
+#include "src/rpc/ports.h"
+#include "src/wire/marshal.h"
+
+namespace hcs {
+
+WireValue NameServiceInfo::ToWire() const {
+  return RecordBuilder().Str("name", name).Str("type", type).Build();
+}
+
+Result<NameServiceInfo> NameServiceInfo::FromWire(const WireValue& value) {
+  NameServiceInfo info;
+  HCS_ASSIGN_OR_RETURN(info.name, value.StringField("name"));
+  HCS_ASSIGN_OR_RETURN(info.type, value.StringField("type"));
+  return info;
+}
+
+WireValue NsmInfo::ToWire() const {
+  return RecordBuilder()
+      .Str("nsm", nsm_name)
+      .Str("qc", query_class)
+      .Str("ns", ns_name)
+      .Str("host", host)
+      .Str("host_ctx", host_context)
+      .U32("program", program)
+      .U32("version", version)
+      .U32("port", port)
+      .U32("data_rep", static_cast<uint32_t>(data_rep))
+      .U32("transport", static_cast<uint32_t>(transport))
+      .U32("control", static_cast<uint32_t>(control))
+      .Build();
+}
+
+Result<NsmInfo> NsmInfo::FromWire(const WireValue& value) {
+  NsmInfo info;
+  HCS_ASSIGN_OR_RETURN(info.nsm_name, value.StringField("nsm"));
+  HCS_ASSIGN_OR_RETURN(info.query_class, value.StringField("qc"));
+  HCS_ASSIGN_OR_RETURN(info.ns_name, value.StringField("ns"));
+  HCS_ASSIGN_OR_RETURN(info.host, value.StringField("host"));
+  HCS_ASSIGN_OR_RETURN(info.host_context, value.StringField("host_ctx"));
+  HCS_ASSIGN_OR_RETURN(info.program, value.Uint32Field("program"));
+  HCS_ASSIGN_OR_RETURN(info.version, value.Uint32Field("version"));
+  HCS_ASSIGN_OR_RETURN(uint32_t port, value.Uint32Field("port"));
+  info.port = static_cast<uint16_t>(port);
+  HCS_ASSIGN_OR_RETURN(uint32_t data_rep, value.Uint32Field("data_rep"));
+  info.data_rep = static_cast<DataRep>(data_rep);
+  HCS_ASSIGN_OR_RETURN(uint32_t transport, value.Uint32Field("transport"));
+  info.transport = static_cast<TransportKind>(transport);
+  HCS_ASSIGN_OR_RETURN(uint32_t control, value.Uint32Field("control"));
+  info.control = static_cast<ControlKind>(control);
+  return info;
+}
+
+MetaStore::MetaStore(RpcClient* client, std::string meta_server_host,
+                     std::string authority_host, HnsCache* cache)
+    : client_(client),
+      meta_server_host_(std::move(meta_server_host)),
+      authority_host_(authority_host.empty() ? meta_server_host_ : std::move(authority_host)),
+      cache_(cache) {}
+
+std::string MetaStore::ContextRecordName(const std::string& context) {
+  return "ctx." + AsciiToLower(context) + "." + kMetaZoneOrigin;
+}
+
+std::string MetaStore::NsmMapRecordName(const std::string& ns_name, const QueryClass& qc) {
+  return "map." + AsciiToLower(qc) + "." + AsciiToLower(ns_name) + "." + kMetaZoneOrigin;
+}
+
+std::string MetaStore::NsmLocationRecordName(const std::string& nsm_name) {
+  return "loc." + AsciiToLower(nsm_name) + "." + kMetaZoneOrigin;
+}
+
+std::string MetaStore::NameServiceRecordName(const std::string& ns_name) {
+  return "ns." + AsciiToLower(ns_name) + "." + kMetaZoneOrigin;
+}
+
+HrpcBinding MetaStore::MetaServerBinding(bool authority) const {
+  HrpcBinding b;
+  b.service_name = "hns-meta-bind";
+  b.host = authority ? authority_host_ : meta_server_host_;
+  b.port = kBindPort;
+  b.program = kBindProgram;
+  b.control = ControlKind::kRaw;
+  b.data_rep = DataRep::kXdr;
+  return b;
+}
+
+Result<WireValue> MetaStore::RemoteRead(const std::string& record_name) {
+  ++remote_lookups_;
+  World* world = client_->world();
+
+  BindQueryRequest request;
+  request.name = record_name;
+  request.type = RrType::kUnspec;
+
+  // The HRPC interface to BIND uses the stub-generated marshalling
+  // routines in both directions (the Table 3.2 lesson).
+  if (world != nullptr) {
+    ChargeMarshal(world, MarshalEngine::kStubGenerated, 1);
+  }
+  HCS_ASSIGN_OR_RETURN(Bytes reply,
+                       client_->Call(MetaServerBinding(/*authority=*/false), kBindProcQuery, request.Encode()));
+  HCS_ASSIGN_OR_RETURN(BindQueryResponse response, BindQueryResponse::Decode(reply));
+  if (response.rcode == Rcode::kNxDomain || response.answers.empty()) {
+    return NotFoundError("no meta record: " + record_name);
+  }
+  if (response.rcode != Rcode::kNoError) {
+    return UnavailableError(StrFormat("meta lookup of %s failed (rcode %u)",
+                                      record_name.c_str(),
+                                      static_cast<unsigned>(response.rcode)));
+  }
+  size_t answer_bytes = 0;
+  for (const ResourceRecord& rr : response.answers) {
+    answer_bytes += rr.rdata.size();
+  }
+  HCS_ASSIGN_OR_RETURN(WireValue value, ValueFromUnspecRecords(std::move(response.answers)));
+  if (world != nullptr) {
+    ChargeDemarshal(world, MarshalEngine::kStubGenerated, MarshalUnitsForBytes(answer_bytes));
+  }
+  return value;
+}
+
+Result<WireValue> MetaStore::ReadRecord(const std::string& record_name) {
+  Result<WireValue> cached = cache_->Get(record_name);
+  if (cached.ok()) {
+    return cached;
+  }
+  HCS_ASSIGN_OR_RETURN(WireValue value, RemoteRead(record_name));
+  cache_->Put(record_name, value, kMetaTtlSeconds);
+  return value;
+}
+
+Status MetaStore::DeleteRecord(const std::string& record_name) {
+  BindUpdateRequest request;
+  request.op = UpdateOp::kDelete;
+  request.record.name = record_name;
+  request.record.type = RrType::kUnspec;
+
+  World* world = client_->world();
+  if (world != nullptr) {
+    ChargeMarshal(world, MarshalEngine::kStubGenerated, 1);
+  }
+  HCS_ASSIGN_OR_RETURN(
+      Bytes reply, client_->Call(MetaServerBinding(/*authority=*/true), kBindProcUpdate, request.Encode()));
+  HCS_ASSIGN_OR_RETURN(BindUpdateResponse response, BindUpdateResponse::Decode(reply));
+  if (response.rcode != Rcode::kNoError) {
+    return InvalidArgumentError("meta delete refused: " + record_name);
+  }
+  cache_->Remove(record_name);
+  return Status::Ok();
+}
+
+Status MetaStore::WriteRecord(const std::string& record_name, const WireValue& value) {
+  // Replace semantics: clear any previous chunks, then add the new ones.
+  HCS_RETURN_IF_ERROR(DeleteRecord(record_name));
+  World* world = client_->world();
+  for (const ResourceRecord& rr :
+       UnspecRecordsFromValue(record_name, value, kMetaTtlSeconds)) {
+    BindUpdateRequest request;
+    request.op = UpdateOp::kAdd;
+    request.record = rr;
+    if (world != nullptr) {
+      ChargeMarshal(world, MarshalEngine::kStubGenerated, 1);
+    }
+    HCS_ASSIGN_OR_RETURN(
+        Bytes reply, client_->Call(MetaServerBinding(/*authority=*/true), kBindProcUpdate, request.Encode()));
+    HCS_ASSIGN_OR_RETURN(BindUpdateResponse response, BindUpdateResponse::Decode(reply));
+    if (response.rcode != Rcode::kNoError) {
+      return InvalidArgumentError("meta update refused: " + record_name);
+    }
+  }
+  cache_->Remove(record_name);
+  return Status::Ok();
+}
+
+Result<std::string> MetaStore::ContextToNameService(const std::string& context) {
+  HCS_ASSIGN_OR_RETURN(WireValue value, ReadRecord(ContextRecordName(context)));
+  return value.StringField("ns");
+}
+
+Result<std::string> MetaStore::NsmNameFor(const std::string& ns_name,
+                                          const QueryClass& query_class) {
+  HCS_ASSIGN_OR_RETURN(WireValue value, ReadRecord(NsmMapRecordName(ns_name, query_class)));
+  return value.StringField("nsm");
+}
+
+Result<NsmInfo> MetaStore::NsmLocation(const std::string& nsm_name) {
+  HCS_ASSIGN_OR_RETURN(WireValue value, ReadRecord(NsmLocationRecordName(nsm_name)));
+  return NsmInfo::FromWire(value);
+}
+
+Result<NameServiceInfo> MetaStore::NameService(const std::string& ns_name) {
+  HCS_ASSIGN_OR_RETURN(WireValue value, ReadRecord(NameServiceRecordName(ns_name)));
+  return NameServiceInfo::FromWire(value);
+}
+
+Status MetaStore::RegisterNameService(const NameServiceInfo& info) {
+  if (info.name.empty() || info.type.empty()) {
+    return InvalidArgumentError("name service registration needs name and type");
+  }
+  return WriteRecord(NameServiceRecordName(info.name), info.ToWire());
+}
+
+Status MetaStore::RegisterContext(const std::string& context, const std::string& ns_name) {
+  HCS_RETURN_IF_ERROR(ValidateContextName(context));
+  return WriteRecord(ContextRecordName(context),
+                     RecordBuilder().Str("ns", ns_name).Build());
+}
+
+Status MetaStore::RegisterNsm(const NsmInfo& info) {
+  if (info.nsm_name.empty() || info.query_class.empty() || info.ns_name.empty()) {
+    return InvalidArgumentError("NSM registration needs nsm_name, query_class, ns_name");
+  }
+  // Two records: the (service, query class) -> NSM map entry and the NSM's
+  // own location record. Storing them separately is what lets one name
+  // service's binding data be shared by many contexts.
+  HCS_RETURN_IF_ERROR(WriteRecord(NsmMapRecordName(info.ns_name, info.query_class),
+                                  RecordBuilder().Str("nsm", info.nsm_name).Build()));
+  return WriteRecord(NsmLocationRecordName(info.nsm_name), info.ToWire());
+}
+
+Status MetaStore::UnregisterNsm(const std::string& ns_name, const QueryClass& query_class) {
+  Result<std::string> nsm_name = NsmNameFor(ns_name, query_class);
+  HCS_RETURN_IF_ERROR(DeleteRecord(NsmMapRecordName(ns_name, query_class)));
+  if (nsm_name.ok()) {
+    HCS_RETURN_IF_ERROR(DeleteRecord(NsmLocationRecordName(*nsm_name)));
+  }
+  return Status::Ok();
+}
+
+Result<MetaStore::Inventory> MetaStore::TakeInventory() {
+  BindAxfrRequest request;
+  request.origin = kMetaZoneOrigin;
+  World* world = client_->world();
+  if (world != nullptr) {
+    ChargeMarshal(world, MarshalEngine::kStubGenerated, 1);
+  }
+  HCS_ASSIGN_OR_RETURN(
+      Bytes reply,
+      client_->Call(MetaServerBinding(/*authority=*/true), kBindProcAxfr, request.Encode()));
+  HCS_ASSIGN_OR_RETURN(BindAxfrResponse response, BindAxfrResponse::Decode(reply));
+  if (response.rcode != Rcode::kNoError) {
+    return UnavailableError("meta zone transfer failed");
+  }
+
+  std::map<std::string, std::vector<ResourceRecord>> by_name;
+  size_t bytes = 0;
+  for (ResourceRecord& rr : response.records) {
+    bytes += rr.rdata.size();
+    if (rr.type == RrType::kUnspec) {
+      by_name[AsciiToLower(rr.name)].push_back(std::move(rr));
+    }
+  }
+  if (world != nullptr) {
+    ChargeDemarshal(world, MarshalEngine::kStubGenerated, MarshalUnitsForBytes(bytes));
+  }
+
+  Inventory inventory;
+  std::string suffix = std::string(".") + kMetaZoneOrigin;
+  for (auto& [record_name, chunks] : by_name) {
+    HCS_ASSIGN_OR_RETURN(WireValue value, ValueFromUnspecRecords(std::move(chunks)));
+    if (!EndsWith(record_name, suffix)) {
+      continue;
+    }
+    std::string stem = record_name.substr(0, record_name.size() - suffix.size());
+    if (StartsWith(stem, "ctx.")) {
+      HCS_ASSIGN_OR_RETURN(std::string ns, value.StringField("ns"));
+      inventory.contexts.emplace_back(stem.substr(4), std::move(ns));
+    } else if (StartsWith(stem, "ns.")) {
+      HCS_ASSIGN_OR_RETURN(NameServiceInfo info, NameServiceInfo::FromWire(value));
+      inventory.name_services.push_back(std::move(info));
+    } else if (StartsWith(stem, "loc.")) {
+      HCS_ASSIGN_OR_RETURN(NsmInfo info, NsmInfo::FromWire(value));
+      inventory.nsms.push_back(std::move(info));
+    }
+    // "map." entries are derivable from the loc records' (ns, qc) pairs.
+  }
+  return inventory;
+}
+
+Result<size_t> MetaStore::Preload() {
+  World* world = client_->world();
+
+  BindAxfrRequest request;
+  request.origin = kMetaZoneOrigin;
+  if (world != nullptr) {
+    ChargeMarshal(world, MarshalEngine::kStubGenerated, 1);
+  }
+  HCS_ASSIGN_OR_RETURN(Bytes reply,
+                       client_->Call(MetaServerBinding(/*authority=*/true), kBindProcAxfr, request.Encode()));
+  HCS_ASSIGN_OR_RETURN(BindAxfrResponse response, BindAxfrResponse::Decode(reply));
+  if (response.rcode != Rcode::kNoError) {
+    return UnavailableError("meta zone transfer failed");
+  }
+
+  // Group chunks by record name, reassemble, and install in the cache.
+  std::map<std::string, std::vector<ResourceRecord>> by_name;
+  size_t bytes = 0;
+  for (ResourceRecord& rr : response.records) {
+    bytes += rr.rdata.size();
+    if (rr.type == RrType::kUnspec) {
+      by_name[AsciiToLower(rr.name)].push_back(std::move(rr));
+    }
+  }
+  for (auto& [record_name, chunks] : by_name) {
+    uint32_t ttl = chunks.front().ttl_seconds;
+    HCS_ASSIGN_OR_RETURN(WireValue value, ValueFromUnspecRecords(std::move(chunks)));
+    cache_->Put(record_name, value, ttl);
+  }
+  if (world != nullptr) {
+    ChargeDemarshal(world, MarshalEngine::kStubGenerated, MarshalUnitsForBytes(bytes));
+  }
+  return bytes;
+}
+
+}  // namespace hcs

@@ -1,0 +1,139 @@
+// MetaStore: the HNS's meta-naming information, kept in a version of BIND
+// modified to support dynamic updates and data of unspecified type
+// (Schwartz 1987). The store holds — for the whole confederation — the
+// names and binding information of each name service and each NSM, the
+// names of all contexts, and the context -> name-service mappings. It holds
+// *no* application data: that stays in the underlying name services.
+//
+// FindNSM is implemented as the paper's sequence of mappings:
+//   1. context -> name service name          (one BIND lookup)
+//   2. (name service, query class) -> NSM name (one BIND lookup)
+//   3. NSM name -> binding info for the NSM  (one BIND lookup + recursive
+//      host-address resolution)
+// The mappings are deliberately kept separate — collapsing them would
+// require redundant storage (e.g. per-context copies of per-service data)
+// and caching recovers the cost (paper §3, "Implementation").
+
+#ifndef HCS_SRC_HNS_META_STORE_H_
+#define HCS_SRC_HNS_META_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/bindns/protocol.h"
+#include "src/hns/cache.h"
+#include "src/hns/name.h"
+#include "src/rpc/binding.h"
+#include "src/rpc/client.h"
+
+namespace hcs {
+
+// Descriptor of an underlying name service known to the HNS.
+struct NameServiceInfo {
+  std::string name;  // e.g. "UW-BIND"
+  std::string type;  // e.g. "BIND", "Clearinghouse", "Uniflex"
+
+  WireValue ToWire() const;
+  static Result<NameServiceInfo> FromWire(const WireValue& value);
+};
+
+// Registration record for one NSM: which (query class, name service) it
+// serves and how to call it. The binding information includes the *host
+// name* the NSM runs on; turning that into an address is itself an HNS
+// naming operation (the recursion FindNSM must handle).
+struct NsmInfo {
+  std::string nsm_name;      // e.g. "BindingNSM-BIND"
+  std::string query_class;   // e.g. "HRPCBinding"
+  std::string ns_name;       // the name service it fronts, e.g. "UW-BIND"
+  std::string host;          // host the NSM process runs on
+  std::string host_context;  // context in which `host` can be resolved
+  uint32_t program = 0;
+  uint32_t version = 1;
+  uint16_t port = 0;
+  DataRep data_rep = DataRep::kXdr;
+  TransportKind transport = TransportKind::kUdp;
+  ControlKind control = ControlKind::kRaw;
+
+  WireValue ToWire() const;
+  static Result<NsmInfo> FromWire(const WireValue& value);
+};
+
+class MetaStore {
+ public:
+  // The meta zone origin; all meta records live under this suffix.
+  static constexpr char kMetaZoneOrigin[] = "hns";
+  // TTL applied to meta records (meta information changes slowly).
+  static constexpr uint32_t kMetaTtlSeconds = 3600;
+
+  // `client` supplies transport/identity; `meta_server_host` is the BIND
+  // instance this HNS *queries* (typically a local caching secondary that
+  // forwards to the primary); `authority_host` is the modified-BIND primary
+  // that accepts dynamic updates and serves zone transfers (empty: same as
+  // `meta_server_host`); `cache` is the HNS cache (not owned).
+  MetaStore(RpcClient* client, std::string meta_server_host, std::string authority_host,
+            HnsCache* cache);
+
+  // --- The FindNSM mappings (cache-aware reads) ---------------------------
+  // Mapping 1: context -> name service name.
+  Result<std::string> ContextToNameService(const std::string& context);
+  // Mapping 2: (name service, query class) -> NSM name.
+  Result<std::string> NsmNameFor(const std::string& ns_name, const QueryClass& query_class);
+  // Mapping 3 (first part): NSM name -> registration record.
+  Result<NsmInfo> NsmLocation(const std::string& nsm_name);
+  // Name service descriptor (administration, diagnostics).
+  Result<NameServiceInfo> NameService(const std::string& ns_name);
+
+  // --- Registration (dynamic updates to the modified BIND) ----------------
+  Status RegisterNameService(const NameServiceInfo& info);
+  Status RegisterContext(const std::string& context, const std::string& ns_name);
+  Status RegisterNsm(const NsmInfo& info);
+  Status UnregisterNsm(const std::string& ns_name, const QueryClass& query_class);
+
+  // Preloads the cache with the whole meta zone via a BIND zone transfer.
+  // Returns the number of bytes transferred.
+  Result<size_t> Preload();
+
+  // A snapshot of everything registered with the HNS (obtained with one
+  // zone transfer from the authority): the administrative inventory an
+  // operator browses.
+  struct Inventory {
+    // context -> name service name.
+    std::vector<std::pair<std::string, std::string>> contexts;
+    std::vector<NameServiceInfo> name_services;
+    std::vector<NsmInfo> nsms;
+  };
+  Result<Inventory> TakeInventory();
+
+  HnsCache* cache() { return cache_; }
+  // Remote meta lookups performed (misses that went to BIND); lets tests
+  // assert the paper's "six data mappings" claim.
+  uint64_t remote_lookups() const { return remote_lookups_; }
+
+  // Record-name construction (exposed for tests and tooling).
+  static std::string ContextRecordName(const std::string& context);
+  static std::string NsmMapRecordName(const std::string& ns_name, const QueryClass& qc);
+  static std::string NsmLocationRecordName(const std::string& nsm_name);
+  static std::string NameServiceRecordName(const std::string& ns_name);
+
+ private:
+  // One cache-aware structured read of an unspecified-type meta record.
+  Result<WireValue> ReadRecord(const std::string& record_name);
+  // One uncached remote BIND lookup via the HRPC interface (stub-generated
+  // marshalling), reassembling chunked unspecified-type records.
+  Result<WireValue> RemoteRead(const std::string& record_name);
+  // Writes a structured record (delete-then-add) via dynamic update.
+  Status WriteRecord(const std::string& record_name, const WireValue& value);
+  Status DeleteRecord(const std::string& record_name);
+
+  HrpcBinding MetaServerBinding(bool authority) const;
+
+  RpcClient* client_;
+  std::string meta_server_host_;
+  std::string authority_host_;
+  HnsCache* cache_;
+  uint64_t remote_lookups_ = 0;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_HNS_META_STORE_H_

@@ -1,0 +1,55 @@
+#include "src/hns/name.h"
+
+#include <cctype>
+
+#include "src/common/strings.h"
+
+namespace hcs {
+
+std::string HnsName::ToString() const { return context + "!" + individual; }
+
+Result<HnsName> HnsName::Parse(const std::string& text) {
+  size_t pos = text.find('!');
+  if (pos == std::string::npos || pos == 0 || pos + 1 >= text.size()) {
+    return InvalidArgumentError("HNS names have the form context!individual, got: " + text);
+  }
+  HnsName name;
+  name.context = text.substr(0, pos);
+  name.individual = text.substr(pos + 1);
+  HCS_RETURN_IF_ERROR(ValidateContextName(name.context));
+  return name;
+}
+
+bool operator==(const HnsName& a, const HnsName& b) {
+  // Contexts are HNS-administered and case-insensitive; individual names
+  // belong to the underlying service, whose syntax we do not interpret, so
+  // they compare exactly.
+  return EqualsIgnoreCase(a.context, b.context) && a.individual == b.individual;
+}
+
+bool operator<(const HnsName& a, const HnsName& b) {
+  std::string ac = AsciiToLower(a.context);
+  std::string bc = AsciiToLower(b.context);
+  if (ac != bc) {
+    return ac < bc;
+  }
+  return a.individual < b.individual;
+}
+
+Status ValidateContextName(const std::string& context) {
+  if (context.empty()) {
+    return InvalidArgumentError("context name must be non-empty");
+  }
+  if (context.size() > 128) {
+    return InvalidArgumentError("context name too long: " + context);
+  }
+  for (char c : context) {
+    if (c == '!' || !std::isprint(static_cast<unsigned char>(c)) ||
+        std::isspace(static_cast<unsigned char>(c))) {
+      return InvalidArgumentError("context name contains an invalid character: " + context);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace hcs

@@ -1,0 +1,57 @@
+// HNS names. An HNS name has two parts: a *context*, identifying (all or
+// part of) the name space managed by a single local name service, and an
+// *individual name*, which in the simplest case is identical to the entity's
+// name in that local service. Because a context maps onto exactly one local
+// name service, and the local-name -> individual-name mapping is a function
+// (injective), combining previously separate systems can never create a
+// naming conflict (paper §2, "The HNS Name Space").
+
+#ifndef HCS_SRC_HNS_NAME_H_
+#define HCS_SRC_HNS_NAME_H_
+
+#include <string>
+
+#include "src/common/result.h"
+
+namespace hcs {
+
+// A query class names the kind of data a client wants back, independent of
+// which name service holds it. All NSMs for one query class share an
+// identical client interface.
+using QueryClass = std::string;
+
+// Well-known query classes of the prototype.
+inline constexpr char kQueryClassHostAddress[] = "HostAddress";
+inline constexpr char kQueryClassHrpcBinding[] = "HRPCBinding";
+inline constexpr char kQueryClassMailboxInfo[] = "MailboxInfo";
+inline constexpr char kQueryClassFileService[] = "FileService";
+
+struct HnsName {
+  // Which local name service's space the name lives in, e.g.
+  // "HRPCBinding-BIND" or "CH-UW". Case-insensitive.
+  std::string context;
+  // The entity's name within that space, e.g. "fiji.cs.washington.edu" or
+  // "Tahiti:CSL:Xerox". The HNS imposes no syntax on this part: each
+  // subsystem keeps its native syntax.
+  std::string individual;
+
+  // Printed form "context!individual" (the separator cannot appear in
+  // context names, which the HNS itself administers; individual names are
+  // unrestricted).
+  std::string ToString() const;
+
+  // Parses "context!individual".
+  static Result<HnsName> Parse(const std::string& text);
+
+  friend bool operator==(const HnsName& a, const HnsName& b);
+  friend bool operator!=(const HnsName& a, const HnsName& b) { return !(a == b); }
+  friend bool operator<(const HnsName& a, const HnsName& b);
+};
+
+// Validates a context name: non-empty, printable ASCII, no '!' or
+// whitespace, at most 128 chars.
+Status ValidateContextName(const std::string& context);
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_HNS_NAME_H_

@@ -1,0 +1,44 @@
+// The Naming Semantics Manager (NSM) interface. Each NSM understands the
+// semantics of naming for one (query class, name service) pair: it
+// translates the individual-name part of an HNS name to the local name,
+// interrogates the local name service with its native protocol, and returns
+// the result in the format that is standard for the query class.
+//
+// All NSMs for a query class present this identical interface, so a client
+// can call whichever NSM the HNS designates without knowing which name
+// service will answer. NSMs are neither HNS nor application code: they are
+// code managed by the HNS and shared by the applications.
+
+#ifndef HCS_SRC_HNS_NSM_INTERFACE_H_
+#define HCS_SRC_HNS_NSM_INTERFACE_H_
+
+#include "src/common/result.h"
+#include "src/hns/cache.h"
+#include "src/hns/meta_store.h"
+#include "src/hns/name.h"
+#include "src/wire/value.h"
+
+namespace hcs {
+
+class Nsm {
+ public:
+  virtual ~Nsm() = default;
+
+  // Registration record: the NSM's name, query class, name service, and how
+  // to call it remotely.
+  virtual const NsmInfo& info() const = 0;
+
+  // The query-class interface. `args` carries any query-class-specific
+  // inputs (e.g. the desired service name for HRPCBinding); the result is
+  // the query class's standard format. Both are self-describing records, so
+  // one wire protocol serves every query class.
+  virtual Result<WireValue> Query(const HnsName& name, const WireValue& args) = 0;
+
+  // The NSM's cache of underlying-name-service results, when it keeps one
+  // (experiments flush and warm it). Null when the NSM does not cache.
+  virtual HnsCache* cache() { return nullptr; }
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_HNS_NSM_INTERFACE_H_

@@ -1,0 +1,81 @@
+#include "src/hns/query_class.h"
+
+#include "src/common/strings.h"
+
+namespace hcs {
+
+Status QueryClassRegistry::RegisterSchema(const QueryClass& query_class,
+                                          const std::string& idl_text) {
+  HCS_ASSIGN_OR_RETURN(std::vector<IdlMessage> messages, ParseIdl(idl_text));
+  if (messages.size() != 1) {
+    return InvalidArgumentError("a query-class schema is exactly one message definition");
+  }
+  schemas_.insert_or_assign(AsciiToLower(query_class), std::move(messages.front()));
+  return Status::Ok();
+}
+
+bool QueryClassRegistry::HasSchema(const QueryClass& query_class) const {
+  return schemas_.count(AsciiToLower(query_class)) != 0;
+}
+
+Status QueryClassRegistry::ValidateResult(const QueryClass& query_class,
+                                          const WireValue& result) const {
+  auto it = schemas_.find(AsciiToLower(query_class));
+  if (it == schemas_.end()) {
+    return Status::Ok();  // validation is opt-in per class
+  }
+  // Marshalling against the schema exercises exactly the field-presence and
+  // type checks we want; the bytes are discarded.
+  Result<Bytes> marshalled = it->second.Marshal(result, IdlRep::kXdr);
+  if (!marshalled.ok()) {
+    return InvalidArgumentError(StrFormat("result violates the %s schema: %s",
+                                          query_class.c_str(),
+                                          marshalled.status().message().c_str()));
+  }
+  return Status::Ok();
+}
+
+QueryClassRegistry QueryClassRegistry::WithBuiltinSchemas() {
+  QueryClassRegistry registry;
+  // HostAddress: the standard address result.
+  (void)registry.RegisterSchema(kQueryClassHostAddress, R"(
+message HostAddress {
+  address: u32;
+  host: string;
+}
+)");
+  // HRPCBinding: the full binding record (see HrpcBinding::ToWire).
+  (void)registry.RegisterSchema(kQueryClassHrpcBinding, R"(
+message HrpcBinding {
+  service: string;
+  host: string;
+  address: u32;
+  port: u32;
+  program: u32;
+  version: u32;
+  data_rep: u32;
+  transport: u32;
+  control: u32;
+  bind_protocol: u32;
+}
+)");
+  // MailboxInfo: the responsible relay.
+  (void)registry.RegisterSchema(kQueryClassMailboxInfo, R"(
+message MailboxInfo {
+  mail_host: string;
+  preference: u32;
+}
+)");
+  // FileService: flavor + translated path (the binding field is a nested
+  // record, outside the IDL's type lattice, so it is contract-checked by
+  // HrpcBinding::FromWire instead).
+  (void)registry.RegisterSchema(kQueryClassFileService, R"(
+message FileService {
+  flavor: string;
+  path: string;
+}
+)");
+  return registry;
+}
+
+}  // namespace hcs

@@ -1,0 +1,45 @@
+// Query-class result schemas. Every NSM of a query class must return the
+// class's standard format; this registry makes that contract checkable by
+// describing each format in the interface description language and
+// validating NSM results against it. New query classes register their
+// schema at runtime — the HNS itself never needs recompilation, exactly the
+// §2 requirement that motivated pushing semantics into NSMs.
+
+#ifndef HCS_SRC_HNS_QUERY_CLASS_H_
+#define HCS_SRC_HNS_QUERY_CLASS_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/hns/name.h"
+#include "src/wire/idl.h"
+
+namespace hcs {
+
+class QueryClassRegistry {
+ public:
+  QueryClassRegistry() = default;
+
+  // Registers (or replaces) the result schema for `query_class`, given as
+  // IDL text containing exactly one message definition.
+  Status RegisterSchema(const QueryClass& query_class, const std::string& idl_text);
+
+  bool HasSchema(const QueryClass& query_class) const;
+
+  // Validates that `result` carries every described field with the right
+  // type (extra fields are allowed: schemas evolve additively).
+  // kInvalidArgument with the offending field on mismatch; OK when no
+  // schema is registered (validation is opt-in per class).
+  Status ValidateResult(const QueryClass& query_class, const WireValue& result) const;
+
+  // The registry pre-loaded with the prototype's four query classes.
+  static QueryClassRegistry WithBuiltinSchemas();
+
+ private:
+  std::map<std::string, IdlMessage> schemas_;  // by lower-cased query class
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_HNS_QUERY_CLASS_H_

@@ -1,0 +1,84 @@
+// Server wrappers for the HNS world:
+//   NsmServer  — exposes one NSM instance as a remote procedure ("the NSMs
+//                can be linked with any process" — including a dedicated
+//                server process);
+//   HnsServer  — a long-lived remote HNS process (its cache outlives any
+//                one client, the colocation trade-off of §3);
+//   AgentServer — the Table 3.1 row-2 arrangement: one process, remote from
+//                the client, linking the HNS and the NSMs and answering
+//                whole queries in a single exchange.
+
+#ifndef HCS_SRC_HNS_SERVERS_H_
+#define HCS_SRC_HNS_SERVERS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/hns/hns.h"
+#include "src/hns/nsm_interface.h"
+#include "src/hns/wire_protocol.h"
+#include "src/rpc/server.h"
+#include "src/sim/world.h"
+
+namespace hcs {
+
+class NsmServer {
+ public:
+  // Registers `nsm` at (info.host, info.port) with info.control framing.
+  // The world owns the wrapper; the NSM instance is shared.
+  static Result<NsmServer*> InstallOn(World* world, std::shared_ptr<Nsm> nsm);
+
+  Nsm* nsm() { return nsm_.get(); }
+  RpcServer* rpc() { return &rpc_server_; }
+
+ private:
+  NsmServer(World* world, std::shared_ptr<Nsm> nsm);
+
+  World* world_;
+  std::shared_ptr<Nsm> nsm_;
+  RpcServer rpc_server_;
+};
+
+class HnsServer {
+ public:
+  // Builds an Hns instance living on `host` and serves FindNSM at
+  // (host, kHnsServerPort). Host-address NSMs should be linked into the
+  // returned server's hns() just as with a local instance.
+  static Result<HnsServer*> InstallOn(World* world, const std::string& host,
+                                      HnsOptions options);
+
+  Hns& hns() { return *hns_; }
+  RpcServer* rpc() { return &rpc_server_; }
+
+ private:
+  HnsServer(World* world, const std::string& host, HnsOptions options);
+
+  World* world_;
+  SimNetTransport transport_;
+  std::unique_ptr<Hns> hns_;
+  RpcServer rpc_server_;
+};
+
+class AgentServer {
+ public:
+  // Builds an Hns on `host`, links the given NSMs, and serves whole queries
+  // at (host, kAgentPort): FindNSM + NSM call in one remote exchange.
+  static Result<AgentServer*> InstallOn(World* world, const std::string& host,
+                                        HnsOptions options,
+                                        std::vector<std::shared_ptr<Nsm>> nsms);
+
+  Hns& hns() { return *hns_; }
+  RpcServer* rpc() { return &rpc_server_; }
+
+ private:
+  AgentServer(World* world, const std::string& host, HnsOptions options);
+
+  World* world_;
+  SimNetTransport transport_;
+  std::unique_ptr<Hns> hns_;
+  RpcServer rpc_server_;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_HNS_SERVERS_H_

@@ -1,0 +1,77 @@
+#include "src/hns/wire_protocol.h"
+
+#include "src/wire/xdr.h"
+
+namespace hcs {
+
+Bytes NsmQueryRequest::Encode() const {
+  XdrEncoder enc;
+  enc.PutString(name.context);
+  enc.PutString(name.individual);
+  enc.PutFixedOpaque(args.Encode());
+  return enc.Take();
+}
+
+Result<NsmQueryRequest> NsmQueryRequest::Decode(const Bytes& data) {
+  XdrDecoder dec(data);
+  NsmQueryRequest req;
+  HCS_ASSIGN_OR_RETURN(req.name.context, dec.GetString());
+  HCS_ASSIGN_OR_RETURN(req.name.individual, dec.GetString());
+  HCS_ASSIGN_OR_RETURN(Bytes body, dec.GetFixedOpaque(dec.remaining()));
+  HCS_ASSIGN_OR_RETURN(req.args, WireValue::Decode(body));
+  return req;
+}
+
+Bytes FindNsmRequest::Encode() const {
+  XdrEncoder enc;
+  enc.PutString(context);
+  enc.PutString(query_class);
+  return enc.Take();
+}
+
+Result<FindNsmRequest> FindNsmRequest::Decode(const Bytes& data) {
+  XdrDecoder dec(data);
+  FindNsmRequest req;
+  HCS_ASSIGN_OR_RETURN(req.context, dec.GetString());
+  HCS_ASSIGN_OR_RETURN(req.query_class, dec.GetString());
+  return req;
+}
+
+Bytes FindNsmResponse::Encode() const {
+  XdrEncoder enc;
+  enc.PutString(nsm_name);
+  enc.PutFixedOpaque(binding.ToWire().Encode());
+  return enc.Take();
+}
+
+Result<FindNsmResponse> FindNsmResponse::Decode(const Bytes& data) {
+  XdrDecoder dec(data);
+  FindNsmResponse resp;
+  HCS_ASSIGN_OR_RETURN(resp.nsm_name, dec.GetString());
+  HCS_ASSIGN_OR_RETURN(Bytes body, dec.GetFixedOpaque(dec.remaining()));
+  HCS_ASSIGN_OR_RETURN(WireValue value, WireValue::Decode(body));
+  HCS_ASSIGN_OR_RETURN(resp.binding, HrpcBinding::FromWire(value));
+  return resp;
+}
+
+Bytes AgentQueryRequest::Encode() const {
+  XdrEncoder enc;
+  enc.PutString(name.context);
+  enc.PutString(name.individual);
+  enc.PutString(query_class);
+  enc.PutFixedOpaque(args.Encode());
+  return enc.Take();
+}
+
+Result<AgentQueryRequest> AgentQueryRequest::Decode(const Bytes& data) {
+  XdrDecoder dec(data);
+  AgentQueryRequest req;
+  HCS_ASSIGN_OR_RETURN(req.name.context, dec.GetString());
+  HCS_ASSIGN_OR_RETURN(req.name.individual, dec.GetString());
+  HCS_ASSIGN_OR_RETURN(req.query_class, dec.GetString());
+  HCS_ASSIGN_OR_RETURN(Bytes body, dec.GetFixedOpaque(dec.remaining()));
+  HCS_ASSIGN_OR_RETURN(req.args, WireValue::Decode(body));
+  return req;
+}
+
+}  // namespace hcs

@@ -1,0 +1,73 @@
+// NSMs fronting BIND-named (Unix) systems:
+//   BindHostAddressNsm — HostAddress: A-record lookup.
+//   BindBindingNsm     — HRPCBinding: service descriptor + Sun portmapper.
+//   BindMailboxNsm     — MailboxInfo: MX-record lookup.
+//
+// For BIND systems the individual-name part of an HNS name *is* the local
+// (domain) name — the identity mapping keeps global names communicable
+// (paper §2) and is trivially injective, so merging name spaces cannot
+// create conflicts.
+
+#ifndef HCS_SRC_NSM_BIND_NSMS_H_
+#define HCS_SRC_NSM_BIND_NSMS_H_
+
+#include <string>
+
+#include "src/bindns/record.h"
+#include "src/bindns/resolver.h"
+#include "src/nsm/nsm_base.h"
+
+namespace hcs {
+
+// Builds the kWks service-descriptor record a server host publishes in its
+// BIND zone when it exports a Sun RPC service: rdata is a self-describing
+// record {program, version, protocol}.
+ResourceRecord MakeSunServiceRecord(const std::string& host, const std::string& service,
+                                    uint32_t program, uint32_t version,
+                                    uint32_t protocol = 17, uint32_t ttl = 3600);
+// Record name used for a service descriptor ("_svc.<service>.<host>").
+std::string SunServiceRecordName(const std::string& host, const std::string& service);
+
+class BindHostAddressNsm : public NsmBase {
+ public:
+  // `bind_server_host` is the public BIND server for this subsystem.
+  BindHostAddressNsm(World* world, const std::string& locus_host, Transport* transport,
+                     NsmInfo info, std::string bind_server_host,
+                     CacheMode cache_mode = CacheMode::kMarshalled);
+
+  // Result: {address: u32, host: string}.
+  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+
+ private:
+  BindResolver resolver_;
+};
+
+class BindBindingNsm : public NsmBase {
+ public:
+  BindBindingNsm(World* world, const std::string& locus_host, Transport* transport,
+                 NsmInfo info, std::string bind_server_host,
+                 CacheMode cache_mode = CacheMode::kMarshalled);
+
+  // Args: {service: string}. Result: an encoded HrpcBinding record.
+  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+
+ private:
+  BindResolver resolver_;
+};
+
+class BindMailboxNsm : public NsmBase {
+ public:
+  BindMailboxNsm(World* world, const std::string& locus_host, Transport* transport,
+                 NsmInfo info, std::string bind_server_host,
+                 CacheMode cache_mode = CacheMode::kMarshalled);
+
+  // Result: {mail_host: string, preference: u32} — the best MX relay.
+  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+
+ private:
+  BindResolver resolver_;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_NSM_BIND_NSMS_H_

@@ -1,0 +1,65 @@
+// NSMs fronting Clearinghouse-named (Xerox) systems. Individual names are
+// the native three-part object:domain:organization strings — again an
+// identity mapping into the HNS individual-name space, injective by
+// construction.
+//
+//   ChHostAddressNsm — HostAddress via the address property.
+//   ChBindingNsm     — HRPCBinding via the service property + Courier
+//                      listener handshake.
+//   ChMailboxNsm     — MailboxInfo via the mailboxes property.
+
+#ifndef HCS_SRC_NSM_CH_NSMS_H_
+#define HCS_SRC_NSM_CH_NSMS_H_
+
+#include <string>
+
+#include "src/ch/client.h"
+#include "src/nsm/nsm_base.h"
+
+namespace hcs {
+
+class ChHostAddressNsm : public NsmBase {
+ public:
+  ChHostAddressNsm(World* world, const std::string& locus_host, Transport* transport,
+                   NsmInfo info, std::string ch_server_host, ChCredentials credentials,
+                   CacheMode cache_mode = CacheMode::kMarshalled);
+
+  // Result: {address: u32, host: string}.
+  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+
+ private:
+  ChClient client_stub_;
+};
+
+class ChBindingNsm : public NsmBase {
+ public:
+  ChBindingNsm(World* world, const std::string& locus_host, Transport* transport,
+               NsmInfo info, std::string ch_server_host, ChCredentials credentials,
+               CacheMode cache_mode = CacheMode::kMarshalled);
+
+  // Args: {service: string}. Result: an encoded HrpcBinding record.
+  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+
+ private:
+  ChClient client_stub_;
+};
+
+class ChMailboxNsm : public NsmBase {
+ public:
+  ChMailboxNsm(World* world, const std::string& locus_host, Transport* transport,
+               NsmInfo info, std::string ch_server_host, ChCredentials credentials,
+               CacheMode cache_mode = CacheMode::kMarshalled);
+
+  // Result: {mail_host: string, preference: u32}.
+  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+
+ private:
+  ChClient client_stub_;
+};
+
+// Clearinghouse items have no TTL; NSM caches hold them for this long.
+constexpr uint32_t kChNsmCacheTtlSeconds = 600;
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_NSM_CH_NSMS_H_

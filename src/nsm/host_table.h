@@ -1,0 +1,67 @@
+// A third system type, for the evolution story: small machines (the
+// testbed's Uniflex and Tektronix systems) have no real name service — just
+// a host-table daemon that answers GET <name> over the raw protocol, the
+// moral equivalent of serving /etc/hosts. Integrating such a system into
+// the HNS takes exactly one NSM and two registration calls, which is the
+// paper's headline claim about integration cost ("an amount of integration
+// effort appropriate to the benefits received").
+
+#ifndef HCS_SRC_NSM_HOST_TABLE_H_
+#define HCS_SRC_NSM_HOST_TABLE_H_
+
+#include <map>
+#include <string>
+
+#include "src/nsm/nsm_base.h"
+#include "src/rpc/server.h"
+
+namespace hcs {
+
+constexpr uint32_t kHostTableProgram = 600001;
+constexpr uint16_t kHostTablePort = 79;
+constexpr uint32_t kHostTableProcGet = 1;
+constexpr uint32_t kHostTableProcPut = 2;
+
+// The host-table daemon. Native applications on the small system add
+// entries with PUT; the HNS sees those entries immediately through the NSM
+// with no reregistration.
+class HostTableServer {
+ public:
+  static Result<HostTableServer*> InstallOn(World* world, const std::string& host);
+
+  // Local administrative add.
+  void Put(const std::string& name, uint32_t address);
+
+  RpcServer* rpc() { return &rpc_server_; }
+  size_t size() const { return table_.size(); }
+
+ private:
+  HostTableServer(World* world, std::string host);
+
+  World* world_;
+  std::string host_;
+  RpcServer rpc_server_;
+  std::map<std::string, uint32_t> table_;  // lower-cased name -> address
+};
+
+// HostAddress NSM fronting a host-table daemon.
+class HostTableHostAddressNsm : public NsmBase {
+ public:
+  HostTableHostAddressNsm(World* world, const std::string& locus_host, Transport* transport,
+                          NsmInfo info, std::string table_server_host,
+                          CacheMode cache_mode = CacheMode::kMarshalled);
+
+  // Result: {address: u32, host: string}.
+  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+
+ private:
+  std::string table_server_host_;
+};
+
+// Client-side PUT, for native applications of the small system.
+Status HostTablePut(RpcClient* client, const std::string& table_server_host,
+                    const std::string& name, uint32_t address);
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_NSM_HOST_TABLE_H_

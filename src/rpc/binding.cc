@@ -1,0 +1,114 @@
+#include "src/rpc/binding.h"
+
+#include "src/common/strings.h"
+
+namespace hcs {
+
+std::string DataRepName(DataRep v) {
+  switch (v) {
+    case DataRep::kXdr:
+      return "XDR";
+    case DataRep::kCourier:
+      return "Courier";
+  }
+  return "unknown";
+}
+
+std::string TransportKindName(TransportKind v) {
+  switch (v) {
+    case TransportKind::kUdp:
+      return "UDP/IP";
+    case TransportKind::kTcp:
+      return "TCP/IP";
+    case TransportKind::kSpp:
+      return "XNS SPP";
+    case TransportKind::kLocal:
+      return "local";
+  }
+  return "unknown";
+}
+
+std::string ControlKindName(ControlKind v) {
+  switch (v) {
+    case ControlKind::kSunRpc:
+      return "SunRPC";
+    case ControlKind::kCourier:
+      return "Courier";
+    case ControlKind::kRaw:
+      return "RawHRPC";
+  }
+  return "unknown";
+}
+
+std::string BindProtocolName(BindProtocol v) {
+  switch (v) {
+    case BindProtocol::kSunPortmap:
+      return "Sun portmapper";
+    case BindProtocol::kCourierCh:
+      return "Courier/Clearinghouse";
+    case BindProtocol::kStatic:
+      return "static port";
+    case BindProtocol::kLocalFile:
+      return "local file";
+  }
+  return "unknown";
+}
+
+WireValue HrpcBinding::ToWire() const {
+  // One field per RPC component plus addressing — six resource-record-sized
+  // items, matching the granularity the meta-store keeps per NSM.
+  return RecordBuilder()
+      .Str("service", service_name)
+      .Str("host", host)
+      .U32("address", address)
+      .U32("port", port)
+      .U32("program", program)
+      .U32("version", version)
+      .U32("data_rep", static_cast<uint32_t>(data_rep))
+      .U32("transport", static_cast<uint32_t>(transport))
+      .U32("control", static_cast<uint32_t>(control))
+      .U32("bind_protocol", static_cast<uint32_t>(bind_protocol))
+      .Build();
+}
+
+Result<HrpcBinding> HrpcBinding::FromWire(const WireValue& value) {
+  HrpcBinding b;
+  HCS_ASSIGN_OR_RETURN(b.service_name, value.StringField("service"));
+  HCS_ASSIGN_OR_RETURN(b.host, value.StringField("host"));
+  HCS_ASSIGN_OR_RETURN(b.address, value.Uint32Field("address"));
+  HCS_ASSIGN_OR_RETURN(uint32_t port, value.Uint32Field("port"));
+  if (port > 0xffff) {
+    return ProtocolError(StrFormat("binding port out of range: %u", port));
+  }
+  b.port = static_cast<uint16_t>(port);
+  HCS_ASSIGN_OR_RETURN(b.program, value.Uint32Field("program"));
+  HCS_ASSIGN_OR_RETURN(b.version, value.Uint32Field("version"));
+  HCS_ASSIGN_OR_RETURN(uint32_t data_rep, value.Uint32Field("data_rep"));
+  HCS_ASSIGN_OR_RETURN(uint32_t transport, value.Uint32Field("transport"));
+  HCS_ASSIGN_OR_RETURN(uint32_t control, value.Uint32Field("control"));
+  HCS_ASSIGN_OR_RETURN(uint32_t bind_protocol, value.Uint32Field("bind_protocol"));
+  if (data_rep > 1 || transport > 3 || control > 2 || bind_protocol > 3) {
+    return ProtocolError("binding component id out of range");
+  }
+  b.data_rep = static_cast<DataRep>(data_rep);
+  b.transport = static_cast<TransportKind>(transport);
+  b.control = static_cast<ControlKind>(control);
+  b.bind_protocol = static_cast<BindProtocol>(bind_protocol);
+  return b;
+}
+
+std::string HrpcBinding::ToString() const {
+  return StrFormat("%s@%s:%u prog=%u/%u [%s,%s,%s,%s]", service_name.c_str(), host.c_str(),
+                   port, program, version, DataRepName(data_rep).c_str(),
+                   TransportKindName(transport).c_str(), ControlKindName(control).c_str(),
+                   BindProtocolName(bind_protocol).c_str());
+}
+
+bool operator==(const HrpcBinding& a, const HrpcBinding& b) {
+  return a.service_name == b.service_name && a.host == b.host && a.address == b.address &&
+         a.port == b.port && a.program == b.program && a.version == b.version &&
+         a.data_rep == b.data_rep && a.transport == b.transport && a.control == b.control &&
+         a.bind_protocol == b.bind_protocol;
+}
+
+}  // namespace hcs

@@ -1,0 +1,89 @@
+// HRPC bindings. The paper's HRPC design (Bershad et al. 1987) separates an
+// RPC facility into five components — stubs, binding protocol, data
+// representation, transport protocol, control protocol — and makes the last
+// four dynamically selectable at bind time ("mix and match"). An
+// HrpcBinding is the handle a client holds after binding: it names the
+// server endpoint and records which component implementations to use when
+// calling it. Bindings are system-independent from the client's point of
+// view.
+
+#ifndef HCS_SRC_RPC_BINDING_H_
+#define HCS_SRC_RPC_BINDING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/wire/value.h"
+
+namespace hcs {
+
+// Data representation component.
+enum class DataRep : uint32_t {
+  kXdr = 0,      // Sun External Data Representation
+  kCourier = 1,  // Xerox Courier representation
+};
+
+// Transport protocol component.
+enum class TransportKind : uint32_t {
+  kUdp = 0,    // UDP/IP datagrams
+  kTcp = 1,    // TCP/IP byte stream
+  kSpp = 2,    // Xerox Sequenced Packet Protocol
+  kLocal = 3,  // same-process procedure call (colocated components)
+};
+
+// Control protocol component.
+enum class ControlKind : uint32_t {
+  kSunRpc = 0,   // Sun RPC call/reply framing
+  kCourier = 1,  // Courier call/return/abort framing
+  kRaw = 2,      // Raw HRPC request/response datagram protocol
+};
+
+// Binding protocol component — how the server's port was (or is to be)
+// determined.
+enum class BindProtocol : uint32_t {
+  kSunPortmap = 0,   // ask the Sun portmapper on the target host
+  kCourierCh = 1,    // address registered in the Clearinghouse + handshake
+  kStatic = 2,       // well-known port
+  kLocalFile = 3,    // the interim reregistered-local-file scheme (baseline)
+};
+
+std::string DataRepName(DataRep v);
+std::string TransportKindName(TransportKind v);
+std::string ControlKindName(ControlKind v);
+std::string BindProtocolName(BindProtocol v);
+
+// The handle to a remote procedure suite. Produced by binding (an NSM or a
+// baseline binder), consumed by RpcClient::Call.
+struct HrpcBinding {
+  // The service this binding reaches, e.g. "DesiredService".
+  std::string service_name;
+  // Host name the server lives on (as known to its local name service).
+  std::string host;
+  // Resolved internet address; 0 when not yet resolved.
+  uint32_t address = 0;
+  // Transport-level port the server listens on.
+  uint16_t port = 0;
+  // Program/version in the Sun tradition; Courier services carry their
+  // program numbers here too.
+  uint32_t program = 0;
+  uint32_t version = 1;
+  DataRep data_rep = DataRep::kXdr;
+  TransportKind transport = TransportKind::kUdp;
+  ControlKind control = ControlKind::kSunRpc;
+  BindProtocol bind_protocol = BindProtocol::kStatic;
+
+  // Serialization to/from the self-describing wire form (bindings travel
+  // inside NSM replies and are stored in the HNS meta-store).
+  WireValue ToWire() const;
+  static Result<HrpcBinding> FromWire(const WireValue& value);
+
+  // Human-readable summary for logs.
+  std::string ToString() const;
+
+  friend bool operator==(const HrpcBinding& a, const HrpcBinding& b);
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_RPC_BINDING_H_

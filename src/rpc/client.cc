@@ -1,0 +1,58 @@
+#include "src/rpc/client.h"
+
+#include "src/common/strings.h"
+
+namespace hcs {
+
+namespace {
+
+// Per-call control-protocol processing charged to the simulation (covers
+// both the client and server ends of the exchange).
+double ControlCostMs(const CostModel& costs, ControlKind kind) {
+  switch (kind) {
+    case ControlKind::kSunRpc:
+      return costs.sunrpc_control_ms;
+    case ControlKind::kCourier:
+      return costs.courier_control_ms;
+    case ControlKind::kRaw:
+      return costs.raw_control_ms;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<Bytes> RpcClient::Call(const HrpcBinding& binding, uint32_t procedure,
+                              const Bytes& args) {
+  const ControlProtocol& control = GetControlProtocol(binding.control);
+
+  RpcCall call;
+  call.xid = next_xid_++;
+  call.program = binding.program;
+  call.version = binding.version;
+  call.procedure = procedure;
+  call.args = args;
+  Bytes message = control.EncodeCall(call);
+
+  if (world_ != nullptr) {
+    world_->ChargeMs(ControlCostMs(world_->costs(), binding.control));
+  }
+
+  HCS_ASSIGN_OR_RETURN(
+      Bytes response, transport_->RoundTrip(local_host_, binding.host, binding.port, message));
+
+  HCS_ASSIGN_OR_RETURN(RpcReplyMsg reply, control.DecodeReply(response));
+  // Courier transaction ids are 16-bit; compare within the protocol's width.
+  uint32_t want_xid =
+      binding.control == ControlKind::kCourier ? (call.xid & 0xffff) : call.xid;
+  if (reply.xid != want_xid) {
+    return ProtocolError(
+        StrFormat("reply xid %u does not match call xid %u", reply.xid, want_xid));
+  }
+  if (reply.app_status != StatusCode::kOk) {
+    return Status(reply.app_status, reply.error_message);
+  }
+  return reply.results;
+}
+
+}  // namespace hcs

@@ -1,0 +1,48 @@
+// RpcClient: the client-side HRPC runtime. At call time the binding selects
+// the control protocol (and, at the stub layer, the data representation);
+// the transport is injected. This is the "mix and match" of RPC components
+// described by the HRPC design: the same client object can call a Sun RPC
+// server, a Courier server, and a raw message-passing program.
+
+#ifndef HCS_SRC_RPC_CLIENT_H_
+#define HCS_SRC_RPC_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/rpc/binding.h"
+#include "src/rpc/control.h"
+#include "src/rpc/transport.h"
+#include "src/sim/world.h"
+
+namespace hcs {
+
+class RpcClient {
+ public:
+  // `world` may be null when running over a real (non-simulated) transport;
+  // control-protocol CPU costs are then not charged (real time is real).
+  // `local_host` is the simulated host this client's process runs on.
+  RpcClient(World* world, std::string local_host, Transport* transport)
+      : world_(world), local_host_(std::move(local_host)), transport_(transport) {}
+
+  // Calls `procedure` with pre-marshalled `args`; returns the raw result
+  // bytes. A Status from the remote handler is reconstructed and returned
+  // as this call's status.
+  Result<Bytes> Call(const HrpcBinding& binding, uint32_t procedure, const Bytes& args);
+
+  const std::string& local_host() const { return local_host_; }
+  World* world() const { return world_; }
+  Transport* transport() const { return transport_; }
+
+ private:
+  World* world_;
+  std::string local_host_;
+  Transport* transport_;
+  uint32_t next_xid_ = 1;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_RPC_CLIENT_H_

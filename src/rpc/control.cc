@@ -1,0 +1,280 @@
+#include "src/rpc/control.h"
+
+#include "src/common/strings.h"
+#include "src/wire/courier.h"
+#include "src/wire/xdr.h"
+
+namespace hcs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sun RPC (RFC 1057-style framing, AUTH_NULL credentials).
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kSunRpcVersion = 2;
+constexpr uint32_t kMsgTypeCall = 0;
+constexpr uint32_t kMsgTypeReply = 1;
+constexpr uint32_t kReplyAccepted = 0;
+constexpr uint32_t kAcceptSuccess = 0;
+
+class SunRpcControl : public ControlProtocol {
+ public:
+  ControlKind kind() const override { return ControlKind::kSunRpc; }
+
+  Bytes EncodeCall(const RpcCall& call) const override {
+    XdrEncoder enc;
+    enc.PutUint32(call.xid);
+    enc.PutUint32(kMsgTypeCall);
+    enc.PutUint32(kSunRpcVersion);
+    enc.PutUint32(call.program);
+    enc.PutUint32(call.version);
+    enc.PutUint32(call.procedure);
+    // AUTH_NULL credentials and verifier.
+    enc.PutUint32(0);
+    enc.PutUint32(0);
+    enc.PutUint32(0);
+    enc.PutUint32(0);
+    enc.PutOpaque(call.args);
+    return enc.Take();
+  }
+
+  Result<RpcCall> DecodeCall(const Bytes& message) const override {
+    XdrDecoder dec(message);
+    RpcCall call;
+    HCS_ASSIGN_OR_RETURN(call.xid, dec.GetUint32());
+    HCS_ASSIGN_OR_RETURN(uint32_t mtype, dec.GetUint32());
+    if (mtype != kMsgTypeCall) {
+      return ProtocolError(StrFormat("SunRPC: expected CALL, got msg type %u", mtype));
+    }
+    HCS_ASSIGN_OR_RETURN(uint32_t rpcvers, dec.GetUint32());
+    if (rpcvers != kSunRpcVersion) {
+      return ProtocolError(StrFormat("SunRPC: unsupported RPC version %u", rpcvers));
+    }
+    HCS_ASSIGN_OR_RETURN(call.program, dec.GetUint32());
+    HCS_ASSIGN_OR_RETURN(call.version, dec.GetUint32());
+    HCS_ASSIGN_OR_RETURN(call.procedure, dec.GetUint32());
+    // Credentials and verifier: flavor + opaque body, both AUTH_NULL here
+    // but parsed generally.
+    for (int i = 0; i < 2; ++i) {
+      HCS_ASSIGN_OR_RETURN(uint32_t flavor, dec.GetUint32());
+      (void)flavor;
+      HCS_ASSIGN_OR_RETURN(Bytes body, dec.GetOpaque());
+      (void)body;
+    }
+    HCS_ASSIGN_OR_RETURN(call.args, dec.GetOpaque());
+    if (!dec.AtEnd()) {
+      return ProtocolError("SunRPC: trailing bytes after call body");
+    }
+    return call;
+  }
+
+  Bytes EncodeReply(const RpcReplyMsg& reply) const override {
+    XdrEncoder enc;
+    enc.PutUint32(reply.xid);
+    enc.PutUint32(kMsgTypeReply);
+    enc.PutUint32(kReplyAccepted);
+    // Verifier (AUTH_NULL).
+    enc.PutUint32(0);
+    enc.PutUint32(0);
+    enc.PutUint32(kAcceptSuccess);
+    // HCS application status header inside the accepted body.
+    enc.PutUint32(static_cast<uint32_t>(reply.app_status));
+    enc.PutString(reply.error_message);
+    enc.PutOpaque(reply.results);
+    return enc.Take();
+  }
+
+  Result<RpcReplyMsg> DecodeReply(const Bytes& message) const override {
+    XdrDecoder dec(message);
+    RpcReplyMsg reply;
+    HCS_ASSIGN_OR_RETURN(reply.xid, dec.GetUint32());
+    HCS_ASSIGN_OR_RETURN(uint32_t mtype, dec.GetUint32());
+    if (mtype != kMsgTypeReply) {
+      return ProtocolError(StrFormat("SunRPC: expected REPLY, got msg type %u", mtype));
+    }
+    HCS_ASSIGN_OR_RETURN(uint32_t reply_stat, dec.GetUint32());
+    if (reply_stat != kReplyAccepted) {
+      return ProtocolError("SunRPC: call rejected by server");
+    }
+    HCS_ASSIGN_OR_RETURN(uint32_t verf_flavor, dec.GetUint32());
+    (void)verf_flavor;
+    HCS_ASSIGN_OR_RETURN(Bytes verf_body, dec.GetOpaque());
+    (void)verf_body;
+    HCS_ASSIGN_OR_RETURN(uint32_t accept_stat, dec.GetUint32());
+    if (accept_stat != kAcceptSuccess) {
+      return ProtocolError(StrFormat("SunRPC: accept status %u", accept_stat));
+    }
+    HCS_ASSIGN_OR_RETURN(uint32_t app_status, dec.GetUint32());
+    reply.app_status = static_cast<StatusCode>(app_status);
+    HCS_ASSIGN_OR_RETURN(reply.error_message, dec.GetString());
+    HCS_ASSIGN_OR_RETURN(reply.results, dec.GetOpaque());
+    if (!dec.AtEnd()) {
+      return ProtocolError("SunRPC: trailing bytes after reply body");
+    }
+    return reply;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Courier (XNS): CALL(0) / RETURN(2) / ABORT(3) messages over 16-bit words.
+// ---------------------------------------------------------------------------
+
+constexpr uint16_t kCourierCall = 0;
+constexpr uint16_t kCourierReturn = 2;
+constexpr uint16_t kCourierAbort = 3;
+
+class CourierControl : public ControlProtocol {
+ public:
+  ControlKind kind() const override { return ControlKind::kCourier; }
+
+  Bytes EncodeCall(const RpcCall& call) const override {
+    CourierEncoder enc;
+    enc.PutCardinal(kCourierCall);
+    enc.PutCardinal(static_cast<uint16_t>(call.xid));  // transaction id
+    enc.PutLongCardinal(call.program);
+    enc.PutCardinal(static_cast<uint16_t>(call.version));
+    enc.PutCardinal(static_cast<uint16_t>(call.procedure));
+    enc.PutSequence(call.args);
+    return enc.Take();
+  }
+
+  Result<RpcCall> DecodeCall(const Bytes& message) const override {
+    CourierDecoder dec(message);
+    HCS_ASSIGN_OR_RETURN(uint16_t mtype, dec.GetCardinal());
+    if (mtype != kCourierCall) {
+      return ProtocolError(StrFormat("Courier: expected CALL, got message type %u", mtype));
+    }
+    RpcCall call;
+    HCS_ASSIGN_OR_RETURN(uint16_t tid, dec.GetCardinal());
+    call.xid = tid;
+    HCS_ASSIGN_OR_RETURN(call.program, dec.GetLongCardinal());
+    HCS_ASSIGN_OR_RETURN(uint16_t version, dec.GetCardinal());
+    call.version = version;
+    HCS_ASSIGN_OR_RETURN(uint16_t proc, dec.GetCardinal());
+    call.procedure = proc;
+    HCS_ASSIGN_OR_RETURN(call.args, dec.GetSequence());
+    return call;
+  }
+
+  Bytes EncodeReply(const RpcReplyMsg& reply) const override {
+    CourierEncoder enc;
+    if (reply.app_status == StatusCode::kOk) {
+      enc.PutCardinal(kCourierReturn);
+      enc.PutCardinal(static_cast<uint16_t>(reply.xid));
+      enc.PutSequence(reply.results);
+    } else {
+      enc.PutCardinal(kCourierAbort);
+      enc.PutCardinal(static_cast<uint16_t>(reply.xid));
+      enc.PutCardinal(static_cast<uint16_t>(reply.app_status));
+      enc.PutString(reply.error_message);
+    }
+    return enc.Take();
+  }
+
+  Result<RpcReplyMsg> DecodeReply(const Bytes& message) const override {
+    CourierDecoder dec(message);
+    HCS_ASSIGN_OR_RETURN(uint16_t mtype, dec.GetCardinal());
+    RpcReplyMsg reply;
+    HCS_ASSIGN_OR_RETURN(uint16_t tid, dec.GetCardinal());
+    reply.xid = tid;
+    if (mtype == kCourierReturn) {
+      HCS_ASSIGN_OR_RETURN(reply.results, dec.GetSequence());
+      return reply;
+    }
+    if (mtype == kCourierAbort) {
+      HCS_ASSIGN_OR_RETURN(uint16_t code, dec.GetCardinal());
+      reply.app_status = static_cast<StatusCode>(code);
+      HCS_ASSIGN_OR_RETURN(reply.error_message, dec.GetString());
+      return reply;
+    }
+    return ProtocolError(StrFormat("Courier: unexpected message type %u", mtype));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Raw HRPC: magic, xid, program, procedure, args — the minimal
+// request/response framing for plain message-passing programs.
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kRawMagic = 0x48525043;  // "HRPC"
+
+class RawControl : public ControlProtocol {
+ public:
+  ControlKind kind() const override { return ControlKind::kRaw; }
+
+  Bytes EncodeCall(const RpcCall& call) const override {
+    XdrEncoder enc;
+    enc.PutUint32(kRawMagic);
+    enc.PutUint32(call.xid);
+    enc.PutUint32(call.program);
+    enc.PutUint32(call.procedure);
+    enc.PutOpaque(call.args);
+    return enc.Take();
+  }
+
+  Result<RpcCall> DecodeCall(const Bytes& message) const override {
+    XdrDecoder dec(message);
+    HCS_ASSIGN_OR_RETURN(uint32_t magic, dec.GetUint32());
+    if (magic != kRawMagic) {
+      return ProtocolError("RawHRPC: bad magic");
+    }
+    RpcCall call;
+    call.version = 1;
+    HCS_ASSIGN_OR_RETURN(call.xid, dec.GetUint32());
+    HCS_ASSIGN_OR_RETURN(call.program, dec.GetUint32());
+    HCS_ASSIGN_OR_RETURN(call.procedure, dec.GetUint32());
+    HCS_ASSIGN_OR_RETURN(call.args, dec.GetOpaque());
+    if (!dec.AtEnd()) {
+      return ProtocolError("RawHRPC: trailing bytes after call body");
+    }
+    return call;
+  }
+
+  Bytes EncodeReply(const RpcReplyMsg& reply) const override {
+    XdrEncoder enc;
+    enc.PutUint32(kRawMagic);
+    enc.PutUint32(reply.xid);
+    enc.PutUint32(static_cast<uint32_t>(reply.app_status));
+    enc.PutString(reply.error_message);
+    enc.PutOpaque(reply.results);
+    return enc.Take();
+  }
+
+  Result<RpcReplyMsg> DecodeReply(const Bytes& message) const override {
+    XdrDecoder dec(message);
+    HCS_ASSIGN_OR_RETURN(uint32_t magic, dec.GetUint32());
+    if (magic != kRawMagic) {
+      return ProtocolError("RawHRPC: bad magic");
+    }
+    RpcReplyMsg reply;
+    HCS_ASSIGN_OR_RETURN(reply.xid, dec.GetUint32());
+    HCS_ASSIGN_OR_RETURN(uint32_t status, dec.GetUint32());
+    reply.app_status = static_cast<StatusCode>(status);
+    HCS_ASSIGN_OR_RETURN(reply.error_message, dec.GetString());
+    HCS_ASSIGN_OR_RETURN(reply.results, dec.GetOpaque());
+    if (!dec.AtEnd()) {
+      return ProtocolError("RawHRPC: trailing bytes after reply body");
+    }
+    return reply;
+  }
+};
+
+}  // namespace
+
+const ControlProtocol& GetControlProtocol(ControlKind kind) {
+  static const SunRpcControl* sun = new SunRpcControl;
+  static const CourierControl* courier = new CourierControl;
+  static const RawControl* raw = new RawControl;
+  switch (kind) {
+    case ControlKind::kSunRpc:
+      return *sun;
+    case ControlKind::kCourier:
+      return *courier;
+    case ControlKind::kRaw:
+      return *raw;
+  }
+  return *raw;
+}
+
+}  // namespace hcs

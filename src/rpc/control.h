@@ -1,0 +1,55 @@
+// Control protocols: the component of an RPC facility that frames calls and
+// replies and tracks call state. Three real wire formats are implemented —
+// Sun RPC (RFC 1057-style), Courier (XNS), and the Raw HRPC
+// request/response protocol the HCS project used to talk to arbitrary
+// message-passing programs ("make a request and wait for a response").
+//
+// An insular server speaks exactly one of these; the HRPC client selects the
+// matching implementation at call time from the binding.
+
+#ifndef HCS_SRC_RPC_CONTROL_H_
+#define HCS_SRC_RPC_CONTROL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/rpc/binding.h"
+
+namespace hcs {
+
+// A framed call as seen by the control protocol.
+struct RpcCall {
+  uint32_t xid = 0;
+  uint32_t program = 0;
+  uint32_t version = 0;
+  uint32_t procedure = 0;
+  Bytes args;
+};
+
+// A framed reply. Application-level failures travel as a status code plus
+// message so a remote Status round-trips losslessly.
+struct RpcReplyMsg {
+  uint32_t xid = 0;
+  StatusCode app_status = StatusCode::kOk;
+  std::string error_message;
+  Bytes results;
+};
+
+class ControlProtocol {
+ public:
+  virtual ~ControlProtocol() = default;
+  virtual ControlKind kind() const = 0;
+  virtual Bytes EncodeCall(const RpcCall& call) const = 0;
+  virtual Result<RpcCall> DecodeCall(const Bytes& message) const = 0;
+  virtual Bytes EncodeReply(const RpcReplyMsg& reply) const = 0;
+  virtual Result<RpcReplyMsg> DecodeReply(const Bytes& message) const = 0;
+};
+
+// Returns the process-wide instance for a control protocol kind.
+const ControlProtocol& GetControlProtocol(ControlKind kind);
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_RPC_CONTROL_H_

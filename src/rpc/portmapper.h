@@ -1,0 +1,52 @@
+// The Sun portmapper: the per-host registry mapping (program, version,
+// protocol) to a port. Sun RPC binding consists of resolving the host's
+// address and then asking its portmapper for the service's port — the extra
+// round trip the Sun binding NSM performs.
+
+#ifndef HCS_SRC_RPC_PORTMAPPER_H_
+#define HCS_SRC_RPC_PORTMAPPER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/rpc/client.h"
+#include "src/rpc/server.h"
+#include "src/sim/world.h"
+
+namespace hcs {
+
+class PortMapper {
+ public:
+  // Creates the portmapper for `host` and registers it in the world at the
+  // well-known portmapper port.
+  static Result<PortMapper*> InstallOn(World* world, const std::string& host);
+
+  // Local (same-host) registration, as a server process would perform when
+  // it starts. Not an RPC.
+  void SetMapping(uint32_t program, uint32_t version, uint32_t protocol, uint16_t port);
+  void UnsetMapping(uint32_t program, uint32_t version, uint32_t protocol);
+
+  // Client-side GETPORT: one Sun RPC call to `host`'s portmapper. Returns
+  // kNotFound when the program is not registered there.
+  static Result<uint16_t> GetPort(RpcClient* client, const std::string& host,
+                                  uint32_t program, uint32_t version, uint32_t protocol);
+
+  RpcServer* server() { return &server_; }
+
+ private:
+  PortMapper(World* world, std::string host);
+  void RegisterHandlers();
+
+  static uint64_t Key(uint32_t program, uint32_t version, uint32_t protocol);
+
+  World* world_;
+  std::string host_;
+  RpcServer server_;
+  std::map<uint64_t, uint16_t> mappings_;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_RPC_PORTMAPPER_H_

@@ -1,0 +1,46 @@
+// Well-known ports and program numbers of the simulated internetwork.
+
+#ifndef HCS_SRC_RPC_PORTS_H_
+#define HCS_SRC_RPC_PORTS_H_
+
+#include <cstdint>
+
+namespace hcs {
+
+// --- Ports -----------------------------------------------------------------
+// Sun portmapper (one per Unix host).
+constexpr uint16_t kPortmapperPort = 111;
+// BIND name servers (both public instances and the HNS meta instance).
+constexpr uint16_t kBindPort = 53;
+// Clearinghouse servers.
+constexpr uint16_t kClearinghousePort = 5;
+// Remote HNS server processes (when the HNS is not linked into the client).
+constexpr uint16_t kHnsServerPort = 700;
+// Remote NSM server processes.
+constexpr uint16_t kNsmBasePort = 710;
+// The combined HNS+NSM agent process (Table 3.1 row 2).
+constexpr uint16_t kAgentPort = 730;
+
+// --- Program numbers ---------------------------------------------------------
+constexpr uint32_t kPortmapperProgram = 100000;
+constexpr uint32_t kBindProgram = 200001;
+constexpr uint32_t kClearinghouseProgram = 300001;
+constexpr uint32_t kHnsProgram = 400001;
+constexpr uint32_t kNsmProgram = 400100;
+constexpr uint32_t kAgentProgram = 400200;
+// Example application services live here.
+constexpr uint32_t kUserProgramBase = 500000;
+
+// --- Portmapper procedures (RFC 1057 program 100000, version 2) -------------
+constexpr uint32_t kPmapProcNull = 0;
+constexpr uint32_t kPmapProcSet = 1;
+constexpr uint32_t kPmapProcUnset = 2;
+constexpr uint32_t kPmapProcGetPort = 3;
+
+// Protocol numbers used in portmapper requests.
+constexpr uint32_t kIpProtoTcp = 6;
+constexpr uint32_t kIpProtoUdp = 17;
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_RPC_PORTS_H_

@@ -1,0 +1,31 @@
+#include "src/rpc/server.h"
+
+#include "src/common/strings.h"
+
+namespace hcs {
+
+Result<Bytes> RpcServer::HandleMessage(const Bytes& request) {
+  HCS_ASSIGN_OR_RETURN(RpcCall call, control_.DecodeCall(request));
+
+  RpcReplyMsg reply;
+  reply.xid = call.xid;
+
+  auto it = handlers_.find(Key(call.program, call.procedure));
+  if (it == handlers_.end()) {
+    reply.app_status = StatusCode::kUnimplemented;
+    reply.error_message = StrFormat("%s: no procedure %u in program %u", name_.c_str(),
+                                    call.procedure, call.program);
+    return control_.EncodeReply(reply);
+  }
+
+  Result<Bytes> result = it->second(call.args);
+  if (result.ok()) {
+    reply.results = std::move(result).value();
+  } else {
+    reply.app_status = result.status().code();
+    reply.error_message = result.status().message();
+  }
+  return control_.EncodeReply(reply);
+}
+
+}  // namespace hcs

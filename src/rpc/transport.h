@@ -1,0 +1,78 @@
+// Transport component: carries one framed message to a server endpoint and
+// returns the response. Implementations:
+//   - SimNetTransport: over the simulated internetwork (virtual-clock time),
+//   - LoopbackTransport: direct in-process dispatch (real time; used by the
+//     examples and the real-transport tests),
+//   - UdpTransport (udp_transport.h): real UDP sockets on 127.0.0.1.
+
+#ifndef HCS_SRC_RPC_TRANSPORT_H_
+#define HCS_SRC_RPC_TRANSPORT_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/sim/world.h"
+
+namespace hcs {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Sends `message` from a process on `from_host` to the server listening at
+  // (`to_host`, `port`) and returns its response.
+  virtual Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
+                                  uint16_t port, const Bytes& message) = 0;
+};
+
+// Transport over the simulated internetwork. Endpoints are the services
+// registered with the World; latency is charged to the virtual clock.
+class SimNetTransport : public Transport {
+ public:
+  explicit SimNetTransport(World* world) : world_(world) {}
+
+  Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
+                          uint16_t port, const Bytes& message) override {
+    return world_->RoundTrip(from_host, to_host, port, message);
+  }
+
+ private:
+  World* world_;
+};
+
+// In-process transport: host names are ignored, ports index a local table.
+// No simulated time; useful for real-time operation and transport-agnostic
+// tests.
+class LoopbackTransport : public Transport {
+ public:
+  // Registers a service at `port`. The service must outlive the transport.
+  Status Register(uint16_t port, SimService* service) {
+    if (services_.count(port) != 0) {
+      return AlreadyExistsError("loopback port already in use: " + std::to_string(port));
+    }
+    services_[port] = service;
+    return Status::Ok();
+  }
+
+  void Unregister(uint16_t port) { services_.erase(port); }
+
+  Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
+                          uint16_t port, const Bytes& message) override {
+    (void)from_host;
+    (void)to_host;
+    auto it = services_.find(port);
+    if (it == services_.end()) {
+      return UnavailableError("no loopback service on port " + std::to_string(port));
+    }
+    return it->second->HandleMessage(message);
+  }
+
+ private:
+  std::map<uint16_t, SimService*> services_;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_RPC_TRANSPORT_H_

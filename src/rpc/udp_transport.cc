@@ -1,0 +1,141 @@
+#include "src/rpc/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/rpc/control.h"
+
+namespace hcs {
+
+namespace {
+
+// Large enough for any message in this tree; real 1987 UDP RPC had similar
+// single-datagram limits.
+constexpr size_t kMaxDatagram = 64 * 1024;
+
+sockaddr_in LoopbackAddress(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+// One serve loop: receive, dispatch, answer. Exits when the socket is
+// closed out from under it.
+void ServeLoop(int fd, SimService* service) {
+  std::vector<uint8_t> buffer(kMaxDatagram);
+  while (true) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    ssize_t n = recvfrom(fd, buffer.data(), buffer.size(), 0,
+                         reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (n < 0) {
+      // Socket closed (shutdown) or a transient error: stop serving.
+      return;
+    }
+    Bytes request(buffer.begin(), buffer.begin() + n);
+    Result<Bytes> response = service->HandleMessage(request);
+    if (!response.ok()) {
+      // Transport-level failure (garbled request): drop it, as UDP servers
+      // do; the client times out and reports kTimeout.
+      HCS_LOG(Debug) << "udp server dropping garbled request: " << response.status();
+      continue;
+    }
+    (void)sendto(fd, response->data(), response->size(), 0,
+                 reinterpret_cast<sockaddr*>(&peer), peer_len);
+  }
+}
+
+}  // namespace
+
+Result<uint16_t> UdpServerHost::Serve(SimService* service, uint16_t port) {
+  int fd = socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    return UnavailableError(StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  sockaddr_in addr = LoopbackAddress(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    int saved = errno;
+    close(fd);
+    return UnavailableError(StrFormat("bind(127.0.0.1:%u): %s", port, std::strerror(saved)));
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    int saved = errno;
+    close(fd);
+    return UnavailableError(StrFormat("getsockname(): %s", std::strerror(saved)));
+  }
+  uint16_t bound_port = ntohs(addr.sin_port);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  endpoints_.push_back(Endpoint{fd, std::thread(ServeLoop, fd, service)});
+  return bound_port;
+}
+
+void UdpServerHost::StopAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Endpoint& endpoint : endpoints_) {
+    if (endpoint.fd >= 0) {
+      // shutdown() unblocks recvfrom on Linux for UDP only via close; use
+      // both for portability.
+      shutdown(endpoint.fd, SHUT_RDWR);
+      close(endpoint.fd);
+      endpoint.fd = -1;
+    }
+    if (endpoint.thread.joinable()) {
+      endpoint.thread.join();
+    }
+  }
+  endpoints_.clear();
+}
+
+Result<Bytes> UdpTransport::RoundTrip(const std::string& from_host,
+                                      const std::string& to_host, uint16_t port,
+                                      const Bytes& message) {
+  (void)from_host;
+  (void)to_host;  // everything lives on 127.0.0.1
+  if (message.size() > kMaxDatagram) {
+    return ResourceExhaustedError("message exceeds one datagram");
+  }
+
+  int fd = socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    return UnavailableError(StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms_ / 1000;
+  tv.tv_usec = (timeout_ms_ % 1000) * 1000;
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr = LoopbackAddress(port);
+  if (sendto(fd, message.data(), message.size(), 0, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    int saved = errno;
+    close(fd);
+    return UnavailableError(StrFormat("sendto(): %s", std::strerror(saved)));
+  }
+
+  std::vector<uint8_t> buffer(kMaxDatagram);
+  ssize_t n = recv(fd, buffer.data(), buffer.size(), 0);
+  int saved = errno;
+  close(fd);
+  if (n < 0) {
+    if (saved == EAGAIN || saved == EWOULDBLOCK) {
+      return TimeoutError(StrFormat("no response from 127.0.0.1:%u within %d ms", port,
+                                    timeout_ms_));
+    }
+    return UnavailableError(StrFormat("recv(): %s", std::strerror(saved)));
+  }
+  return Bytes(buffer.begin(), buffer.begin() + n);
+}
+
+}  // namespace hcs

@@ -1,0 +1,68 @@
+// A real UDP transport over 127.0.0.1: the same RpcServer objects that run
+// in the simulation can be served on actual sockets, and RpcClient can call
+// them through UdpTransport. Demonstrates that the HRPC component split is
+// genuine — the control protocols and stubs are byte-level real, and only
+// the transport is swapped.
+//
+// UdpServerHost owns one background thread per served endpoint; services
+// must stay alive until StopAll()/destruction. Simulated-time charging is a
+// no-op on this path (pass a null World to RpcClient).
+
+#ifndef HCS_SRC_RPC_UDP_TRANSPORT_H_
+#define HCS_SRC_RPC_UDP_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/rpc/transport.h"
+
+namespace hcs {
+
+// Serves SimService instances on real UDP sockets bound to 127.0.0.1.
+class UdpServerHost {
+ public:
+  UdpServerHost() = default;
+  ~UdpServerHost() { StopAll(); }
+
+  UdpServerHost(const UdpServerHost&) = delete;
+  UdpServerHost& operator=(const UdpServerHost&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and serves `service` from a
+  // background thread. Returns the bound port.
+  Result<uint16_t> Serve(SimService* service, uint16_t port = 0);
+
+  // Stops every server thread and closes the sockets. Idempotent.
+  void StopAll();
+
+ private:
+  struct Endpoint {
+    int fd = -1;
+    std::thread thread;
+  };
+  std::vector<Endpoint> endpoints_;
+  std::mutex mutex_;
+};
+
+// Client-side transport: each RoundTrip sends one datagram to
+// 127.0.0.1:`port` and waits for the response (per-call timeout).
+class UdpTransport : public Transport {
+ public:
+  // `timeout_ms` bounds each exchange; expiry surfaces as kTimeout.
+  explicit UdpTransport(int timeout_ms = 2000) : timeout_ms_(timeout_ms) {}
+
+  Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
+                          uint16_t port, const Bytes& message) override;
+
+ private:
+  int timeout_ms_;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_RPC_UDP_TRANSPORT_H_

@@ -1,0 +1,49 @@
+// The virtual clock. Every simulated CPU, disk, and network cost advances
+// this clock; experiment harnesses read it before and after an operation to
+// obtain the operation's simulated latency.
+
+#ifndef HCS_SRC_SIM_CLOCK_H_
+#define HCS_SRC_SIM_CLOCK_H_
+
+#include <cassert>
+
+#include "src/sim/time.h"
+
+namespace hcs {
+
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  // Current simulated time.
+  SimTime Now() const { return now_; }
+
+  // Current simulated time in milliseconds (for reports).
+  double NowMs() const { return SimToMs(now_); }
+
+  // Advances the clock by a non-negative duration.
+  void Advance(SimDuration d) {
+    assert(d >= 0);
+    now_ += d;
+  }
+
+  // Advances the clock by (fractional) milliseconds.
+  void AdvanceMs(double ms) { Advance(MsToSim(ms)); }
+
+  // Jumps forward to an absolute time (used by the event queue; never moves
+  // backwards).
+  void AdvanceTo(SimTime t) {
+    assert(t >= now_);
+    now_ = t;
+  }
+
+  // Resets to time zero (between benchmark repetitions).
+  void Reset() { now_ = 0; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_SIM_CLOCK_H_

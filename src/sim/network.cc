@@ -1,0 +1,83 @@
+#include "src/sim/network.h"
+
+#include "src/common/strings.h"
+
+namespace hcs {
+
+std::string MachineTypeName(MachineType t) {
+  switch (t) {
+    case MachineType::kSun:
+      return "Sun";
+    case MachineType::kMicroVax:
+      return "MicroVAX-II";
+    case MachineType::kXeroxD:
+      return "Xerox D-machine";
+    case MachineType::kIbmRt:
+      return "IBM RT";
+    case MachineType::kTektronix4400:
+      return "Tektronix 4400";
+  }
+  return "unknown";
+}
+
+std::string OsTypeName(OsType t) {
+  switch (t) {
+    case OsType::kUnix:
+      return "Unix";
+    case OsType::kXde:
+      return "XDE";
+    case OsType::kUniflex:
+      return "Uniflex";
+  }
+  return "unknown";
+}
+
+Result<uint32_t> Network::AddHost(const std::string& name, MachineType machine, OsType os) {
+  std::string key = AsciiToLower(name);
+  if (key.empty()) {
+    return InvalidArgumentError("host name must be non-empty");
+  }
+  if (index_by_name_.count(key) != 0) {
+    return AlreadyExistsError("host already registered: " + name);
+  }
+  HostInfo info;
+  info.name = name;
+  info.machine = machine;
+  info.os = os;
+  info.address = next_address_++;
+  index_by_name_[key] = hosts_.size();
+  hosts_.push_back(info);
+  return info.address;
+}
+
+Result<HostInfo> Network::GetHost(const std::string& name) const {
+  auto it = index_by_name_.find(AsciiToLower(name));
+  if (it == index_by_name_.end()) {
+    return NotFoundError("no such host: " + name);
+  }
+  return hosts_[it->second];
+}
+
+bool Network::HasHost(const std::string& name) const {
+  return index_by_name_.count(AsciiToLower(name)) != 0;
+}
+
+std::string Network::PairKey(const std::string& a, const std::string& b) {
+  std::string la = AsciiToLower(a);
+  std::string lb = AsciiToLower(b);
+  if (la > lb) {
+    std::swap(la, lb);
+  }
+  return la + "|" + lb;
+}
+
+void Network::SetExtraDelayMs(const std::string& a, const std::string& b, double ms) {
+  extra_delay_ms_[PairKey(a, b)] = ms;
+}
+
+double Network::ExtraDelayMs(const std::string& a, const std::string& b) const {
+  auto it = extra_delay_ms_.find(PairKey(a, b));
+  return it == extra_delay_ms_.end() ? 0.0 : it->second;
+}
+
+}  // namespace hcs

@@ -1,0 +1,28 @@
+// Simulated time. The whole performance study runs on a virtual clock whose
+// unit is the microsecond; the paper's tables are reported in milliseconds,
+// so conversion helpers are provided.
+
+#ifndef HCS_SRC_SIM_TIME_H_
+#define HCS_SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace hcs {
+
+// A point in simulated time, microseconds since simulation start.
+using SimTime = int64_t;
+
+// A span of simulated time, microseconds.
+using SimDuration = int64_t;
+
+// Converts whole/fractional milliseconds to a SimDuration.
+constexpr SimDuration MsToSim(double ms) {
+  return static_cast<SimDuration>(ms * 1000.0);
+}
+
+// Converts a SimDuration to (fractional) milliseconds.
+constexpr double SimToMs(SimDuration d) { return static_cast<double>(d) / 1000.0; }
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_SIM_TIME_H_

@@ -1,0 +1,65 @@
+#include "src/sim/world.h"
+
+#include "src/common/strings.h"
+
+namespace hcs {
+
+std::string World::EndpointKey(const std::string& host, uint16_t port) {
+  return AsciiToLower(host) + ":" + std::to_string(port);
+}
+
+Status World::RegisterService(const std::string& host, uint16_t port, SimService* service) {
+  if (!network_.HasHost(host)) {
+    return NotFoundError("cannot register service on unknown host: " + host);
+  }
+  std::string key = EndpointKey(host, port);
+  if (services_.count(key) != 0) {
+    return AlreadyExistsError("endpoint already in use: " + key);
+  }
+  services_[key] = service;
+  return Status::Ok();
+}
+
+void World::UnregisterService(const std::string& host, uint16_t port) {
+  services_.erase(EndpointKey(host, port));
+}
+
+bool World::HasService(const std::string& host, uint16_t port) const {
+  return services_.count(EndpointKey(host, port)) != 0;
+}
+
+Result<Bytes> World::RoundTrip(const std::string& from_host, const std::string& to_host,
+                               uint16_t port, const Bytes& request) {
+  if (!network_.HasHost(from_host)) {
+    return NotFoundError("unknown source host: " + from_host);
+  }
+  if (!network_.HasHost(to_host)) {
+    return NotFoundError("unknown destination host: " + to_host);
+  }
+  std::string key = EndpointKey(to_host, port);
+  auto it = services_.find(key);
+  if (it == services_.end()) {
+    return UnavailableError("no service listening at " + key);
+  }
+
+  bool same_host = EqualsIgnoreCase(from_host, to_host);
+
+  // Request propagation + server processing (the service charges its own CPU
+  // and disk costs while handling the message) + response propagation. The
+  // whole round trip including per-byte costs is charged once, after the
+  // response size is known; the exchange is synchronous so only the total
+  // matters.
+  Result<Bytes> response = it->second->HandleMessage(request);
+  size_t response_bytes = response.ok() ? response.value().size() : 0;
+  double rtt = costs_.NetRttMs(same_host, request.size(), response_bytes) +
+               network_.ExtraDelayMs(from_host, to_host);
+  clock_.AdvanceMs(rtt);
+
+  stats_.total_messages += 1;
+  stats_.total_bytes += request.size() + response_bytes;
+  stats_.messages_per_endpoint[key] += 1;
+
+  return response;
+}
+
+}  // namespace hcs

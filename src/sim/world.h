@@ -1,0 +1,115 @@
+// World: one simulated HCS internetwork — the clock, the cost model, the
+// hosts, and the message-level endpoint registry that simulated servers
+// plug into.
+//
+// Execution model: client calls are synchronous C++ calls; the virtual
+// clock is advanced by (a) network latency per message exchange, computed
+// from the CostModel and the actual request/response byte counts, and (b)
+// explicit CPU/disk charges made by servers and marshalling code while they
+// run. This reproduces the latency composition of the paper's experiments
+// deterministically.
+
+#ifndef HCS_SRC_SIM_WORLD_H_
+#define HCS_SRC_SIM_WORLD_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/network.h"
+
+namespace hcs {
+
+// A message-level server endpoint: one (host, port) in the simulation.
+// Implementations charge their processing costs to the world clock while
+// handling a message.
+class SimService {
+ public:
+  virtual ~SimService() = default;
+  virtual Result<Bytes> HandleMessage(const Bytes& request) = 0;
+};
+
+// Traffic counters, used by tests to assert call-graph properties (e.g.
+// "a cold FindNSM performs six remote lookups") and by benches for
+// reporting.
+struct TrafficStats {
+  uint64_t total_messages = 0;
+  uint64_t total_bytes = 0;
+  // Messages delivered per destination "host:port".
+  std::map<std::string, uint64_t> messages_per_endpoint;
+
+  void Clear() {
+    total_messages = 0;
+    total_bytes = 0;
+    messages_per_endpoint.clear();
+  }
+};
+
+class World {
+ public:
+  World() : events_(&clock_) {}
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  VirtualClock& clock() { return clock_; }
+  const VirtualClock& clock() const { return clock_; }
+  CostModel& costs() { return costs_; }
+  const CostModel& costs() const { return costs_; }
+  Network& network() { return network_; }
+  const Network& network() const { return network_; }
+  EventQueue& events() { return events_; }
+  TrafficStats& stats() { return stats_; }
+
+  // Charges `ms` of CPU/disk time to the simulation clock.
+  void ChargeMs(double ms) { clock_.AdvanceMs(ms); }
+
+  // Registers a service at (host, port). The host must exist. The service
+  // is not owned; it must outlive the registration (use OwnService to hand
+  // ownership to the world).
+  Status RegisterService(const std::string& host, uint16_t port, SimService* service);
+
+  // Removes a registration (e.g., server crash injection).
+  void UnregisterService(const std::string& host, uint16_t port);
+
+  // Transfers ownership of a service object to the world, keeping it alive
+  // for the world's lifetime. Returns the raw pointer for registration.
+  template <typename T>
+  T* OwnService(std::unique_ptr<T> service) {
+    T* raw = service.get();
+    owned_.push_back(std::move(service));
+    return raw;
+  }
+
+  // Performs one message exchange from a process on `from_host` to the
+  // service at (`to_host`, `port`): advances the clock by the network round
+  // trip (same-host exchanges are cheaper), dispatches to the service (which
+  // charges its own processing), and returns the response.
+  Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
+                          uint16_t port, const Bytes& request);
+
+  // True when a service is registered at (host, port).
+  bool HasService(const std::string& host, uint16_t port) const;
+
+ private:
+  static std::string EndpointKey(const std::string& host, uint16_t port);
+
+  VirtualClock clock_;
+  CostModel costs_;
+  Network network_;
+  EventQueue events_;
+  TrafficStats stats_;
+  std::map<std::string, SimService*> services_;
+  std::vector<std::shared_ptr<void>> owned_;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_SIM_WORLD_H_

@@ -1,0 +1,204 @@
+// The simulated HCS testbed: MicroVAX-IIs and Suns on the Unix/BIND side,
+// Xerox D-machines on the Clearinghouse side, joined by an Ethernet — the
+// §3 experimental environment, assembled in one place for tests, benches,
+// and examples.
+//
+// World contents:
+//   - public BIND server (zone cs.washington.edu) on cascade,
+//   - HNS-modified BIND (meta zone "hns", dynamic update + unspecified
+//     type) on wolf,
+//   - Clearinghouse (domain CSL:Xerox) on Dandelion,
+//   - portmappers on every Unix host; "DesiredService" exported from fiji,
+//   - a Courier "PrintService" exported from Dorado,
+//   - name services, contexts, and six NSMs registered with the HNS,
+//   - optional remote HnsServer / NsmServers / AgentServer processes for
+//     the Table 3.1 colocation arrangements.
+
+#ifndef HCS_SRC_TESTBED_TESTBED_H_
+#define HCS_SRC_TESTBED_TESTBED_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/file_nsms.h"
+#include "src/apps/mail.h"
+#include "src/apps/file_services.h"
+#include "src/baseline/ch_only_binder.h"
+#include "src/baseline/local_file_binder.h"
+#include "src/bindns/server.h"
+#include "src/ch/server.h"
+#include "src/hns/servers.h"
+#include "src/hns/session.h"
+#include "src/nsm/bind_nsms.h"
+#include "src/nsm/ch_nsms.h"
+#include "src/nsm/reverse_nsms.h"
+#include "src/rpc/portmapper.h"
+#include "src/sim/world.h"
+
+namespace hcs {
+
+// Host names of the testbed.
+inline constexpr char kClientHost[] = "tahiti.cs.washington.edu";     // MicroVAX-II
+inline constexpr char kMetaBindHost[] = "wolf.cs.washington.edu";     // MicroVAX-II (primary)
+inline constexpr char kMetaSecondaryHost[] = "alder.cs.washington.edu"; // caching secondary
+inline constexpr char kPublicBindHost[] = "cascade.cs.washington.edu";// MicroVAX-II
+inline constexpr char kSunServerHost[] = "fiji.cs.washington.edu";    // Sun
+inline constexpr char kHnsServerHost[] = "june.cs.washington.edu";    // MicroVAX-II
+inline constexpr char kNsmServerHost[] = "yakima.cs.washington.edu";  // MicroVAX-II
+inline constexpr char kAgentHost[] = "rainier.cs.washington.edu";     // MicroVAX-II
+inline constexpr char kChServerHost[] = "Dandelion:CSL:Xerox";        // Xerox D-machine
+inline constexpr char kXeroxServerHost[] = "Dorado:CSL:Xerox";        // Xerox D-machine
+
+// Contexts registered with the HNS.
+inline constexpr char kContextBind[] = "BIND";
+inline constexpr char kContextBindBinding[] = "HRPCBinding-BIND";
+inline constexpr char kContextBindMail[] = "Mail-BIND";
+inline constexpr char kContextCh[] = "CH";
+inline constexpr char kContextChBinding[] = "HRPCBinding-CH";
+inline constexpr char kContextChMail[] = "Mail-CH";
+inline constexpr char kContextBindFiles[] = "Files-BIND";
+inline constexpr char kContextChFiles[] = "Files-CH";
+
+// Name service names.
+inline constexpr char kNsBind[] = "UW-BIND";
+inline constexpr char kNsCh[] = "Xerox-CH";
+
+// NSM names.
+inline constexpr char kNsmHostAddrBind[] = "HostAddrNSM-BIND";
+inline constexpr char kNsmBindingBind[] = "BindingNSM-BIND";
+inline constexpr char kNsmMailboxBind[] = "MailboxNSM-BIND";
+inline constexpr char kNsmHostAddrCh[] = "HostAddrNSM-CH";
+inline constexpr char kNsmBindingCh[] = "BindingNSM-CH";
+inline constexpr char kNsmMailboxCh[] = "MailboxNSM-CH";
+inline constexpr char kNsmFileBind[] = "FileNSM-BIND";
+inline constexpr char kNsmFileCh[] = "FileNSM-CH";
+inline constexpr char kNsmHostNameBind[] = "HostNameNSM-BIND";
+inline constexpr char kNsmHostNameCh[] = "HostNameNSM-CH";
+
+// The Sun RPC service Import targets in the experiments.
+inline constexpr char kDesiredService[] = "DesiredService";
+inline constexpr uint32_t kDesiredServiceProgram = 500001;
+inline constexpr uint16_t kDesiredServicePort = 2049;
+// The Courier service exported from the Xerox side.
+inline constexpr char kPrintService[] = "PrintService";
+inline constexpr uint32_t kPrintServiceProgram = 500101;
+inline constexpr uint16_t kPrintServicePort = 3000;
+
+// Clearinghouse credentials valid on the testbed's CH.
+ChCredentials TestbedCredentials();
+
+struct TestbedOptions {
+  CacheMode hns_cache_mode = CacheMode::kMarshalled;
+  CacheMode nsm_cache_mode = CacheMode::kMarshalled;
+  // Install the remote HnsServer / NsmServers / AgentServer processes.
+  bool install_remote_servers = true;
+};
+
+// The Table 3.1 colocation arrangements.
+enum class Arrangement {
+  kAllLinked,        // row 1: [Client, HNS, NSMs]
+  kAgent,            // row 2: [Client] [HNS, NSMs]
+  kRemoteHns,        // row 3: [HNS] [Client, NSMs]
+  kRemoteNsms,       // row 4: [NSMs] [Client, HNS]
+  kAllRemote,        // row 5: [Client] [HNS] [NSMs]
+};
+
+std::string ArrangementName(Arrangement a);
+
+// A client configured for one arrangement, with handles to every cache that
+// participates so experiments can flush/warm them precisely.
+struct ClientSetup {
+  std::unique_ptr<HnsSession> session;
+  // The HNS cache in play (linked, remote server's, or agent's).
+  HnsCache* hns_cache = nullptr;
+  // Every NSM cache in play for this arrangement.
+  std::vector<HnsCache*> nsm_caches;
+
+  // Shared infrastructure flush (e.g. the meta secondary's forward cache),
+  // invoked by FlushAll.
+  std::function<void()> flush_shared;
+
+  // Flushes all caches (column A state).
+  void FlushAll();
+  // Flushes only the NSM caches (column B state, after warming).
+  void FlushNsmCaches();
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedOptions options = {});
+
+  World& world() { return world_; }
+  SimNetTransport& transport() { return transport_; }
+
+  BindServer* meta_bind() { return meta_bind_; }
+  NfsLiteServer* nfs_server() { return nfs_; }
+  XdeFileServer* xde_server() { return xde_; }
+  MailDropServer* mail_drop_unix() { return mail_unix_; }
+  MailDropServer* mail_drop_xerox() { return mail_xerox_; }
+  BindServer* meta_secondary() { return meta_secondary_; }
+  BindServer* public_bind() { return public_bind_; }
+  ChServer* clearinghouse() { return ch_; }
+  HnsServer* hns_server() { return hns_server_; }
+  AgentServer* agent_server() { return agent_server_; }
+
+  // Builds a client for one colocation arrangement. For linked arrangements
+  // fresh NSM instances are created in the client process.
+  ClientSetup MakeClient(Arrangement arrangement);
+
+  // Fresh NSM instances with the given locus (used by MakeClient and the
+  // examples). The returned set covers all six (query class, service) pairs.
+  std::vector<std::shared_ptr<Nsm>> MakeLinkedNsms(const std::string& locus_host);
+
+  // Registration records for each NSM (also what setup registered).
+  NsmInfo HostAddrBindInfo() const;
+  NsmInfo BindingBindInfo() const;
+  NsmInfo MailboxBindInfo() const;
+  NsmInfo HostAddrChInfo() const;
+  NsmInfo BindingChInfo() const;
+  NsmInfo MailboxChInfo() const;
+  NsmInfo FileBindInfo() const;
+  NsmInfo FileChInfo() const;
+  NsmInfo HostNameBindInfo() const;
+  NsmInfo HostNameChInfo() const;
+
+  // Baseline binders (reregistered data already loaded).
+  std::unique_ptr<LocalFileBinder> MakeLocalFileBinder();
+  std::unique_ptr<ChOnlyBinder> MakeChOnlyBinder();
+
+  const TestbedOptions& options() const { return options_; }
+
+ private:
+  void BuildNetwork();
+  void BuildNameServices();
+  void RegisterWithHns();
+  void InstallRemoteServers();
+  void BuildBaselines();
+
+  TestbedOptions options_;
+  World world_;
+  SimNetTransport transport_;
+
+  BindServer* meta_bind_ = nullptr;
+  BindServer* meta_secondary_ = nullptr;
+  BindServer* public_bind_ = nullptr;
+  ChServer* ch_ = nullptr;
+  NfsLiteServer* nfs_ = nullptr;
+  XdeFileServer* xde_ = nullptr;
+  MailDropServer* mail_unix_ = nullptr;
+  MailDropServer* mail_xerox_ = nullptr;
+  std::map<std::string, PortMapper*> portmappers_;
+  HnsServer* hns_server_ = nullptr;
+  AgentServer* agent_server_ = nullptr;
+  std::vector<NsmServer*> nsm_servers_;
+  std::shared_ptr<ReplicatedBindingFile> binding_file_;
+  // A bootstrap HNS used for registration during setup.
+  std::unique_ptr<Hns> admin_hns_;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_TESTBED_TESTBED_H_

@@ -1,0 +1,81 @@
+#include "src/wire/buffer.h"
+
+#include "src/common/strings.h"
+
+namespace hcs {
+
+void BufferWriter::PutU8(uint8_t v) { out_.push_back(v); }
+
+void BufferWriter::PutU16(uint16_t v) {
+  out_.push_back(static_cast<uint8_t>(v >> 8));
+  out_.push_back(static_cast<uint8_t>(v));
+}
+
+void BufferWriter::PutU32(uint32_t v) {
+  out_.push_back(static_cast<uint8_t>(v >> 24));
+  out_.push_back(static_cast<uint8_t>(v >> 16));
+  out_.push_back(static_cast<uint8_t>(v >> 8));
+  out_.push_back(static_cast<uint8_t>(v));
+}
+
+void BufferWriter::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v >> 32));
+  PutU32(static_cast<uint32_t>(v));
+}
+
+void BufferWriter::PutBytes(const uint8_t* data, size_t n) {
+  out_.insert(out_.end(), data, data + n);
+}
+
+void BufferWriter::PutZeros(size_t n) { out_.insert(out_.end(), n, 0); }
+
+Status BufferReader::Need(size_t n) const {
+  if (pos_ + n > size_) {
+    return ProtocolError(
+        StrFormat("buffer underrun: need %zu bytes at offset %zu of %zu", n, pos_, size_));
+  }
+  return Status::Ok();
+}
+
+Result<uint8_t> BufferReader::GetU8() {
+  HCS_RETURN_IF_ERROR(Need(1));
+  return data_[pos_++];
+}
+
+Result<uint16_t> BufferReader::GetU16() {
+  HCS_RETURN_IF_ERROR(Need(2));
+  uint16_t v = static_cast<uint16_t>(data_[pos_] << 8) | data_[pos_ + 1];
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> BufferReader::GetU32() {
+  HCS_RETURN_IF_ERROR(Need(4));
+  uint32_t v = (static_cast<uint32_t>(data_[pos_]) << 24) |
+               (static_cast<uint32_t>(data_[pos_ + 1]) << 16) |
+               (static_cast<uint32_t>(data_[pos_ + 2]) << 8) |
+               static_cast<uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> BufferReader::GetU64() {
+  HCS_ASSIGN_OR_RETURN(uint32_t hi, GetU32());
+  HCS_ASSIGN_OR_RETURN(uint32_t lo, GetU32());
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+Result<Bytes> BufferReader::GetBytes(size_t n) {
+  HCS_RETURN_IF_ERROR(Need(n));
+  Bytes out(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+Status BufferReader::Skip(size_t n) {
+  HCS_RETURN_IF_ERROR(Need(n));
+  pos_ += n;
+  return Status::Ok();
+}
+
+}  // namespace hcs

@@ -1,0 +1,74 @@
+// Bounds-checked byte-buffer primitives shared by the XDR and Courier data
+// representations. BufferWriter appends; BufferReader consumes with
+// Result-based error reporting (a truncated or corrupt message surfaces as
+// kProtocolError, never as UB).
+
+#ifndef HCS_SRC_WIRE_BUFFER_H_
+#define HCS_SRC_WIRE_BUFFER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+
+namespace hcs {
+
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+
+  // Raw big-endian integer appends.
+  void PutU8(uint8_t v);
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+
+  // Appends `n` bytes of `data`.
+  void PutBytes(const uint8_t* data, size_t n);
+  void PutBytes(const Bytes& data) { PutBytes(data.data(), data.size()); }
+
+  // Appends `n` zero bytes (padding).
+  void PutZeros(size_t n);
+
+  size_t size() const { return out_.size(); }
+  const Bytes& bytes() const { return out_; }
+  Bytes Take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+class BufferReader {
+ public:
+  explicit BufferReader(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+  BufferReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+
+  // Reads exactly `n` bytes.
+  Result<Bytes> GetBytes(size_t n);
+
+  // Skips `n` bytes (padding).
+  Status Skip(size_t n);
+
+  // Bytes not yet consumed.
+  size_t remaining() const { return size_ - pos_; }
+  // True when the whole buffer has been consumed (message framing checks).
+  bool AtEnd() const { return pos_ == size_; }
+  size_t position() const { return pos_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_WIRE_BUFFER_H_

@@ -1,0 +1,63 @@
+// Courier — the Xerox XNS data representation used by the Clearinghouse and
+// the Xerox D-machines. Quantities are sequences of big-endian 16-bit words;
+// strings are length-prefixed byte sequences padded to a word boundary;
+// 32-bit values are two words, high word first.
+
+#ifndef HCS_SRC_WIRE_COURIER_H_
+#define HCS_SRC_WIRE_COURIER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/wire/buffer.h"
+
+namespace hcs {
+
+class CourierEncoder {
+ public:
+  CourierEncoder() = default;
+
+  // CARDINAL: one 16-bit word.
+  void PutCardinal(uint16_t v) { w_.PutU16(v); }
+  // LONG CARDINAL: two words, high first.
+  void PutLongCardinal(uint32_t v) { w_.PutU32(v); }
+  // BOOLEAN: one word, 0 or 1.
+  void PutBoolean(bool v) { w_.PutU16(v ? 1 : 0); }
+  // STRING: word count prefix is the *byte* length; padded to a word.
+  void PutString(const std::string& s);
+  // SEQUENCE OF UNSPECIFIED: word length prefix then raw words (byte pairs).
+  void PutSequence(const Bytes& data);
+
+  size_t size() const { return w_.size(); }
+  const Bytes& bytes() const { return w_.bytes(); }
+  Bytes Take() { return w_.Take(); }
+
+ private:
+  BufferWriter w_;
+};
+
+class CourierDecoder {
+ public:
+  explicit CourierDecoder(const Bytes& data) : r_(data) {}
+
+  Result<uint16_t> GetCardinal() { return r_.GetU16(); }
+  Result<uint32_t> GetLongCardinal() { return r_.GetU32(); }
+  Result<bool> GetBoolean();
+  Result<std::string> GetString();
+  Result<Bytes> GetSequence();
+
+  size_t remaining() const { return r_.remaining(); }
+  bool AtEnd() const { return r_.AtEnd(); }
+
+ private:
+  BufferReader r_;
+};
+
+// Padding needed to align `n` bytes up to a 16-bit word boundary.
+constexpr size_t CourierPadding(size_t n) { return n % 2; }
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_WIRE_COURIER_H_

@@ -1,0 +1,332 @@
+#include "src/wire/idl.h"
+
+#include <cctype>
+
+#include "src/common/strings.h"
+#include "src/wire/courier.h"
+#include "src/wire/xdr.h"
+
+namespace hcs {
+
+std::string IdlTypeName(IdlType type) {
+  switch (type) {
+    case IdlType::kU32:
+      return "u32";
+    case IdlType::kU64:
+      return "u64";
+    case IdlType::kBool:
+      return "bool";
+    case IdlType::kString:
+      return "string";
+    case IdlType::kOpaque:
+      return "opaque";
+    case IdlType::kStringList:
+      return "string_list";
+  }
+  return "?";
+}
+
+Result<IdlType> ParseIdlType(const std::string& token) {
+  for (IdlType type : {IdlType::kU32, IdlType::kU64, IdlType::kBool, IdlType::kString,
+                       IdlType::kOpaque, IdlType::kStringList}) {
+    if (token == IdlTypeName(type)) {
+      return type;
+    }
+  }
+  return InvalidArgumentError("unknown IDL type: " + token);
+}
+
+// ---------------------------------------------------------------------------
+// Interpretive stubs
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Status MarshalField(XdrEncoder* enc, const IdlField& field, const WireValue& value) {
+  switch (field.type) {
+    case IdlType::kU32: {
+      HCS_ASSIGN_OR_RETURN(uint32_t v, value.AsUint32());
+      enc->PutUint32(v);
+      break;
+    }
+    case IdlType::kU64: {
+      HCS_ASSIGN_OR_RETURN(uint64_t v, value.AsUint64());
+      enc->PutUint64(v);
+      break;
+    }
+    case IdlType::kBool: {
+      HCS_ASSIGN_OR_RETURN(uint32_t v, value.AsUint32());
+      enc->PutBool(v != 0);
+      break;
+    }
+    case IdlType::kString: {
+      HCS_ASSIGN_OR_RETURN(std::string v, value.AsString());
+      enc->PutString(v);
+      break;
+    }
+    case IdlType::kOpaque: {
+      HCS_ASSIGN_OR_RETURN(Bytes v, value.AsBlob());
+      enc->PutOpaque(v);
+      break;
+    }
+    case IdlType::kStringList: {
+      HCS_ASSIGN_OR_RETURN(std::vector<WireValue> items, value.AsList());
+      enc->PutUint32(static_cast<uint32_t>(items.size()));
+      for (const WireValue& item : items) {
+        HCS_ASSIGN_OR_RETURN(std::string v, item.AsString());
+        enc->PutString(v);
+      }
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+Status MarshalField(CourierEncoder* enc, const IdlField& field,
+                    const WireValue& value) {
+  switch (field.type) {
+    case IdlType::kU32: {
+      HCS_ASSIGN_OR_RETURN(uint32_t v, value.AsUint32());
+      enc->PutLongCardinal(v);
+      break;
+    }
+    case IdlType::kU64: {
+      HCS_ASSIGN_OR_RETURN(uint64_t v, value.AsUint64());
+      enc->PutLongCardinal(static_cast<uint32_t>(v >> 32));
+      enc->PutLongCardinal(static_cast<uint32_t>(v));
+      break;
+    }
+    case IdlType::kBool: {
+      HCS_ASSIGN_OR_RETURN(uint32_t v, value.AsUint32());
+      enc->PutBoolean(v != 0);
+      break;
+    }
+    case IdlType::kString: {
+      HCS_ASSIGN_OR_RETURN(std::string v, value.AsString());
+      enc->PutString(v);
+      break;
+    }
+    case IdlType::kOpaque: {
+      HCS_ASSIGN_OR_RETURN(Bytes v, value.AsBlob());
+      enc->PutSequence(v);
+      break;
+    }
+    case IdlType::kStringList: {
+      HCS_ASSIGN_OR_RETURN(std::vector<WireValue> items, value.AsList());
+      enc->PutCardinal(static_cast<uint16_t>(items.size()));
+      for (const WireValue& item : items) {
+        HCS_ASSIGN_OR_RETURN(std::string v, item.AsString());
+        enc->PutString(v);
+      }
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<WireValue> DemarshalField(XdrDecoder* dec, const IdlField& field) {
+  switch (field.type) {
+    case IdlType::kU32: {
+      HCS_ASSIGN_OR_RETURN(uint32_t v, dec->GetUint32());
+      return WireValue::OfUint32(v);
+    }
+    case IdlType::kU64: {
+      HCS_ASSIGN_OR_RETURN(uint64_t v, dec->GetUint64());
+      return WireValue::OfUint64(v);
+    }
+    case IdlType::kBool: {
+      HCS_ASSIGN_OR_RETURN(bool v, dec->GetBool());
+      return WireValue::OfUint32(v ? 1 : 0);
+    }
+    case IdlType::kString: {
+      HCS_ASSIGN_OR_RETURN(std::string v, dec->GetString());
+      return WireValue::OfString(std::move(v));
+    }
+    case IdlType::kOpaque: {
+      HCS_ASSIGN_OR_RETURN(Bytes v, dec->GetOpaque());
+      return WireValue::OfBlob(std::move(v));
+    }
+    case IdlType::kStringList: {
+      HCS_ASSIGN_OR_RETURN(uint32_t n, dec->GetUint32());
+      if (n > 65535) {
+        return ProtocolError("string list too large");
+      }
+      std::vector<WireValue> items;
+      items.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        HCS_ASSIGN_OR_RETURN(std::string v, dec->GetString());
+        items.push_back(WireValue::OfString(std::move(v)));
+      }
+      return WireValue::OfList(std::move(items));
+    }
+  }
+  return InternalError("bad IDL type");
+}
+
+Result<WireValue> DemarshalField(CourierDecoder* dec, const IdlField& field) {
+  switch (field.type) {
+    case IdlType::kU32: {
+      HCS_ASSIGN_OR_RETURN(uint32_t v, dec->GetLongCardinal());
+      return WireValue::OfUint32(v);
+    }
+    case IdlType::kU64: {
+      HCS_ASSIGN_OR_RETURN(uint32_t hi, dec->GetLongCardinal());
+      HCS_ASSIGN_OR_RETURN(uint32_t lo, dec->GetLongCardinal());
+      return WireValue::OfUint64((static_cast<uint64_t>(hi) << 32) | lo);
+    }
+    case IdlType::kBool: {
+      HCS_ASSIGN_OR_RETURN(bool v, dec->GetBoolean());
+      return WireValue::OfUint32(v ? 1 : 0);
+    }
+    case IdlType::kString: {
+      HCS_ASSIGN_OR_RETURN(std::string v, dec->GetString());
+      return WireValue::OfString(std::move(v));
+    }
+    case IdlType::kOpaque: {
+      HCS_ASSIGN_OR_RETURN(Bytes v, dec->GetSequence());
+      return WireValue::OfBlob(std::move(v));
+    }
+    case IdlType::kStringList: {
+      HCS_ASSIGN_OR_RETURN(uint16_t n, dec->GetCardinal());
+      std::vector<WireValue> items;
+      items.reserve(n);
+      for (uint16_t i = 0; i < n; ++i) {
+        HCS_ASSIGN_OR_RETURN(std::string v, dec->GetString());
+        items.push_back(WireValue::OfString(std::move(v)));
+      }
+      return WireValue::OfList(std::move(items));
+    }
+  }
+  return InternalError("bad IDL type");
+}
+
+}  // namespace
+
+Result<Bytes> IdlMessage::Marshal(const WireValue& record, IdlRep rep) const {
+  if (rep == IdlRep::kXdr) {
+    XdrEncoder enc;
+    for (const IdlField& field : fields_) {
+      Result<WireValue> value = record.Field(field.name);
+      if (!value.ok()) {
+        return InvalidArgumentError(name_ + ": missing field " + field.name);
+      }
+      HCS_RETURN_IF_ERROR(MarshalField(&enc, field, *value));
+    }
+    return enc.Take();
+  }
+  CourierEncoder enc;
+  for (const IdlField& field : fields_) {
+    Result<WireValue> value = record.Field(field.name);
+    if (!value.ok()) {
+      return InvalidArgumentError(name_ + ": missing field " + field.name);
+    }
+    HCS_RETURN_IF_ERROR(MarshalField(&enc, field, *value));
+  }
+  return enc.Take();
+}
+
+Result<WireValue> IdlMessage::Demarshal(const Bytes& data, IdlRep rep) const {
+  std::vector<WireField> out;
+  out.reserve(fields_.size());
+  if (rep == IdlRep::kXdr) {
+    XdrDecoder dec(data);
+    for (const IdlField& field : fields_) {
+      HCS_ASSIGN_OR_RETURN(WireValue value, DemarshalField(&dec, field));
+      out.emplace_back(field.name, std::move(value));
+    }
+    if (!dec.AtEnd()) {
+      return ProtocolError(name_ + ": trailing bytes");
+    }
+  } else {
+    CourierDecoder dec(data);
+    for (const IdlField& field : fields_) {
+      HCS_ASSIGN_OR_RETURN(WireValue value, DemarshalField(&dec, field));
+      out.emplace_back(field.name, std::move(value));
+    }
+    if (!dec.AtEnd()) {
+      return ProtocolError(name_ + ": trailing bytes");
+    }
+  }
+  return WireValue::OfRecord(std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// The description-language parser
+// ---------------------------------------------------------------------------
+
+Result<std::vector<IdlMessage>> ParseIdl(const std::string& text) {
+  std::vector<IdlMessage> messages;
+  std::string message_name;
+  std::vector<IdlField> fields;
+  bool in_message = false;
+
+  int line_number = 0;
+  for (const std::string& raw_line : StrSplit(text, '\n')) {
+    ++line_number;
+    std::string line(StripWhitespace(raw_line));
+    if (line.empty() || StartsWith(line, "//")) {
+      continue;
+    }
+
+    if (StartsWith(line, "message ")) {
+      if (in_message) {
+        return InvalidArgumentError(
+            StrFormat("line %d: nested message definitions", line_number));
+      }
+      std::vector<std::string> parts = StrSplit(line, ' ');
+      if (parts.size() != 3 || parts[2] != "{") {
+        return InvalidArgumentError(
+            StrFormat("line %d: expected 'message Name {'", line_number));
+      }
+      message_name = parts[1];
+      fields.clear();
+      in_message = true;
+      continue;
+    }
+    if (line == "}") {
+      if (!in_message) {
+        return InvalidArgumentError(StrFormat("line %d: stray '}'", line_number));
+      }
+      if (fields.empty()) {
+        return InvalidArgumentError(
+            StrFormat("line %d: message %s has no fields", line_number, message_name.c_str()));
+      }
+      messages.emplace_back(message_name, fields);
+      in_message = false;
+      continue;
+    }
+    if (!in_message) {
+      return InvalidArgumentError(
+          StrFormat("line %d: field outside a message: %s", line_number, line.c_str()));
+    }
+
+    // "name: type;"
+    if (line.back() != ';') {
+      return InvalidArgumentError(StrFormat("line %d: missing ';'", line_number));
+    }
+    line.pop_back();
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return InvalidArgumentError(StrFormat("line %d: expected 'name: type;'", line_number));
+    }
+    IdlField field;
+    field.name = std::string(StripWhitespace(line.substr(0, colon)));
+    std::string type_token(StripWhitespace(line.substr(colon + 1)));
+    if (field.name.empty()) {
+      return InvalidArgumentError(StrFormat("line %d: empty field name", line_number));
+    }
+    Result<IdlType> type = ParseIdlType(type_token);
+    if (!type.ok()) {
+      return InvalidArgumentError(
+          StrFormat("line %d: %s", line_number, type.status().message().c_str()));
+    }
+    field.type = *type;
+    fields.push_back(std::move(field));
+  }
+  if (in_message) {
+    return InvalidArgumentError("unterminated message definition: " + message_name);
+  }
+  return messages;
+}
+
+}  // namespace hcs

@@ -1,0 +1,68 @@
+// XDR (RFC 1014-style External Data Representation) — the data
+// representation used by Sun RPC. All quantities are big-endian and padded
+// to 4-byte alignment, exactly as on the wire in 1987.
+
+#ifndef HCS_SRC_WIRE_XDR_H_
+#define HCS_SRC_WIRE_XDR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/result.h"
+#include "src/wire/buffer.h"
+
+namespace hcs {
+
+class XdrEncoder {
+ public:
+  XdrEncoder() = default;
+
+  void PutUint32(uint32_t v) { w_.PutU32(v); }
+  void PutInt32(int32_t v) { w_.PutU32(static_cast<uint32_t>(v)); }
+  void PutUint64(uint64_t v) { w_.PutU64(v); }
+  void PutBool(bool v) { w_.PutU32(v ? 1 : 0); }
+
+  // Variable-length opaque: 4-byte length, data, zero padding to a 4-byte
+  // boundary.
+  void PutOpaque(const Bytes& data);
+  // Fixed-length opaque: data plus padding, no length prefix.
+  void PutFixedOpaque(const Bytes& data);
+  // Strings are encoded as opaque byte sequences.
+  void PutString(const std::string& s);
+
+  size_t size() const { return w_.size(); }
+  const Bytes& bytes() const { return w_.bytes(); }
+  Bytes Take() { return w_.Take(); }
+
+ private:
+  BufferWriter w_;
+};
+
+class XdrDecoder {
+ public:
+  explicit XdrDecoder(const Bytes& data) : r_(data) {}
+  XdrDecoder(const uint8_t* data, size_t size) : r_(data, size) {}
+
+  Result<uint32_t> GetUint32() { return r_.GetU32(); }
+  Result<int32_t> GetInt32();
+  Result<uint64_t> GetUint64() { return r_.GetU64(); }
+  Result<bool> GetBool();
+  Result<Bytes> GetOpaque();
+  Result<Bytes> GetFixedOpaque(size_t n);
+  Result<std::string> GetString();
+
+  size_t remaining() const { return r_.remaining(); }
+  bool AtEnd() const { return r_.AtEnd(); }
+
+ private:
+  BufferReader r_;
+};
+
+// Padding needed to align `n` up to a 4-byte boundary.
+constexpr size_t XdrPadding(size_t n) { return (4 - n % 4) % 4; }
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_WIRE_XDR_H_

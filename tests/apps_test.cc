@@ -1,0 +1,189 @@
+// Tests for the heterogeneous filing application: the two incompatible file
+// services, the FileService NSMs, and the HcsFile Fetch/Store facade.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/file_nsms.h"
+#include "src/apps/file_system.h"
+#include "src/common/rand.h"
+#include "src/common/strings.h"
+#include "src/wire/courier.h"
+#include "src/wire/xdr.h"
+#include "src/testbed/testbed.h"
+
+namespace hcs {
+namespace {
+
+class HcsFileTest : public ::testing::Test {
+ protected:
+  HcsFileTest()
+      : client_(bed_.MakeClient(Arrangement::kAllLinked)),
+        fs_(client_.session.get(), TestbedCredentials()) {}
+
+  Testbed bed_;
+  ClientSetup client_;
+  HcsFile fs_;
+};
+
+TEST_F(HcsFileTest, FetchFromBothWorldsThroughOneInterface) {
+  Result<Bytes> unix_file =
+      fs_.Fetch("Files-BIND!fiji.cs.washington.edu:/usr/doc/readme");
+  ASSERT_TRUE(unix_file.ok()) << unix_file.status();
+  EXPECT_NE(StringFromBytes(*unix_file).find("HCS project"), std::string::npos);
+
+  Result<Bytes> xerox_file = fs_.Fetch("Files-CH!Dorado:CSL:Xerox!<Docs>overview.press");
+  ASSERT_TRUE(xerox_file.ok()) << xerox_file.status();
+  EXPECT_NE(StringFromBytes(*xerox_file).find("XDE filing"), std::string::npos);
+}
+
+TEST_F(HcsFileTest, StoreThenFetchRoundTripsOnBothWorlds) {
+  Bytes contents = BytesFromString("stored through the facade");
+  ASSERT_TRUE(fs_.Store("Files-BIND!fiji.cs.washington.edu:/tmp/new.txt", contents).ok());
+  EXPECT_EQ(fs_.Fetch("Files-BIND!fiji.cs.washington.edu:/tmp/new.txt").value(), contents);
+  // It really landed in the native service.
+  EXPECT_EQ(bed_.nfs_server()->GetFile("/tmp/new.txt").value(), contents);
+
+  ASSERT_TRUE(fs_.Store("Files-CH!Dorado:CSL:Xerox!<Temp>new.press", contents).ok());
+  EXPECT_EQ(fs_.Fetch("Files-CH!Dorado:CSL:Xerox!<Temp>new.press").value(), contents);
+  EXPECT_EQ(bed_.xde_server()->GetFile("<Temp>new.press").value(), contents);
+}
+
+TEST_F(HcsFileTest, MultiBlockNfsTransfer) {
+  // > 3 NFS blocks forces the block loop and the offset arithmetic.
+  Rng rng(99);
+  Bytes big(3500, 0);
+  for (uint8_t& b : big) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  ASSERT_TRUE(fs_.Store("Files-BIND!fiji.cs.washington.edu:/tmp/big.bin", big).ok());
+  Result<Bytes> fetched = fs_.Fetch("Files-BIND!fiji.cs.washington.edu:/tmp/big.bin");
+  ASSERT_TRUE(fetched.ok()) << fetched.status();
+  EXPECT_EQ(*fetched, big);
+}
+
+TEST_F(HcsFileTest, EmptyFileRoundTrips) {
+  ASSERT_TRUE(fs_.Store("Files-BIND!fiji.cs.washington.edu:/tmp/empty", Bytes{}).ok());
+  EXPECT_EQ(fs_.Fetch("Files-BIND!fiji.cs.washington.edu:/tmp/empty").value(), Bytes{});
+}
+
+TEST_F(HcsFileTest, OversizedXdeStoreRejectedCleanly) {
+  Bytes huge(70000, 1);
+  EXPECT_EQ(fs_.Store("Files-CH!Dorado:CSL:Xerox!<Temp>huge", huge).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(HcsFileTest, MissingFilesAndBadSyntax) {
+  EXPECT_EQ(fs_.Fetch("Files-BIND!fiji.cs.washington.edu:/no/such/file").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(fs_.Fetch("Files-CH!Dorado:CSL:Xerox!<No>file").status().code(),
+            StatusCode::kNotFound);
+  // Wrong syntax for the world: the NSM owns the rules and rejects.
+  EXPECT_EQ(fs_.Fetch("Files-BIND!no-colon-here").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fs_.Fetch("Files-CH!missing-bang").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(HcsFileTest, XdeAccessesAreAuthenticated) {
+  HcsFile intruder(client_.session.get(), ChCredentials{"Mallory:CSL:Xerox", "nope"});
+  EXPECT_EQ(intruder.Fetch("Files-CH!Dorado:CSL:Xerox!<Docs>overview.press").status().code(),
+            StatusCode::kPermissionDenied);
+  // The Unix side does no per-access authentication (1987 NFS realism).
+  EXPECT_TRUE(intruder.Fetch("Files-BIND!fiji.cs.washington.edu:/usr/doc/readme").ok());
+}
+
+TEST_F(HcsFileTest, WholeFileVsBlockAccessCostStructure) {
+  Bytes contents(4096, 7);
+  ASSERT_TRUE(fs_.Store("Files-BIND!fiji.cs.washington.edu:/tmp/cost.bin", contents).ok());
+  // Warm caches so only the transfer remains.
+  (void)fs_.Fetch("Files-BIND!fiji.cs.washington.edu:/tmp/cost.bin");
+  double t0 = bed_.world().clock().NowMs();
+  (void)fs_.Fetch("Files-BIND!fiji.cs.washington.edu:/tmp/cost.bin");
+  double nfs_ms = bed_.world().clock().NowMs() - t0;
+
+  ASSERT_TRUE(fs_.Store("Files-CH!Dorado:CSL:Xerox!<Temp>cost.press", contents).ok());
+  (void)fs_.Fetch("Files-CH!Dorado:CSL:Xerox!<Temp>cost.press");
+  t0 = bed_.world().clock().NowMs();
+  (void)fs_.Fetch("Files-CH!Dorado:CSL:Xerox!<Temp>cost.press");
+  double xde_ms = bed_.world().clock().NowMs() - t0;
+
+  // Four block round trips vs one authenticated whole-file exchange — both
+  // must complete, and block access pays per-block network costs.
+  EXPECT_GT(nfs_ms, 0.0);
+  EXPECT_GT(xde_ms, 0.0);
+}
+
+TEST_F(HcsFileTest, FileNsmsWorkThroughRemoteArrangementsToo) {
+  ClientSetup remote = bed_.MakeClient(Arrangement::kAgent);
+  HcsFile remote_fs(remote.session.get(), TestbedCredentials());
+  Result<Bytes> fetched =
+      remote_fs.Fetch("Files-BIND!fiji.cs.washington.edu:/usr/doc/readme");
+  ASSERT_TRUE(fetched.ok()) << fetched.status();
+}
+
+// Direct substrate tests ------------------------------------------------------
+
+TEST(NfsLiteTest, StaleHandleAndBadOffset) {
+  World world;
+  ASSERT_TRUE(world.network().AddHost("fs", MachineType::kSun, OsType::kUnix).ok());
+  ASSERT_TRUE(world.network().AddHost("c", MachineType::kSun, OsType::kUnix).ok());
+  NfsLiteServer* server = NfsLiteServer::InstallOn(&world, "fs").value();
+  server->PutFile("/a", BytesFromString("abc"));
+
+  SimNetTransport transport(&world);
+  RpcClient rpc(&world, "c", &transport);
+  HrpcBinding b;
+  b.host = "fs";
+  b.port = kNfsLitePort;
+  b.program = kNfsLiteProgram;
+  b.control = ControlKind::kSunRpc;
+
+  XdrEncoder read;
+  read.PutUint32(9999);  // stale handle
+  read.PutUint32(0);
+  read.PutUint32(100);
+  EXPECT_EQ(rpc.Call(b, kNfsProcRead, read.Take()).status().code(),
+            StatusCode::kInvalidArgument);
+
+  XdrEncoder lookup;
+  lookup.PutString("/a");
+  XdrDecoder dec(rpc.Call(b, kNfsProcLookup, lookup.Take()).value());
+  uint32_t handle = dec.GetUint32().value();
+  XdrEncoder past_end;
+  past_end.PutUint32(handle);
+  past_end.PutUint32(100);  // beyond the 3-byte file
+  past_end.PutUint32(10);
+  EXPECT_EQ(rpc.Call(b, kNfsProcRead, past_end.Take()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(XdeFilingTest, EnumerateListsByPrefix) {
+  World world;
+  ASSERT_TRUE(world.network().AddHost("xde", MachineType::kXeroxD, OsType::kXde).ok());
+  ASSERT_TRUE(world.network().AddHost("c", MachineType::kSun, OsType::kUnix).ok());
+  XdeFileServer* server = XdeFileServer::InstallOn(&world, "xde").value();
+  server->AddAccount("u:d:o", "pw");
+  server->PutFile("<Docs>a", Bytes{1});
+  server->PutFile("<Docs>b", Bytes{2});
+  server->PutFile("<Temp>c", Bytes{3});
+
+  SimNetTransport transport(&world);
+  RpcClient rpc(&world, "c", &transport);
+  HrpcBinding b;
+  b.host = "xde";
+  b.port = kXdeFilingPort;
+  b.program = kXdeFilingProgram;
+  b.control = ControlKind::kCourier;
+
+  CourierEncoder enc;
+  enc.PutString("u:d:o");
+  enc.PutString("pw");
+  enc.PutString("<Docs>");
+  Result<Bytes> reply = rpc.Call(b, kXdeProcEnumerate, enc.Take());
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  CourierDecoder dec(*reply);
+  EXPECT_EQ(dec.GetCardinal().value(), 2);
+}
+
+}  // namespace
+}  // namespace hcs

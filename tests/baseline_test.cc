@@ -1,0 +1,105 @@
+// Unit tests for src/baseline: the reregistration-based binding schemes.
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/ch_only_binder.h"
+#include "src/baseline/local_file_binder.h"
+#include "src/testbed/testbed.h"
+
+namespace hcs {
+namespace {
+
+TEST(LocalFileBinderTest, FindsReregisteredEntries) {
+  Testbed bed;
+  auto binder = bed.MakeLocalFileBinder();
+  Result<HrpcBinding> binding = binder->Bind(kDesiredService, kSunServerHost);
+  ASSERT_TRUE(binding.ok()) << binding.status();
+  EXPECT_EQ(binding->port, kDesiredServicePort);
+  EXPECT_EQ(binding->bind_protocol, BindProtocol::kLocalFile);
+  EXPECT_NE(binding->address, 0u);
+}
+
+TEST(LocalFileBinderTest, MissingEntryMeansStaleReplica) {
+  Testbed bed;
+  auto binder = bed.MakeLocalFileBinder();
+  EXPECT_EQ(binder->Bind("BrandNewService", kSunServerHost).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(LocalFileBinderTest, EveryChangeIsAReregistration) {
+  ReplicatedBindingFile file;
+  EXPECT_EQ(file.registrations(), 0u);
+  file.Register("h1", "s1", 1, 1, 17, 100);
+  file.Register("h1", "s2", 2, 1, 17, 100);
+  EXPECT_EQ(file.registrations(), 2u);
+  EXPECT_EQ(file.line_count(), 2u);
+}
+
+TEST(LocalFileBinderTest, ScanCostGrowsWithFileSize) {
+  Testbed bed;
+  auto binder = bed.MakeLocalFileBinder();
+  double t0 = bed.world().clock().NowMs();
+  (void)binder->Bind(kDesiredService, kSunServerHost);
+  double small_file = bed.world().clock().NowMs() - t0;
+
+  // Blow the file up tenfold and bind again through a second binder.
+  auto file = std::make_shared<ReplicatedBindingFile>();
+  for (int i = 0; i < 400; ++i) {
+    file->Register("hostx", "svc" + std::to_string(i), 1000 + i, 1, 17, 7);
+  }
+  HostInfo fiji = bed.world().network().GetHost(kSunServerHost).value();
+  file->Register(kSunServerHost, kDesiredService, kDesiredServiceProgram, 1, 17,
+                 fiji.address);
+  LocalFileBinder big(&bed.world(), kClientHost, &bed.transport(), file);
+  t0 = bed.world().clock().NowMs();
+  (void)big.Bind(kDesiredService, kSunServerHost);
+  double big_file = bed.world().clock().NowMs() - t0;
+  EXPECT_GT(big_file, small_file);
+}
+
+TEST(ChOnlyBinderTest, BindsFromReregisteredRegistry) {
+  Testbed bed;
+  auto binder = bed.MakeChOnlyBinder();
+  Result<HrpcBinding> binding = binder->Bind(kDesiredService, kSunServerHost);
+  ASSERT_TRUE(binding.ok()) << binding.status();
+  EXPECT_EQ(binding->port, kDesiredServicePort);
+  EXPECT_EQ(binding->program, kDesiredServiceProgram);
+}
+
+TEST(ChOnlyBinderTest, RegisterThenBindRoundTrip) {
+  Testbed bed;
+  auto binder = bed.MakeChOnlyBinder();
+  ASSERT_TRUE(binder->Register("newhost", "newservice", 999, 1, 1234, 0xdead).ok());
+  Result<HrpcBinding> binding = binder->Bind("newservice", "newhost");
+  ASSERT_TRUE(binding.ok()) << binding.status();
+  EXPECT_EQ(binding->port, 1234);
+  EXPECT_EQ(binding->address, 0xdeadu);
+}
+
+TEST(ChOnlyBinderTest, UnregisteredServiceNotFound) {
+  Testbed bed;
+  auto binder = bed.MakeChOnlyBinder();
+  EXPECT_EQ(binder->Bind("ghost", kSunServerHost).status().code(), StatusCode::kNotFound);
+}
+
+// The paper's comparison: one authenticated Clearinghouse access makes the
+// CH-only scheme faster than a cold HNS query but it pays reregistration
+// forever; the local-file scheme is slower than both warm paths.
+TEST(BaselineComparisonTest, RelativeOrderingMatchesThePaper) {
+  Testbed bed;
+  auto file_binder = bed.MakeLocalFileBinder();
+  auto ch_binder = bed.MakeChOnlyBinder();
+
+  double t0 = bed.world().clock().NowMs();
+  ASSERT_TRUE(file_binder->Bind(kDesiredService, kSunServerHost).ok());
+  double file_ms = bed.world().clock().NowMs() - t0;
+
+  t0 = bed.world().clock().NowMs();
+  ASSERT_TRUE(ch_binder->Bind(kDesiredService, kSunServerHost).ok());
+  double ch_ms = bed.world().clock().NowMs() - t0;
+
+  EXPECT_GT(file_ms, ch_ms) << "paper: 200 ms vs 166 ms";
+}
+
+}  // namespace
+}  // namespace hcs

@@ -1,0 +1,186 @@
+// Failure injection: servers vanishing mid-run, bad credentials, garbled
+// messages, unregistered components — every path must surface a clean
+// Status, never a crash or a hang.
+
+#include <gtest/gtest.h>
+
+#include "src/common/strings.h"
+#include "src/hns/import.h"
+#include "src/rpc/ports.h"
+#include "src/testbed/testbed.h"
+
+namespace hcs {
+namespace {
+
+HnsName SunName() {
+  return HnsName::Parse(std::string(kContextBindBinding) + "!" + kSunServerHost).value();
+}
+
+TEST(FailureTest, MetaBindOutageMakesColdQueriesUnavailable) {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  client.FlushAll();
+
+  // Both the secondary and the primary go down.
+  bed.world().UnregisterService(kMetaSecondaryHost, kBindPort);
+  bed.world().UnregisterService(kMetaBindHost, kBindPort);
+
+  Importer importer(client.session.get());
+  EXPECT_EQ(importer.Import(kDesiredService, SunName()).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(FailureTest, WarmCacheSurvivesMetaBindOutage) {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  Importer importer(client.session.get());
+  ASSERT_TRUE(importer.Import(kDesiredService, SunName()).ok());
+
+  // The meta store can now disappear: cached mappings keep working until
+  // their TTLs run out — the availability argument for caching.
+  bed.world().UnregisterService(kMetaSecondaryHost, kBindPort);
+  bed.world().UnregisterService(kMetaBindHost, kBindPort);
+  EXPECT_TRUE(importer.Import(kDesiredService, SunName()).ok());
+
+  // After TTL expiry the outage becomes visible.
+  bed.world().clock().AdvanceMs(3601.0 * 1000.0);
+  EXPECT_EQ(importer.Import(kDesiredService, SunName()).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(FailureTest, UnderlyingNameServiceOutageOnlyBreaksItsSubsystemsData) {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  WireValue no_args = WireValue::OfRecord({});
+  HnsName xerox_name = HnsName::Parse("CH!Dorado:CSL:Xerox").value();
+
+  // Warm the meta mappings (note: even a Clearinghouse-side FindNSM resolves
+  // its NSM's host address through BIND — the NSM processes live on Unix
+  // hosts — so a *cold* FindNSM does depend on BIND being up).
+  ASSERT_TRUE(client.session->Query(xerox_name, kQueryClassHostAddress, no_args).ok());
+
+  bed.world().UnregisterService(kPublicBindHost, kBindPort);
+
+  // BIND-side *data* lookups fail for uncached names...
+  HnsName unix_name = HnsName::Parse("BIND!cascade.cs.washington.edu").value();
+  EXPECT_EQ(
+      client.session->Query(unix_name, kQueryClassHostAddress, no_args).status().code(),
+      StatusCode::kUnavailable);
+  // ...while Clearinghouse-side data keeps answering, including names never
+  // queried before: the data path touches only the CH.
+  HnsName fresh = HnsName::Parse("CH!Dandelion:CSL:Xerox").value();
+  EXPECT_TRUE(client.session->Query(fresh, kQueryClassHostAddress, no_args).ok());
+}
+
+TEST(FailureTest, RemoteNsmOutageReportsUnavailable) {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllRemote);
+  client.FlushAll();
+  bed.world().UnregisterService(kNsmServerHost, 711);  // the remote binding NSM
+
+  WireValue args = RecordBuilder().Str("service", kDesiredService).Build();
+  EXPECT_EQ(client.session->Query(SunName(), kQueryClassHrpcBinding, args).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(FailureTest, PermissionDeniedPropagatesFromClearinghouseToClient) {
+  Testbed bed;
+  // An NSM configured with bad credentials: the Clearinghouse rejects each
+  // access, and the denial travels through the NSM to the client intact.
+  NsmInfo info = bed.HostAddrChInfo();
+  info.nsm_name = "BadCredsNSM";
+  auto bad_nsm = std::make_shared<ChHostAddressNsm>(
+      &bed.world(), kClientHost, &bed.transport(), info, kChServerHost,
+      ChCredentials{"Mallory:CSL:Xerox", "guess"});
+  HnsName name = HnsName::Parse("CH!Dorado:CSL:Xerox").value();
+  Result<WireValue> result = bad_nsm->Query(name, WireValue::OfRecord({}));
+  EXPECT_EQ(result.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(FailureTest, GarbledMessageIsAProtocolError) {
+  Testbed bed;
+  // Spray junk at the public BIND server's port.
+  Result<Bytes> reply = bed.world().RoundTrip(kClientHost, kPublicBindHost, kBindPort,
+                                              Bytes{0xde, 0xad, 0xbe, 0xef});
+  EXPECT_EQ(reply.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(FailureTest, WrongPortSpeaksTheWrongProtocol) {
+  Testbed bed;
+  // A Sun RPC call aimed at the (raw-protocol) BIND port cannot parse.
+  RpcClient client(&bed.world(), kClientHost, &bed.transport());
+  HrpcBinding wrong;
+  wrong.host = kPublicBindHost;
+  wrong.port = kBindPort;
+  wrong.program = kBindProgram;
+  wrong.control = ControlKind::kSunRpc;  // BIND speaks Raw
+  Result<Bytes> reply = client.Call(wrong, kBindProcQuery, Bytes{});
+  EXPECT_FALSE(reply.ok());
+}
+
+TEST(FailureTest, AddressRecursionIsBoundedWithoutLinkedNsms) {
+  Testbed bed;
+  // A bare HNS with *no* linked NSMs anywhere and no remote host-address NSM
+  // servers would recurse to resolve the host-address NSM's own host; the
+  // depth guard turns that into an error instead of infinite recursion.
+  TestbedOptions options;
+  options.install_remote_servers = false;
+  Testbed isolated(options);
+  HnsOptions hns_options;
+  hns_options.meta_server_host = kMetaSecondaryHost;
+  hns_options.meta_authority_host = kMetaBindHost;
+  Hns bare(&isolated.world(), kClientHost, &isolated.transport(), hns_options);
+
+  Result<uint32_t> address = bare.ResolveHostAddress(kContextBind, kSunServerHost);
+  EXPECT_FALSE(address.ok());
+  EXPECT_EQ(address.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FailureTest, AgentWithoutNsmsFailsCleanly) {
+  TestbedOptions options;
+  Testbed bed(options);
+  // Install a second agent with no linked NSMs on a fresh host.
+  ASSERT_TRUE(
+      bed.world().network().AddHost("empty-agent.cs.washington.edu", MachineType::kMicroVax,
+                                    OsType::kUnix)
+          .ok());
+  HnsOptions hns_options;
+  hns_options.meta_server_host = kMetaSecondaryHost;
+  hns_options.meta_authority_host = kMetaBindHost;
+  AgentServer* empty = AgentServer::InstallOn(&bed.world(), "empty-agent.cs.washington.edu",
+                                              hns_options, {})
+                           .value();
+  (void)empty;
+
+  SessionOptions session_options;
+  session_options.hns_location = HnsLocation::kAgent;
+  session_options.agent_host = "empty-agent.cs.washington.edu";
+  HnsSession session(&bed.world(), kClientHost, &bed.transport(), session_options);
+  WireValue args = RecordBuilder().Str("service", kDesiredService).Build();
+  Result<WireValue> result = session.Query(SunName(), kQueryClassHrpcBinding, args);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FailureTest, OversizedMetaRecordsAreChunkedNotRejected) {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  MetaStore& meta = client.session->local_hns()->meta();
+  // An NSM record with very long names encodes past the 256-byte record
+  // limit; registration must succeed via chunking and read back intact.
+  NsmInfo info;
+  info.nsm_name = std::string(100, 'n');
+  info.query_class = "LongQueryClass-" + std::string(80, 'q');
+  info.ns_name = kNsBind;
+  info.host = std::string(90, 'h') + ".cs.washington.edu";
+  info.host_context = kContextBind;
+  info.program = kNsmProgram;
+  info.port = 999;
+  ASSERT_TRUE(meta.RegisterNsm(info).ok());
+  Result<NsmInfo> read_back = meta.NsmLocation(info.nsm_name);
+  ASSERT_TRUE(read_back.ok()) << read_back.status();
+  EXPECT_EQ(read_back->host, info.host);
+  EXPECT_EQ(read_back->query_class, info.query_class);
+}
+
+}  // namespace
+}  // namespace hcs

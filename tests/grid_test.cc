@@ -1,0 +1,111 @@
+// The full configuration grid: every colocation arrangement crossed with
+// every cache mode must produce identical results, and within each cell the
+// cache-state cost ordering A >= B >= C of Table 3.1 must hold. This is the
+// repository's broadest single invariant sweep (15 configurations).
+
+#include <gtest/gtest.h>
+
+#include "src/hns/import.h"
+#include "src/testbed/testbed.h"
+
+namespace hcs {
+namespace {
+
+using GridParam = std::tuple<Arrangement, CacheMode>;
+
+class GridTest : public ::testing::TestWithParam<GridParam> {
+ protected:
+  static std::string HostNameText() {
+    return std::string(kContextBindBinding) + "!" + kSunServerHost;
+  }
+};
+
+TEST_P(GridTest, ImportIsCorrectAndCacheStateOrderingHolds) {
+  auto [arrangement, cache_mode] = GetParam();
+  TestbedOptions options;
+  options.hns_cache_mode = cache_mode;
+  options.nsm_cache_mode = cache_mode;
+  Testbed bed(options);
+  ClientSetup client = bed.MakeClient(arrangement);
+  Importer importer(client.session.get());
+
+  // Column A: everything cold.
+  client.FlushAll();
+  double before = bed.world().clock().NowMs();
+  Result<HrpcBinding> cold = importer.Import(kDesiredService, HostNameText());
+  double a = bed.world().clock().NowMs() - before;
+  ASSERT_TRUE(cold.ok()) << cold.status();
+
+  // Column B: HNS warm, NSMs cold. (With caching off entirely, flush the
+  // shared infrastructure too so every run is equally cold — the meta
+  // secondary's forward cache warms regardless of client cache mode.)
+  if (cache_mode == CacheMode::kNone) {
+    client.FlushAll();
+  } else {
+    client.FlushNsmCaches();
+  }
+  before = bed.world().clock().NowMs();
+  Result<HrpcBinding> half_warm = importer.Import(kDesiredService, HostNameText());
+  double b = bed.world().clock().NowMs() - before;
+  ASSERT_TRUE(half_warm.ok()) << half_warm.status();
+
+  // Column C: everything warm (or, with caching off, cold again).
+  if (cache_mode == CacheMode::kNone) {
+    client.FlushAll();
+  }
+  before = bed.world().clock().NowMs();
+  Result<HrpcBinding> warm = importer.Import(kDesiredService, HostNameText());
+  double c = bed.world().clock().NowMs() - before;
+  ASSERT_TRUE(warm.ok()) << warm.status();
+
+  // Correctness is configuration-independent.
+  EXPECT_EQ(*cold, *half_warm);
+  EXPECT_EQ(*cold, *warm);
+  EXPECT_EQ(cold->port, kDesiredServicePort);
+
+  // Cost ordering (with caching off, all three columns coincide).
+  if (cache_mode == CacheMode::kNone) {
+    EXPECT_NEAR(a, b, 1.0);
+    EXPECT_NEAR(b, c, 1.0);
+  } else {
+    EXPECT_GT(a, b);
+    EXPECT_GE(b, c);
+  }
+}
+
+std::string GridName(const ::testing::TestParamInfo<GridParam>& info) {
+  const auto& [arrangement, cache_mode] = info.param;
+  std::string name;
+  switch (arrangement) {
+    case Arrangement::kAllLinked:
+      name = "AllLinked";
+      break;
+    case Arrangement::kAgent:
+      name = "Agent";
+      break;
+    case Arrangement::kRemoteHns:
+      name = "RemoteHns";
+      break;
+    case Arrangement::kRemoteNsms:
+      name = "RemoteNsms";
+      break;
+    case Arrangement::kAllRemote:
+      name = "AllRemote";
+      break;
+  }
+  name += "_";
+  name += CacheModeName(cache_mode);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigurations, GridTest,
+    ::testing::Combine(::testing::Values(Arrangement::kAllLinked, Arrangement::kAgent,
+                                         Arrangement::kRemoteHns, Arrangement::kRemoteNsms,
+                                         Arrangement::kAllRemote),
+                       ::testing::Values(CacheMode::kNone, CacheMode::kMarshalled,
+                                         CacheMode::kDemarshalled)),
+    GridName);
+
+}  // namespace
+}  // namespace hcs

@@ -1,0 +1,277 @@
+// Unit tests for src/hns: names, the HNS cache, the meta store, FindNSM.
+
+#include <gtest/gtest.h>
+
+#include "src/hns/cache.h"
+#include "src/hns/hns.h"
+#include "src/hns/meta_store.h"
+#include "src/hns/name.h"
+#include "src/testbed/testbed.h"
+
+namespace hcs {
+namespace {
+
+// --- HnsName --------------------------------------------------------------------
+
+TEST(HnsNameTest, ParseAndFormat) {
+  Result<HnsName> name = HnsName::Parse("HRPCBinding-BIND!fiji.cs.washington.edu");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->context, "HRPCBinding-BIND");
+  EXPECT_EQ(name->individual, "fiji.cs.washington.edu");
+  EXPECT_EQ(name->ToString(), "HRPCBinding-BIND!fiji.cs.washington.edu");
+}
+
+TEST(HnsNameTest, IndividualNamesKeepNativeSyntax) {
+  // Clearinghouse names contain colons; the HNS does not interpret them.
+  Result<HnsName> name = HnsName::Parse("CH!Dorado:CSL:Xerox");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->individual, "Dorado:CSL:Xerox");
+  // Even '!' may appear inside the individual part (first '!' splits).
+  Result<HnsName> odd = HnsName::Parse("CTX!weird!name");
+  ASSERT_TRUE(odd.ok());
+  EXPECT_EQ(odd->individual, "weird!name");
+}
+
+TEST(HnsNameTest, RejectsMalformed) {
+  EXPECT_FALSE(HnsName::Parse("no-separator").ok());
+  EXPECT_FALSE(HnsName::Parse("!name").ok());
+  EXPECT_FALSE(HnsName::Parse("ctx!").ok());
+  EXPECT_FALSE(HnsName::Parse("bad ctx!name").ok());  // whitespace in context
+}
+
+TEST(HnsNameTest, ContextsCaseInsensitiveIndividualsExact) {
+  HnsName a = HnsName::Parse("BIND!Fiji").value();
+  HnsName b = HnsName::Parse("bind!Fiji").value();
+  HnsName c = HnsName::Parse("BIND!fiji").value();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c) << "individual-name semantics belong to the underlying service";
+}
+
+TEST(HnsNameTest, ContextValidation) {
+  EXPECT_TRUE(ValidateContextName("HRPCBinding-BIND").ok());
+  EXPECT_FALSE(ValidateContextName("").ok());
+  EXPECT_FALSE(ValidateContextName(std::string(200, 'a')).ok());
+  EXPECT_FALSE(ValidateContextName("has!bang").ok());
+  EXPECT_FALSE(ValidateContextName("has space").ok());
+}
+
+// --- HnsCache --------------------------------------------------------------------
+
+class HnsCacheTest : public ::testing::Test {
+ protected:
+  World world_;
+};
+
+TEST_F(HnsCacheTest, ModeNoneNeverHits) {
+  HnsCache cache(&world_, CacheMode::kNone);
+  cache.Put("k", WireValue::OfUint32(1), 60);
+  EXPECT_FALSE(cache.Get("k").ok());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(HnsCacheTest, MarshalledAndDemarshalledReturnEqualValues) {
+  WireValue value = RecordBuilder().Str("ns", "UW-BIND").U32("n", 7).Build();
+  for (CacheMode mode : {CacheMode::kMarshalled, CacheMode::kDemarshalled}) {
+    HnsCache cache(&world_, mode);
+    cache.Put("k", value, 60);
+    Result<WireValue> got = cache.Get("k");
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, value);
+  }
+}
+
+TEST_F(HnsCacheTest, MarshalledHitsCostMoreThanDemarshalled) {
+  WireValue value = RecordBuilder().Str("a", std::string(200, 'x')).Build();
+  HnsCache marshalled(&world_, CacheMode::kMarshalled);
+  HnsCache demarshalled(&world_, CacheMode::kDemarshalled);
+  marshalled.Put("k", value, 60);
+  demarshalled.Put("k", value, 60);
+
+  double t0 = world_.clock().NowMs();
+  (void)marshalled.Get("k");
+  double m = world_.clock().NowMs() - t0;
+  t0 = world_.clock().NowMs();
+  (void)demarshalled.Get("k");
+  double d = world_.clock().NowMs() - t0;
+  EXPECT_GT(m, 5 * d) << "the Table 3.2 effect: demarshal-per-hit dominates";
+}
+
+TEST_F(HnsCacheTest, TtlExpiryIsHonoured) {
+  HnsCache cache(&world_, CacheMode::kDemarshalled);
+  cache.Put("k", WireValue::OfUint32(1), 10);
+  EXPECT_TRUE(cache.Get("k").ok());
+  world_.clock().AdvanceMs(10'000.0 + 1.0);
+  EXPECT_FALSE(cache.Get("k").ok());
+  EXPECT_EQ(cache.stats().expirations, 1u);
+  EXPECT_EQ(cache.size(), 0u) << "expired entries are reaped on access";
+}
+
+TEST_F(HnsCacheTest, StatsTrackHitsAndMisses) {
+  HnsCache cache(&world_, CacheMode::kMarshalled);
+  (void)cache.Get("absent");
+  cache.Put("k", WireValue::OfUint32(1), 60);
+  (void)cache.Get("k");
+  (void)cache.Get("k");
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+  EXPECT_NEAR(cache.stats().HitFraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST_F(HnsCacheTest, RemoveAndClear) {
+  HnsCache cache(&world_, CacheMode::kDemarshalled);
+  cache.Put("a", WireValue::OfUint32(1), 60);
+  cache.Put("b", WireValue::OfUint32(2), 60);
+  cache.Remove("a");
+  EXPECT_FALSE(cache.Get("a").ok());
+  EXPECT_TRUE(cache.Get("b").ok());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(HnsCacheTest, ApproximateBytesRoughlyTracksContent) {
+  HnsCache cache(&world_, CacheMode::kMarshalled);
+  cache.Put("k", WireValue::OfBlob(Bytes(500, 1)), 60);
+  EXPECT_GT(cache.ApproximateBytes(), 500u);
+  EXPECT_LT(cache.ApproximateBytes(), 700u);
+}
+
+// --- MetaStore (against the live testbed) ------------------------------------------
+
+class MetaStoreTest : public ::testing::Test {
+ protected:
+  MetaStoreTest() : bed_(), client_(bed_.MakeClient(Arrangement::kAllLinked)) {}
+
+  MetaStore& meta() { return client_.session->local_hns()->meta(); }
+
+  Testbed bed_;
+  ClientSetup client_;
+};
+
+TEST_F(MetaStoreTest, MappingsResolveRegisteredData) {
+  EXPECT_EQ(meta().ContextToNameService(kContextBindBinding).value(), kNsBind);
+  EXPECT_EQ(meta().ContextToNameService(kContextCh).value(), kNsCh);
+  EXPECT_EQ(meta().NsmNameFor(kNsBind, kQueryClassHrpcBinding).value(), kNsmBindingBind);
+  Result<NsmInfo> info = meta().NsmLocation(kNsmBindingBind);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->host, kNsmServerHost);
+  EXPECT_EQ(info->query_class, kQueryClassHrpcBinding);
+  Result<NameServiceInfo> ns = meta().NameService(kNsBind);
+  ASSERT_TRUE(ns.ok());
+  EXPECT_EQ(ns->type, "BIND");
+}
+
+TEST_F(MetaStoreTest, UnknownEntriesAreNotFound) {
+  EXPECT_EQ(meta().ContextToNameService("NoSuchContext").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(meta().NsmNameFor(kNsBind, "NoSuchQueryClass").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(meta().NsmLocation("NoSuchNsm").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MetaStoreTest, RecordNamingConvention) {
+  EXPECT_EQ(MetaStore::ContextRecordName("BIND"), "ctx.bind.hns");
+  EXPECT_EQ(MetaStore::NsmMapRecordName("UW-BIND", "HostAddress"),
+            "map.hostaddress.uw-bind.hns");
+  EXPECT_EQ(MetaStore::NsmLocationRecordName("BindingNSM-BIND"), "loc.bindingnsm-bind.hns");
+  EXPECT_EQ(MetaStore::NameServiceRecordName("UW-BIND"), "ns.uw-bind.hns");
+}
+
+TEST_F(MetaStoreTest, ReadsAreCachedAndInvalidatedByWrites) {
+  (void)meta().ContextToNameService(kContextBind);
+  uint64_t lookups = meta().remote_lookups();
+  (void)meta().ContextToNameService(kContextBind);
+  EXPECT_EQ(meta().remote_lookups(), lookups) << "second read served from cache";
+
+  // Re-registering the context invalidates the cached mapping.
+  ASSERT_TRUE(meta().RegisterContext(kContextBind, kNsBind).ok());
+  (void)meta().ContextToNameService(kContextBind);
+  EXPECT_EQ(meta().remote_lookups(), lookups + 1);
+}
+
+TEST_F(MetaStoreTest, UnregisterNsmRemovesBothRecords) {
+  ASSERT_TRUE(meta().UnregisterNsm(kNsBind, kQueryClassMailboxInfo).ok());
+  EXPECT_EQ(meta().NsmNameFor(kNsBind, kQueryClassMailboxInfo).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(meta().NsmLocation(kNsmMailboxBind).status().code(), StatusCode::kNotFound);
+  // Other query classes unaffected.
+  EXPECT_TRUE(meta().NsmNameFor(kNsBind, kQueryClassHrpcBinding).ok());
+}
+
+TEST_F(MetaStoreTest, RegistrationValidatesInput) {
+  EXPECT_EQ(meta().RegisterNameService(NameServiceInfo{}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(meta().RegisterContext("bad context", kNsBind).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(meta().RegisterNsm(NsmInfo{}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(MetaStoreTest, PreloadFillsCacheFromZoneTransfer) {
+  client_.FlushAll();
+  Result<size_t> bytes = meta().Preload();
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  EXPECT_GT(*bytes, 1000u);
+  EXPECT_LT(*bytes, 4096u) << "the meta information is small (~2KB in the paper)";
+
+  // Every mapping now hits without remote lookups.
+  uint64_t lookups = meta().remote_lookups();
+  EXPECT_TRUE(meta().ContextToNameService(kContextBind).ok());
+  EXPECT_TRUE(meta().NsmNameFor(kNsCh, kQueryClassHostAddress).ok());
+  EXPECT_TRUE(meta().NsmLocation(kNsmHostAddrCh).ok());
+  EXPECT_EQ(meta().remote_lookups(), lookups);
+}
+
+// --- Hns::FindNsm ---------------------------------------------------------------------
+
+TEST(HnsFindNsmTest, ReturnsFullyResolvedBinding) {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kRemoteNsms);
+  HnsName name;
+  name.context = kContextBindBinding;
+  name.individual = kSunServerHost;
+  Result<NsmHandle> handle =
+      client.session->local_hns()->FindNsm(name, kQueryClassHrpcBinding);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  EXPECT_EQ(handle->nsm_name, kNsmBindingBind);
+  EXPECT_EQ(handle->binding.host, kNsmServerHost);
+  EXPECT_NE(handle->binding.address, 0u) << "mapping 3 resolves the NSM host's address";
+  EXPECT_NE(handle->binding.port, 0);
+}
+
+TEST(HnsFindNsmTest, UnknownContextAndQueryClassFail) {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  Hns* hns = client.session->local_hns();
+  HnsName name;
+  name.context = "Hesiod";
+  name.individual = "x";
+  EXPECT_EQ(hns->FindNsm(name, kQueryClassHostAddress).status().code(),
+            StatusCode::kNotFound);
+  name.context = kContextBind;
+  EXPECT_EQ(hns->FindNsm(name, "FontService").status().code(), StatusCode::kNotFound);
+}
+
+TEST(HnsFindNsmTest, LinkNsmRejectsDuplicatesAndEmptyNames) {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  Hns* hns = client.session->local_hns();
+  std::vector<std::shared_ptr<Nsm>> extra = bed.MakeLinkedNsms(kClientHost);
+  EXPECT_EQ(hns->LinkNsm(extra.front()).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(hns->HasLinkedNsm(kNsmHostAddrBind));
+  EXPECT_FALSE(hns->HasLinkedNsm("NoSuchNSM"));
+}
+
+TEST(HnsFindNsmTest, ResolveHostAddressThroughEitherService) {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  Hns* hns = client.session->local_hns();
+  Result<uint32_t> unix_addr = hns->ResolveHostAddress(kContextBind, kSunServerHost);
+  ASSERT_TRUE(unix_addr.ok()) << unix_addr.status();
+  Result<uint32_t> xerox_addr = hns->ResolveHostAddress(kContextCh, kXeroxServerHost);
+  ASSERT_TRUE(xerox_addr.ok()) << xerox_addr.status();
+  EXPECT_NE(*unix_addr, *xerox_addr);
+  EXPECT_EQ(*unix_addr, bed.world().network().GetHost(kSunServerHost).value().address);
+}
+
+}  // namespace
+}  // namespace hcs

@@ -1,0 +1,167 @@
+// End-to-end integration: the full Import flow of §3 over the simulated
+// testbed, across colocation arrangements, plus the paper's core
+// direct-access claims (native updates visible globally, no reregistration).
+
+#include <gtest/gtest.h>
+
+#include "src/hns/import.h"
+#include "src/rpc/ports.h"
+#include "src/common/strings.h"
+#include "src/testbed/testbed.h"
+#include "src/wire/xdr.h"
+
+namespace hcs {
+namespace {
+
+HnsName SunHostName() {
+  HnsName name;
+  name.context = kContextBindBinding;
+  name.individual = kSunServerHost;
+  return name;
+}
+
+TEST(ImportIntegration, AllLinkedArrangementBindsAndCalls) {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  Importer importer(client.session.get());
+
+  Result<HrpcBinding> binding = importer.Import(kDesiredService, SunHostName());
+  ASSERT_TRUE(binding.ok()) << binding.status();
+  EXPECT_EQ(binding->host, kSunServerHost);
+  EXPECT_EQ(binding->port, kDesiredServicePort);
+  EXPECT_EQ(binding->program, kDesiredServiceProgram);
+  EXPECT_EQ(binding->control, ControlKind::kSunRpc);
+  EXPECT_EQ(binding->data_rep, DataRep::kXdr);
+  EXPECT_NE(binding->address, 0u);
+
+  // The binding is directly usable: call the service through HRPC.
+  RpcClient rpc(&bed.world(), kClientHost, &bed.transport());
+  XdrEncoder enc;
+  enc.PutString("hello fiji");
+  Result<Bytes> reply = rpc.Call(*binding, 1, enc.Take());
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  XdrDecoder dec(*reply);
+  EXPECT_EQ(dec.GetString().value(), "hello fiji");
+}
+
+TEST(ImportIntegration, EveryArrangementProducesTheSameBinding) {
+  Testbed bed;
+  Result<HrpcBinding> reference(InternalError("unset"));
+  for (Arrangement arrangement :
+       {Arrangement::kAllLinked, Arrangement::kAgent, Arrangement::kRemoteHns,
+        Arrangement::kRemoteNsms, Arrangement::kAllRemote}) {
+    SCOPED_TRACE(ArrangementName(arrangement));
+    ClientSetup client = bed.MakeClient(arrangement);
+    client.FlushAll();
+    Importer importer(client.session.get());
+    Result<HrpcBinding> binding = importer.Import(kDesiredService, SunHostName());
+    ASSERT_TRUE(binding.ok()) << binding.status();
+    if (!reference.ok()) {
+      reference = binding;
+    } else {
+      EXPECT_EQ(*binding, *reference);
+    }
+  }
+}
+
+TEST(ImportIntegration, CourierServiceBindsThroughChNsm) {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  Importer importer(client.session.get());
+
+  HnsName name;
+  name.context = kContextChBinding;
+  name.individual = kXeroxServerHost;
+  Result<HrpcBinding> binding = importer.Import(kPrintService, name);
+  ASSERT_TRUE(binding.ok()) << binding.status();
+  EXPECT_EQ(binding->control, ControlKind::kCourier);
+  EXPECT_EQ(binding->data_rep, DataRep::kCourier);
+  EXPECT_EQ(binding->port, kPrintServicePort);
+
+  // Call the Courier service end to end.
+  RpcClient rpc(&bed.world(), kClientHost, &bed.transport());
+  Result<Bytes> reply = rpc.Call(*binding, 1, Bytes{1, 2, 3, 4});
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(*reply, (Bytes{1, 2, 3, 4}));
+}
+
+// The direct-access property: a change made through *native* name service
+// operations (here, a BIND dynamic update... the paper's modified BIND; for
+// the public zone we model a host renumbering applied directly at the
+// server) is visible through the HNS with no reregistration step.
+TEST(ImportIntegration, NativeUpdateVisibleThroughHnsWithoutReregistration) {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+
+  HnsName host_name;
+  host_name.context = kContextBind;
+  host_name.individual = "newmachine.cs.washington.edu";
+
+  // Not there yet.
+  WireValue no_args = WireValue::OfRecord({});
+  Result<WireValue> before =
+      client.session->Query(host_name, kQueryClassHostAddress, no_args);
+  EXPECT_FALSE(before.ok());
+
+  // A new machine is added via the *local* name service's own operation —
+  // no HNS registration of any kind.
+  Zone* zone = bed.public_bind()->FindZone("newmachine.cs.washington.edu");
+  ASSERT_NE(zone, nullptr);
+  ASSERT_TRUE(zone->Add(ResourceRecord::MakeA("newmachine.cs.washington.edu", 0x80017777))
+                  .ok());
+
+  Result<WireValue> after =
+      client.session->Query(host_name, kQueryClassHostAddress, no_args);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->Uint32Field("address").value(), 0x80017777u);
+}
+
+TEST(ImportIntegration, ColdFindNsmPerformsSixRemoteLookups) {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  client.FlushAll();
+  Hns* hns = client.session->local_hns();
+  bed.world().stats().Clear();
+
+  Result<NsmHandle> handle = hns->FindNsm(SunHostName(), kQueryClassHrpcBinding);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  // The binding NSM is linked into the client (row 1), but FindNSM still
+  // determines the full handle: three meta mappings plus the recursive
+  // host-address resolution (two more meta mappings and one underlying
+  // name-service lookup) — six remote data lookups in all.
+  EXPECT_TRUE(handle->is_linked());
+  EXPECT_EQ(hns->meta().remote_lookups(), 5u);
+  std::string bind_key = AsciiToLower(std::string(kPublicBindHost) + ":53");
+  EXPECT_EQ(bed.world().stats().messages_per_endpoint[bind_key], 1u);
+
+  // A remote NSM runs the same sequence and yields a callable binding.
+  ClientSetup remote = bed.MakeClient(Arrangement::kRemoteNsms);
+  remote.FlushAll();
+  Hns* remote_hns = remote.session->local_hns();
+  bed.world().stats().Clear();
+  Result<NsmHandle> remote_handle =
+      remote_hns->FindNsm(SunHostName(), kQueryClassHrpcBinding);
+  ASSERT_TRUE(remote_handle.ok()) << remote_handle.status();
+  EXPECT_FALSE(remote_handle->is_linked());
+  // Five meta-store lookups...
+  EXPECT_EQ(remote_hns->meta().remote_lookups(), 5u);
+  // ...plus exactly one underlying name-service lookup (the public BIND).
+  std::string public_bind_key = std::string(kPublicBindHost) + ":53";
+  EXPECT_EQ(bed.world().stats().messages_per_endpoint[AsciiToLower(public_bind_key)], 1u);
+}
+
+TEST(ImportIntegration, WarmCacheEliminatesAllRemoteCalls) {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  Importer importer(client.session.get());
+  ASSERT_TRUE(importer.Import(kDesiredService, SunHostName()).ok());
+
+  bed.world().stats().Clear();
+  Result<HrpcBinding> binding = importer.Import(kDesiredService, SunHostName());
+  ASSERT_TRUE(binding.ok()) << binding.status();
+  EXPECT_EQ(bed.world().stats().total_messages, 0u)
+      << "a fully warm linked client should not touch the network";
+}
+
+}  // namespace
+}  // namespace hcs

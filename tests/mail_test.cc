@@ -1,0 +1,122 @@
+// Tests for the mail application: the MTA composing MailboxInfo +
+// HRPCBinding, and the two mail-drop flavours.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/mail.h"
+#include "src/wire/xdr.h"
+#include "src/testbed/testbed.h"
+
+namespace hcs {
+namespace {
+
+class MailTest : public ::testing::Test {
+ protected:
+  MailTest()
+      : client_(bed_.MakeClient(Arrangement::kAllLinked)), agent_(client_.session.get()) {}
+
+  Testbed bed_;
+  ClientSetup client_;
+  MailAgent agent_;
+};
+
+TEST_F(MailTest, DeliversToUnixWorldViaMxAndSunRpc) {
+  Result<std::string> relay =
+      agent_.Deliver("Mail-BIND!notkin@cs.washington.edu", "Subject: hi\n\nhello");
+  ASSERT_TRUE(relay.ok()) << relay.status();
+  EXPECT_EQ(*relay, "june.cs.washington.edu") << "the lowest-preference MX relay";
+  EXPECT_EQ(bed_.mail_drop_unix()->SpoolSize("notkin@cs.washington.edu"), 1u);
+  EXPECT_EQ(bed_.mail_drop_unix()->SpooledMessage("notkin@cs.washington.edu", 0).value(),
+            "Subject: hi\n\nhello");
+}
+
+TEST_F(MailTest, DeliversToXeroxWorldViaMailboxPropertyAndCourier) {
+  Result<std::string> relay = agent_.Deliver("Mail-CH!Purcell:CSL:Xerox", "grapevine note");
+  ASSERT_TRUE(relay.ok()) << relay.status();
+  EXPECT_EQ(*relay, kChServerHost);
+  EXPECT_EQ(bed_.mail_drop_xerox()->SpoolSize("Purcell:CSL:Xerox"), 1u);
+  EXPECT_EQ(bed_.mail_drop_xerox()->SpooledMessage("Purcell:CSL:Xerox", 0).value(),
+            "grapevine note");
+}
+
+TEST_F(MailTest, MultipleMessagesSpoolInOrder) {
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        agent_.Deliver("Mail-BIND!levy@cs.washington.edu", "msg " + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(bed_.mail_drop_unix()->SpoolSize("levy@cs.washington.edu"), 3u);
+  EXPECT_EQ(bed_.mail_drop_unix()->SpooledMessage("levy@cs.washington.edu", 2).value(),
+            "msg 2");
+  EXPECT_EQ(agent_.deliveries(), 3u);
+}
+
+TEST_F(MailTest, UnknownRecipientsAndWorlds) {
+  // In-zone domain with no MX records.
+  EXPECT_EQ(agent_.Deliver("Mail-BIND!x@ghost.cs.washington.edu", "m").status().code(),
+            StatusCode::kNotFound);
+  // Domain outside every zone this server knows: the name service cannot
+  // answer at all.
+  EXPECT_EQ(agent_.Deliver("Mail-BIND!x@nowhere.example", "m").status().code(),
+            StatusCode::kUnavailable);
+  // Unknown CH user: no mailbox property.
+  EXPECT_EQ(agent_.Deliver("Mail-CH!Ghost:CSL:Xerox", "m").status().code(),
+            StatusCode::kNotFound);
+  // Not a mail context at all.
+  EXPECT_EQ(agent_.Deliver("BIND!fiji.cs.washington.edu", "m").status().code(),
+            StatusCode::kInvalidArgument);
+  // Malformed recipient.
+  EXPECT_EQ(agent_.Deliver("no-separator", "m").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(MailTest, SecondDeliveryToSameDomainIsMuchCheaper) {
+  double t0 = bed_.world().clock().NowMs();
+  (void)agent_.Deliver("Mail-BIND!a@cs.washington.edu", "first");
+  double cold = bed_.world().clock().NowMs() - t0;
+  t0 = bed_.world().clock().NowMs();
+  (void)agent_.Deliver("Mail-BIND!b@cs.washington.edu", "second");
+  double warm = bed_.world().clock().NowMs() - t0;
+  // The MX result, the meta mappings, and the relay binding are all cached;
+  // only the resolution probes and the DELIVER call remain.
+  EXPECT_LT(warm, cold / 2);
+  EXPECT_LT(warm, 250.0);
+}
+
+TEST_F(MailTest, SpoolIsReadableOverTheWire) {
+  ASSERT_TRUE(agent_.Deliver("Mail-BIND!reader@cs.washington.edu", "the body").ok());
+
+  // A mail *reader* fetches through the same binding machinery.
+  Importer importer(client_.session.get());
+  Result<HrpcBinding> binding = importer.Import(
+      "MailDrop", std::string(kContextBindBinding) + "!june.cs.washington.edu");
+  ASSERT_TRUE(binding.ok()) << binding.status();
+
+  XdrEncoder list;
+  list.PutString("reader@cs.washington.edu");
+  Result<Bytes> count_reply =
+      client_.session->rpc_client().Call(*binding, kMailProcList, list.Take());
+  ASSERT_TRUE(count_reply.ok()) << count_reply.status();
+  XdrDecoder count_dec(*count_reply);
+  EXPECT_EQ(count_dec.GetUint32().value(), 1u);
+
+  XdrEncoder fetch;
+  fetch.PutString("reader@cs.washington.edu");
+  fetch.PutUint32(0);
+  Result<Bytes> fetch_reply =
+      client_.session->rpc_client().Call(*binding, kMailProcFetch, fetch.Take());
+  ASSERT_TRUE(fetch_reply.ok()) << fetch_reply.status();
+  XdrDecoder fetch_dec(*fetch_reply);
+  EXPECT_EQ(fetch_dec.GetString().value(), "the body");
+}
+
+TEST_F(MailTest, AgentArrangementDeliversToo) {
+  ClientSetup agent_client = bed_.MakeClient(Arrangement::kAgent);
+  MailAgent remote_agent(agent_client.session.get());
+  Result<std::string> relay =
+      remote_agent.Deliver("Mail-BIND!via-agent@cs.washington.edu", "through the agent");
+  ASSERT_TRUE(relay.ok()) << relay.status();
+  EXPECT_EQ(bed_.mail_drop_unix()->SpoolSize("via-agent@cs.washington.edu"), 1u);
+}
+
+}  // namespace
+}  // namespace hcs

@@ -1,0 +1,301 @@
+// Unit tests for src/rpc: control protocols, client/server runtime,
+// bindings, portmapper, transports.
+
+#include <gtest/gtest.h>
+
+#include "src/rpc/binding.h"
+#include "src/rpc/client.h"
+#include "src/rpc/control.h"
+#include "src/rpc/portmapper.h"
+#include "src/rpc/ports.h"
+#include "src/rpc/server.h"
+#include "src/rpc/transport.h"
+#include "src/wire/xdr.h"
+
+namespace hcs {
+namespace {
+
+// --- Control protocols (parameterized over all three) -------------------------
+
+class ControlProtocolTest : public ::testing::TestWithParam<ControlKind> {};
+
+TEST_P(ControlProtocolTest, CallRoundTrip) {
+  const ControlProtocol& control = GetControlProtocol(GetParam());
+  RpcCall call;
+  call.xid = 777;
+  call.program = 100003;
+  call.version = GetParam() == ControlKind::kRaw ? 1 : 2;
+  call.procedure = 6;
+  call.args = Bytes{1, 2, 3, 4, 5, 6, 7, 8};
+
+  Result<RpcCall> decoded = control.DecodeCall(control.EncodeCall(call));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  // Courier transaction ids are 16-bit.
+  uint32_t want_xid = GetParam() == ControlKind::kCourier ? (call.xid & 0xffff) : call.xid;
+  EXPECT_EQ(decoded->xid, want_xid);
+  EXPECT_EQ(decoded->program, call.program);
+  EXPECT_EQ(decoded->procedure, call.procedure);
+  EXPECT_EQ(decoded->args, call.args);
+}
+
+TEST_P(ControlProtocolTest, SuccessReplyRoundTrip) {
+  const ControlProtocol& control = GetControlProtocol(GetParam());
+  RpcReplyMsg reply;
+  reply.xid = 99;
+  reply.results = Bytes{9, 9, 9, 9};
+  Result<RpcReplyMsg> decoded = control.DecodeReply(control.EncodeReply(reply));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->app_status, StatusCode::kOk);
+  EXPECT_EQ(decoded->results, reply.results);
+}
+
+TEST_P(ControlProtocolTest, ErrorReplyCarriesStatusAcrossTheWire) {
+  const ControlProtocol& control = GetControlProtocol(GetParam());
+  RpcReplyMsg reply;
+  reply.xid = 5;
+  reply.app_status = StatusCode::kNotFound;
+  reply.error_message = "no such name";
+  Result<RpcReplyMsg> decoded = control.DecodeReply(control.EncodeReply(reply));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->app_status, StatusCode::kNotFound);
+  EXPECT_EQ(decoded->error_message, "no such name");
+}
+
+TEST_P(ControlProtocolTest, GarbageIsRejected) {
+  const ControlProtocol& control = GetControlProtocol(GetParam());
+  EXPECT_FALSE(control.DecodeCall(Bytes{0xde, 0xad}).ok());
+  EXPECT_FALSE(control.DecodeReply(Bytes{}).ok());
+}
+
+TEST_P(ControlProtocolTest, CallAndReplyAreNotInterchangeable) {
+  const ControlProtocol& control = GetControlProtocol(GetParam());
+  RpcCall call;
+  call.xid = 1;
+  call.program = 2;
+  call.version = 2;
+  call.procedure = 3;
+  Bytes call_msg = control.EncodeCall(call);
+  EXPECT_FALSE(control.DecodeReply(call_msg).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllControls, ControlProtocolTest,
+                         ::testing::Values(ControlKind::kSunRpc, ControlKind::kCourier,
+                                           ControlKind::kRaw),
+                         [](const auto& param_info) { return ControlKindName(param_info.param); });
+
+TEST(SunRpcControlTest, RejectsWrongRpcVersion) {
+  // Hand-craft a call with rpcvers=3.
+  XdrEncoder enc;
+  enc.PutUint32(1);  // xid
+  enc.PutUint32(0);  // CALL
+  enc.PutUint32(3);  // bad rpc version
+  enc.PutUint32(100000);
+  enc.PutUint32(2);
+  enc.PutUint32(0);
+  enc.PutUint32(0);
+  enc.PutUint32(0);
+  enc.PutUint32(0);
+  enc.PutUint32(0);
+  const ControlProtocol& control = GetControlProtocol(ControlKind::kSunRpc);
+  EXPECT_EQ(control.DecodeCall(enc.bytes()).status().code(), StatusCode::kProtocolError);
+}
+
+// --- Binding serialization ------------------------------------------------------
+
+TEST(HrpcBindingTest, WireRoundTrip) {
+  HrpcBinding b;
+  b.service_name = "nfs";
+  b.host = "fiji.cs.washington.edu";
+  b.address = 0x80950104;
+  b.port = 2049;
+  b.program = 100003;
+  b.version = 2;
+  b.data_rep = DataRep::kCourier;
+  b.transport = TransportKind::kSpp;
+  b.control = ControlKind::kCourier;
+  b.bind_protocol = BindProtocol::kCourierCh;
+
+  Result<HrpcBinding> decoded = HrpcBinding::FromWire(b.ToWire());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, b);
+}
+
+TEST(HrpcBindingTest, RejectsOutOfRangeComponents) {
+  WireValue bad = RecordBuilder()
+                      .Str("service", "s")
+                      .Str("host", "h")
+                      .U32("address", 0)
+                      .U32("port", 70000)  // > 65535
+                      .U32("program", 1)
+                      .U32("version", 1)
+                      .U32("data_rep", 0)
+                      .U32("transport", 0)
+                      .U32("control", 0)
+                      .U32("bind_protocol", 0)
+                      .Build();
+  EXPECT_EQ(HrpcBinding::FromWire(bad).status().code(), StatusCode::kProtocolError);
+
+  WireValue bad_enum = RecordBuilder()
+                           .Str("service", "s")
+                           .Str("host", "h")
+                           .U32("address", 0)
+                           .U32("port", 1)
+                           .U32("program", 1)
+                           .U32("version", 1)
+                           .U32("data_rep", 9)  // no such data rep
+                           .U32("transport", 0)
+                           .U32("control", 0)
+                           .U32("bind_protocol", 0)
+                           .Build();
+  EXPECT_EQ(HrpcBinding::FromWire(bad_enum).status().code(), StatusCode::kProtocolError);
+}
+
+// --- Client/server over the simulated network ------------------------------------
+
+class RpcRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(world_.network().AddHost("client", MachineType::kSun, OsType::kUnix).ok());
+    ASSERT_TRUE(world_.network().AddHost("server", MachineType::kSun, OsType::kUnix).ok());
+  }
+
+  HrpcBinding MakeBinding(ControlKind control, uint16_t port, uint32_t program) {
+    HrpcBinding b;
+    b.service_name = "test";
+    b.host = "server";
+    b.port = port;
+    b.program = program;
+    b.version = 2;
+    b.control = control;
+    return b;
+  }
+
+  World world_;
+};
+
+TEST_F(RpcRuntimeTest, EndToEndCallAllProtocols) {
+  for (ControlKind kind : {ControlKind::kSunRpc, ControlKind::kCourier, ControlKind::kRaw}) {
+    SCOPED_TRACE(ControlKindName(kind));
+    uint16_t port = static_cast<uint16_t>(1000 + static_cast<int>(kind));
+    RpcServer server(kind, "test");
+    server.RegisterProcedure(42, 1, [](const Bytes& args) -> Result<Bytes> {
+      Bytes out = args;
+      out.push_back(0xff);
+      return out;
+    });
+    ASSERT_TRUE(world_.RegisterService("server", port, &server).ok());
+
+    SimNetTransport transport(&world_);
+    RpcClient client(&world_, "client", &transport);
+    Result<Bytes> reply = client.Call(MakeBinding(kind, port, 42), 1, Bytes{1, 2});
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    EXPECT_EQ(*reply, (Bytes{1, 2, 0xff}));
+  }
+}
+
+TEST_F(RpcRuntimeTest, UnknownProcedureIsUnimplemented) {
+  RpcServer server(ControlKind::kRaw, "test");
+  ASSERT_TRUE(world_.RegisterService("server", 1000, &server).ok());
+  SimNetTransport transport(&world_);
+  RpcClient client(&world_, "client", &transport);
+  Result<Bytes> reply = client.Call(MakeBinding(ControlKind::kRaw, 1000, 42), 7, Bytes{});
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(RpcRuntimeTest, HandlerErrorRoundTripsAsStatus) {
+  RpcServer server(ControlKind::kSunRpc, "test");
+  server.RegisterProcedure(42, 1, [](const Bytes&) -> Result<Bytes> {
+    return PermissionDeniedError("credentials rejected");
+  });
+  ASSERT_TRUE(world_.RegisterService("server", 1000, &server).ok());
+  SimNetTransport transport(&world_);
+  RpcClient client(&world_, "client", &transport);
+  Result<Bytes> reply = client.Call(MakeBinding(ControlKind::kSunRpc, 1000, 42), 1, Bytes{});
+  EXPECT_EQ(reply.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(reply.status().message(), "credentials rejected");
+}
+
+TEST_F(RpcRuntimeTest, CourierCallsCostMoreThanSunRpc) {
+  for (ControlKind kind : {ControlKind::kSunRpc, ControlKind::kCourier}) {
+    uint16_t port = static_cast<uint16_t>(1000 + static_cast<int>(kind));
+    auto server = std::make_unique<RpcServer>(kind, "t");
+    server->RegisterProcedure(42, 1, [](const Bytes& a) -> Result<Bytes> { return a; });
+    RpcServer* raw = world_.OwnService(std::move(server));
+    ASSERT_TRUE(world_.RegisterService("server", port, raw).ok());
+  }
+  SimNetTransport transport(&world_);
+  RpcClient client(&world_, "client", &transport);
+
+  double t0 = world_.clock().NowMs();
+  (void)client.Call(MakeBinding(ControlKind::kSunRpc, 1000, 42), 1, Bytes{});
+  double sun = world_.clock().NowMs() - t0;
+  t0 = world_.clock().NowMs();
+  (void)client.Call(MakeBinding(ControlKind::kCourier, 1001, 42), 1, Bytes{});
+  double courier = world_.clock().NowMs() - t0;
+  EXPECT_GT(courier, sun);
+}
+
+TEST_F(RpcRuntimeTest, LoopbackTransportWorksWithoutAWorld) {
+  RpcServer server(ControlKind::kRaw, "test");
+  server.RegisterProcedure(42, 1, [](const Bytes& a) -> Result<Bytes> { return a; });
+  LoopbackTransport loopback;
+  ASSERT_TRUE(loopback.Register(1000, &server).ok());
+  EXPECT_EQ(loopback.Register(1000, &server).code(), StatusCode::kAlreadyExists);
+
+  RpcClient client(/*world=*/nullptr, "anywhere", &loopback);
+  Result<Bytes> reply = client.Call(MakeBinding(ControlKind::kRaw, 1000, 42), 1, Bytes{5});
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(*reply, Bytes{5});
+
+  loopback.Unregister(1000);
+  EXPECT_EQ(client.Call(MakeBinding(ControlKind::kRaw, 1000, 42), 1, Bytes{}).status().code(),
+            StatusCode::kUnavailable);
+}
+
+// --- Portmapper --------------------------------------------------------------------
+
+TEST_F(RpcRuntimeTest, PortmapperSetGetUnset) {
+  PortMapper* pm = PortMapper::InstallOn(&world_, "server").value();
+  SimNetTransport transport(&world_);
+  RpcClient client(&world_, "client", &transport);
+
+  // Not registered yet.
+  EXPECT_EQ(PortMapper::GetPort(&client, "server", 100003, 2, kIpProtoUdp).status().code(),
+            StatusCode::kNotFound);
+
+  pm->SetMapping(100003, 2, kIpProtoUdp, 2049);
+  EXPECT_EQ(PortMapper::GetPort(&client, "server", 100003, 2, kIpProtoUdp).value(), 2049);
+  // Different protocol is a different mapping.
+  EXPECT_FALSE(PortMapper::GetPort(&client, "server", 100003, 2, kIpProtoTcp).ok());
+
+  pm->UnsetMapping(100003, 2, kIpProtoUdp);
+  EXPECT_FALSE(PortMapper::GetPort(&client, "server", 100003, 2, kIpProtoUdp).ok());
+}
+
+TEST_F(RpcRuntimeTest, PortmapperSetViaRpc) {
+  (void)PortMapper::InstallOn(&world_, "server").value();
+  SimNetTransport transport(&world_);
+  RpcClient client(&world_, "client", &transport);
+
+  HrpcBinding pmap;
+  pmap.host = "server";
+  pmap.port = kPortmapperPort;
+  pmap.program = kPortmapperProgram;
+  pmap.version = 2;
+  pmap.control = ControlKind::kSunRpc;
+
+  XdrEncoder enc;
+  enc.PutUint32(300001);
+  enc.PutUint32(1);
+  enc.PutUint32(kIpProtoUdp);
+  enc.PutUint32(5555);
+  Result<Bytes> set_reply = client.Call(pmap, kPmapProcSet, enc.Take());
+  ASSERT_TRUE(set_reply.ok()) << set_reply.status();
+  XdrDecoder dec(*set_reply);
+  EXPECT_EQ(dec.GetUint32().value(), 1u);  // freshly registered
+
+  EXPECT_EQ(PortMapper::GetPort(&client, "server", 300001, 1, kIpProtoUdp).value(), 5555);
+}
+
+}  // namespace
+}  // namespace hcs

@@ -1,0 +1,132 @@
+// Invariants of the assembled testbed world (the fixture every other suite
+// leans on), plus the meta-store inventory API.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/strings.h"
+#include "src/rpc/ports.h"
+#include "src/testbed/testbed.h"
+
+namespace hcs {
+namespace {
+
+TEST(TestbedTest, AllExpectedServicesAreListening) {
+  Testbed bed;
+  World& world = bed.world();
+  EXPECT_TRUE(world.HasService(kMetaBindHost, kBindPort));
+  EXPECT_TRUE(world.HasService(kMetaSecondaryHost, kBindPort));
+  EXPECT_TRUE(world.HasService(kPublicBindHost, kBindPort));
+  EXPECT_TRUE(world.HasService(kChServerHost, kClearinghousePort));
+  EXPECT_TRUE(world.HasService(kSunServerHost, kPortmapperPort));
+  EXPECT_TRUE(world.HasService(kSunServerHost, kDesiredServicePort));
+  EXPECT_TRUE(world.HasService(kXeroxServerHost, kPrintServicePort));
+  EXPECT_TRUE(world.HasService(kHnsServerHost, kHnsServerPort));
+  EXPECT_TRUE(world.HasService(kAgentHost, kAgentPort));
+  for (uint16_t port = 710; port <= 719; ++port) {
+    EXPECT_TRUE(world.HasService(kNsmServerHost, port)) << "NSM port " << port;
+  }
+}
+
+TEST(TestbedTest, ClockAndStatsStartAtZero) {
+  Testbed bed;
+  EXPECT_EQ(bed.world().clock().Now(), 0);
+  EXPECT_EQ(bed.world().stats().total_messages, 0u);
+}
+
+TEST(TestbedTest, LinkedNsmSetCoversAllQueryClassPairs) {
+  Testbed bed;
+  std::vector<std::shared_ptr<Nsm>> nsms = bed.MakeLinkedNsms(kClientHost);
+  EXPECT_EQ(nsms.size(), 10u);
+  std::set<std::string> pairs;
+  for (const auto& nsm : nsms) {
+    pairs.insert(nsm->info().ns_name + "|" + nsm->info().query_class);
+    EXPECT_FALSE(nsm->info().nsm_name.empty());
+    EXPECT_NE(nsm->info().port, 0);
+  }
+  EXPECT_EQ(pairs.size(), 10u) << "one NSM per (name service, query class)";
+}
+
+TEST(TestbedTest, InventoryListsEverythingRegistered) {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  Result<MetaStore::Inventory> inventory =
+      client.session->local_hns()->meta().TakeInventory();
+  ASSERT_TRUE(inventory.ok()) << inventory.status();
+
+  EXPECT_EQ(inventory->name_services.size(), 2u);
+  EXPECT_EQ(inventory->contexts.size(), 8u);
+  EXPECT_EQ(inventory->nsms.size(), 10u);
+
+  // Spot checks.
+  bool found_binding_nsm = false;
+  for (const NsmInfo& nsm : inventory->nsms) {
+    if (EqualsIgnoreCase(nsm.nsm_name, kNsmBindingBind)) {
+      found_binding_nsm = true;
+      EXPECT_EQ(nsm.port, 711);
+      EXPECT_TRUE(EqualsIgnoreCase(nsm.host, kNsmServerHost));
+    }
+  }
+  EXPECT_TRUE(found_binding_nsm);
+
+  bool found_bind_ctx = false;
+  for (const auto& [context, ns] : inventory->contexts) {
+    if (EqualsIgnoreCase(context, kContextBind)) {
+      found_bind_ctx = true;
+      EXPECT_TRUE(EqualsIgnoreCase(ns, kNsBind));
+    }
+  }
+  EXPECT_TRUE(found_bind_ctx);
+}
+
+TEST(TestbedTest, InventoryTracksRuntimeRegistration) {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  MetaStore& meta = client.session->local_hns()->meta();
+  size_t nsms_before = meta.TakeInventory().value().nsms.size();
+
+  NsmInfo info = bed.MailboxBindInfo();
+  info.nsm_name = "ExtraNSM";
+  info.query_class = "ExtraQueryClass";
+  ASSERT_TRUE(meta.RegisterNsm(info).ok());
+  EXPECT_EQ(meta.TakeInventory().value().nsms.size(), nsms_before + 1);
+
+  ASSERT_TRUE(meta.UnregisterNsm(info.ns_name, info.query_class).ok());
+  EXPECT_EQ(meta.TakeInventory().value().nsms.size(), nsms_before);
+}
+
+TEST(TestbedTest, EveryHostResolvesThroughItsWorld) {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  Hns* hns = client.session->local_hns();
+  // Every .cs.washington.edu host is resolvable through BIND...
+  for (const HostInfo& host : bed.world().network().hosts()) {
+    std::string lower = AsciiToLower(host.name);
+    if (EndsWith(lower, ".cs.washington.edu")) {
+      Result<uint32_t> address = hns->ResolveHostAddress(kContextBind, host.name);
+      ASSERT_TRUE(address.ok()) << host.name << ": " << address.status();
+      EXPECT_EQ(*address, host.address) << host.name;
+    }
+  }
+  // ...and the Xerox machines through the Clearinghouse.
+  for (const char* name : {kChServerHost, kXeroxServerHost}) {
+    Result<uint32_t> address = hns->ResolveHostAddress(kContextCh, name);
+    ASSERT_TRUE(address.ok()) << name << ": " << address.status();
+    EXPECT_EQ(*address, bed.world().network().GetHost(name).value().address);
+  }
+}
+
+TEST(TestbedTest, DisablingRemoteServersStillSupportsLinkedClients) {
+  TestbedOptions options;
+  options.install_remote_servers = false;
+  Testbed bed(options);
+  EXPECT_FALSE(bed.world().HasService(kHnsServerHost, kHnsServerPort));
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  WireValue no_args = WireValue::OfRecord({});
+  HnsName name = HnsName::Parse("BIND!fiji.cs.washington.edu").value();
+  EXPECT_TRUE(client.session->Query(name, kQueryClassHostAddress, no_args).ok());
+}
+
+}  // namespace
+}  // namespace hcs

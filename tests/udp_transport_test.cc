@@ -1,0 +1,146 @@
+// Real-socket tests: the same RpcServer objects served over 127.0.0.1 UDP,
+// called through the unmodified RpcClient — the HRPC transport component
+// swapped for a real one.
+
+#include <gtest/gtest.h>
+
+#include "src/bindns/resolver.h"
+#include "src/bindns/server.h"
+#include "src/rpc/client.h"
+#include "src/rpc/server.h"
+#include "src/rpc/udp_transport.h"
+#include "src/wire/xdr.h"
+
+namespace hcs {
+namespace {
+
+HrpcBinding UdpBinding(uint16_t port, uint32_t program, ControlKind control) {
+  HrpcBinding b;
+  b.service_name = "udp-test";
+  b.host = "localhost";
+  b.port = port;
+  b.program = program;
+  b.version = 2;
+  b.control = control;
+  b.transport = TransportKind::kUdp;
+  return b;
+}
+
+TEST(UdpTransportTest, EndToEndEchoOverAllControlProtocols) {
+  UdpServerHost host;
+  UdpTransport transport;
+  RpcClient client(/*world=*/nullptr, "localclient", &transport);
+
+  for (ControlKind kind : {ControlKind::kSunRpc, ControlKind::kCourier, ControlKind::kRaw}) {
+    SCOPED_TRACE(ControlKindName(kind));
+    auto server = std::make_unique<RpcServer>(kind, "udp-echo");
+    server->RegisterProcedure(7, 1, [](const Bytes& args) -> Result<Bytes> {
+      Bytes out = args;
+      out.push_back(0x42);
+      return out;
+    });
+    Result<uint16_t> port = host.Serve(server.get(), 0);
+    ASSERT_TRUE(port.ok()) << port.status();
+
+    Result<Bytes> reply = client.Call(UdpBinding(*port, 7, kind), 1, Bytes{1, 2, 3});
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    EXPECT_EQ(*reply, (Bytes{1, 2, 3, 0x42}));
+
+    // Keep the server alive until the host stops.
+    static std::vector<std::unique_ptr<RpcServer>> keepalive;
+    keepalive.push_back(std::move(server));
+  }
+  host.StopAll();
+}
+
+TEST(UdpTransportTest, ErrorsRoundTripOverRealSockets) {
+  UdpServerHost host;
+  RpcServer server(ControlKind::kSunRpc, "udp-fail");
+  server.RegisterProcedure(7, 1, [](const Bytes&) -> Result<Bytes> {
+    return NotFoundError("nothing here");
+  });
+  Result<uint16_t> port = host.Serve(&server, 0);
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  UdpTransport transport;
+  RpcClient client(nullptr, "localclient", &transport);
+  Result<Bytes> reply = client.Call(UdpBinding(*port, 7, ControlKind::kSunRpc), 1, Bytes{});
+  EXPECT_EQ(reply.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(reply.status().message(), "nothing here");
+  host.StopAll();
+}
+
+TEST(UdpTransportTest, DeadPortTimesOut) {
+  UdpTransport transport(/*timeout_ms=*/200);
+  RpcClient client(nullptr, "localclient", &transport);
+  // Nothing listens here; ICMP refusal may surface as UNAVAILABLE, silence
+  // as TIMEOUT — both are acceptable failure classes.
+  Result<Bytes> reply =
+      client.Call(UdpBinding(1, 7, ControlKind::kRaw), 1, Bytes{1});
+  EXPECT_FALSE(reply.ok());
+  EXPECT_TRUE(reply.status().code() == StatusCode::kTimeout ||
+              reply.status().code() == StatusCode::kUnavailable)
+      << reply.status();
+}
+
+TEST(UdpTransportTest, ConcurrentClientsAreServedCorrectly) {
+  UdpServerHost host;
+  RpcServer server(ControlKind::kRaw, "udp-concurrent");
+  server.RegisterProcedure(7, 1, [](const Bytes& args) -> Result<Bytes> {
+    return args;  // echo
+  });
+  Result<uint16_t> port = host.Serve(&server, 0);
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      UdpTransport transport;
+      RpcClient client(nullptr, "localclient", &transport);
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        XdrEncoder enc;
+        enc.PutUint32(static_cast<uint32_t>(t * 1000 + i));
+        Bytes args = enc.Take();
+        Result<Bytes> reply = client.Call(UdpBinding(*port, 7, ControlKind::kRaw), 1, args);
+        if (!reply.ok() || *reply != args) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  host.StopAll();
+}
+
+TEST(UdpTransportTest, BindServerWorksOverRealSockets) {
+  // A whole simulated subsystem served over real UDP: the BIND server still
+  // charges its (now unobserved) virtual costs, and answers correctly.
+  World world;
+  ASSERT_TRUE(world.network().AddHost("ns", MachineType::kMicroVax, OsType::kUnix).ok());
+  BindServer* bind_server = BindServer::InstallOn(&world, "ns", BindServerOptions{}).value();
+  Zone* zone = bind_server->AddZone("cs.washington.edu").value();
+  ASSERT_TRUE(zone->Add(ResourceRecord::MakeA("fiji.cs.washington.edu", 0xaa)).ok());
+
+  UdpServerHost host;
+  Result<uint16_t> port = host.Serve(bind_server->rpc(), 0);
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  UdpTransport transport;
+  RpcClient rpc(nullptr, "localclient", &transport);
+  BindResolverOptions options;
+  options.server_host = "localhost";
+  options.server_port = *port;
+  BindResolver resolver(&rpc, options);
+  EXPECT_EQ(resolver.LookupAddress("fiji.cs.washington.edu").value(), 0xaau);
+  host.StopAll();
+}
+
+}  // namespace
+}  // namespace hcs
