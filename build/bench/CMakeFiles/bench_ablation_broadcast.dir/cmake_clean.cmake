@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_broadcast.dir/bench_ablation_broadcast.cc.o"
+  "CMakeFiles/bench_ablation_broadcast.dir/bench_ablation_broadcast.cc.o.d"
+  "bench_ablation_broadcast"
+  "bench_ablation_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

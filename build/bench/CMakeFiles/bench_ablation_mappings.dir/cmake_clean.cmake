@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mappings.dir/bench_ablation_mappings.cc.o"
+  "CMakeFiles/bench_ablation_mappings.dir/bench_ablation_mappings.cc.o.d"
+  "bench_ablation_mappings"
+  "bench_ablation_mappings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mappings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reregistration.dir/bench_ablation_reregistration.cc.o"
+  "CMakeFiles/bench_ablation_reregistration.dir/bench_ablation_reregistration.cc.o.d"
+  "bench_ablation_reregistration"
+  "bench_ablation_reregistration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reregistration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_equation1.dir/bench_equation1.cc.o"
+  "CMakeFiles/bench_equation1.dir/bench_equation1.cc.o.d"
+  "bench_equation1"
+  "bench_equation1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_equation1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

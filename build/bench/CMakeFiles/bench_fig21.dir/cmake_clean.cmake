@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21.dir/bench_fig21.cc.o"
+  "CMakeFiles/bench_fig21.dir/bench_fig21.cc.o.d"
+  "bench_fig21"
+  "bench_fig21.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_findnsm.dir/bench_findnsm.cc.o"
+  "CMakeFiles/bench_findnsm.dir/bench_findnsm.cc.o.d"
+  "bench_findnsm"
+  "bench_findnsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_findnsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

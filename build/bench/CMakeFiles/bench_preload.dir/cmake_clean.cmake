@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_preload.dir/bench_preload.cc.o"
+  "CMakeFiles/bench_preload.dir/bench_preload.cc.o.d"
+  "bench_preload"
+  "bench_preload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_preload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table31.dir/bench_table31.cc.o"
+  "CMakeFiles/bench_table31.dir/bench_table31.cc.o.d"
+  "bench_table31"
+  "bench_table31.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table31.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table32.dir/bench_table32.cc.o"
+  "CMakeFiles/bench_table32.dir/bench_table32.cc.o.d"
+  "bench_table32"
+  "bench_table32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolving_system.dir/evolving_system.cc.o"
+  "CMakeFiles/evolving_system.dir/evolving_system.cc.o.d"
+  "evolving_system"
+  "evolving_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolving_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

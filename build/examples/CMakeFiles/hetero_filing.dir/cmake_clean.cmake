@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_filing.dir/hetero_filing.cc.o"
+  "CMakeFiles/hetero_filing.dir/hetero_filing.cc.o.d"
+  "hetero_filing"
+  "hetero_filing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_filing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hetero_filing.
+# This may be replaced when dependencies are built.

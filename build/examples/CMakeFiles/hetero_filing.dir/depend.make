@@ -1,0 +1,2 @@
+# Empty dependencies file for hetero_filing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hns_admin.dir/hns_admin.cc.o"
+  "CMakeFiles/hns_admin.dir/hns_admin.cc.o.d"
+  "hns_admin"
+  "hns_admin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hns_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

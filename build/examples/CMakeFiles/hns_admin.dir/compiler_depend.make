@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hns_admin.
+# This may be replaced when dependencies are built.

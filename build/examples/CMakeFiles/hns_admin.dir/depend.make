@@ -1,0 +1,2 @@
+# Empty dependencies file for hns_admin.
+# This may be replaced when dependencies are built.

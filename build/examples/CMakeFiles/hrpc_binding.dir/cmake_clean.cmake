@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrpc_binding.dir/hrpc_binding.cc.o"
+  "CMakeFiles/hrpc_binding.dir/hrpc_binding.cc.o.d"
+  "hrpc_binding"
+  "hrpc_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrpc_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

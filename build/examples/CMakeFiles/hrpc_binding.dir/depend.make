@@ -1,0 +1,2 @@
+# Empty dependencies file for hrpc_binding.
+# This may be replaced when dependencies are built.

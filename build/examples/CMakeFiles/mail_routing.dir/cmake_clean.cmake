@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_routing.dir/mail_routing.cc.o"
+  "CMakeFiles/mail_routing.dir/mail_routing.cc.o.d"
+  "mail_routing"
+  "mail_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("wire")
+subdirs("rpc")
+subdirs("bindns")
+subdirs("ch")
+subdirs("hns")
+subdirs("nsm")
+subdirs("baseline")
+subdirs("apps")
+subdirs("testbed")

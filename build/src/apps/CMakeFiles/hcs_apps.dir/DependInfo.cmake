@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/export.cc" "src/apps/CMakeFiles/hcs_apps.dir/export.cc.o" "gcc" "src/apps/CMakeFiles/hcs_apps.dir/export.cc.o.d"
+  "/root/repo/src/apps/file_nsms.cc" "src/apps/CMakeFiles/hcs_apps.dir/file_nsms.cc.o" "gcc" "src/apps/CMakeFiles/hcs_apps.dir/file_nsms.cc.o.d"
+  "/root/repo/src/apps/file_services.cc" "src/apps/CMakeFiles/hcs_apps.dir/file_services.cc.o" "gcc" "src/apps/CMakeFiles/hcs_apps.dir/file_services.cc.o.d"
+  "/root/repo/src/apps/file_system.cc" "src/apps/CMakeFiles/hcs_apps.dir/file_system.cc.o" "gcc" "src/apps/CMakeFiles/hcs_apps.dir/file_system.cc.o.d"
+  "/root/repo/src/apps/mail.cc" "src/apps/CMakeFiles/hcs_apps.dir/mail.cc.o" "gcc" "src/apps/CMakeFiles/hcs_apps.dir/mail.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hns/CMakeFiles/hcs_hns.dir/DependInfo.cmake"
+  "/root/repo/build/src/nsm/CMakeFiles/hcs_nsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bindns/CMakeFiles/hcs_bindns.dir/DependInfo.cmake"
+  "/root/repo/build/src/ch/CMakeFiles/hcs_ch.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/hcs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/hcs_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_apps.dir/export.cc.o"
+  "CMakeFiles/hcs_apps.dir/export.cc.o.d"
+  "CMakeFiles/hcs_apps.dir/file_nsms.cc.o"
+  "CMakeFiles/hcs_apps.dir/file_nsms.cc.o.d"
+  "CMakeFiles/hcs_apps.dir/file_services.cc.o"
+  "CMakeFiles/hcs_apps.dir/file_services.cc.o.d"
+  "CMakeFiles/hcs_apps.dir/file_system.cc.o"
+  "CMakeFiles/hcs_apps.dir/file_system.cc.o.d"
+  "CMakeFiles/hcs_apps.dir/mail.cc.o"
+  "CMakeFiles/hcs_apps.dir/mail.cc.o.d"
+  "libhcs_apps.a"
+  "libhcs_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

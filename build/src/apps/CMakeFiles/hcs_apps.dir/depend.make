@@ -1,0 +1,2 @@
+# Empty dependencies file for hcs_apps.
+# This may be replaced when dependencies are built.

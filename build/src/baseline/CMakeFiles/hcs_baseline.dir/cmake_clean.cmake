@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_baseline.dir/broadcast_locator.cc.o"
+  "CMakeFiles/hcs_baseline.dir/broadcast_locator.cc.o.d"
+  "CMakeFiles/hcs_baseline.dir/ch_only_binder.cc.o"
+  "CMakeFiles/hcs_baseline.dir/ch_only_binder.cc.o.d"
+  "CMakeFiles/hcs_baseline.dir/local_file_binder.cc.o"
+  "CMakeFiles/hcs_baseline.dir/local_file_binder.cc.o.d"
+  "CMakeFiles/hcs_baseline.dir/rewrite_router.cc.o"
+  "CMakeFiles/hcs_baseline.dir/rewrite_router.cc.o.d"
+  "libhcs_baseline.a"
+  "libhcs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

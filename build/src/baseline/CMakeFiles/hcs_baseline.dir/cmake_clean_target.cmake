@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhcs_baseline.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bindns/master_file.cc" "src/bindns/CMakeFiles/hcs_bindns.dir/master_file.cc.o" "gcc" "src/bindns/CMakeFiles/hcs_bindns.dir/master_file.cc.o.d"
+  "/root/repo/src/bindns/protocol.cc" "src/bindns/CMakeFiles/hcs_bindns.dir/protocol.cc.o" "gcc" "src/bindns/CMakeFiles/hcs_bindns.dir/protocol.cc.o.d"
+  "/root/repo/src/bindns/record.cc" "src/bindns/CMakeFiles/hcs_bindns.dir/record.cc.o" "gcc" "src/bindns/CMakeFiles/hcs_bindns.dir/record.cc.o.d"
+  "/root/repo/src/bindns/resolver.cc" "src/bindns/CMakeFiles/hcs_bindns.dir/resolver.cc.o" "gcc" "src/bindns/CMakeFiles/hcs_bindns.dir/resolver.cc.o.d"
+  "/root/repo/src/bindns/server.cc" "src/bindns/CMakeFiles/hcs_bindns.dir/server.cc.o" "gcc" "src/bindns/CMakeFiles/hcs_bindns.dir/server.cc.o.d"
+  "/root/repo/src/bindns/zone.cc" "src/bindns/CMakeFiles/hcs_bindns.dir/zone.cc.o" "gcc" "src/bindns/CMakeFiles/hcs_bindns.dir/zone.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/hcs_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/hcs_rpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_bindns.dir/master_file.cc.o"
+  "CMakeFiles/hcs_bindns.dir/master_file.cc.o.d"
+  "CMakeFiles/hcs_bindns.dir/protocol.cc.o"
+  "CMakeFiles/hcs_bindns.dir/protocol.cc.o.d"
+  "CMakeFiles/hcs_bindns.dir/record.cc.o"
+  "CMakeFiles/hcs_bindns.dir/record.cc.o.d"
+  "CMakeFiles/hcs_bindns.dir/resolver.cc.o"
+  "CMakeFiles/hcs_bindns.dir/resolver.cc.o.d"
+  "CMakeFiles/hcs_bindns.dir/server.cc.o"
+  "CMakeFiles/hcs_bindns.dir/server.cc.o.d"
+  "CMakeFiles/hcs_bindns.dir/zone.cc.o"
+  "CMakeFiles/hcs_bindns.dir/zone.cc.o.d"
+  "libhcs_bindns.a"
+  "libhcs_bindns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_bindns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hcs_bindns.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ch/client.cc" "src/ch/CMakeFiles/hcs_ch.dir/client.cc.o" "gcc" "src/ch/CMakeFiles/hcs_ch.dir/client.cc.o.d"
+  "/root/repo/src/ch/name.cc" "src/ch/CMakeFiles/hcs_ch.dir/name.cc.o" "gcc" "src/ch/CMakeFiles/hcs_ch.dir/name.cc.o.d"
+  "/root/repo/src/ch/protocol.cc" "src/ch/CMakeFiles/hcs_ch.dir/protocol.cc.o" "gcc" "src/ch/CMakeFiles/hcs_ch.dir/protocol.cc.o.d"
+  "/root/repo/src/ch/server.cc" "src/ch/CMakeFiles/hcs_ch.dir/server.cc.o" "gcc" "src/ch/CMakeFiles/hcs_ch.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/hcs_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/hcs_rpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_ch.dir/client.cc.o"
+  "CMakeFiles/hcs_ch.dir/client.cc.o.d"
+  "CMakeFiles/hcs_ch.dir/name.cc.o"
+  "CMakeFiles/hcs_ch.dir/name.cc.o.d"
+  "CMakeFiles/hcs_ch.dir/protocol.cc.o"
+  "CMakeFiles/hcs_ch.dir/protocol.cc.o.d"
+  "CMakeFiles/hcs_ch.dir/server.cc.o"
+  "CMakeFiles/hcs_ch.dir/server.cc.o.d"
+  "libhcs_ch.a"
+  "libhcs_ch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_ch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

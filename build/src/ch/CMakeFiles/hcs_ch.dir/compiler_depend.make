@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hcs_ch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_common.dir/bytes.cc.o"
+  "CMakeFiles/hcs_common.dir/bytes.cc.o.d"
+  "CMakeFiles/hcs_common.dir/logging.cc.o"
+  "CMakeFiles/hcs_common.dir/logging.cc.o.d"
+  "CMakeFiles/hcs_common.dir/rand.cc.o"
+  "CMakeFiles/hcs_common.dir/rand.cc.o.d"
+  "CMakeFiles/hcs_common.dir/status.cc.o"
+  "CMakeFiles/hcs_common.dir/status.cc.o.d"
+  "CMakeFiles/hcs_common.dir/strings.cc.o"
+  "CMakeFiles/hcs_common.dir/strings.cc.o.d"
+  "libhcs_common.a"
+  "libhcs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hns/cache.cc" "src/hns/CMakeFiles/hcs_hns.dir/cache.cc.o" "gcc" "src/hns/CMakeFiles/hcs_hns.dir/cache.cc.o.d"
+  "/root/repo/src/hns/hns.cc" "src/hns/CMakeFiles/hcs_hns.dir/hns.cc.o" "gcc" "src/hns/CMakeFiles/hcs_hns.dir/hns.cc.o.d"
+  "/root/repo/src/hns/import.cc" "src/hns/CMakeFiles/hcs_hns.dir/import.cc.o" "gcc" "src/hns/CMakeFiles/hcs_hns.dir/import.cc.o.d"
+  "/root/repo/src/hns/meta_store.cc" "src/hns/CMakeFiles/hcs_hns.dir/meta_store.cc.o" "gcc" "src/hns/CMakeFiles/hcs_hns.dir/meta_store.cc.o.d"
+  "/root/repo/src/hns/name.cc" "src/hns/CMakeFiles/hcs_hns.dir/name.cc.o" "gcc" "src/hns/CMakeFiles/hcs_hns.dir/name.cc.o.d"
+  "/root/repo/src/hns/query_class.cc" "src/hns/CMakeFiles/hcs_hns.dir/query_class.cc.o" "gcc" "src/hns/CMakeFiles/hcs_hns.dir/query_class.cc.o.d"
+  "/root/repo/src/hns/servers.cc" "src/hns/CMakeFiles/hcs_hns.dir/servers.cc.o" "gcc" "src/hns/CMakeFiles/hcs_hns.dir/servers.cc.o.d"
+  "/root/repo/src/hns/session.cc" "src/hns/CMakeFiles/hcs_hns.dir/session.cc.o" "gcc" "src/hns/CMakeFiles/hcs_hns.dir/session.cc.o.d"
+  "/root/repo/src/hns/wire_protocol.cc" "src/hns/CMakeFiles/hcs_hns.dir/wire_protocol.cc.o" "gcc" "src/hns/CMakeFiles/hcs_hns.dir/wire_protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/hcs_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/hcs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/bindns/CMakeFiles/hcs_bindns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

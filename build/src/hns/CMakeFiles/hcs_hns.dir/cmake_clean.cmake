@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_hns.dir/cache.cc.o"
+  "CMakeFiles/hcs_hns.dir/cache.cc.o.d"
+  "CMakeFiles/hcs_hns.dir/hns.cc.o"
+  "CMakeFiles/hcs_hns.dir/hns.cc.o.d"
+  "CMakeFiles/hcs_hns.dir/import.cc.o"
+  "CMakeFiles/hcs_hns.dir/import.cc.o.d"
+  "CMakeFiles/hcs_hns.dir/meta_store.cc.o"
+  "CMakeFiles/hcs_hns.dir/meta_store.cc.o.d"
+  "CMakeFiles/hcs_hns.dir/name.cc.o"
+  "CMakeFiles/hcs_hns.dir/name.cc.o.d"
+  "CMakeFiles/hcs_hns.dir/query_class.cc.o"
+  "CMakeFiles/hcs_hns.dir/query_class.cc.o.d"
+  "CMakeFiles/hcs_hns.dir/servers.cc.o"
+  "CMakeFiles/hcs_hns.dir/servers.cc.o.d"
+  "CMakeFiles/hcs_hns.dir/session.cc.o"
+  "CMakeFiles/hcs_hns.dir/session.cc.o.d"
+  "CMakeFiles/hcs_hns.dir/wire_protocol.cc.o"
+  "CMakeFiles/hcs_hns.dir/wire_protocol.cc.o.d"
+  "libhcs_hns.a"
+  "libhcs_hns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_hns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

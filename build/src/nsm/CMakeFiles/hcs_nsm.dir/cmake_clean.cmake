@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_nsm.dir/bind_nsms.cc.o"
+  "CMakeFiles/hcs_nsm.dir/bind_nsms.cc.o.d"
+  "CMakeFiles/hcs_nsm.dir/ch_nsms.cc.o"
+  "CMakeFiles/hcs_nsm.dir/ch_nsms.cc.o.d"
+  "CMakeFiles/hcs_nsm.dir/host_table.cc.o"
+  "CMakeFiles/hcs_nsm.dir/host_table.cc.o.d"
+  "CMakeFiles/hcs_nsm.dir/reverse_nsms.cc.o"
+  "CMakeFiles/hcs_nsm.dir/reverse_nsms.cc.o.d"
+  "libhcs_nsm.a"
+  "libhcs_nsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_nsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

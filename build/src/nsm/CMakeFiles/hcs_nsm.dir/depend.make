@@ -1,0 +1,2 @@
+# Empty dependencies file for hcs_nsm.
+# This may be replaced when dependencies are built.

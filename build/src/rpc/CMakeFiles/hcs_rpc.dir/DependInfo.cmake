@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/binding.cc" "src/rpc/CMakeFiles/hcs_rpc.dir/binding.cc.o" "gcc" "src/rpc/CMakeFiles/hcs_rpc.dir/binding.cc.o.d"
+  "/root/repo/src/rpc/client.cc" "src/rpc/CMakeFiles/hcs_rpc.dir/client.cc.o" "gcc" "src/rpc/CMakeFiles/hcs_rpc.dir/client.cc.o.d"
+  "/root/repo/src/rpc/control.cc" "src/rpc/CMakeFiles/hcs_rpc.dir/control.cc.o" "gcc" "src/rpc/CMakeFiles/hcs_rpc.dir/control.cc.o.d"
+  "/root/repo/src/rpc/portmapper.cc" "src/rpc/CMakeFiles/hcs_rpc.dir/portmapper.cc.o" "gcc" "src/rpc/CMakeFiles/hcs_rpc.dir/portmapper.cc.o.d"
+  "/root/repo/src/rpc/server.cc" "src/rpc/CMakeFiles/hcs_rpc.dir/server.cc.o" "gcc" "src/rpc/CMakeFiles/hcs_rpc.dir/server.cc.o.d"
+  "/root/repo/src/rpc/stream_transport.cc" "src/rpc/CMakeFiles/hcs_rpc.dir/stream_transport.cc.o" "gcc" "src/rpc/CMakeFiles/hcs_rpc.dir/stream_transport.cc.o.d"
+  "/root/repo/src/rpc/udp_transport.cc" "src/rpc/CMakeFiles/hcs_rpc.dir/udp_transport.cc.o" "gcc" "src/rpc/CMakeFiles/hcs_rpc.dir/udp_transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/hcs_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_rpc.dir/binding.cc.o"
+  "CMakeFiles/hcs_rpc.dir/binding.cc.o.d"
+  "CMakeFiles/hcs_rpc.dir/client.cc.o"
+  "CMakeFiles/hcs_rpc.dir/client.cc.o.d"
+  "CMakeFiles/hcs_rpc.dir/control.cc.o"
+  "CMakeFiles/hcs_rpc.dir/control.cc.o.d"
+  "CMakeFiles/hcs_rpc.dir/portmapper.cc.o"
+  "CMakeFiles/hcs_rpc.dir/portmapper.cc.o.d"
+  "CMakeFiles/hcs_rpc.dir/server.cc.o"
+  "CMakeFiles/hcs_rpc.dir/server.cc.o.d"
+  "CMakeFiles/hcs_rpc.dir/stream_transport.cc.o"
+  "CMakeFiles/hcs_rpc.dir/stream_transport.cc.o.d"
+  "CMakeFiles/hcs_rpc.dir/udp_transport.cc.o"
+  "CMakeFiles/hcs_rpc.dir/udp_transport.cc.o.d"
+  "libhcs_rpc.a"
+  "libhcs_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_sim.dir/event_queue.cc.o"
+  "CMakeFiles/hcs_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/hcs_sim.dir/network.cc.o"
+  "CMakeFiles/hcs_sim.dir/network.cc.o.d"
+  "CMakeFiles/hcs_sim.dir/world.cc.o"
+  "CMakeFiles/hcs_sim.dir/world.cc.o.d"
+  "libhcs_sim.a"
+  "libhcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_testbed.dir/testbed.cc.o"
+  "CMakeFiles/hcs_testbed.dir/testbed.cc.o.d"
+  "libhcs_testbed.a"
+  "libhcs_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/buffer.cc" "src/wire/CMakeFiles/hcs_wire.dir/buffer.cc.o" "gcc" "src/wire/CMakeFiles/hcs_wire.dir/buffer.cc.o.d"
+  "/root/repo/src/wire/courier.cc" "src/wire/CMakeFiles/hcs_wire.dir/courier.cc.o" "gcc" "src/wire/CMakeFiles/hcs_wire.dir/courier.cc.o.d"
+  "/root/repo/src/wire/idl.cc" "src/wire/CMakeFiles/hcs_wire.dir/idl.cc.o" "gcc" "src/wire/CMakeFiles/hcs_wire.dir/idl.cc.o.d"
+  "/root/repo/src/wire/value.cc" "src/wire/CMakeFiles/hcs_wire.dir/value.cc.o" "gcc" "src/wire/CMakeFiles/hcs_wire.dir/value.cc.o.d"
+  "/root/repo/src/wire/xdr.cc" "src/wire/CMakeFiles/hcs_wire.dir/xdr.cc.o" "gcc" "src/wire/CMakeFiles/hcs_wire.dir/xdr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hcs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

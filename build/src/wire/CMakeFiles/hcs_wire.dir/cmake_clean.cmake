@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcs_wire.dir/buffer.cc.o"
+  "CMakeFiles/hcs_wire.dir/buffer.cc.o.d"
+  "CMakeFiles/hcs_wire.dir/courier.cc.o"
+  "CMakeFiles/hcs_wire.dir/courier.cc.o.d"
+  "CMakeFiles/hcs_wire.dir/idl.cc.o"
+  "CMakeFiles/hcs_wire.dir/idl.cc.o.d"
+  "CMakeFiles/hcs_wire.dir/value.cc.o"
+  "CMakeFiles/hcs_wire.dir/value.cc.o.d"
+  "CMakeFiles/hcs_wire.dir/xdr.cc.o"
+  "CMakeFiles/hcs_wire.dir/xdr.cc.o.d"
+  "libhcs_wire.a"
+  "libhcs_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcs_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

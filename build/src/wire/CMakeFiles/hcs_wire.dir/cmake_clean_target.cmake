@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhcs_wire.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bindns_test.dir/bindns_test.cc.o"
+  "CMakeFiles/bindns_test.dir/bindns_test.cc.o.d"
+  "bindns_test"
+  "bindns_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bindns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ch_test.cc" "tests/CMakeFiles/ch_test.dir/ch_test.cc.o" "gcc" "tests/CMakeFiles/ch_test.dir/ch_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/hcs_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hcs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/hns/CMakeFiles/hcs_hns.dir/DependInfo.cmake"
+  "/root/repo/build/src/nsm/CMakeFiles/hcs_nsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hcs_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/bindns/CMakeFiles/hcs_bindns.dir/DependInfo.cmake"
+  "/root/repo/build/src/ch/CMakeFiles/hcs_ch.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/hcs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/hcs_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_test.dir/ch_test.cc.o"
+  "CMakeFiles/ch_test.dir/ch_test.cc.o.d"
+  "ch_test"
+  "ch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

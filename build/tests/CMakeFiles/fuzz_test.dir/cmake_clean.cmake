@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_test.dir/fuzz_test.cc.o"
+  "CMakeFiles/fuzz_test.dir/fuzz_test.cc.o.d"
+  "fuzz_test"
+  "fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

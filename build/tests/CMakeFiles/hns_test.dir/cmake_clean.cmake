@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hns_test.dir/hns_test.cc.o"
+  "CMakeFiles/hns_test.dir/hns_test.cc.o.d"
+  "hns_test"
+  "hns_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

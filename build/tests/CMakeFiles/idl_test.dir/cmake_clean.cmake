@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idl_test.dir/idl_test.cc.o"
+  "CMakeFiles/idl_test.dir/idl_test.cc.o.d"
+  "idl_test"
+  "idl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_test.dir/mail_test.cc.o"
+  "CMakeFiles/mail_test.dir/mail_test.cc.o.d"
+  "mail_test"
+  "mail_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

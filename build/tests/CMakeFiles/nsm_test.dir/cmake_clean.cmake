@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsm_test.dir/nsm_test.cc.o"
+  "CMakeFiles/nsm_test.dir/nsm_test.cc.o.d"
+  "nsm_test"
+  "nsm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_nsm_test.dir/reverse_nsm_test.cc.o"
+  "CMakeFiles/reverse_nsm_test.dir/reverse_nsm_test.cc.o.d"
+  "reverse_nsm_test"
+  "reverse_nsm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_nsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_router_test.dir/rewrite_router_test.cc.o"
+  "CMakeFiles/rewrite_router_test.dir/rewrite_router_test.cc.o.d"
+  "rewrite_router_test"
+  "rewrite_router_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

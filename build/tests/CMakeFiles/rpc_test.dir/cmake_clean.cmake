@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_test.dir/rpc_test.cc.o"
+  "CMakeFiles/rpc_test.dir/rpc_test.cc.o.d"
+  "rpc_test"
+  "rpc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_transport_test.dir/stream_transport_test.cc.o"
+  "CMakeFiles/stream_transport_test.dir/stream_transport_test.cc.o.d"
+  "stream_transport_test"
+  "stream_transport_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

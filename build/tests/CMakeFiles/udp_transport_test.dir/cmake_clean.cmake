@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_transport_test.dir/udp_transport_test.cc.o"
+  "CMakeFiles/udp_transport_test.dir/udp_transport_test.cc.o.d"
+  "udp_transport_test"
+  "udp_transport_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
