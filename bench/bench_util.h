@@ -10,6 +10,7 @@
 #include <functional>
 #include <string>
 
+#include "src/hns/cache.h"
 #include "src/sim/world.h"
 
 namespace hcs {
@@ -40,6 +41,20 @@ inline void PrintComparison(const std::string& label, double measured_ms, double
 
 inline void PrintValue(const std::string& label, double measured_ms) {
   std::printf("  %-44s %8.1f ms\n", label.c_str(), measured_ms);
+}
+
+// One-line cache telemetry, uniform across the benches.
+inline void PrintCacheStats(const std::string& label, const CacheStats& stats) {
+  std::printf(
+      "  %-20s hits=%llu miss=%llu hit%%=%.1f neg=%llu evict=%llu coalesced=%llu "
+      "expired=%llu bytes=%llu\n",
+      label.c_str(), static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.misses), 100.0 * stats.HitFraction(),
+      static_cast<unsigned long long>(stats.negative_hits),
+      static_cast<unsigned long long>(stats.evictions),
+      static_cast<unsigned long long>(stats.coalesced_misses),
+      static_cast<unsigned long long>(stats.expirations),
+      static_cast<unsigned long long>(stats.bytes));
 }
 
 }  // namespace hcs

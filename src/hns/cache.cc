@@ -1,6 +1,25 @@
 #include "src/hns/cache.h"
 
+#include <chrono>
+
+#include "src/common/strings.h"
+
 namespace hcs {
+
+namespace {
+
+// Fixed per-entry bookkeeping charge (list/index nodes, expiry, flags).
+constexpr size_t kEntryOverheadBytes = 48;
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
 
 std::string CacheModeName(CacheMode mode) {
   switch (mode) {
@@ -14,43 +33,145 @@ std::string CacheModeName(CacheMode mode) {
   return "unknown";
 }
 
-Result<WireValue> HnsCache::Get(const std::string& key) {
+SimTime CacheNow(const World* world) {
+  if (world != nullptr) {
+    return world->clock().Now();
+  }
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+HnsCache::HnsCache(World* world, CacheMode mode, HnsCacheOptions options)
+    : world_(world), mode_(mode), options_(options) {
+  size_t n = RoundUpPow2(options_.shards == 0 ? 1 : options_.shards);
+  shard_mask_ = n - 1;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+HnsCache::Shard& HnsCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) & shard_mask_];
+}
+
+const HnsCache::Shard& HnsCache::ShardFor(const std::string& key) const {
+  return *shards_[std::hash<std::string>{}(key) & shard_mask_];
+}
+
+HnsCache::LookupResult HnsCache::Lookup(const std::string& key) {
+  LookupResult result;
   if (mode_ == CacheMode::kNone) {
-    ++stats_.misses;
-    return NotFoundError("cache disabled");
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.stats.misses;
+    return result;
   }
   if (world_ != nullptr) {
     world_->ChargeMs(world_->costs().cache_probe_ms);
   }
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++stats_.misses;
-    return NotFoundError("cache miss: " + key);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return result;
   }
-  if (world_ != nullptr && it->second.expires <= Now()) {
-    entries_.erase(it);
-    ++stats_.expirations;
-    ++stats_.misses;
-    return NotFoundError("cache entry expired: " + key);
+  if (it->second->expires <= Now()) {
+    Unlink(&shard, it);
+    ++shard.stats.expirations;
+    ++shard.stats.misses;
+    return result;
   }
-  ++stats_.hits;
+  // Refresh the LRU position.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+
+  if (it->second->negative) {
+    ++shard.stats.negative_hits;
+    result.probe = Probe::kNegativeHit;
+    result.expires = it->second->expires;
+    return result;
+  }
+  ++shard.stats.hits;
+  result.probe = Probe::kHit;
+  result.expires = it->second->expires;
 
   if (mode_ == CacheMode::kMarshalled) {
     // Demarshal the stored wire form on every access — the expensive
     // stub-generated path the prototype started with.
     if (world_ != nullptr) {
       ChargeDemarshal(world_, MarshalEngine::kStubGenerated,
-                      static_cast<int>(it->second.units));
+                      static_cast<int>(it->second->units));
     }
-    return WireValue::Decode(it->second.marshalled);
+    Result<WireValue> decoded = WireValue::Decode(it->second->marshalled);
+    if (!decoded.ok()) {
+      // A corrupt stored form behaves like a miss.
+      Unlink(&shard, it);
+      --shard.stats.hits;
+      ++shard.stats.misses;
+      result.probe = Probe::kMiss;
+      return result;
+    }
+    result.value = *std::move(decoded);
+    return result;
   }
 
   // Demarshalled mode: probe plus a copy of the parsed value.
   if (world_ != nullptr) {
     world_->ChargeMs(world_->costs().cache_copy_per_record_ms *
-                     static_cast<double>(it->second.units));
+                     static_cast<double>(it->second->units));
   }
-  return it->second.value;
+  result.value = it->second->value;
+  return result;
+}
+
+Result<WireValue> HnsCache::Get(const std::string& key, SimTime* expires_out) {
+  if (mode_ == CacheMode::kNone) {
+    (void)Lookup(key);  // keeps the miss counter honest
+    return NotFoundError("cache disabled");
+  }
+  LookupResult looked = Lookup(key);
+  switch (looked.probe) {
+    case Probe::kHit:
+      if (expires_out != nullptr) {
+        *expires_out = looked.expires;
+      }
+      return std::move(looked.value);
+    case Probe::kNegativeHit:
+      return NotFoundError("negative cache entry: " + key);
+    case Probe::kMiss:
+      break;
+  }
+  return NotFoundError("cache miss: " + key);
+}
+
+void HnsCache::Insert(Entry entry) {
+  Shard& shard = ShardFor(entry.key);
+  size_t shard_budget =
+      options_.max_bytes == 0 ? 0 : std::max<size_t>(1, options_.max_bytes / shards_.size());
+
+  if (world_ != nullptr) {
+    world_->ChargeMs(world_->costs().cache_insert_ms);
+  }
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(entry.key);
+  if (it != shard.index.end()) {
+    Unlink(&shard, it);
+  }
+  shard.bytes += entry.bytes;
+  shard.lru.push_front(std::move(entry));
+  shard.index[shard.lru.front().key] = shard.lru.begin();
+  ++shard.stats.inserts;
+
+  // Enforce the byte budget from the cold end; the fresh entry survives
+  // even when it alone exceeds the budget (an oversized record is still
+  // more useful cached once than never).
+  while (shard_budget != 0 && shard.bytes > shard_budget && shard.lru.size() > 1) {
+    auto victim = shard.index.find(shard.lru.back().key);
+    Unlink(&shard, victim);
+    ++shard.stats.evictions;
+  }
 }
 
 void HnsCache::Put(const std::string& key, const WireValue& value, uint32_t ttl_seconds) {
@@ -58,31 +179,218 @@ void HnsCache::Put(const std::string& key, const WireValue& value, uint32_t ttl_
     return;
   }
   Entry entry;
+  entry.key = key;
   Bytes encoded = value.Encode();
   entry.units = static_cast<size_t>(MarshalUnitsForBytes(encoded.size()));
+  entry.bytes = key.size() + encoded.size() + kEntryOverheadBytes;
   if (mode_ == CacheMode::kMarshalled) {
     entry.marshalled = std::move(encoded);
   } else {
     entry.value = value;
   }
   entry.expires = Now() + MsToSim(static_cast<double>(ttl_seconds) * 1000.0);
-  if (world_ != nullptr) {
-    world_->ChargeMs(world_->costs().cache_insert_ms);
+  Insert(std::move(entry));
+}
+
+void HnsCache::PutNegative(const std::string& key, uint32_t ttl_seconds) {
+  if (mode_ == CacheMode::kNone) {
+    return;
   }
-  entries_[key] = std::move(entry);
-  ++stats_.inserts;
+  if (ttl_seconds == 0) {
+    ttl_seconds = options_.negative_ttl_seconds;
+  }
+  Entry entry;
+  entry.key = key;
+  entry.negative = true;
+  entry.bytes = key.size() + kEntryOverheadBytes;
+  entry.expires = Now() + MsToSim(static_cast<double>(ttl_seconds) * 1000.0);
+  Insert(std::move(entry));
+}
+
+void HnsCache::Unlink(Shard* shard,
+                      std::unordered_map<std::string, std::list<Entry>::iterator>::iterator it) {
+  shard->bytes -= it->second->bytes;
+  shard->lru.erase(it->second);
+  shard->index.erase(it);
+}
+
+void HnsCache::Remove(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    Unlink(&shard, it);
+  }
+}
+
+void HnsCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+size_t HnsCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
 }
 
 size_t HnsCache::ApproximateBytes() const {
   size_t total = 0;
-  for (const auto& [key, entry] : entries_) {
-    total += key.size();
-    total += entry.marshalled.size();
-    if (entry.marshalled.empty()) {
-      total += entry.value.Encode().size();
-    }
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->bytes;
   }
   return total;
+}
+
+CacheStats HnsCache::stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->stats;
+    total.bytes += shard->bytes;
+  }
+  return total;
+}
+
+void HnsCache::ResetStats() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->stats = CacheStats{};
+  }
+}
+
+void HnsCache::NoteCoalescedMiss() {
+  Shard& shard = *shards_[0];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.stats.coalesced_misses;
+}
+
+// --- CompositeBindingCache --------------------------------------------------
+
+namespace {
+
+std::string CompositeKey(const std::string& context, const std::string& query_class) {
+  return AsciiToLower(context) + '\x1f' + AsciiToLower(query_class);
+}
+
+// Budget/copy-cost estimate of one composed entry: strings + binding words.
+size_t CompositeEntryBytes(const CompositeEntry& entry) {
+  return entry.nsm_name.size() + entry.context.size() + entry.query_class.size() +
+         entry.ns_name.size() + entry.binding.service_name.size() +
+         entry.binding.host.size() + 48;
+}
+
+}  // namespace
+
+std::optional<CompositeEntry> CompositeBindingCache::Get(const std::string& context,
+                                                         const std::string& query_class) {
+  if (world_ != nullptr) {
+    world_->ChargeMs(world_->costs().cache_probe_ms);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(CompositeKey(context, query_class));
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second.expires <= Now()) {
+    stats_.bytes -= CompositeEntryBytes(it->second);
+    entries_.erase(it);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  // The entry is already composed and demarshalled: a hit costs one copy.
+  if (world_ != nullptr) {
+    world_->ChargeMs(world_->costs().cache_copy_per_record_ms *
+                     static_cast<double>(MarshalUnitsForBytes(CompositeEntryBytes(it->second))));
+  }
+  return it->second;
+}
+
+void CompositeBindingCache::Put(CompositeEntry entry) {
+  if (world_ != nullptr) {
+    world_->ChargeMs(world_->costs().cache_insert_ms);
+  }
+  entry.context = AsciiToLower(entry.context);
+  entry.query_class = AsciiToLower(entry.query_class);
+  entry.ns_name = AsciiToLower(entry.ns_name);
+  std::string key = entry.context + '\x1f' + entry.query_class;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    stats_.bytes -= CompositeEntryBytes(it->second);
+    entries_.erase(it);
+  }
+  stats_.bytes += CompositeEntryBytes(entry);
+  ++stats_.inserts;
+  entries_[std::move(key)] = std::move(entry);
+}
+
+void CompositeBindingCache::InvalidateContext(const std::string& context) {
+  std::string needle = AsciiToLower(context);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.context == needle) {
+      stats_.bytes -= CompositeEntryBytes(it->second);
+      ++stats_.evictions;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CompositeBindingCache::InvalidateNsm(const std::string& ns_name,
+                                          const std::string& query_class,
+                                          const std::string& nsm_name) {
+  std::string ns = AsciiToLower(ns_name);
+  std::string qc = AsciiToLower(query_class);
+  std::string nsm = AsciiToLower(nsm_name);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    bool from_mapping = it->second.ns_name == ns && it->second.query_class == qc;
+    bool designates = !nsm.empty() && AsciiToLower(it->second.nsm_name) == nsm;
+    if (from_mapping || designates) {
+      stats_.bytes -= CompositeEntryBytes(it->second);
+      ++stats_.evictions;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CompositeBindingCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  stats_.bytes = 0;
+}
+
+size_t CompositeBindingCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+CacheStats CompositeBindingCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void CompositeBindingCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t bytes = stats_.bytes;
+  stats_ = CacheStats{};
+  stats_.bytes = bytes;
 }
 
 }  // namespace hcs

@@ -9,14 +9,29 @@
 //                   hit with the expensive stub-generated routines;
 //   kDemarshalled — entries are kept as parsed values; a hit is a probe
 //                   plus a copy. "The times decreased dramatically."
+//
+// Beyond the paper's prototype, the cache is production-shaped: it is
+// sharded (per-shard mutex for the real-transport path), bounded (intrusive
+// LRU list per shard, eviction on a configurable byte budget), and caches
+// NotFound results negatively under a short TTL. A second level, the
+// CompositeBindingCache, stores fully-composed FindNSM results keyed by
+// (context, query class) so a warm FindNSM is one probe + one copy instead
+// of six record probes.
 
 #ifndef HCS_SRC_HNS_CACHE_H_
 #define HCS_SRC_HNS_CACHE_H_
 
+#include <list>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "src/common/result.h"
+#include "src/rpc/binding.h"
 #include "src/sim/world.h"
 #include "src/wire/marshal.h"
 #include "src/wire/value.h"
@@ -36,54 +51,186 @@ struct CacheStats {
   uint64_t misses = 0;
   uint64_t expirations = 0;
   uint64_t inserts = 0;
+  uint64_t evictions = 0;         // entries pushed out by the byte budget
+  uint64_t negative_hits = 0;     // probes answered by a cached NotFound
+  uint64_t coalesced_misses = 0;  // misses that waited on an in-flight fetch
+  uint64_t bytes = 0;             // current stored size
 
   double HitFraction() const {
     uint64_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
   }
+
+  CacheStats& operator+=(const CacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    expirations += other.expirations;
+    inserts += other.inserts;
+    evictions += other.evictions;
+    negative_hits += other.negative_hits;
+    coalesced_misses += other.coalesced_misses;
+    bytes += other.bytes;
+    return *this;
+  }
+
+  // Total probes that touched the cache (negative hits included).
+  uint64_t Probes() const { return hits + misses + negative_hits; }
 };
+
+struct HnsCacheOptions {
+  // Number of shards; rounded up to a power of two. One is fine for the
+  // single-threaded simulator; real transports want several.
+  size_t shards = 8;
+  // Byte budget across all shards; 0 = unbounded. Enforced per shard
+  // (budget / shards), evicting from the shard's LRU tail.
+  size_t max_bytes = 0;
+  // TTL applied to negative (NotFound) entries. Short: a registration can
+  // appear at any moment and should become visible quickly.
+  uint32_t negative_ttl_seconds = 5;
+};
+
+// The simulation clock when `world` is present, else a monotonic real
+// clock (microseconds) — TTLs must hold outside the simulator too.
+SimTime CacheNow(const World* world);
 
 class HnsCache {
  public:
-  // `world` may be null (real transports): no time is charged and entries
-  // never expire within a run.
-  HnsCache(World* world, CacheMode mode) : world_(world), mode_(mode) {}
+  // What a probe found. Distinguishing a cached NotFound from a plain miss
+  // lets the read path skip the upstream query on negative hits.
+  enum class Probe { kHit, kNegativeHit, kMiss };
+  struct LookupResult {
+    Probe probe = Probe::kMiss;
+    WireValue value;    // valid when probe == kHit
+    SimTime expires = 0;  // valid when probe != kMiss
+  };
+
+  // `world` may be null (real transports): no time is charged and TTLs run
+  // on the monotonic real clock.
+  HnsCache(World* world, CacheMode mode, HnsCacheOptions options = {});
 
   CacheMode mode() const { return mode_; }
   void set_mode(CacheMode mode) { mode_ = mode; }
+  const HnsCacheOptions& options() const { return options_; }
 
-  // Looks up `key`. Charges the probe and, on a hit, the mode's access cost.
-  // kNotFound on miss or TTL expiry.
-  Result<WireValue> Get(const std::string& key);
+  // Probes `key`. Charges the probe and, on a positive hit, the mode's
+  // access cost. A hit refreshes the entry's LRU position.
+  LookupResult Lookup(const std::string& key);
+
+  // Convenience wrapper over Lookup: kNotFound on miss, negative hit, or
+  // TTL expiry. `expires_out`, when non-null, receives the entry's expiry
+  // on a positive hit (used for min-TTL composition).
+  Result<WireValue> Get(const std::string& key, SimTime* expires_out = nullptr);
 
   // Inserts `value` under `key` with the given TTL. In marshalled mode the
-  // value's wire form is what gets stored.
+  // value's wire form is what gets stored. May evict LRU entries to respect
+  // the byte budget.
   void Put(const std::string& key, const WireValue& value, uint32_t ttl_seconds);
 
-  void Remove(const std::string& key) { entries_.erase(key); }
-  void Clear() { entries_.clear(); }
-  size_t size() const { return entries_.size(); }
+  // Records that `key` does not exist upstream, for `ttl_seconds` (0 = the
+  // configured negative TTL).
+  void PutNegative(const std::string& key, uint32_t ttl_seconds = 0);
 
-  // Approximate stored size in bytes (the paper's meta information was about
-  // 2 KB — preload decisions depend on this).
+  void Remove(const std::string& key);
+  void Clear();
+  size_t size() const;
+
+  // Stored size in bytes: a running total maintained at Put/Remove time
+  // (the paper's meta information was about 2 KB — preload decisions depend
+  // on this; the LRU byte budget depends on it being cheap).
   size_t ApproximateBytes() const;
 
-  const CacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = CacheStats{}; }
+  // Aggregated over all shards.
+  CacheStats stats() const;
+  void ResetStats();
+
+  // Singleflight accounting: a miss that waited on another caller's
+  // in-flight upstream fetch instead of issuing its own (see
+  // MetaStore::ReadRecord).
+  void NoteCoalescedMiss();
 
  private:
   struct Entry {
-    Bytes marshalled;      // wire form (kMarshalled)
-    WireValue value;       // parsed form (kDemarshalled)
-    size_t units = 0;      // record-equivalents, drives demarshalling cost
+    std::string key;
+    Bytes marshalled;   // wire form (kMarshalled)
+    WireValue value;    // parsed form (kDemarshalled)
+    size_t units = 0;   // record-equivalents, drives demarshalling cost
+    size_t bytes = 0;   // budget charge, recorded at insert time
     SimTime expires = 0;
+    bool negative = false;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+    CacheStats stats;
   };
 
-  SimTime Now() const { return world_ != nullptr ? world_->clock().Now() : 0; }
+  SimTime Now() const { return CacheNow(world_); }
+  Shard& ShardFor(const std::string& key);
+  const Shard& ShardFor(const std::string& key) const;
+  // Inserts an entry (positive or negative), evicting from the shard's LRU
+  // tail while over the per-shard byte budget.
+  void Insert(Entry entry);
+  // Unlinks `it` from `shard`, updating the byte total. Caller holds the
+  // shard mutex.
+  static void Unlink(Shard* shard, std::unordered_map<std::string, std::list<Entry>::iterator>::iterator it);
 
   World* world_;
   CacheMode mode_;
-  std::map<std::string, Entry> entries_;
+  HnsCacheOptions options_;
+  size_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// --- Composite binding cache (level 2) -------------------------------------
+// Stores fully-resolved FindNSM results keyed by (context, query class),
+// with TTL = min of the constituent meta-mapping TTLs: the warm path becomes
+// one probe + one copy. Entries carry the (name service, NSM) identity they
+// were composed from so registrations can evict exactly the affected keys.
+
+struct CompositeEntry {
+  std::string nsm_name;
+  HrpcBinding binding;
+  // Invalidation metadata (lower-cased at insert).
+  std::string context;
+  std::string query_class;
+  std::string ns_name;
+  SimTime expires = 0;
+};
+
+class CompositeBindingCache {
+ public:
+  explicit CompositeBindingCache(World* world) : world_(world) {}
+
+  // One probe (charged); on a hit, one copy (charged). Expired entries are
+  // reaped and reported as misses.
+  std::optional<CompositeEntry> Get(const std::string& context,
+                                    const std::string& query_class);
+
+  // `expires` is absolute (the min of the constituent expiries, already
+  // capped by the caller).
+  void Put(CompositeEntry entry);
+
+  // Eviction on registration changes: drops every entry composed for
+  // `context` (any query class).
+  void InvalidateContext(const std::string& context);
+  // Drops every entry composed from (ns_name, query_class), and — when
+  // `nsm_name` is non-empty — every entry designating that NSM.
+  void InvalidateNsm(const std::string& ns_name, const std::string& query_class,
+                     const std::string& nsm_name);
+
+  void Clear();
+  size_t size() const;
+  CacheStats stats() const;
+  void ResetStats();
+
+ private:
+  SimTime Now() const { return CacheNow(world_); }
+
+  World* world_;
+  mutable std::mutex mu_;
+  std::map<std::string, CompositeEntry> entries_;  // by "context\x1fqc", lower-cased
   CacheStats stats_;
 };
 

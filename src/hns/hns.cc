@@ -1,5 +1,8 @@
 #include "src/hns/hns.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 
@@ -8,9 +11,11 @@ namespace hcs {
 Hns::Hns(World* world, std::string local_host, Transport* transport, HnsOptions options)
     : world_(world),
       local_host_(std::move(local_host)),
+      options_(std::move(options)),
       rpc_client_(world, local_host_, transport),
-      cache_(world, options.cache_mode),
-      meta_(&rpc_client_, options.meta_server_host, options.meta_authority_host, &cache_) {}
+      cache_(world, options_.cache_mode, options_.cache),
+      composite_(world),
+      meta_(&rpc_client_, options_.meta_server_host, options_.meta_authority_host, &cache_) {}
 
 Status Hns::LinkNsm(std::shared_ptr<Nsm> nsm) {
   std::string key = AsciiToLower(nsm->info().nsm_name);
@@ -34,10 +39,51 @@ Nsm* Hns::LinkedNsm(const std::string& nsm_name) const {
 }
 
 Result<NsmHandle> Hns::FindNsm(const HnsName& name, const QueryClass& query_class) {
+  // Composite fast path: a warm FindNSM is one probe + one copy of the
+  // fully-resolved handle, instead of six record-cache probes (and six stub
+  // demarshals in marshalled mode).
+  if (options_.composite_cache) {
+    if (std::optional<CompositeEntry> hit = composite_.Get(name.context, query_class)) {
+      NsmHandle handle;
+      handle.nsm_name = hit->nsm_name;
+      handle.linked = LinkedNsm(hit->nsm_name);
+      handle.binding = std::move(hit->binding);
+      return handle;
+    }
+  }
+
+  SimTime min_expires = std::numeric_limits<SimTime>::max();
+  std::string ns_name;
+  HCS_ASSIGN_OR_RETURN(NsmHandle handle,
+                       FindNsmUncomposed(name, query_class, &min_expires, &ns_name));
+
+  if (options_.composite_cache) {
+    SimTime cap = CacheNow(world_) +
+                  MsToSim(static_cast<double>(options_.composite_ttl_cap_seconds) * 1000.0);
+    CompositeEntry entry;
+    entry.nsm_name = handle.nsm_name;
+    entry.binding = handle.binding;
+    entry.context = name.context;
+    entry.query_class = query_class;
+    entry.ns_name = ns_name;
+    entry.expires = std::min(min_expires, cap);
+    composite_.Put(std::move(entry));
+  }
+  return handle;
+}
+
+Result<NsmHandle> Hns::FindNsmUncomposed(const HnsName& name, const QueryClass& query_class,
+                                         SimTime* min_expires, std::string* ns_name_out) {
+  SimTime expires = 0;
   // Mapping 1: context -> name service name.
-  HCS_ASSIGN_OR_RETURN(std::string ns_name, meta_.ContextToNameService(name.context));
+  HCS_ASSIGN_OR_RETURN(std::string ns_name,
+                       meta_.ContextToNameService(name.context, &expires));
+  *min_expires = std::min(*min_expires, expires);
   // Mapping 2: (name service, query class) -> NSM name.
-  HCS_ASSIGN_OR_RETURN(std::string nsm_name, meta_.NsmNameFor(ns_name, query_class));
+  HCS_ASSIGN_OR_RETURN(std::string nsm_name,
+                       meta_.NsmNameFor(ns_name, query_class, &expires));
+  *min_expires = std::min(*min_expires, expires);
+  *ns_name_out = std::move(ns_name);
 
   NsmHandle handle;
   handle.nsm_name = nsm_name;
@@ -52,8 +98,10 @@ Result<NsmHandle> Hns::FindNsm(const HnsName& name, const QueryClass& query_clas
   // the NSM's host *name*; resolving it to an address is itself an HNS
   // naming operation (two more meta mappings plus one underlying-service
   // lookup when cold).
-  HCS_ASSIGN_OR_RETURN(NsmInfo info, meta_.NsmLocation(nsm_name));
-  HCS_ASSIGN_OR_RETURN(uint32_t address, ResolveHostAddress(info.host_context, info.host));
+  HCS_ASSIGN_OR_RETURN(NsmInfo info, meta_.NsmLocation(nsm_name, &expires));
+  *min_expires = std::min(*min_expires, expires);
+  HCS_ASSIGN_OR_RETURN(uint32_t address,
+                       ResolveHostAddressAtDepth(info.host_context, info.host, 0, min_expires));
 
   handle.binding.service_name = info.nsm_name;
   handle.binding.host = info.host;
@@ -70,18 +118,24 @@ Result<NsmHandle> Hns::FindNsm(const HnsName& name, const QueryClass& query_clas
 
 Result<uint32_t> Hns::ResolveHostAddress(const std::string& host_context,
                                          const std::string& host) {
-  return ResolveHostAddressAtDepth(host_context, host, 0);
+  SimTime ignored = std::numeric_limits<SimTime>::max();
+  return ResolveHostAddressAtDepth(host_context, host, 0, &ignored);
 }
 
 Result<uint32_t> Hns::ResolveHostAddressAtDepth(const std::string& host_context,
-                                                const std::string& host, int depth) {
+                                                const std::string& host, int depth,
+                                                SimTime* min_expires) {
   if (depth > kMaxAddressRecursionDepth) {
     return UnavailableError(
         "host address recursion too deep; link a HostAddress NSM into this process");
   }
-  HCS_ASSIGN_OR_RETURN(std::string ns_name, meta_.ContextToNameService(host_context));
+  SimTime expires = 0;
+  HCS_ASSIGN_OR_RETURN(std::string ns_name,
+                       meta_.ContextToNameService(host_context, &expires));
+  *min_expires = std::min(*min_expires, expires);
   HCS_ASSIGN_OR_RETURN(std::string nsm_name,
-                       meta_.NsmNameFor(ns_name, kQueryClassHostAddress));
+                       meta_.NsmNameFor(ns_name, kQueryClassHostAddress, &expires));
+  *min_expires = std::min(*min_expires, expires);
 
   HnsName host_name;
   host_name.context = host_context;
@@ -98,9 +152,11 @@ Result<uint32_t> Hns::ResolveHostAddressAtDepth(const std::string& host_context,
   // recursion is bounded by the depth guard; production deployments link
   // the HostAddress NSMs exactly to avoid paying this path.
   HCS_LOG(Debug) << "host-address NSM " << nsm_name << " not linked; recursing";
-  HCS_ASSIGN_OR_RETURN(NsmInfo info, meta_.NsmLocation(nsm_name));
-  HCS_ASSIGN_OR_RETURN(uint32_t nsm_address,
-                       ResolveHostAddressAtDepth(info.host_context, info.host, depth + 1));
+  HCS_ASSIGN_OR_RETURN(NsmInfo info, meta_.NsmLocation(nsm_name, &expires));
+  *min_expires = std::min(*min_expires, expires);
+  HCS_ASSIGN_OR_RETURN(
+      uint32_t nsm_address,
+      ResolveHostAddressAtDepth(info.host_context, info.host, depth + 1, min_expires));
 
   HrpcBinding binding;
   binding.service_name = info.nsm_name;
@@ -134,13 +190,41 @@ Status Hns::RegisterNameService(const NameServiceInfo& info) {
 }
 
 Status Hns::RegisterContext(const std::string& context, const std::string& ns_name) {
-  return meta_.RegisterContext(context, ns_name);
+  Status status = meta_.RegisterContext(context, ns_name);
+  if (status.ok()) {
+    // The context may now map to a different name service; every composite
+    // entry composed for it is stale.
+    composite_.InvalidateContext(context);
+  }
+  return status;
 }
 
-Status Hns::RegisterNsm(const NsmInfo& info) { return meta_.RegisterNsm(info); }
+Status Hns::RegisterNsm(const NsmInfo& info) {
+  Status status = meta_.RegisterNsm(info);
+  if (status.ok()) {
+    // Entries composed from this (service, query class) mapping — or that
+    // designate this NSM under any mapping — carry stale bindings.
+    composite_.InvalidateNsm(info.ns_name, info.query_class, info.nsm_name);
+  }
+  return status;
+}
 
 Status Hns::UnregisterNsm(const std::string& ns_name, const QueryClass& query_class) {
-  return meta_.UnregisterNsm(ns_name, query_class);
+  // Look the NSM name up before the mapping records disappear, so entries
+  // designating it can be evicted too. (Only when a composite cache is in
+  // play — the lookup is not free.)
+  std::string nsm_name;
+  if (options_.composite_cache) {
+    Result<std::string> resolved = meta_.NsmNameFor(ns_name, query_class);
+    if (resolved.ok()) {
+      nsm_name = *std::move(resolved);
+    }
+  }
+  Status status = meta_.UnregisterNsm(ns_name, query_class);
+  if (status.ok()) {
+    composite_.InvalidateNsm(ns_name, query_class, nsm_name);
+  }
+  return status;
 }
 
 Result<size_t> Hns::PreloadCache() { return meta_.Preload(); }

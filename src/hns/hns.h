@@ -30,6 +30,16 @@ struct HnsOptions {
   std::string meta_authority_host;
   // Cache storage mode (the Table 3.2 experiment varies this).
   CacheMode cache_mode = CacheMode::kMarshalled;
+  // Record-cache shape (sharding, byte budget, negative TTL).
+  HnsCacheOptions cache;
+  // Composite binding cache: store fully-resolved FindNSM results keyed by
+  // (context, query class), so a warm FindNSM is one probe instead of six.
+  // Orthogonal to cache_mode — the record-level cache still serves misses.
+  bool composite_cache = false;
+  // Upper bound on a composite entry's lifetime, applied on top of the min
+  // of the constituent mapping TTLs (the composed host address has no TTL
+  // of its own).
+  uint32_t composite_ttl_cap_seconds = 3600;
 };
 
 // What FindNSM hands back: either a linked (same-process) NSM instance or
@@ -77,6 +87,7 @@ class Hns {
   // --- Registration ----------------------------------------------------------
   // Forwarded to the meta store (dynamic updates to the modified BIND);
   // registering an NSM extends the functionality of all machines at once.
+  // Registrations evict the composite binding-cache entries they affect.
   Status RegisterNameService(const NameServiceInfo& info);
   Status RegisterContext(const std::string& context, const std::string& ns_name);
   Status RegisterNsm(const NsmInfo& info);
@@ -87,21 +98,31 @@ class Hns {
   Result<size_t> PreloadCache();
 
   HnsCache& cache() { return cache_; }
+  CompositeBindingCache& composite_cache() { return composite_; }
   MetaStore& meta() { return meta_; }
   RpcClient& rpc_client() { return rpc_client_; }
   const std::string& local_host() const { return local_host_; }
+  const HnsOptions& options() const { return options_; }
   World* world() const { return world_; }
 
  private:
   static constexpr int kMaxAddressRecursionDepth = 2;
 
   Result<uint32_t> ResolveHostAddressAtDepth(const std::string& host_context,
-                                             const std::string& host, int depth);
+                                             const std::string& host, int depth,
+                                             SimTime* min_expires);
+  // The paper's mapping sequence (six data lookups cold), reporting the min
+  // expiry of the meta records consumed — the composite entry's TTL source —
+  // and the name service the context mapped to (invalidation metadata).
+  Result<NsmHandle> FindNsmUncomposed(const HnsName& name, const QueryClass& query_class,
+                                      SimTime* min_expires, std::string* ns_name_out);
 
   World* world_;
   std::string local_host_;
+  HnsOptions options_;
   RpcClient rpc_client_;
   HnsCache cache_;
+  CompositeBindingCache composite_;
   MetaStore meta_;
   std::map<std::string, std::shared_ptr<Nsm>> linked_nsms_;  // by lower-cased name
 };

@@ -82,7 +82,7 @@ HrpcBinding MetaStore::MetaServerBinding(bool authority) const {
   HrpcBinding b;
   b.service_name = "hns-meta-bind";
   b.host = authority ? authority_host_ : meta_server_host_;
-  b.port = kBindPort;
+  b.port = meta_port_ != 0 ? meta_port_ : kBindPort;
   b.program = kBindProgram;
   b.control = ControlKind::kRaw;
   b.data_rep = DataRep::kXdr;
@@ -90,7 +90,7 @@ HrpcBinding MetaStore::MetaServerBinding(bool authority) const {
 }
 
 Result<WireValue> MetaStore::RemoteRead(const std::string& record_name) {
-  ++remote_lookups_;
+  remote_lookups_.fetch_add(1, std::memory_order_relaxed);
   World* world = client_->world();
 
   BindQueryRequest request;
@@ -124,14 +124,63 @@ Result<WireValue> MetaStore::RemoteRead(const std::string& record_name) {
   return value;
 }
 
-Result<WireValue> MetaStore::ReadRecord(const std::string& record_name) {
-  Result<WireValue> cached = cache_->Get(record_name);
-  if (cached.ok()) {
-    return cached;
+Result<WireValue> MetaStore::ReadRecord(const std::string& record_name,
+                                        SimTime* expires_out) {
+  HnsCache::LookupResult looked = cache_->Lookup(record_name);
+  if (looked.probe == HnsCache::Probe::kHit) {
+    if (expires_out != nullptr) {
+      *expires_out = looked.expires;
+    }
+    return std::move(looked.value);
   }
-  HCS_ASSIGN_OR_RETURN(WireValue value, RemoteRead(record_name));
-  cache_->Put(record_name, value, kMetaTtlSeconds);
-  return value;
+  if (looked.probe == HnsCache::Probe::kNegativeHit) {
+    // A recent upstream query already said NotFound; don't re-ask until the
+    // negative entry expires.
+    return NotFoundError("no meta record (negative cache): " + record_name);
+  }
+
+  // Miss. Coalesce concurrent identical fetches: the first caller becomes
+  // the leader and queries BIND; everyone else waits for its result.
+  std::shared_ptr<InFlight> flight;
+  {
+    std::unique_lock<std::mutex> lock(flight_mu_);
+    auto it = in_flight_.find(record_name);
+    if (it != in_flight_.end()) {
+      flight = it->second;
+      cache_->NoteCoalescedMiss();
+      flight_cv_.wait(lock, [&] { return flight->done; });
+      if (flight->result.ok() && expires_out != nullptr) {
+        *expires_out = flight->expires;
+      }
+      return flight->result;
+    }
+    flight = std::make_shared<InFlight>();
+    in_flight_[record_name] = flight;
+  }
+
+  Result<WireValue> fetched = RemoteRead(record_name);
+  SimTime expires = 0;
+  if (fetched.ok()) {
+    cache_->Put(record_name, *fetched, kMetaTtlSeconds);
+    expires = CacheNow(client_->world()) +
+              MsToSim(static_cast<double>(kMetaTtlSeconds) * 1000.0);
+  } else if (fetched.status().code() == StatusCode::kNotFound) {
+    cache_->PutNegative(record_name);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(flight_mu_);
+    flight->result = fetched;
+    flight->expires = expires;
+    flight->done = true;
+    in_flight_.erase(record_name);
+  }
+  flight_cv_.notify_all();
+
+  if (fetched.ok() && expires_out != nullptr) {
+    *expires_out = expires;
+  }
+  return fetched;
 }
 
 Status MetaStore::DeleteRecord(const std::string& record_name) {
@@ -177,19 +226,24 @@ Status MetaStore::WriteRecord(const std::string& record_name, const WireValue& v
   return Status::Ok();
 }
 
-Result<std::string> MetaStore::ContextToNameService(const std::string& context) {
-  HCS_ASSIGN_OR_RETURN(WireValue value, ReadRecord(ContextRecordName(context)));
+Result<std::string> MetaStore::ContextToNameService(const std::string& context,
+                                                    SimTime* expires_out) {
+  HCS_ASSIGN_OR_RETURN(WireValue value,
+                       ReadRecord(ContextRecordName(context), expires_out));
   return value.StringField("ns");
 }
 
 Result<std::string> MetaStore::NsmNameFor(const std::string& ns_name,
-                                          const QueryClass& query_class) {
-  HCS_ASSIGN_OR_RETURN(WireValue value, ReadRecord(NsmMapRecordName(ns_name, query_class)));
+                                          const QueryClass& query_class,
+                                          SimTime* expires_out) {
+  HCS_ASSIGN_OR_RETURN(WireValue value,
+                       ReadRecord(NsmMapRecordName(ns_name, query_class), expires_out));
   return value.StringField("nsm");
 }
 
-Result<NsmInfo> MetaStore::NsmLocation(const std::string& nsm_name) {
-  HCS_ASSIGN_OR_RETURN(WireValue value, ReadRecord(NsmLocationRecordName(nsm_name)));
+Result<NsmInfo> MetaStore::NsmLocation(const std::string& nsm_name, SimTime* expires_out) {
+  HCS_ASSIGN_OR_RETURN(WireValue value,
+                       ReadRecord(NsmLocationRecordName(nsm_name), expires_out));
   return NsmInfo::FromWire(value);
 }
 

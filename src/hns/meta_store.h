@@ -17,6 +17,11 @@
 #ifndef HCS_SRC_HNS_META_STORE_H_
 #define HCS_SRC_HNS_META_STORE_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -74,12 +79,18 @@ class MetaStore {
             HnsCache* cache);
 
   // --- The FindNSM mappings (cache-aware reads) ---------------------------
+  // Each mapping optionally reports the absolute expiry of the record it
+  // was served from (`expires_out`), so callers composing several mappings
+  // — the composite binding cache — can take the min of the constituent
+  // TTLs.
   // Mapping 1: context -> name service name.
-  Result<std::string> ContextToNameService(const std::string& context);
+  Result<std::string> ContextToNameService(const std::string& context,
+                                           SimTime* expires_out = nullptr);
   // Mapping 2: (name service, query class) -> NSM name.
-  Result<std::string> NsmNameFor(const std::string& ns_name, const QueryClass& query_class);
+  Result<std::string> NsmNameFor(const std::string& ns_name, const QueryClass& query_class,
+                                 SimTime* expires_out = nullptr);
   // Mapping 3 (first part): NSM name -> registration record.
-  Result<NsmInfo> NsmLocation(const std::string& nsm_name);
+  Result<NsmInfo> NsmLocation(const std::string& nsm_name, SimTime* expires_out = nullptr);
   // Name service descriptor (administration, diagnostics).
   Result<NameServiceInfo> NameService(const std::string& ns_name);
 
@@ -107,7 +118,12 @@ class MetaStore {
   HnsCache* cache() { return cache_; }
   // Remote meta lookups performed (misses that went to BIND); lets tests
   // assert the paper's "six data mappings" claim.
-  uint64_t remote_lookups() const { return remote_lookups_; }
+  uint64_t remote_lookups() const { return remote_lookups_.load(std::memory_order_relaxed); }
+
+  // Overrides the BIND port for both the query server and the authority
+  // (default kBindPort). Real-socket tests serve the meta store on an
+  // ephemeral port.
+  void set_meta_port(uint16_t port) { meta_port_ = port; }
 
   // Record-name construction (exposed for tests and tooling).
   static std::string ContextRecordName(const std::string& context);
@@ -116,8 +132,19 @@ class MetaStore {
   static std::string NameServiceRecordName(const std::string& ns_name);
 
  private:
+  // Shared state of one in-flight upstream fetch: concurrent identical
+  // misses wait for the leader's result instead of stampeding BIND.
+  struct InFlight {
+    bool done = false;
+    Result<WireValue> result = Result<WireValue>(UnavailableError("fetch pending"));
+    SimTime expires = 0;
+  };
+
   // One cache-aware structured read of an unspecified-type meta record.
-  Result<WireValue> ReadRecord(const std::string& record_name);
+  // Misses are coalesced (singleflight) and NotFound results are cached
+  // negatively under the cache's short negative TTL.
+  Result<WireValue> ReadRecord(const std::string& record_name,
+                               SimTime* expires_out = nullptr);
   // One uncached remote BIND lookup via the HRPC interface (stub-generated
   // marshalling), reassembling chunked unspecified-type records.
   Result<WireValue> RemoteRead(const std::string& record_name);
@@ -131,7 +158,12 @@ class MetaStore {
   std::string meta_server_host_;
   std::string authority_host_;
   HnsCache* cache_;
-  uint64_t remote_lookups_ = 0;
+  uint16_t meta_port_ = 0;  // 0 = kBindPort
+  std::atomic<uint64_t> remote_lookups_{0};
+
+  std::mutex flight_mu_;
+  std::condition_variable flight_cv_;
+  std::map<std::string, std::shared_ptr<InFlight>> in_flight_;
 };
 
 }  // namespace hcs

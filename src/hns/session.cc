@@ -41,6 +41,25 @@ Result<NsmHandle> HnsSession::FindNsm(const HnsName& name, const QueryClass& que
   return InternalError("bad HnsLocation");
 }
 
+std::vector<Result<NsmHandle>> HnsSession::ResolveMany(
+    const std::vector<ResolveRequest>& requests) {
+  std::vector<Result<NsmHandle>> results;
+  results.reserve(requests.size());
+  // FindNSM depends only on (context, query class), never on the
+  // individual part — one resolution serves every duplicate in the batch.
+  std::map<std::string, Result<NsmHandle>> memo;
+  for (const ResolveRequest& request : requests) {
+    std::string key =
+        AsciiToLower(request.name.context) + '\x1f' + AsciiToLower(request.query_class);
+    auto it = memo.find(key);
+    if (it == memo.end()) {
+      it = memo.emplace(key, FindNsm(request.name, request.query_class)).first;
+    }
+    results.push_back(it->second);
+  }
+  return results;
+}
+
 Result<NsmHandle> HnsSession::FindNsmRemote(const HnsName& name,
                                             const QueryClass& query_class) {
   FindNsmRequest request;

@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/hns/hns.h"
 #include "src/hns/wire_protocol.h"
@@ -62,6 +63,18 @@ class HnsSession {
   // FindNSM only (no NSM call). Unavailable in agent mode, where the agent
   // owns the whole exchange.
   Result<NsmHandle> FindNsm(const HnsName& name, const QueryClass& query_class);
+
+  // One FindNSM resolution request of a batch.
+  struct ResolveRequest {
+    HnsName name;
+    QueryClass query_class;
+  };
+
+  // Batch FindNSM. Requests sharing a (context, query class) pair are
+  // resolved once and fanned out — a batch over one context costs a single
+  // composite lookup (or one remote FindNSM exchange in remote mode) no
+  // matter how many individuals it names. Results are positional.
+  std::vector<Result<NsmHandle>> ResolveMany(const std::vector<ResolveRequest>& requests);
 
   // The linked HNS instance, or null when the HNS is remote/agent.
   Hns* local_hns() { return hns_.get(); }

@@ -29,17 +29,21 @@ sockaddr_in LoopbackAddress(uint16_t port) {
   return addr;
 }
 
-// One serve loop: receive, dispatch, answer. Exits when the socket is
-// closed out from under it.
-void ServeLoop(int fd, SimService* service) {
+// One serve loop: receive, dispatch, answer. Exits when `stop` is raised
+// (StopAll wakes the blocking recvfrom with a zero-byte datagram); the
+// owner closes the socket only after joining this thread.
+void ServeLoop(int fd, SimService* service, std::atomic<bool>* stop) {
   std::vector<uint8_t> buffer(kMaxDatagram);
   while (true) {
     sockaddr_in peer{};
     socklen_t peer_len = sizeof(peer);
     ssize_t n = recvfrom(fd, buffer.data(), buffer.size(), 0,
                          reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (stop->load(std::memory_order_acquire)) {
+      return;
+    }
     if (n < 0) {
-      // Socket closed (shutdown) or a transient error: stop serving.
+      // Transient error: stop serving.
       return;
     }
     Bytes request(buffer.begin(), buffer.begin() + n);
@@ -76,23 +80,37 @@ Result<uint16_t> UdpServerHost::Serve(SimService* service, uint16_t port) {
   }
   uint16_t bound_port = ntohs(addr.sin_port);
 
+  Endpoint endpoint;
+  endpoint.fd = fd;
+  endpoint.port = bound_port;
+  endpoint.stop = std::make_unique<std::atomic<bool>>(false);
+  endpoint.thread = std::thread(ServeLoop, fd, service, endpoint.stop.get());
+
   std::lock_guard<std::mutex> lock(mutex_);
-  endpoints_.push_back(Endpoint{fd, std::thread(ServeLoop, fd, service)});
+  endpoints_.push_back(std::move(endpoint));
   return bound_port;
 }
 
 void UdpServerHost::StopAll() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (Endpoint& endpoint : endpoints_) {
-    if (endpoint.fd >= 0) {
-      // shutdown() unblocks recvfrom on Linux for UDP only via close; use
-      // both for portability.
-      shutdown(endpoint.fd, SHUT_RDWR);
-      close(endpoint.fd);
-      endpoint.fd = -1;
+    // Raise the stop flag, then wake the blocking recvfrom with a zero-byte
+    // datagram; the loop notices the flag and exits. The socket is closed
+    // only after the join — closing a live fd out from under recvfrom races
+    // with fd reuse.
+    endpoint.stop->store(true, std::memory_order_release);
+    int wake = socket(AF_INET, SOCK_DGRAM, 0);
+    if (wake >= 0) {
+      sockaddr_in addr = LoopbackAddress(endpoint.port);
+      (void)sendto(wake, nullptr, 0, 0, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      close(wake);
     }
     if (endpoint.thread.joinable()) {
       endpoint.thread.join();
+    }
+    if (endpoint.fd >= 0) {
+      close(endpoint.fd);
+      endpoint.fd = -1;
     }
   }
   endpoints_.clear();

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -43,6 +44,8 @@ class UdpServerHost {
  private:
   struct Endpoint {
     int fd = -1;
+    uint16_t port = 0;
+    std::unique_ptr<std::atomic<bool>> stop;  // stable address for the loop
     std::thread thread;
   };
   std::vector<Endpoint> endpoints_;

@@ -50,6 +50,9 @@ void ClientSetup::FlushAll() {
   if (hns_cache != nullptr) {
     hns_cache->Clear();
   }
+  if (composite_cache != nullptr) {
+    composite_cache->Clear();
+  }
   if (flush_shared) {
     flush_shared();
   }
@@ -418,6 +421,8 @@ void Testbed::InstallRemoteServers() {
   server_options.meta_server_host = kMetaSecondaryHost;
   server_options.meta_authority_host = kMetaBindHost;
   server_options.cache_mode = options_.hns_cache_mode;
+  server_options.cache = options_.hns_cache;
+  server_options.composite_cache = options_.hns_composite_cache;
 
   hns_server_ = HnsServer::InstallOn(&world_, kHnsServerHost, server_options).value();
   // Recursion avoidance: the HostAddress NSMs are linked with the HNS.
@@ -480,6 +485,8 @@ ClientSetup Testbed::MakeClient(Arrangement arrangement) {
   options.hns.meta_server_host = kMetaSecondaryHost;
   options.hns.meta_authority_host = kMetaBindHost;
   options.hns.cache_mode = options_.hns_cache_mode;
+  options.hns.cache = options_.hns_cache;
+  options.hns.composite_cache = options_.hns_composite_cache;
   options.hns_server_host = kHnsServerHost;
   options.agent_host = kAgentHost;
 
@@ -502,6 +509,7 @@ ClientSetup Testbed::MakeClient(Arrangement arrangement) {
         (void)setup.session->LinkNsm(std::move(nsm));
       }
       setup.hns_cache = &setup.session->local_hns()->cache();
+      setup.composite_cache = &setup.session->local_hns()->composite_cache();
       break;
     }
     case Arrangement::kAgent: {
@@ -509,6 +517,7 @@ ClientSetup Testbed::MakeClient(Arrangement arrangement) {
       setup.session =
           std::make_unique<HnsSession>(&world_, kClientHost, &transport_, options);
       setup.hns_cache = &agent_server_->hns().cache();
+      setup.composite_cache = &agent_server_->hns().composite_cache();
       for (const char* name : {kNsmHostAddrBind, kNsmBindingBind, kNsmMailboxBind,
                                kNsmHostAddrCh, kNsmBindingCh, kNsmMailboxCh, kNsmFileBind,
                                kNsmFileCh}) {
@@ -528,6 +537,7 @@ ClientSetup Testbed::MakeClient(Arrangement arrangement) {
         (void)setup.session->LinkNsm(std::move(nsm));
       }
       setup.hns_cache = &hns_server_->hns().cache();
+      setup.composite_cache = &hns_server_->hns().composite_cache();
       hns_server_addr_caches(&setup.nsm_caches);
       break;
     }
@@ -543,6 +553,7 @@ ClientSetup Testbed::MakeClient(Arrangement arrangement) {
         }
       }
       setup.hns_cache = &setup.session->local_hns()->cache();
+      setup.composite_cache = &setup.session->local_hns()->composite_cache();
       for (NsmServer* server : nsm_servers_) {
         setup.nsm_caches.push_back(server->nsm()->cache());
       }
@@ -554,6 +565,7 @@ ClientSetup Testbed::MakeClient(Arrangement arrangement) {
       setup.session =
           std::make_unique<HnsSession>(&world_, kClientHost, &transport_, options);
       setup.hns_cache = &hns_server_->hns().cache();
+      setup.composite_cache = &hns_server_->hns().composite_cache();
       hns_server_addr_caches(&setup.nsm_caches);
       for (NsmServer* server : nsm_servers_) {
         setup.nsm_caches.push_back(server->nsm()->cache());

@@ -93,6 +93,10 @@ ChCredentials TestbedCredentials();
 struct TestbedOptions {
   CacheMode hns_cache_mode = CacheMode::kMarshalled;
   CacheMode nsm_cache_mode = CacheMode::kMarshalled;
+  // Enable the composite FindNSM binding cache on every HNS instance.
+  bool hns_composite_cache = false;
+  // Record-cache shape applied to every HNS instance.
+  HnsCacheOptions hns_cache;
   // Install the remote HnsServer / NsmServers / AgentServer processes.
   bool install_remote_servers = true;
 };
@@ -114,6 +118,9 @@ struct ClientSetup {
   std::unique_ptr<HnsSession> session;
   // The HNS cache in play (linked, remote server's, or agent's).
   HnsCache* hns_cache = nullptr;
+  // The composite binding cache of the same HNS instance (present whether or
+  // not the composite fast path is enabled; empty when disabled).
+  CompositeBindingCache* composite_cache = nullptr;
   // Every NSM cache in play for this arrangement.
   std::vector<HnsCache*> nsm_caches;
 

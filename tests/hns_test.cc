@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/strings.h"
 #include "src/hns/cache.h"
 #include "src/hns/hns.h"
 #include "src/hns/meta_store.h"
@@ -134,6 +135,104 @@ TEST_F(HnsCacheTest, ApproximateBytesRoughlyTracksContent) {
   cache.Put("k", WireValue::OfBlob(Bytes(500, 1)), 60);
   EXPECT_GT(cache.ApproximateBytes(), 500u);
   EXPECT_LT(cache.ApproximateBytes(), 700u);
+}
+
+TEST_F(HnsCacheTest, ByteBudgetEvictsInLruOrder) {
+  WireValue value = RecordBuilder().Str("blob", std::string(100, 'x')).Build();
+
+  // Size the budget off one real entry so the test is independent of the
+  // overhead constant: room for three entries, not four.
+  HnsCache probe(&world_, CacheMode::kDemarshalled);
+  probe.Put("k1", value, 60);
+  size_t per_entry = probe.ApproximateBytes();
+
+  HnsCacheOptions options;
+  options.shards = 1;  // all keys in one shard: deterministic LRU order
+  options.max_bytes = 3 * per_entry + per_entry / 2;
+  HnsCache cache(&world_, CacheMode::kDemarshalled, options);
+  cache.Put("k1", value, 60);
+  cache.Put("k2", value, 60);
+  cache.Put("k3", value, 60);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // Touch k1 so k2 becomes least recently used, then overflow the budget.
+  EXPECT_TRUE(cache.Get("k1").ok());
+  cache.Put("k4", value, 60);
+
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_LE(cache.ApproximateBytes(), options.max_bytes);
+  EXPECT_FALSE(cache.Get("k2").ok()) << "the LRU entry is the victim";
+  EXPECT_TRUE(cache.Get("k1").ok());
+  EXPECT_TRUE(cache.Get("k3").ok());
+  EXPECT_TRUE(cache.Get("k4").ok());
+}
+
+TEST_F(HnsCacheTest, NegativeEntriesAnswerUntilTheyExpire) {
+  HnsCacheOptions options;
+  options.negative_ttl_seconds = 5;
+  HnsCache cache(&world_, CacheMode::kDemarshalled, options);
+  cache.PutNegative("missing-record");
+
+  HnsCache::LookupResult looked = cache.Lookup("missing-record");
+  EXPECT_EQ(looked.probe, HnsCache::Probe::kNegativeHit);
+  EXPECT_EQ(cache.stats().negative_hits, 1u);
+  // Get() reports NotFound, not a plain miss.
+  EXPECT_EQ(cache.Get("missing-record").status().code(), StatusCode::kNotFound);
+
+  world_.clock().AdvanceMs(5'000.0 + 1.0);
+  EXPECT_EQ(cache.Lookup("missing-record").probe, HnsCache::Probe::kMiss)
+      << "an expired negative entry is a plain miss (re-ask upstream)";
+  EXPECT_EQ(cache.stats().expirations, 1u);
+}
+
+TEST_F(HnsCacheTest, GetReportsExpiryForTtlComposition) {
+  HnsCache cache(&world_, CacheMode::kDemarshalled);
+  cache.Put("short", WireValue::OfUint32(1), 10);
+  cache.Put("long", WireValue::OfUint32(2), 600);
+  SimTime short_expires = 0;
+  SimTime long_expires = 0;
+  ASSERT_TRUE(cache.Get("short", &short_expires).ok());
+  ASSERT_TRUE(cache.Get("long", &long_expires).ok());
+  EXPECT_GT(short_expires, world_.clock().Now());
+  EXPECT_LT(short_expires, long_expires)
+      << "composition takes the min of the constituent expiries";
+}
+
+TEST_F(HnsCacheTest, ShardedCacheAggregatesAcrossShards) {
+  HnsCacheOptions options;
+  options.shards = 8;
+  HnsCache cache(&world_, CacheMode::kDemarshalled, options);
+  for (int i = 0; i < 64; ++i) {
+    cache.Put(StrFormat("key-%02d", i), WireValue::OfUint32(static_cast<uint32_t>(i)), 60);
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(cache.Get(StrFormat("key-%02d", i)).ok());
+  }
+  EXPECT_EQ(cache.size(), 64u);
+  EXPECT_EQ(cache.stats().inserts, 64u);
+  EXPECT_EQ(cache.stats().hits, 64u);
+  EXPECT_GT(cache.stats().bytes, 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.ApproximateBytes(), 0u);
+}
+
+TEST_F(HnsCacheTest, CompositeEntriesExpire) {
+  CompositeBindingCache cache(&world_);
+  CompositeEntry entry;
+  entry.context = "Ctx";
+  entry.query_class = "QC";
+  entry.nsm_name = "SomeNSM";
+  entry.ns_name = "SomeNS";
+  entry.expires = CacheNow(&world_) + MsToSim(10'000.0);
+  cache.Put(entry);
+
+  EXPECT_TRUE(cache.Get("ctx", "qc").has_value()) << "keys are case-insensitive";
+  world_.clock().AdvanceMs(10'000.0 + 1.0);
+  EXPECT_FALSE(cache.Get("Ctx", "QC").has_value());
+  EXPECT_EQ(cache.stats().expirations, 1u);
+  EXPECT_EQ(cache.size(), 0u);
 }
 
 // --- MetaStore (against the live testbed) ------------------------------------------
@@ -271,6 +370,124 @@ TEST(HnsFindNsmTest, ResolveHostAddressThroughEitherService) {
   ASSERT_TRUE(xerox_addr.ok()) << xerox_addr.status();
   EXPECT_NE(*unix_addr, *xerox_addr);
   EXPECT_EQ(*unix_addr, bed.world().network().GetHost(kSunServerHost).value().address);
+}
+
+// --- Composite binding cache through Hns::FindNsm -------------------------------------
+
+class CompositeFindNsmTest : public ::testing::Test {
+ protected:
+  CompositeFindNsmTest() {
+    TestbedOptions options;
+    options.hns_composite_cache = true;
+    bed_ = std::make_unique<Testbed>(options);
+    client_ = bed_->MakeClient(Arrangement::kAllLinked);
+  }
+
+  Hns* hns() { return client_.session->local_hns(); }
+
+  Result<NsmHandle> Find(const char* context, const char* query_class) {
+    HnsName name;
+    name.context = context;
+    name.individual = "whoever";
+    return hns()->FindNsm(name, query_class);
+  }
+
+  std::unique_ptr<Testbed> bed_;
+  ClientSetup client_;
+};
+
+TEST_F(CompositeFindNsmTest, WarmFindNsmIsExactlyOneProbe) {
+  Result<NsmHandle> cold = Find(kContextBindBinding, kQueryClassHrpcBinding);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+
+  hns()->cache().ResetStats();
+  hns()->composite_cache().ResetStats();
+  Result<NsmHandle> warm = Find(kContextBindBinding, kQueryClassHrpcBinding);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+
+  EXPECT_EQ(warm->nsm_name, cold->nsm_name);
+  EXPECT_EQ(warm->binding, cold->binding);
+  EXPECT_EQ(warm->is_linked(), cold->is_linked());
+  CacheStats composite = hns()->composite_cache().stats();
+  EXPECT_EQ(composite.hits, 1u);
+  EXPECT_EQ(composite.Probes(), 1u);
+  EXPECT_EQ(hns()->cache().stats().Probes(), 0u)
+      << "a composite hit must not touch the record cache";
+}
+
+TEST_F(CompositeFindNsmTest, RegisterNsmInvalidatesAffectedEntries) {
+  ASSERT_TRUE(Find(kContextBindBinding, kQueryClassHrpcBinding).ok());
+  // An unrelated pair stays cached across the registration.
+  ASSERT_TRUE(Find(kContextCh, kQueryClassHostAddress).ok());
+
+  NsmInfo moved = bed_->BindingBindInfo();
+  moved.port = 999;
+  ASSERT_TRUE(hns()->RegisterNsm(moved).ok());
+  EXPECT_GE(hns()->composite_cache().stats().evictions, 1u);
+
+  Result<NsmHandle> fresh = Find(kContextBindBinding, kQueryClassHrpcBinding);
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  EXPECT_EQ(fresh->binding.port, 999) << "stale composed binding would keep the old port";
+
+  hns()->composite_cache().ResetStats();
+  ASSERT_TRUE(Find(kContextCh, kQueryClassHostAddress).ok());
+  EXPECT_EQ(hns()->composite_cache().stats().hits, 1u)
+      << "entries not composed from the re-registered NSM survive";
+}
+
+TEST_F(CompositeFindNsmTest, UnregisterNsmInvalidatesAffectedEntries) {
+  ASSERT_TRUE(Find(kContextBindMail, kQueryClassMailboxInfo).ok());
+  ASSERT_TRUE(hns()->UnregisterNsm(kNsBind, kQueryClassMailboxInfo).ok());
+  // A stale composite hit would succeed here; the truth is NotFound.
+  EXPECT_EQ(Find(kContextBindMail, kQueryClassMailboxInfo).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CompositeFindNsmTest, RegisterContextInvalidatesItsEntries) {
+  Result<NsmHandle> before = Find(kContextBindBinding, kQueryClassHrpcBinding);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->nsm_name, kNsmBindingBind);
+
+  // Rebind the context to the Clearinghouse name service: the cached
+  // composition now designates the wrong NSM entirely.
+  ASSERT_TRUE(hns()->RegisterContext(kContextBindBinding, kNsCh).ok());
+  Result<NsmHandle> after = Find(kContextBindBinding, kQueryClassHrpcBinding);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->nsm_name, kNsmBindingCh);
+}
+
+TEST_F(CompositeFindNsmTest, CompositeTtlCapBoundsEntryLifetime) {
+  // A session with a 10-second composite cap under hour-long record TTLs:
+  // the cap is the min, so after 11 s the composite entry is gone while the
+  // record cache still answers everything.
+  SessionOptions options;
+  options.hns.meta_server_host = kMetaSecondaryHost;
+  options.hns.meta_authority_host = kMetaBindHost;
+  options.hns.composite_cache = true;
+  options.hns.composite_ttl_cap_seconds = 10;
+  HnsSession session(&bed_->world(), kClientHost, &bed_->transport(), options);
+  for (std::shared_ptr<Nsm>& nsm : bed_->MakeLinkedNsms(kClientHost)) {
+    ASSERT_TRUE(session.LinkNsm(std::move(nsm)).ok());
+  }
+  Hns* capped = session.local_hns();
+
+  HnsName name;
+  name.context = kContextBindBinding;
+  name.individual = "whoever";
+  ASSERT_TRUE(capped->FindNsm(name, kQueryClassHrpcBinding).ok());
+
+  bed_->world().clock().AdvanceMs(11'000.0);
+  uint64_t lookups = capped->meta().remote_lookups();
+  capped->composite_cache().ResetStats();
+  ASSERT_TRUE(capped->FindNsm(name, kQueryClassHrpcBinding).ok());
+  EXPECT_EQ(capped->composite_cache().stats().expirations, 1u);
+  EXPECT_EQ(capped->meta().remote_lookups(), lookups)
+      << "records outlive the capped composite entry, so re-composition is local";
+
+  // And the re-composed entry serves the next call as a single probe again.
+  capped->composite_cache().ResetStats();
+  ASSERT_TRUE(capped->FindNsm(name, kQueryClassHrpcBinding).ok());
+  EXPECT_EQ(capped->composite_cache().stats().hits, 1u);
 }
 
 }  // namespace

@@ -4,9 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/bindns/protocol.h"
+#include "src/bindns/record.h"
 #include "src/bindns/resolver.h"
 #include "src/bindns/server.h"
+#include "src/hns/meta_store.h"
 #include "src/rpc/client.h"
+#include "src/rpc/ports.h"
 #include "src/rpc/server.h"
 #include "src/rpc/udp_transport.h"
 #include "src/wire/xdr.h"
@@ -117,6 +125,108 @@ TEST(UdpTransportTest, ConcurrentClientsAreServedCorrectly) {
   }
   EXPECT_EQ(failures.load(), 0);
   host.StopAll();
+}
+
+// A fake modified-BIND on a real socket. Every answer carries {"ns": ...}
+// and costs `delay_ms` of real time; NXDOMAIN names contain "missing".
+class FakeMetaBind {
+ public:
+  explicit FakeMetaBind(int delay_ms)
+      : server_(ControlKind::kRaw, "fake-meta-bind") {
+    server_.RegisterProcedure(
+        kBindProgram, kBindProcQuery, [this, delay_ms](const Bytes& args) -> Result<Bytes> {
+          ++queries_;
+          HCS_ASSIGN_OR_RETURN(BindQueryRequest request, BindQueryRequest::Decode(args));
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+          BindQueryResponse response;
+          if (request.name.find("missing") != std::string::npos) {
+            response.rcode = Rcode::kNxDomain;
+          } else {
+            response.rcode = Rcode::kNoError;
+            response.answers = UnspecRecordsFromValue(
+                request.name, RecordBuilder().Str("ns", "UW-BIND").Build(), 300);
+          }
+          return response.Encode();
+        });
+  }
+
+  Result<uint16_t> Serve() { return host_.Serve(&server_, 0); }
+  int queries() const { return queries_.load(); }
+  void Stop() { host_.StopAll(); }
+
+ private:
+  RpcServer server_;
+  UdpServerHost host_;
+  std::atomic<int> queries_{0};
+};
+
+TEST(UdpTransportTest, MetaStoreCoalescesConcurrentMisses) {
+  FakeMetaBind upstream(/*delay_ms=*/100);
+  Result<uint16_t> port = upstream.Serve();
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  UdpTransport transport;
+  RpcClient rpc(/*world=*/nullptr, "localclient", &transport);
+  HnsCache cache(/*world=*/nullptr, CacheMode::kDemarshalled);
+  MetaStore meta(&rpc, "localhost", "", &cache);
+  meta.set_meta_port(*port);
+
+  constexpr int kFollowers = 7;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  // The leader goes first; the followers arrive while its fetch is held up
+  // in the 100 ms upstream, so every one of them must wait, not re-fetch.
+  threads.emplace_back([&] {
+    Result<std::string> ns = meta.ContextToNameService("SharedContext");
+    if (!ns.ok() || *ns != "UW-BIND") ++failures;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  for (int t = 0; t < kFollowers; ++t) {
+    threads.emplace_back([&] {
+      Result<std::string> ns = meta.ContextToNameService("SharedContext");
+      if (!ns.ok() || *ns != "UW-BIND") ++failures;
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  upstream.Stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(upstream.queries(), 1) << "all concurrent misses share one upstream fetch";
+  EXPECT_EQ(meta.remote_lookups(), 1u);
+  EXPECT_EQ(cache.stats().coalesced_misses, static_cast<uint64_t>(kFollowers));
+}
+
+TEST(UdpTransportTest, MetaStoreNegativeCachingOverRealSockets) {
+  FakeMetaBind upstream(/*delay_ms=*/0);
+  Result<uint16_t> port = upstream.Serve();
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  UdpTransport transport;
+  RpcClient rpc(/*world=*/nullptr, "localclient", &transport);
+  HnsCache cache(/*world=*/nullptr, CacheMode::kDemarshalled);
+  MetaStore meta(&rpc, "localhost", "", &cache);
+  meta.set_meta_port(*port);
+
+  EXPECT_EQ(meta.ContextToNameService("missing-context").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(meta.ContextToNameService("missing-context").status().code(),
+            StatusCode::kNotFound);
+  upstream.Stop();
+  EXPECT_EQ(upstream.queries(), 1) << "the repeat NotFound is a negative cache hit";
+  EXPECT_EQ(cache.stats().negative_hits, 1u);
+}
+
+TEST(UdpTransportTest, CacheTtlRunsOnRealClockWithoutWorld) {
+  // With no simulated world the cache must still expire entries — on the
+  // monotonic real clock.
+  HnsCache cache(/*world=*/nullptr, CacheMode::kDemarshalled);
+  cache.Put("k", WireValue::OfUint32(7), /*ttl_seconds=*/1);
+  EXPECT_TRUE(cache.Get("k").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+  EXPECT_FALSE(cache.Get("k").ok()) << "entry outlived its TTL on the real clock";
+  EXPECT_EQ(cache.stats().expirations, 1u);
 }
 
 TEST(UdpTransportTest, BindServerWorksOverRealSockets) {
