@@ -120,6 +120,11 @@ void RunByteBudget() {
     std::printf("FATAL: expected LRU evictions under this budget\n");
     std::abort();
   }
+  if (Status invariants = cache.CheckInvariants(); !invariants.ok()) {
+    std::printf("FATAL: cache invariants violated after eviction storm: %s\n",
+                invariants.ToString().c_str());
+    std::abort();
+  }
 }
 
 // --- C: negative caching ----------------------------------------------------
@@ -228,6 +233,11 @@ void RunStampede() {
                 "(failures=%d fetches=%d coalesced=%llu)\n",
                 failures.load(), server_hits.load(),
                 static_cast<unsigned long long>(stats.coalesced_misses));
+    std::abort();
+  }
+  if (Status invariants = cache.CheckInvariants(); !invariants.ok()) {
+    std::printf("FATAL: cache invariants violated after the stampede: %s\n",
+                invariants.ToString().c_str());
     std::abort();
   }
 }

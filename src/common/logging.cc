@@ -4,11 +4,21 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/common/strings.h"
+#include "src/common/sync.h"
+
 namespace hcs {
 
 namespace {
 
 std::atomic<LogLevel> g_threshold{LogLevel::kWarning};
+
+// Serializes sink writes so concurrent threads never tear a line. Leaked:
+// logging must work during static destruction.
+Mutex& SinkMutex() {
+  static Mutex* mu = new Mutex("log-sink");
+  return *mu;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -42,8 +52,11 @@ void LogMessage(LogLevel level, const char* file, int line, const std::string& m
   if (static_cast<int>(level) < static_cast<int>(g_threshold.load())) {
     return;
   }
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file), line,
-               message.c_str());
+  // Format outside the lock; emit the whole line in one write under it.
+  std::string formatted =
+      StrFormat("[%s %s:%d] %s\n", LevelTag(level), Basename(file), line, message.c_str());
+  MutexLock lock(SinkMutex());
+  std::fwrite(formatted.data(), 1, formatted.size(), stderr);
 }
 
 }  // namespace hcs

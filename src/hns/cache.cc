@@ -64,7 +64,7 @@ HnsCache::LookupResult HnsCache::Lookup(const std::string& key) {
   LookupResult result;
   if (mode_ == CacheMode::kNone) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     ++shard.stats.misses;
     return result;
   }
@@ -72,7 +72,7 @@ HnsCache::LookupResult HnsCache::Lookup(const std::string& key) {
     world_->ChargeMs(world_->costs().cache_probe_ms);
   }
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.stats.misses;
@@ -154,7 +154,7 @@ void HnsCache::Insert(Entry entry) {
   if (world_ != nullptr) {
     world_->ChargeMs(world_->costs().cache_insert_ms);
   }
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(entry.key);
   if (it != shard.index.end()) {
     Unlink(&shard, it);
@@ -216,7 +216,7 @@ void HnsCache::Unlink(Shard* shard,
 
 void HnsCache::Remove(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     Unlink(&shard, it);
@@ -225,7 +225,7 @@ void HnsCache::Remove(const std::string& key) {
 
 void HnsCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->lru.clear();
     shard->index.clear();
     shard->bytes = 0;
@@ -235,7 +235,7 @@ void HnsCache::Clear() {
 size_t HnsCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->lru.size();
   }
   return total;
@@ -244,7 +244,7 @@ size_t HnsCache::size() const {
 size_t HnsCache::ApproximateBytes() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->bytes;
   }
   return total;
@@ -253,7 +253,7 @@ size_t HnsCache::ApproximateBytes() const {
 CacheStats HnsCache::stats() const {
   CacheStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->stats;
     total.bytes += shard->bytes;
   }
@@ -262,15 +262,44 @@ CacheStats HnsCache::stats() const {
 
 void HnsCache::ResetStats() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->stats = CacheStats{};
   }
 }
 
 void HnsCache::NoteCoalescedMiss() {
   Shard& shard = *shards_[0];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   ++shard.stats.coalesced_misses;
+}
+
+Status HnsCache::CheckInvariants() const {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = *shards_[i];
+    MutexLock lock(shard.mu);
+    if (shard.index.size() != shard.lru.size()) {
+      return InternalError(StrFormat("shard %zu: index has %zu entries but LRU list has %zu",
+                                     i, shard.index.size(), shard.lru.size()));
+    }
+    size_t recomputed = 0;
+    for (auto it = shard.lru.begin(); it != shard.lru.end(); ++it) {
+      auto indexed = shard.index.find(it->key);
+      if (indexed == shard.index.end()) {
+        return InternalError(
+            StrFormat("shard %zu: LRU entry '%s' missing from index", i, it->key.c_str()));
+      }
+      if (indexed->second != it) {
+        return InternalError(StrFormat("shard %zu: index entry '%s' points at the wrong node",
+                                       i, it->key.c_str()));
+      }
+      recomputed += it->bytes;
+    }
+    if (recomputed != shard.bytes) {
+      return InternalError(StrFormat(
+          "shard %zu: running byte total %zu != recomputed sum %zu", i, shard.bytes, recomputed));
+    }
+  }
+  return Status::Ok();
 }
 
 // --- CompositeBindingCache --------------------------------------------------
@@ -295,7 +324,7 @@ std::optional<CompositeEntry> CompositeBindingCache::Get(const std::string& cont
   if (world_ != nullptr) {
     world_->ChargeMs(world_->costs().cache_probe_ms);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(CompositeKey(context, query_class));
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -325,7 +354,7 @@ void CompositeBindingCache::Put(CompositeEntry entry) {
   entry.query_class = AsciiToLower(entry.query_class);
   entry.ns_name = AsciiToLower(entry.ns_name);
   std::string key = entry.context + '\x1f' + entry.query_class;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     stats_.bytes -= CompositeEntryBytes(it->second);
@@ -338,7 +367,7 @@ void CompositeBindingCache::Put(CompositeEntry entry) {
 
 void CompositeBindingCache::InvalidateContext(const std::string& context) {
   std::string needle = AsciiToLower(context);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.context == needle) {
       stats_.bytes -= CompositeEntryBytes(it->second);
@@ -356,7 +385,7 @@ void CompositeBindingCache::InvalidateNsm(const std::string& ns_name,
   std::string ns = AsciiToLower(ns_name);
   std::string qc = AsciiToLower(query_class);
   std::string nsm = AsciiToLower(nsm_name);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     bool from_mapping = it->second.ns_name == ns && it->second.query_class == qc;
     bool designates = !nsm.empty() && AsciiToLower(it->second.nsm_name) == nsm;
@@ -371,23 +400,23 @@ void CompositeBindingCache::InvalidateNsm(const std::string& ns_name,
 }
 
 void CompositeBindingCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   stats_.bytes = 0;
 }
 
 size_t CompositeBindingCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 CacheStats CompositeBindingCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void CompositeBindingCache::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t bytes = stats_.bytes;
   stats_ = CacheStats{};
   stats_.bytes = bytes;

@@ -24,13 +24,13 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/sync.h"
 #include "src/rpc/binding.h"
 #include "src/sim/world.h"
 #include "src/wire/marshal.h"
@@ -148,6 +148,13 @@ class HnsCache {
   // MetaStore::ReadRecord).
   void NoteCoalescedMiss();
 
+  // Structural self-check, shard by shard: LRU list and index agree (same
+  // size, every index entry points at a list node with the matching key)
+  // and the running byte total equals the recomputed per-entry sum. Returns
+  // the first violation; cache tests and bench_cache call this after
+  // mutation storms.
+  Status CheckInvariants() const;
+
  private:
   struct Entry {
     std::string key;
@@ -159,11 +166,11 @@ class HnsCache {
     bool negative = false;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
-    size_t bytes = 0;
-    CacheStats stats;
+    mutable Mutex mu{"hns-cache-shard"};
+    std::list<Entry> lru HCS_GUARDED_BY(mu);  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index HCS_GUARDED_BY(mu);
+    size_t bytes HCS_GUARDED_BY(mu) = 0;
+    CacheStats stats HCS_GUARDED_BY(mu);
   };
 
   SimTime Now() const { return CacheNow(world_); }
@@ -172,9 +179,10 @@ class HnsCache {
   // Inserts an entry (positive or negative), evicting from the shard's LRU
   // tail while over the per-shard byte budget.
   void Insert(Entry entry);
-  // Unlinks `it` from `shard`, updating the byte total. Caller holds the
-  // shard mutex.
-  static void Unlink(Shard* shard, std::unordered_map<std::string, std::list<Entry>::iterator>::iterator it);
+  // Unlinks `it` from `shard`, updating the byte total.
+  static void Unlink(Shard* shard,
+                     std::unordered_map<std::string, std::list<Entry>::iterator>::iterator it)
+      HCS_REQUIRES(shard->mu);
 
   World* world_;
   CacheMode mode_;
@@ -229,9 +237,10 @@ class CompositeBindingCache {
   SimTime Now() const { return CacheNow(world_); }
 
   World* world_;
-  mutable std::mutex mu_;
-  std::map<std::string, CompositeEntry> entries_;  // by "context\x1fqc", lower-cased
-  CacheStats stats_;
+  mutable Mutex mu_{"hns-composite-cache"};
+  // By "context\x1fqc", lower-cased.
+  std::map<std::string, CompositeEntry> entries_ HCS_GUARDED_BY(mu_);
+  CacheStats stats_ HCS_GUARDED_BY(mu_);
 };
 
 }  // namespace hcs

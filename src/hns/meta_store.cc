@@ -143,12 +143,12 @@ Result<WireValue> MetaStore::ReadRecord(const std::string& record_name,
   // the leader and queries BIND; everyone else waits for its result.
   std::shared_ptr<InFlight> flight;
   {
-    std::unique_lock<std::mutex> lock(flight_mu_);
+    MutexLock lock(flight_mu_);
     auto it = in_flight_.find(record_name);
     if (it != in_flight_.end()) {
       flight = it->second;
       cache_->NoteCoalescedMiss();
-      flight_cv_.wait(lock, [&] { return flight->done; });
+      flight_cv_.Wait(flight_mu_, [&] { return flight->done; });
       if (flight->result.ok() && expires_out != nullptr) {
         *expires_out = flight->expires;
       }
@@ -169,13 +169,13 @@ Result<WireValue> MetaStore::ReadRecord(const std::string& record_name,
   }
 
   {
-    std::lock_guard<std::mutex> lock(flight_mu_);
+    MutexLock lock(flight_mu_);
     flight->result = fetched;
     flight->expires = expires;
     flight->done = true;
     in_flight_.erase(record_name);
   }
-  flight_cv_.notify_all();
+  flight_cv_.NotifyAll();
 
   if (fetched.ok() && expires_out != nullptr) {
     *expires_out = expires;

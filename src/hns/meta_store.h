@@ -18,14 +18,13 @@
 #define HCS_SRC_HNS_META_STORE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/bindns/protocol.h"
+#include "src/common/sync.h"
 #include "src/hns/cache.h"
 #include "src/hns/name.h"
 #include "src/rpc/binding.h"
@@ -161,9 +160,9 @@ class MetaStore {
   uint16_t meta_port_ = 0;  // 0 = kBindPort
   std::atomic<uint64_t> remote_lookups_{0};
 
-  std::mutex flight_mu_;
-  std::condition_variable flight_cv_;
-  std::map<std::string, std::shared_ptr<InFlight>> in_flight_;
+  Mutex flight_mu_{"meta-singleflight"};
+  CondVar flight_cv_;
+  std::map<std::string, std::shared_ptr<InFlight>> in_flight_ HCS_GUARDED_BY(flight_mu_);
 };
 
 }  // namespace hcs

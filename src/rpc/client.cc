@@ -27,7 +27,7 @@ Result<Bytes> RpcClient::Call(const HrpcBinding& binding, uint32_t procedure,
   const ControlProtocol& control = GetControlProtocol(binding.control);
 
   RpcCall call;
-  call.xid = next_xid_++;
+  call.xid = next_xid_.fetch_add(1, std::memory_order_relaxed);
   call.program = binding.program;
   call.version = binding.version;
   call.procedure = procedure;

@@ -7,6 +7,7 @@
 #ifndef HCS_SRC_RPC_CLIENT_H_
 #define HCS_SRC_RPC_CLIENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -40,7 +41,9 @@ class RpcClient {
   World* world_;
   std::string local_host_;
   Transport* transport_;
-  uint32_t next_xid_ = 1;
+  // Atomic: one RpcClient serves concurrent callers on the real-transport
+  // path (the Hns's readers and registration writers share it).
+  std::atomic<uint32_t> next_xid_{1};
 };
 
 }  // namespace hcs

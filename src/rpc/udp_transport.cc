@@ -86,13 +86,13 @@ Result<uint16_t> UdpServerHost::Serve(SimService* service, uint16_t port) {
   endpoint.stop = std::make_unique<std::atomic<bool>>(false);
   endpoint.thread = std::thread(ServeLoop, fd, service, endpoint.stop.get());
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   endpoints_.push_back(std::move(endpoint));
   return bound_port;
 }
 
 void UdpServerHost::StopAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (Endpoint& endpoint : endpoints_) {
     // Raise the stop flag, then wake the blocking recvfrom with a zero-byte
     // datagram; the loop notices the flag and exits. The socket is closed

@@ -15,12 +15,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/sync.h"
 #include "src/rpc/transport.h"
 
 namespace hcs {
@@ -48,8 +48,8 @@ class UdpServerHost {
     std::unique_ptr<std::atomic<bool>> stop;  // stable address for the loop
     std::thread thread;
   };
-  std::vector<Endpoint> endpoints_;
-  std::mutex mutex_;
+  Mutex mutex_{"udp-server-host"};
+  std::vector<Endpoint> endpoints_ HCS_GUARDED_BY(mutex_);
 };
 
 // Client-side transport: each RoundTrip sends one datagram to

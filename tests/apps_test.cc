@@ -147,7 +147,9 @@ TEST(NfsLiteTest, StaleHandleAndBadOffset) {
 
   XdrEncoder lookup;
   lookup.PutString("/a");
-  XdrDecoder dec(rpc.Call(b, kNfsProcLookup, lookup.Take()).value());
+  // Keep the reply alive: XdrDecoder holds a reference into its argument.
+  Bytes lookup_reply = rpc.Call(b, kNfsProcLookup, lookup.Take()).value();
+  XdrDecoder dec(lookup_reply);
   uint32_t handle = dec.GetUint32().value();
   XdrEncoder past_end;
   past_end.PutUint32(handle);

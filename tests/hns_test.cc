@@ -126,8 +126,10 @@ TEST_F(HnsCacheTest, RemoveAndClear) {
   cache.Remove("a");
   EXPECT_FALSE(cache.Get("a").ok());
   EXPECT_TRUE(cache.Get("b").ok());
+  EXPECT_TRUE(cache.CheckInvariants().ok());
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(cache.CheckInvariants().ok());
 }
 
 TEST_F(HnsCacheTest, ApproximateBytesRoughlyTracksContent) {
@@ -166,6 +168,7 @@ TEST_F(HnsCacheTest, ByteBudgetEvictsInLruOrder) {
   EXPECT_TRUE(cache.Get("k1").ok());
   EXPECT_TRUE(cache.Get("k3").ok());
   EXPECT_TRUE(cache.Get("k4").ok());
+  EXPECT_TRUE(cache.CheckInvariants().ok()) << "eviction left list/index/bytes out of sync";
 }
 
 TEST_F(HnsCacheTest, NegativeEntriesAnswerUntilTheyExpire) {
@@ -184,6 +187,7 @@ TEST_F(HnsCacheTest, NegativeEntriesAnswerUntilTheyExpire) {
   EXPECT_EQ(cache.Lookup("missing-record").probe, HnsCache::Probe::kMiss)
       << "an expired negative entry is a plain miss (re-ask upstream)";
   EXPECT_EQ(cache.stats().expirations, 1u);
+  EXPECT_TRUE(cache.CheckInvariants().ok());
 }
 
 TEST_F(HnsCacheTest, GetReportsExpiryForTtlComposition) {
@@ -213,9 +217,11 @@ TEST_F(HnsCacheTest, ShardedCacheAggregatesAcrossShards) {
   EXPECT_EQ(cache.stats().inserts, 64u);
   EXPECT_EQ(cache.stats().hits, 64u);
   EXPECT_GT(cache.stats().bytes, 0u);
+  EXPECT_TRUE(cache.CheckInvariants().ok());
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.ApproximateBytes(), 0u);
+  EXPECT_TRUE(cache.CheckInvariants().ok());
 }
 
 TEST_F(HnsCacheTest, CompositeEntriesExpire) {

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Pre-merge check matrix for the HNS tree. Runs every correctness gate the
+# local toolchain supports and prints a PASS/FAIL/SKIP summary:
+#
+#   default      build + full ctest (the tier-1 gate)
+#   asan-ubsan   full ctest under -DHCS_SANITIZE=address,undefined
+#   tsan         `ctest -L concurrency` under -DHCS_SANITIZE=thread
+#   annotations  clang build with -DHCS_THREAD_SAFETY=ON (-Werror=thread-safety)
+#   clang-tidy   .clang-tidy over src/ via the default compile database
+#   lint-wire    tools/lint_wire.py encode/decode symmetry
+#
+# Configurations whose toolchain is missing (no clang++, no clang-tidy) are
+# SKIPped, not failed: the container bakes in GCC only; the clang gates run
+# where clang exists (developer machines, CI images with clang).
+#
+# Usage: tools/check.sh [build-root]   (default: <repo>/check-builds)
+
+set -u
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_ROOT="${1:-${REPO}/check-builds}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+declare -a NAMES RESULTS
+note() { printf '\n=== check.sh: %s ===\n' "$*"; }
+record() { NAMES+=("$1"); RESULTS+=("$2"); }
+
+configure_build_test() {
+  # configure_build_test <name> <src-flags...> -- <ctest-args...>
+  local name="$1"; shift
+  local -a cmake_flags=() ctest_args=()
+  local seen_sep=0
+  for arg in "$@"; do
+    if [[ "${arg}" == "--" ]]; then seen_sep=1; continue; fi
+    if [[ ${seen_sep} -eq 0 ]]; then cmake_flags+=("${arg}"); else ctest_args+=("${arg}"); fi
+  done
+  local dir="${BUILD_ROOT}/${name}"
+  note "${name}: configure + build"
+  if ! cmake -B "${dir}" -S "${REPO}" "${cmake_flags[@]}"; then
+    record "${name}" FAIL; return 1
+  fi
+  if ! cmake --build "${dir}" -j "${JOBS}"; then
+    record "${name}" FAIL; return 1
+  fi
+  note "${name}: ctest ${ctest_args[*]-}"
+  if ! (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" "${ctest_args[@]}"); then
+    record "${name}" FAIL; return 1
+  fi
+  record "${name}" PASS
+}
+
+# 1. Default build, full test suite (the tier-1 gate).
+configure_build_test default --
+
+# 2. ASan + UBSan, full suite, failures fatal (-fno-sanitize-recover=all).
+configure_build_test asan-ubsan -DHCS_SANITIZE=address,undefined --
+
+# 3. TSan over the multi-threaded / real-socket tests.
+configure_build_test tsan -DHCS_SANITIZE=thread -- -L concurrency
+
+# 4. Clang thread-safety annotations as errors (build-only gate).
+if command -v clang++ >/dev/null 2>&1; then
+  dir="${BUILD_ROOT}/thread-safety"
+  note "annotations: clang++ -Werror=thread-safety"
+  if cmake -B "${dir}" -S "${REPO}" -DCMAKE_CXX_COMPILER=clang++ \
+        -DHCS_THREAD_SAFETY=ON &&
+     cmake --build "${dir}" -j "${JOBS}"; then
+    record annotations PASS
+  else
+    record annotations FAIL
+  fi
+else
+  note "annotations: SKIP (no clang++ on PATH)"
+  record annotations SKIP
+fi
+
+# 5. clang-tidy over src/, driven by the default build's compile database.
+if command -v clang-tidy >/dev/null 2>&1; then
+  note "clang-tidy: src/ against .clang-tidy"
+  cmake -B "${BUILD_ROOT}/default" -S "${REPO}" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  mapfile -t tidy_sources < <(find "${REPO}/src" -name '*.cc' | sort)
+  if clang-tidy -p "${BUILD_ROOT}/default" --quiet "${tidy_sources[@]}"; then
+    record clang-tidy PASS
+  else
+    record clang-tidy FAIL
+  fi
+else
+  note "clang-tidy: SKIP (not on PATH)"
+  record clang-tidy SKIP
+fi
+
+# 6. Wire encode/decode symmetry lint (also runs as the lint_wire ctest).
+note "lint-wire: tools/lint_wire.py"
+if python3 "${REPO}/tools/lint_wire.py" "${REPO}"; then
+  record lint-wire PASS
+else
+  record lint-wire FAIL
+fi
+
+printf '\n=== check.sh summary ===\n'
+failed=0
+for i in "${!NAMES[@]}"; do
+  printf '  %-14s %s\n' "${NAMES[$i]}" "${RESULTS[$i]}"
+  [[ "${RESULTS[$i]}" == FAIL ]] && failed=1
+done
+exit "${failed}"
