@@ -1,0 +1,166 @@
+// Real-socket service-runtime sweep shared by bench_findnsm and
+// bench_workload: the same RPC service is hosted once under the seed's
+// thread-per-endpoint model and once on the shared epoll reactor
+// (concurrent dispatch), then driven by N client threads with one request
+// in flight each. Unlike the sim harnesses, these numbers are wall-clock —
+// the point is the serving runtime, not the name-service model.
+
+#ifndef HCS_BENCH_BENCH_REACTOR_UTIL_H_
+#define HCS_BENCH_BENCH_REACTOR_UTIL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "src/rpc/client.h"
+#include "src/rpc/context.h"
+#include "src/rpc/control.h"
+#include "src/rpc/server.h"
+#include "src/rpc/udp_transport.h"
+#include "src/sim/world.h"
+
+namespace hcs {
+
+struct SweepPoint {
+  int clients = 0;
+  double throughput_qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t attempts = 0;
+  uint64_t retries = 0;
+};
+
+// Drives `requests_per_client` sequential budgeted calls from each of
+// `clients` threads against the served endpoint and reports aggregate
+// throughput plus the latency distribution tails. Every call carries a
+// RequestContext deadline so the per-attempt retry loop is live; the
+// attempt/retry totals from RpcCallInfo are surfaced in the row.
+inline SweepPoint DriveClients(uint16_t port, int clients, int requests_per_client) {
+  HrpcBinding binding;
+  binding.service_name = "runtime-sweep";
+  binding.host = "localhost";
+  binding.port = port;
+  binding.program = 7;
+  binding.version = 2;
+  binding.control = ControlKind::kRaw;
+  binding.transport = TransportKind::kUdp;
+
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> attempts{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<int> failures{0};
+
+  auto start = std::chrono::steady_clock::now();
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      UdpTransport transport(/*timeout_ms=*/2000);
+      RpcClient client(/*world=*/nullptr, "benchclient", &transport);
+      latencies[c].reserve(requests_per_client);
+      for (int i = 0; i < requests_per_client; ++i) {
+        RpcCallInfo info;
+        auto t0 = std::chrono::steady_clock::now();
+        Result<Bytes> reply = client.Call(binding, 1, Bytes{1, 2, 3, 4},
+                                          RequestContext::WithTimeout(5000), &info);
+        auto t1 = std::chrono::steady_clock::now();
+        if (!reply.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        latencies[c].push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+        attempts.fetch_add(info.attempts, std::memory_order_relaxed);
+        retries.fetch_add(info.retries, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  double elapsed_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                         .count();
+
+  std::vector<double> all;
+  for (const std::vector<double>& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  SweepPoint point;
+  point.clients = clients;
+  if (!all.empty() && elapsed_s > 0) {
+    point.throughput_qps = static_cast<double>(all.size()) / elapsed_s;
+    point.p50_ms = all[all.size() / 2];
+    point.p99_ms = all[std::min(all.size() - 1, (all.size() * 99) / 100)];
+  }
+  point.attempts = attempts.load(std::memory_order_relaxed);
+  point.retries = retries.load(std::memory_order_relaxed);
+  if (failures.load(std::memory_order_relaxed) != 0) {
+    std::printf("  WARNING: %d calls failed at %d clients\n",
+                failures.load(std::memory_order_relaxed), clients);
+  }
+  return point;
+}
+
+// Hosts `server` under `mode` (reactor hosts use concurrent dispatch — the
+// handler must be thread-safe) and runs the client sweep against it. The
+// worker pool is sized for the sweep's peak concurrency rather than the
+// core count: the handlers model downstream I/O waits, so workers park in
+// the kernel and more of them are nearly free.
+inline std::vector<SweepPoint> SweepRuntime(ServeMode mode, RpcServer* server,
+                                            const std::vector<int>& client_counts,
+                                            int requests_per_client) {
+  int peak = 1;
+  for (int clients : client_counts) {
+    peak = std::max(peak, clients);
+  }
+  std::vector<SweepPoint> points;
+  UdpServerHost host(mode, /*reactor_workers=*/peak);
+  Result<uint16_t> port = mode == ServeMode::kReactor
+                              ? host.ServeConcurrent(server, 0)
+                              : host.Serve(server, 0);
+  if (!port.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", port.status().ToString().c_str());
+    std::abort();
+  }
+  for (int clients : client_counts) {
+    points.push_back(DriveClients(*port, clients, requests_per_client));
+  }
+  host.StopAll();
+  return points;
+}
+
+inline void PrintSweepTable(const char* baseline_label, const char* reactor_label,
+                            const std::vector<SweepPoint>& baseline,
+                            const std::vector<SweepPoint>& reactor) {
+  std::printf("  %-8s | %-28s | %-28s | %7s\n", "", baseline_label, reactor_label, "");
+  std::printf("  %-8s | %9s %8s %8s | %9s %8s %8s | %7s\n", "clients", "qps", "p50 ms",
+              "p99 ms", "qps", "p50 ms", "p99 ms", "speedup");
+  for (size_t i = 0; i < baseline.size() && i < reactor.size(); ++i) {
+    const SweepPoint& b = baseline[i];
+    const SweepPoint& r = reactor[i];
+    std::printf("  %-8d | %9.0f %8.2f %8.2f | %9.0f %8.2f %8.2f | %6.2fx\n", b.clients,
+                b.throughput_qps, b.p50_ms, b.p99_ms, r.throughput_qps, r.p50_ms, r.p99_ms,
+                b.throughput_qps > 0 ? r.throughput_qps / b.throughput_qps : 0.0);
+  }
+  uint64_t attempts = 0;
+  uint64_t retries = 0;
+  for (const SweepPoint& p : baseline) {
+    attempts += p.attempts;
+    retries += p.retries;
+  }
+  for (const SweepPoint& p : reactor) {
+    attempts += p.attempts;
+    retries += p.retries;
+  }
+  std::printf("  rpc attempts=%llu retries=%llu (budgeted calls; retries indicate drops)\n",
+              static_cast<unsigned long long>(attempts),
+              static_cast<unsigned long long>(retries));
+}
+
+}  // namespace hcs
+
+#endif  // HCS_BENCH_BENCH_REACTOR_UTIL_H_

@@ -2,6 +2,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/rpc/context.h"
 #include "src/rpc/ports.h"
 #include "src/wire/marshal.h"
 
@@ -99,6 +100,7 @@ Zone* BindServer::FindZone(const std::string& name) {
 void BindServer::RegisterHandlers() {
   rpc_server_.RegisterProcedure(
       kBindProgram, kBindProcQuery, [this](const Bytes& args) -> Result<Bytes> {
+        HCS_RETURN_IF_ERROR(ShedIfBudgetSpent("bind-query"));
         // Server-side demarshal of the request (standard BIND routines).
         ChargeDemarshal(world_, MarshalEngine::kHandCoded, 1);
         HCS_ASSIGN_OR_RETURN(BindQueryRequest request, BindQueryRequest::Decode(args));
@@ -189,6 +191,9 @@ Result<BindQueryResponse> BindServer::HandleQuery(const BindQueryRequest& reques
 }
 
 Result<BindQueryResponse> BindServer::ForwardQuery(const BindQueryRequest& request) {
+  // The forward hop is the expensive part of a miss; re-check the budget
+  // here — it may have died while this server worked through its queue.
+  HCS_RETURN_IF_ERROR(ShedIfBudgetSpent("bind-forwarder"));
   HrpcBinding upstream;
   upstream.service_name = "bind";
   upstream.host = options_.forwarder_host;

@@ -2,6 +2,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/rpc/context.h"
 #include "src/rpc/ports.h"
 
 namespace hcs {
@@ -165,6 +166,7 @@ Result<ChListObjectsResponse> ChServer::ListObjectsLocal(
 void ChServer::RegisterHandlers() {
   rpc_server_.RegisterProcedure(
       kClearinghouseProgram, kChProcRetrieveItem, [this](const Bytes& args) -> Result<Bytes> {
+        HCS_RETURN_IF_ERROR(ShedIfBudgetSpent("clearinghouse-retrieve"));
         HCS_ASSIGN_OR_RETURN(ChRetrieveItemRequest request,
                              ChRetrieveItemRequest::Decode(args));
         HCS_ASSIGN_OR_RETURN(ChRetrieveItemResponse response, RetrieveItemLocal(request));
@@ -189,6 +191,7 @@ void ChServer::RegisterHandlers() {
 
   rpc_server_.RegisterProcedure(
       kClearinghouseProgram, kChProcListObjects, [this](const Bytes& args) -> Result<Bytes> {
+        HCS_RETURN_IF_ERROR(ShedIfBudgetSpent("clearinghouse-list"));
         HCS_ASSIGN_OR_RETURN(ChListObjectsRequest request, ChListObjectsRequest::Decode(args));
         HCS_ASSIGN_OR_RETURN(ChListObjectsResponse response, ListObjectsLocal(request));
         return response.Encode();

@@ -23,6 +23,7 @@
 #define HCS_SRC_COMMON_SYNC_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -151,6 +152,19 @@ class CondVar {
     while (!pred()) {
       Wait(mu);
     }
+  }
+
+  // Bounded wait: blocks until `pred` holds or `timeout_ms` elapses. Returns
+  // the final value of `pred` (false = timed out with the predicate still
+  // unsatisfied). Used by deadline-carrying waiters — e.g. singleflight
+  // followers bounding their wait by the earliest of their own and the
+  // leader's remaining budget.
+  template <typename Predicate>
+  bool WaitFor(Mutex& mu, int64_t timeout_ms, Predicate pred) HCS_REQUIRES(mu) {
+    if (timeout_ms <= 0) {
+      return pred();
+    }
+    return cv_.wait_for(mu, std::chrono::milliseconds(timeout_ms), std::move(pred));
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -38,7 +38,17 @@ Nsm* Hns::LinkedNsm(const std::string& nsm_name) const {
   return it == linked_nsms_.end() ? nullptr : it->second.get();
 }
 
-Result<NsmHandle> Hns::FindNsm(const HnsName& name, const QueryClass& query_class) {
+Result<NsmHandle> Hns::FindNsm(const HnsName& name, const QueryClass& query_class,
+                               const RequestContext& context) {
+  const RequestContext& effective = context.empty() ? CurrentRequestContext() : context;
+  if (effective.expired()) {
+    // The caller's budget is already spent; answering would arrive into the
+    // void. Shed before touching the cache or the meta store.
+    return TimeoutError(StrFormat("FindNSM shed: budget spent %lld ms ago (trace %016llx)",
+                                  static_cast<long long>(-effective.remaining_ms()),
+                                  static_cast<unsigned long long>(effective.trace_id)));
+  }
+
   // Composite fast path: a warm FindNSM is one probe + one copy of the
   // fully-resolved handle, instead of six record-cache probes (and six stub
   // demarshals in marshalled mode).
@@ -55,7 +65,7 @@ Result<NsmHandle> Hns::FindNsm(const HnsName& name, const QueryClass& query_clas
   SimTime min_expires = std::numeric_limits<SimTime>::max();
   std::string ns_name;
   HCS_ASSIGN_OR_RETURN(NsmHandle handle,
-                       FindNsmUncomposed(name, query_class, &min_expires, &ns_name));
+                       FindNsmUncomposed(name, query_class, &min_expires, &ns_name, effective));
 
   if (options_.composite_cache) {
     SimTime cap = CacheNow(world_) +
@@ -73,15 +83,16 @@ Result<NsmHandle> Hns::FindNsm(const HnsName& name, const QueryClass& query_clas
 }
 
 Result<NsmHandle> Hns::FindNsmUncomposed(const HnsName& name, const QueryClass& query_class,
-                                         SimTime* min_expires, std::string* ns_name_out) {
+                                         SimTime* min_expires, std::string* ns_name_out,
+                                         const RequestContext& context) {
   SimTime expires = 0;
   // Mapping 1: context -> name service name.
   HCS_ASSIGN_OR_RETURN(std::string ns_name,
-                       meta_.ContextToNameService(name.context, &expires));
+                       meta_.ContextToNameService(name.context, &expires, context));
   *min_expires = std::min(*min_expires, expires);
   // Mapping 2: (name service, query class) -> NSM name.
   HCS_ASSIGN_OR_RETURN(std::string nsm_name,
-                       meta_.NsmNameFor(ns_name, query_class, &expires));
+                       meta_.NsmNameFor(ns_name, query_class, &expires, context));
   *min_expires = std::min(*min_expires, expires);
   *ns_name_out = std::move(ns_name);
 
@@ -98,10 +109,10 @@ Result<NsmHandle> Hns::FindNsmUncomposed(const HnsName& name, const QueryClass& 
   // the NSM's host *name*; resolving it to an address is itself an HNS
   // naming operation (two more meta mappings plus one underlying-service
   // lookup when cold).
-  HCS_ASSIGN_OR_RETURN(NsmInfo info, meta_.NsmLocation(nsm_name, &expires));
+  HCS_ASSIGN_OR_RETURN(NsmInfo info, meta_.NsmLocation(nsm_name, &expires, context));
   *min_expires = std::min(*min_expires, expires);
-  HCS_ASSIGN_OR_RETURN(uint32_t address,
-                       ResolveHostAddressAtDepth(info.host_context, info.host, 0, min_expires));
+  HCS_ASSIGN_OR_RETURN(uint32_t address, ResolveHostAddressAtDepth(info.host_context, info.host,
+                                                                   0, min_expires, context));
 
   handle.binding.service_name = info.nsm_name;
   handle.binding.host = info.host;
@@ -117,24 +128,27 @@ Result<NsmHandle> Hns::FindNsmUncomposed(const HnsName& name, const QueryClass& 
 }
 
 Result<uint32_t> Hns::ResolveHostAddress(const std::string& host_context,
-                                         const std::string& host) {
+                                         const std::string& host,
+                                         const RequestContext& context) {
   SimTime ignored = std::numeric_limits<SimTime>::max();
-  return ResolveHostAddressAtDepth(host_context, host, 0, &ignored);
+  const RequestContext& effective = context.empty() ? CurrentRequestContext() : context;
+  return ResolveHostAddressAtDepth(host_context, host, 0, &ignored, effective);
 }
 
 Result<uint32_t> Hns::ResolveHostAddressAtDepth(const std::string& host_context,
                                                 const std::string& host, int depth,
-                                                SimTime* min_expires) {
+                                                SimTime* min_expires,
+                                                const RequestContext& context) {
   if (depth > kMaxAddressRecursionDepth) {
     return UnavailableError(
         "host address recursion too deep; link a HostAddress NSM into this process");
   }
   SimTime expires = 0;
   HCS_ASSIGN_OR_RETURN(std::string ns_name,
-                       meta_.ContextToNameService(host_context, &expires));
+                       meta_.ContextToNameService(host_context, &expires, context));
   *min_expires = std::min(*min_expires, expires);
   HCS_ASSIGN_OR_RETURN(std::string nsm_name,
-                       meta_.NsmNameFor(ns_name, kQueryClassHostAddress, &expires));
+                       meta_.NsmNameFor(ns_name, kQueryClassHostAddress, &expires, context));
   *min_expires = std::min(*min_expires, expires);
 
   HnsName host_name;
@@ -152,11 +166,11 @@ Result<uint32_t> Hns::ResolveHostAddressAtDepth(const std::string& host_context,
   // recursion is bounded by the depth guard; production deployments link
   // the HostAddress NSMs exactly to avoid paying this path.
   HCS_LOG(Debug) << "host-address NSM " << nsm_name << " not linked; recursing";
-  HCS_ASSIGN_OR_RETURN(NsmInfo info, meta_.NsmLocation(nsm_name, &expires));
+  HCS_ASSIGN_OR_RETURN(NsmInfo info, meta_.NsmLocation(nsm_name, &expires, context));
   *min_expires = std::min(*min_expires, expires);
   HCS_ASSIGN_OR_RETURN(
       uint32_t nsm_address,
-      ResolveHostAddressAtDepth(info.host_context, info.host, depth + 1, min_expires));
+      ResolveHostAddressAtDepth(info.host_context, info.host, depth + 1, min_expires, context));
 
   HrpcBinding binding;
   binding.service_name = info.nsm_name;
@@ -177,7 +191,7 @@ Result<uint32_t> Hns::ResolveHostAddressAtDepth(const std::string& host_context,
   if (world_ != nullptr) {
     ChargeMarshal(world_, MarshalEngine::kStubGenerated, 1);
   }
-  HCS_ASSIGN_OR_RETURN(Bytes reply, rpc_client_.Call(binding, 1, enc.Take()));
+  HCS_ASSIGN_OR_RETURN(Bytes reply, rpc_client_.Call(binding, 1, enc.Take(), context));
   HCS_ASSIGN_OR_RETURN(WireValue result, WireValue::Decode(reply));
   if (world_ != nullptr) {
     ChargeDemarshal(world_, MarshalEngine::kStubGenerated, MarshalUnits(result));

@@ -16,6 +16,7 @@
 #include "src/hns/name.h"
 #include "src/hns/nsm_interface.h"
 #include "src/rpc/client.h"
+#include "src/rpc/context.h"
 #include "src/rpc/transport.h"
 #include "src/sim/world.h"
 
@@ -65,13 +66,17 @@ class Hns {
   // Maps (context of `name`, query class) to a handle for the NSM that can
   // answer, performing the paper's mapping sequence. On a fully cold cache
   // this performs six remote data lookups; with a warm cache, none.
-  Result<NsmHandle> FindNsm(const HnsName& name, const QueryClass& query_class);
+  // `context` bounds the whole sequence (empty: inherit the ambient request
+  // context); an already-expired context is shed on entry.
+  Result<NsmHandle> FindNsm(const HnsName& name, const QueryClass& query_class,
+                            const RequestContext& context = RequestContext{});
 
   // Resolves a host name to its internet address through the host's own
   // name service (query class HostAddress). Used by mapping 3 and exposed
   // because it is itself a common client need.
   Result<uint32_t> ResolveHostAddress(const std::string& host_context,
-                                      const std::string& host);
+                                      const std::string& host,
+                                      const RequestContext& context = RequestContext{});
 
   // --- NSM linking -----------------------------------------------------------
   // Links an NSM instance into this process. FindNSM prefers linked
@@ -110,12 +115,14 @@ class Hns {
 
   Result<uint32_t> ResolveHostAddressAtDepth(const std::string& host_context,
                                              const std::string& host, int depth,
-                                             SimTime* min_expires);
+                                             SimTime* min_expires,
+                                             const RequestContext& context);
   // The paper's mapping sequence (six data lookups cold), reporting the min
   // expiry of the meta records consumed — the composite entry's TTL source —
   // and the name service the context mapped to (invalidation metadata).
   Result<NsmHandle> FindNsmUncomposed(const HnsName& name, const QueryClass& query_class,
-                                      SimTime* min_expires, std::string* ns_name_out);
+                                      SimTime* min_expires, std::string* ns_name_out,
+                                      const RequestContext& context);
 
   World* world_;
   std::string local_host_;

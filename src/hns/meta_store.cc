@@ -89,7 +89,8 @@ HrpcBinding MetaStore::MetaServerBinding(bool authority) const {
   return b;
 }
 
-Result<WireValue> MetaStore::RemoteRead(const std::string& record_name) {
+Result<WireValue> MetaStore::RemoteRead(const std::string& record_name,
+                                        const RequestContext& rctx) {
   remote_lookups_.fetch_add(1, std::memory_order_relaxed);
   World* world = client_->world();
 
@@ -102,8 +103,8 @@ Result<WireValue> MetaStore::RemoteRead(const std::string& record_name) {
   if (world != nullptr) {
     ChargeMarshal(world, MarshalEngine::kStubGenerated, 1);
   }
-  HCS_ASSIGN_OR_RETURN(Bytes reply,
-                       client_->Call(MetaServerBinding(/*authority=*/false), kBindProcQuery, request.Encode()));
+  HCS_ASSIGN_OR_RETURN(Bytes reply, client_->Call(MetaServerBinding(/*authority=*/false),
+                                                  kBindProcQuery, request.Encode(), rctx));
   HCS_ASSIGN_OR_RETURN(BindQueryResponse response, BindQueryResponse::Decode(reply));
   if (response.rcode == Rcode::kNxDomain || response.answers.empty()) {
     return NotFoundError("no meta record: " + record_name);
@@ -125,7 +126,9 @@ Result<WireValue> MetaStore::RemoteRead(const std::string& record_name) {
 }
 
 Result<WireValue> MetaStore::ReadRecord(const std::string& record_name,
-                                        SimTime* expires_out) {
+                                        SimTime* expires_out,
+                                        const RequestContext& rctx) {
+  const RequestContext& effective = rctx.empty() ? CurrentRequestContext() : rctx;
   HnsCache::LookupResult looked = cache_->Lookup(record_name);
   if (looked.probe == HnsCache::Probe::kHit) {
     if (expires_out != nullptr) {
@@ -139,8 +142,20 @@ Result<WireValue> MetaStore::ReadRecord(const std::string& record_name,
     return NotFoundError("no meta record (negative cache): " + record_name);
   }
 
-  // Miss. Coalesce concurrent identical fetches: the first caller becomes
-  // the leader and queries BIND; everyone else waits for its result.
+  // Miss: the record has to come from upstream. A spent budget is shed here,
+  // before the remote fetch (or the wait on someone else's).
+  if (effective.expired()) {
+    return TimeoutError(
+        StrFormat("meta read of %s shed: budget spent %lld ms ago (trace %016llx)",
+                  record_name.c_str(), static_cast<long long>(-effective.remaining_ms()),
+                  static_cast<unsigned long long>(effective.trace_id)));
+  }
+
+  // Coalesce concurrent identical fetches: the first caller becomes the
+  // leader and queries BIND; everyone else waits for its result. A waiter's
+  // wait is bounded by the earliest deadline in play — its own or the
+  // leader's — so a request whose budget dies mid-wait times out instead of
+  // blocking until the fetch resolves.
   std::shared_ptr<InFlight> flight;
   {
     MutexLock lock(flight_mu_);
@@ -148,17 +163,38 @@ Result<WireValue> MetaStore::ReadRecord(const std::string& record_name,
     if (it != in_flight_.end()) {
       flight = it->second;
       cache_->NoteCoalescedMiss();
-      flight_cv_.Wait(flight_mu_, [&] { return flight->done; });
+      int64_t wait_deadline_ms = effective.has_deadline() ? effective.deadline_ms : 0;
+      if (flight->leader_deadline_ms > 0 &&
+          (wait_deadline_ms == 0 || flight->leader_deadline_ms < wait_deadline_ms)) {
+        wait_deadline_ms = flight->leader_deadline_ms;
+      }
+      if (wait_deadline_ms == 0) {
+        flight_cv_.Wait(flight_mu_, [&] { return flight->done; });
+      } else {
+        while (!flight->done) {
+          int64_t remaining = wait_deadline_ms - SteadyNowMs();
+          if (remaining <= 0) {
+            break;
+          }
+          (void)flight_cv_.WaitFor(flight_mu_, remaining, [&] { return flight->done; });
+        }
+        if (!flight->done) {
+          return TimeoutError(StrFormat(
+              "coalesced meta read of %s timed out waiting for the in-flight fetch (trace %016llx)",
+              record_name.c_str(), static_cast<unsigned long long>(effective.trace_id)));
+        }
+      }
       if (flight->result.ok() && expires_out != nullptr) {
         *expires_out = flight->expires;
       }
       return flight->result;
     }
     flight = std::make_shared<InFlight>();
+    flight->leader_deadline_ms = effective.has_deadline() ? effective.deadline_ms : 0;
     in_flight_[record_name] = flight;
   }
 
-  Result<WireValue> fetched = RemoteRead(record_name);
+  Result<WireValue> fetched = RemoteRead(record_name, effective);
   SimTime expires = 0;
   if (fetched.ok()) {
     cache_->Put(record_name, *fetched, kMetaTtlSeconds);
@@ -227,23 +263,26 @@ Status MetaStore::WriteRecord(const std::string& record_name, const WireValue& v
 }
 
 Result<std::string> MetaStore::ContextToNameService(const std::string& context,
-                                                    SimTime* expires_out) {
+                                                    SimTime* expires_out,
+                                                    const RequestContext& rctx) {
   HCS_ASSIGN_OR_RETURN(WireValue value,
-                       ReadRecord(ContextRecordName(context), expires_out));
+                       ReadRecord(ContextRecordName(context), expires_out, rctx));
   return value.StringField("ns");
 }
 
 Result<std::string> MetaStore::NsmNameFor(const std::string& ns_name,
                                           const QueryClass& query_class,
-                                          SimTime* expires_out) {
+                                          SimTime* expires_out,
+                                          const RequestContext& rctx) {
   HCS_ASSIGN_OR_RETURN(WireValue value,
-                       ReadRecord(NsmMapRecordName(ns_name, query_class), expires_out));
+                       ReadRecord(NsmMapRecordName(ns_name, query_class), expires_out, rctx));
   return value.StringField("nsm");
 }
 
-Result<NsmInfo> MetaStore::NsmLocation(const std::string& nsm_name, SimTime* expires_out) {
+Result<NsmInfo> MetaStore::NsmLocation(const std::string& nsm_name, SimTime* expires_out,
+                                       const RequestContext& rctx) {
   HCS_ASSIGN_OR_RETURN(WireValue value,
-                       ReadRecord(NsmLocationRecordName(nsm_name), expires_out));
+                       ReadRecord(NsmLocationRecordName(nsm_name), expires_out, rctx));
   return NsmInfo::FromWire(value);
 }
 

@@ -29,6 +29,7 @@
 #include "src/hns/name.h"
 #include "src/rpc/binding.h"
 #include "src/rpc/client.h"
+#include "src/rpc/context.h"
 
 namespace hcs {
 
@@ -81,15 +82,19 @@ class MetaStore {
   // Each mapping optionally reports the absolute expiry of the record it
   // was served from (`expires_out`), so callers composing several mappings
   // — the composite binding cache — can take the min of the constituent
-  // TTLs.
+  // TTLs. `rctx` bounds the upstream fetch on a cache miss (empty: the
+  // ambient request context applies).
   // Mapping 1: context -> name service name.
   Result<std::string> ContextToNameService(const std::string& context,
-                                           SimTime* expires_out = nullptr);
+                                           SimTime* expires_out = nullptr,
+                                           const RequestContext& rctx = RequestContext{});
   // Mapping 2: (name service, query class) -> NSM name.
   Result<std::string> NsmNameFor(const std::string& ns_name, const QueryClass& query_class,
-                                 SimTime* expires_out = nullptr);
+                                 SimTime* expires_out = nullptr,
+                                 const RequestContext& rctx = RequestContext{});
   // Mapping 3 (first part): NSM name -> registration record.
-  Result<NsmInfo> NsmLocation(const std::string& nsm_name, SimTime* expires_out = nullptr);
+  Result<NsmInfo> NsmLocation(const std::string& nsm_name, SimTime* expires_out = nullptr,
+                              const RequestContext& rctx = RequestContext{});
   // Name service descriptor (administration, diagnostics).
   Result<NameServiceInfo> NameService(const std::string& ns_name);
 
@@ -137,16 +142,21 @@ class MetaStore {
     bool done = false;
     Result<WireValue> result = Result<WireValue>(UnavailableError("fetch pending"));
     SimTime expires = 0;
+    // The leader's absolute deadline (0 = none): followers bound their wait
+    // by the earliest of their own deadline and the leader's — a fetch the
+    // leader will abandon is not worth outwaiting.
+    int64_t leader_deadline_ms = 0;
   };
 
   // One cache-aware structured read of an unspecified-type meta record.
   // Misses are coalesced (singleflight) and NotFound results are cached
   // negatively under the cache's short negative TTL.
   Result<WireValue> ReadRecord(const std::string& record_name,
-                               SimTime* expires_out = nullptr);
+                               SimTime* expires_out = nullptr,
+                               const RequestContext& rctx = RequestContext{});
   // One uncached remote BIND lookup via the HRPC interface (stub-generated
   // marshalling), reassembling chunked unspecified-type records.
-  Result<WireValue> RemoteRead(const std::string& record_name);
+  Result<WireValue> RemoteRead(const std::string& record_name, const RequestContext& rctx);
   // Writes a structured record (delete-then-add) via dynamic update.
   Status WriteRecord(const std::string& record_name, const WireValue& value);
   Status DeleteRecord(const std::string& record_name);

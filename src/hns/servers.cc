@@ -1,5 +1,6 @@
 #include "src/hns/servers.h"
 
+#include "src/rpc/context.h"
 #include "src/rpc/ports.h"
 #include "src/wire/marshal.h"
 
@@ -19,6 +20,8 @@ NsmServer::NsmServer(World* world, std::shared_ptr<Nsm> nsm)
         ChargeDemarshal(world_, MarshalEngine::kStubGenerated,
                         MarshalUnitsForBytes(args.size()));
         HCS_ASSIGN_OR_RETURN(NsmQueryRequest request, NsmQueryRequest::Decode(args));
+        // The decoded context is ambient (installed by RpcServer); the NSM's
+        // own CheckBudget sees it, so no explicit pass is needed here.
         HCS_ASSIGN_OR_RETURN(WireValue result, nsm_->Query(request.name, request.args));
         ChargeMarshal(world_, MarshalEngine::kStubGenerated, MarshalUnits(result));
         return result.Encode();
@@ -54,7 +57,8 @@ HnsServer::HnsServer(World* world, const std::string& host, HnsOptions options)
         HnsName probe;
         probe.context = request.context;
         probe.individual = "";
-        HCS_ASSIGN_OR_RETURN(NsmHandle handle, hns_->FindNsm(probe, request.query_class));
+        HCS_ASSIGN_OR_RETURN(NsmHandle handle,
+                             hns_->FindNsm(probe, request.query_class, CurrentRequestContext()));
         // FindNSM always resolves the full binding, so a remote HNS can hand
         // it to any client (pointers to its own linked instances stay local).
         FindNsmResponse response;
@@ -89,7 +93,8 @@ AgentServer::AgentServer(World* world, const std::string& host, HnsOptions optio
         ChargeDemarshal(world_, MarshalEngine::kStubGenerated,
                         MarshalUnitsForBytes(args.size()));
         HCS_ASSIGN_OR_RETURN(AgentQueryRequest request, AgentQueryRequest::Decode(args));
-        HCS_ASSIGN_OR_RETURN(NsmHandle handle, hns_->FindNsm(request.name, request.query_class));
+        HCS_ASSIGN_OR_RETURN(NsmHandle handle, hns_->FindNsm(request.name, request.query_class,
+                                                             CurrentRequestContext()));
         if (!handle.is_linked()) {
           return UnavailableError("agent has no linked NSM named " + handle.nsm_name);
         }

@@ -29,12 +29,13 @@ Status HnsSession::LinkNsm(std::shared_ptr<Nsm> nsm) {
   return Status::Ok();
 }
 
-Result<NsmHandle> HnsSession::FindNsm(const HnsName& name, const QueryClass& query_class) {
+Result<NsmHandle> HnsSession::FindNsm(const HnsName& name, const QueryClass& query_class,
+                                      const RequestContext& context) {
   switch (options_.hns_location) {
     case HnsLocation::kLinked:
-      return hns_->FindNsm(name, query_class);
+      return hns_->FindNsm(name, query_class, context);
     case HnsLocation::kRemote:
-      return FindNsmRemote(name, query_class);
+      return FindNsmRemote(name, query_class, context);
     case HnsLocation::kAgent:
       return UnimplementedError("agent sessions answer whole queries, not FindNSM");
   }
@@ -42,7 +43,7 @@ Result<NsmHandle> HnsSession::FindNsm(const HnsName& name, const QueryClass& que
 }
 
 std::vector<Result<NsmHandle>> HnsSession::ResolveMany(
-    const std::vector<ResolveRequest>& requests) {
+    const std::vector<ResolveRequest>& requests, const RequestContext& context) {
   std::vector<Result<NsmHandle>> results;
   results.reserve(requests.size());
   // FindNSM depends only on (context, query class), never on the
@@ -53,7 +54,7 @@ std::vector<Result<NsmHandle>> HnsSession::ResolveMany(
         AsciiToLower(request.name.context) + '\x1f' + AsciiToLower(request.query_class);
     auto it = memo.find(key);
     if (it == memo.end()) {
-      it = memo.emplace(key, FindNsm(request.name, request.query_class)).first;
+      it = memo.emplace(key, FindNsm(request.name, request.query_class, context)).first;
     }
     results.push_back(it->second);
   }
@@ -61,7 +62,8 @@ std::vector<Result<NsmHandle>> HnsSession::ResolveMany(
 }
 
 Result<NsmHandle> HnsSession::FindNsmRemote(const HnsName& name,
-                                            const QueryClass& query_class) {
+                                            const QueryClass& query_class,
+                                            const RequestContext& context) {
   FindNsmRequest request;
   request.context = name.context;
   request.query_class = query_class;
@@ -77,7 +79,8 @@ Result<NsmHandle> HnsSession::FindNsmRemote(const HnsName& name,
   if (world_ != nullptr) {
     ChargeMarshal(world_, MarshalEngine::kStubGenerated, MarshalUnitsForBytes(body.size()));
   }
-  HCS_ASSIGN_OR_RETURN(Bytes reply, rpc_client_.Call(hns_binding, kHnsProcFindNsm, body));
+  HCS_ASSIGN_OR_RETURN(Bytes reply,
+                       rpc_client_.Call(hns_binding, kHnsProcFindNsm, body, context));
   if (world_ != nullptr) {
     ChargeDemarshal(world_, MarshalEngine::kStubGenerated,
                     MarshalUnitsForBytes(reply.size()));
@@ -97,7 +100,8 @@ Result<NsmHandle> HnsSession::FindNsmRemote(const HnsName& name,
 }
 
 Result<WireValue> HnsSession::CallNsmRemote(const HrpcBinding& binding, const HnsName& name,
-                                            const WireValue& args) {
+                                            const WireValue& args,
+                                            const RequestContext& context) {
   NsmQueryRequest request;
   request.name = name;
   request.args = args;
@@ -106,7 +110,7 @@ Result<WireValue> HnsSession::CallNsmRemote(const HrpcBinding& binding, const Hn
   if (world_ != nullptr) {
     ChargeMarshal(world_, MarshalEngine::kStubGenerated, MarshalUnitsForBytes(body.size()));
   }
-  HCS_ASSIGN_OR_RETURN(Bytes reply, rpc_client_.Call(binding, kNsmProcQuery, body));
+  HCS_ASSIGN_OR_RETURN(Bytes reply, rpc_client_.Call(binding, kNsmProcQuery, body, context));
   HCS_ASSIGN_OR_RETURN(WireValue result, WireValue::Decode(reply));
   if (world_ != nullptr) {
     ChargeDemarshal(world_, MarshalEngine::kStubGenerated, MarshalUnits(result));
@@ -115,7 +119,7 @@ Result<WireValue> HnsSession::CallNsmRemote(const HrpcBinding& binding, const Hn
 }
 
 Result<WireValue> HnsSession::CallAgent(const HnsName& name, const QueryClass& query_class,
-                                        const WireValue& args) {
+                                        const WireValue& args, const RequestContext& context) {
   AgentQueryRequest request;
   request.name = name;
   request.query_class = query_class;
@@ -132,7 +136,8 @@ Result<WireValue> HnsSession::CallAgent(const HnsName& name, const QueryClass& q
   if (world_ != nullptr) {
     ChargeMarshal(world_, MarshalEngine::kStubGenerated, MarshalUnitsForBytes(body.size()));
   }
-  HCS_ASSIGN_OR_RETURN(Bytes reply, rpc_client_.Call(agent_binding, kAgentProcQuery, body));
+  HCS_ASSIGN_OR_RETURN(Bytes reply,
+                       rpc_client_.Call(agent_binding, kAgentProcQuery, body, context));
   HCS_ASSIGN_OR_RETURN(WireValue result, WireValue::Decode(reply));
   if (world_ != nullptr) {
     ChargeDemarshal(world_, MarshalEngine::kStubGenerated, MarshalUnits(result));
@@ -141,18 +146,21 @@ Result<WireValue> HnsSession::CallAgent(const HnsName& name, const QueryClass& q
 }
 
 Result<WireValue> HnsSession::Query(const HnsName& name, const QueryClass& query_class,
-                                    const WireValue& args) {
+                                    const WireValue& args, const RequestContext& context) {
   if (options_.hns_location == HnsLocation::kAgent) {
-    return CallAgent(name, query_class, args);
+    return CallAgent(name, query_class, args, context);
   }
 
-  HCS_ASSIGN_OR_RETURN(NsmHandle handle, FindNsm(name, query_class));
+  HCS_ASSIGN_OR_RETURN(NsmHandle handle, FindNsm(name, query_class, context));
 
   if (handle.is_linked() && options_.nsm_location == NsmLocation::kLinked) {
-    // Colocated NSM: a local procedure call, no remote exchange.
+    // Colocated NSM: a local procedure call, no remote exchange. The
+    // context still applies: make it ambient so the NSM's budget check and
+    // any nested resolution it performs see the deadline.
+    ScopedRequestContext scope(context.empty() ? CurrentRequestContext() : context);
     return handle.linked->Query(name, args);
   }
-  return CallNsmRemote(handle.binding, name, args);
+  return CallNsmRemote(handle.binding, name, args, context);
 }
 
 }  // namespace hcs

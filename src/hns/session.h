@@ -20,6 +20,7 @@
 #include "src/hns/hns.h"
 #include "src/hns/wire_protocol.h"
 #include "src/rpc/client.h"
+#include "src/rpc/context.h"
 #include "src/rpc/transport.h"
 
 namespace hcs {
@@ -57,12 +58,16 @@ class HnsSession {
 
   // Performs one complete HNS query: locate the right NSM for (context of
   // `name`, query class), call it, return the query class's standard result.
+  // `context` bounds the whole exchange (empty: the ambient request context,
+  // if any, is inherited — see src/rpc/context.h).
   Result<WireValue> Query(const HnsName& name, const QueryClass& query_class,
-                          const WireValue& args);
+                          const WireValue& args,
+                          const RequestContext& context = RequestContext{});
 
   // FindNSM only (no NSM call). Unavailable in agent mode, where the agent
   // owns the whole exchange.
-  Result<NsmHandle> FindNsm(const HnsName& name, const QueryClass& query_class);
+  Result<NsmHandle> FindNsm(const HnsName& name, const QueryClass& query_class,
+                            const RequestContext& context = RequestContext{});
 
   // One FindNSM resolution request of a batch.
   struct ResolveRequest {
@@ -74,7 +79,8 @@ class HnsSession {
   // resolved once and fanned out — a batch over one context costs a single
   // composite lookup (or one remote FindNSM exchange in remote mode) no
   // matter how many individuals it names. Results are positional.
-  std::vector<Result<NsmHandle>> ResolveMany(const std::vector<ResolveRequest>& requests);
+  std::vector<Result<NsmHandle>> ResolveMany(const std::vector<ResolveRequest>& requests,
+                                             const RequestContext& context = RequestContext{});
 
   // The linked HNS instance, or null when the HNS is remote/agent.
   Hns* local_hns() { return hns_.get(); }
@@ -83,10 +89,11 @@ class HnsSession {
 
  private:
   Result<WireValue> CallNsmRemote(const HrpcBinding& binding, const HnsName& name,
-                                  const WireValue& args);
+                                  const WireValue& args, const RequestContext& context);
   Result<WireValue> CallAgent(const HnsName& name, const QueryClass& query_class,
-                              const WireValue& args);
-  Result<NsmHandle> FindNsmRemote(const HnsName& name, const QueryClass& query_class);
+                              const WireValue& args, const RequestContext& context);
+  Result<NsmHandle> FindNsmRemote(const HnsName& name, const QueryClass& query_class,
+                                  const RequestContext& context);
 
   World* world_;
   std::string client_host_;

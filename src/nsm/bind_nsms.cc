@@ -61,6 +61,7 @@ BindHostAddressNsm::BindHostAddressNsm(World* world, const std::string& locus_ho
       resolver_(&rpc_client_, UnderlyingResolverOptions(std::move(bind_server_host))) {}
 
 Result<WireValue> BindHostAddressNsm::Query(const HnsName& name, const WireValue& args) {
+  HCS_RETURN_IF_ERROR(CheckBudget("BindHostAddressNsm"));
   (void)args;
   // Individual name -> local name: identity for BIND systems.
   const std::string& local_name = name.individual;
@@ -92,6 +93,7 @@ BindBindingNsm::BindBindingNsm(World* world, const std::string& locus_host,
       resolver_(&rpc_client_, UnderlyingResolverOptions(std::move(bind_server_host))) {}
 
 Result<WireValue> BindBindingNsm::Query(const HnsName& name, const WireValue& args) {
+  HCS_RETURN_IF_ERROR(CheckBudget("BindBindingNsm"));
   HCS_ASSIGN_OR_RETURN(std::string service, args.StringField("service"));
   const std::string& host = name.individual;
   std::string key = "bind|" + AsciiToLower(host) + "|" + AsciiToLower(service);
@@ -149,6 +151,7 @@ BindMailboxNsm::BindMailboxNsm(World* world, const std::string& locus_host,
       resolver_(&rpc_client_, UnderlyingResolverOptions(std::move(bind_server_host))) {}
 
 Result<WireValue> BindMailboxNsm::Query(const HnsName& name, const WireValue& args) {
+  HCS_RETURN_IF_ERROR(CheckBudget("BindMailboxNsm"));
   (void)args;
   const std::string& domain = name.individual;
   std::string key = "mx|" + AsciiToLower(domain);

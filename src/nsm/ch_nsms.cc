@@ -16,6 +16,7 @@ ChHostAddressNsm::ChHostAddressNsm(World* world, const std::string& locus_host,
       client_stub_(&rpc_client_, std::move(ch_server_host), std::move(credentials)) {}
 
 Result<WireValue> ChHostAddressNsm::Query(const HnsName& name, const WireValue& args) {
+  HCS_RETURN_IF_ERROR(CheckBudget("ChHostAddressNsm"));
   (void)args;
   // Individual name -> local name: the native three-part Clearinghouse name.
   HCS_ASSIGN_OR_RETURN(ChName local_name, ChName::Parse(name.individual));
@@ -49,6 +50,7 @@ ChBindingNsm::ChBindingNsm(World* world, const std::string& locus_host, Transpor
       client_stub_(&rpc_client_, std::move(ch_server_host), std::move(credentials)) {}
 
 Result<WireValue> ChBindingNsm::Query(const HnsName& name, const WireValue& args) {
+  HCS_RETURN_IF_ERROR(CheckBudget("ChBindingNsm"));
   HCS_ASSIGN_OR_RETURN(std::string service, args.StringField("service"));
   HCS_ASSIGN_OR_RETURN(ChName local_name, ChName::Parse(name.individual));
   std::string key =
@@ -105,6 +107,7 @@ ChMailboxNsm::ChMailboxNsm(World* world, const std::string& locus_host, Transpor
       client_stub_(&rpc_client_, std::move(ch_server_host), std::move(credentials)) {}
 
 Result<WireValue> ChMailboxNsm::Query(const HnsName& name, const WireValue& args) {
+  HCS_RETURN_IF_ERROR(CheckBudget("ChMailboxNsm"));
   (void)args;
   HCS_ASSIGN_OR_RETURN(ChName local_name, ChName::Parse(name.individual));
   std::string key = "mb|" + AsciiToLower(local_name.ToString());

@@ -79,6 +79,7 @@ HostTableHostAddressNsm::HostTableHostAddressNsm(World* world, const std::string
       table_server_host_(std::move(table_server_host)) {}
 
 Result<WireValue> HostTableHostAddressNsm::Query(const HnsName& name, const WireValue& args) {
+  HCS_RETURN_IF_ERROR(CheckBudget("HostTableHostAddressNsm"));
   (void)args;
   const std::string& local_name = name.individual;
   std::string key = "ht|" + AsciiToLower(local_name);

@@ -17,6 +17,7 @@
 #include "src/hns/cache.h"
 #include "src/hns/nsm_interface.h"
 #include "src/rpc/client.h"
+#include "src/rpc/context.h"
 #include "src/rpc/transport.h"
 #include "src/sim/world.h"
 
@@ -35,6 +36,12 @@ class NsmBase : public Nsm {
         rpc_client_(world, locus_host_, transport),
         info_(std::move(info)),
         cache_(world, cache_mode) {}
+
+  // Budget check for the top of Query: kTimeout when the ambient request
+  // context (installed by the serving runtime before dispatch, or by the
+  // caller for a linked instance) has already spent its budget. NSMs shed
+  // such queries instead of interrogating the underlying name service.
+  Status CheckBudget(const char* op) const { return ShedIfBudgetSpent(op); }
 
   World* world_;
   std::string locus_host_;

@@ -38,6 +38,7 @@ BindHostNameNsm::BindHostNameNsm(World* world, const std::string& locus_host,
                 }()) {}
 
 Result<WireValue> BindHostNameNsm::Query(const HnsName& name, const WireValue& args) {
+  HCS_RETURN_IF_ERROR(CheckBudget("BindHostNameNsm"));
   (void)args;
   HCS_ASSIGN_OR_RETURN(uint32_t address, ParseAddress(name.individual));
   std::string key = "ptr|" + ReverseRecordName(address);
@@ -71,6 +72,7 @@ ChHostNameNsm::ChHostNameNsm(World* world, const std::string& locus_host,
       organization_(std::move(organization)) {}
 
 Result<WireValue> ChHostNameNsm::Query(const HnsName& name, const WireValue& args) {
+  HCS_RETURN_IF_ERROR(CheckBudget("ChHostNameNsm"));
   (void)args;
   HCS_ASSIGN_OR_RETURN(uint32_t address, ParseAddress(name.individual));
   std::string key = "rev|" + std::to_string(address);

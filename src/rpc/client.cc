@@ -1,5 +1,10 @@
 #include "src/rpc/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "src/common/rand.h"
 #include "src/common/strings.h"
 
 namespace hcs {
@@ -20,11 +25,39 @@ double ControlCostMs(const CostModel& costs, ControlKind kind) {
   return 0.0;
 }
 
+// Retry policy for budgeted real-transport calls. Attempts are derived from
+// the deadline: each attempt's transport budget doubles from kAttemptBaseMs
+// and is capped by the remaining overall budget, so a 2000 ms budget yields
+// roughly five attempts against a lossy datagram path.
+constexpr int64_t kAttemptBaseMs = 100;
+constexpr int64_t kBackoffBaseMs = 10;
+constexpr int64_t kBackoffCapMs = 250;
+
 }  // namespace
 
-Result<Bytes> RpcClient::Call(const HrpcBinding& binding, uint32_t procedure,
-                              const Bytes& args) {
+Result<Bytes> RpcClient::Call(const HrpcBinding& binding, uint32_t procedure, const Bytes& args,
+                              const RequestContext& context, RpcCallInfo* info_out) {
   const ControlProtocol& control = GetControlProtocol(binding.control);
+
+  // Explicit context wins; otherwise inherit whatever the serving runtime
+  // installed for the request this thread is handling.
+  RequestContext effective = context.empty() ? CurrentRequestContext() : context;
+  if (effective.has_deadline() && effective.trace_id == 0) {
+    effective.trace_id = NewTraceId();
+  }
+
+  RpcCallInfo info;
+  info.trace_id = effective.trace_id;
+  if (info_out != nullptr) {
+    *info_out = info;
+  }
+
+  // Client-side shed: a spent budget never goes on the wire.
+  if (effective.expired()) {
+    return TimeoutError(StrFormat("call to %s:%u shed before send: budget exhausted (trace %016llx)",
+                                  binding.host.c_str(), binding.port,
+                                  static_cast<unsigned long long>(effective.trace_id)));
+  }
 
   RpcCall call;
   call.xid = next_xid_.fetch_add(1, std::memory_order_relaxed);
@@ -32,16 +65,75 @@ Result<Bytes> RpcClient::Call(const HrpcBinding& binding, uint32_t procedure,
   call.version = binding.version;
   call.procedure = procedure;
   call.args = args;
-  Bytes message = control.EncodeCall(call);
 
-  if (world_ != nullptr) {
-    world_->ChargeMs(ControlCostMs(world_->costs(), binding.control));
+  // The retry loop needs a transport that can bound one exchange in real
+  // time; otherwise (sim, loopback, no deadline) keep the seed's single
+  // attempt so virtual-clock runs stay deterministic.
+  const bool budgeted = effective.has_deadline() && transport_->SupportsBudget();
+
+  Result<Bytes> response = UnavailableError("not attempted");
+  int64_t backoff_ms = kBackoffBaseMs;
+  for (uint32_t attempt = 0;; ++attempt) {
+    call.context = effective;
+    call.context.attempt = effective.attempt + attempt;  // re-marshalled per try
+    Bytes message = control.EncodeCall(call);
+
+    if (world_ != nullptr) {
+      world_->ChargeMs(ControlCostMs(world_->costs(), binding.control));
+    }
+
+    ++info.attempts;
+    if (budgeted) {
+      int64_t remaining = effective.remaining_ms();
+      if (remaining <= 0) {
+        if (info_out != nullptr) {
+          *info_out = info;
+        }
+        return TimeoutError(StrFormat("call to %s:%u: budget exhausted after %u attempts",
+                                      binding.host.c_str(), binding.port, info.attempts - 1));
+      }
+      int64_t attempt_budget =
+          std::min(remaining, kAttemptBaseMs << std::min<uint32_t>(attempt, 4));
+      response = transport_->RoundTripWithBudget(local_host_, binding.host, binding.port,
+                                                 message, attempt_budget);
+    } else {
+      response = transport_->RoundTrip(local_host_, binding.host, binding.port, message);
+    }
+    if (info_out != nullptr) {
+      *info_out = info;
+    }
+    if (response.ok()) {
+      break;
+    }
+    StatusCode code = response.status().code();
+    const bool retryable =
+        budgeted && (code == StatusCode::kTimeout || code == StatusCode::kUnavailable);
+    if (!retryable) {
+      return response.status();
+    }
+    int64_t remaining = effective.remaining_ms();
+    if (remaining <= 0) {
+      return TimeoutError(StrFormat("call to %s:%u: budget exhausted after %u attempts: %s",
+                                    binding.host.c_str(), binding.port, info.attempts,
+                                    response.status().message().c_str()));
+    }
+    // Exponential backoff with deterministic jitter (seeded from the trace
+    // id and attempt number, so a given call's schedule reproduces), capped
+    // by the remaining budget.
+    Rng rng(effective.trace_id ^ (0x9e3779b97f4a7c15ULL * (call.context.attempt + 1)));
+    int64_t sleep_ms = backoff_ms / 2 + static_cast<int64_t>(rng.Uniform(backoff_ms / 2 + 1));
+    sleep_ms = std::min(sleep_ms, remaining);
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    backoff_ms = std::min(backoff_ms * 2, kBackoffCapMs);
+    ++info.retries;
+    if (info_out != nullptr) {
+      *info_out = info;
+    }
   }
 
-  HCS_ASSIGN_OR_RETURN(
-      Bytes response, transport_->RoundTrip(local_host_, binding.host, binding.port, message));
-
-  HCS_ASSIGN_OR_RETURN(RpcReplyMsg reply, control.DecodeReply(response));
+  HCS_ASSIGN_OR_RETURN(RpcReplyMsg reply, control.DecodeReply(*response));
   // Courier transaction ids are 16-bit; compare within the protocol's width.
   uint32_t want_xid =
       binding.control == ControlKind::kCourier ? (call.xid & 0xffff) : call.xid;

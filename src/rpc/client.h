@@ -14,11 +14,20 @@
 #include "src/common/bytes.h"
 #include "src/common/result.h"
 #include "src/rpc/binding.h"
+#include "src/rpc/context.h"
 #include "src/rpc/control.h"
 #include "src/rpc/transport.h"
 #include "src/sim/world.h"
 
 namespace hcs {
+
+// Per-call telemetry the client runtime reports back to interested callers
+// (benches surface attempts/retries per the retry satellite).
+struct RpcCallInfo {
+  uint32_t attempts = 0;  // transport exchanges performed (>= 1 once sent)
+  uint32_t retries = 0;   // attempts beyond the first
+  uint64_t trace_id = 0;  // trace id the call traveled under (0: untraced)
+};
 
 class RpcClient {
  public:
@@ -31,7 +40,19 @@ class RpcClient {
   // Calls `procedure` with pre-marshalled `args`; returns the raw result
   // bytes. A Status from the remote handler is reconstructed and returned
   // as this call's status.
-  Result<Bytes> Call(const HrpcBinding& binding, uint32_t procedure, const Bytes& args);
+  //
+  // The effective request context is `context` when non-empty, else the
+  // ambient CurrentRequestContext() (installed by the serving runtime —
+  // this is how a deadline crosses server hops without every API carrying
+  // it). When the effective context has a deadline AND the transport can
+  // bound exchanges in real time, the call runs a per-attempt retry loop:
+  // exponential backoff with deterministic jitter, each attempt's transport
+  // budget capped by the remaining overall budget, the attempt counter
+  // re-marshalled per try. Otherwise exactly one attempt is made (the seed
+  // behavior; sim runs stay deterministic).
+  Result<Bytes> Call(const HrpcBinding& binding, uint32_t procedure, const Bytes& args,
+                     const RequestContext& context = RequestContext{},
+                     RpcCallInfo* info_out = nullptr);
 
   const std::string& local_host() const { return local_host_; }
   World* world() const { return world_; }

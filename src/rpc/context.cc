@@ -1,0 +1,118 @@
+#include "src/rpc/context.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "src/common/strings.h"
+
+namespace hcs {
+
+namespace {
+
+// Ambient per-thread request state. The serving runtime installs these for
+// the duration of one handler; everything downstream reads them.
+thread_local RequestContext g_current_context;
+thread_local int64_t g_receive_timestamp_ms = 0;
+
+}  // namespace
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t NewTraceId() {
+  // SplitMix64 over a process-wide counter, offset by the clock at first
+  // use: unique within the process, distinct across runs, never zero.
+  static const uint64_t base =
+      static_cast<uint64_t>(std::chrono::steady_clock::now().time_since_epoch().count());
+  static std::atomic<uint64_t> counter{1};
+  uint64_t z = base + 0x9e3779b97f4a7c15ULL * counter.fetch_add(1, std::memory_order_relaxed);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z == 0 ? 1 : z;
+}
+
+int64_t RequestContext::remaining_ms() const {
+  if (!has_deadline()) {
+    return INT64_MAX / 2;
+  }
+  return deadline_ms - SteadyNowMs();
+}
+
+RequestContext RequestContext::WithTimeout(int64_t timeout_ms) {
+  RequestContext context;
+  context.deadline_ms = SteadyNowMs() + timeout_ms;
+  context.trace_id = NewTraceId();
+  return context;
+}
+
+void RequestContextWire::EncodeTo(XdrEncoder& enc) const {
+  enc.PutUint64(budget_ms);
+  enc.PutUint32(attempt);
+  enc.PutUint64(trace_id);
+}
+
+Result<RequestContextWire> RequestContextWire::DecodeFrom(XdrDecoder& dec) {
+  RequestContextWire wire;
+  HCS_ASSIGN_OR_RETURN(wire.budget_ms, dec.GetUint64());
+  HCS_ASSIGN_OR_RETURN(wire.attempt, dec.GetUint32());
+  HCS_ASSIGN_OR_RETURN(wire.trace_id, dec.GetUint64());
+  return wire;
+}
+
+RequestContextWire RequestContextWire::FromContext(const RequestContext& context) {
+  RequestContextWire wire;
+  if (context.has_deadline()) {
+    // Clamp to >= 1: an expired context still marshals as deadline-carrying
+    // and reads as expired the moment the receiver rebases it.
+    int64_t remaining = context.remaining_ms();
+    wire.budget_ms = remaining > 0 ? static_cast<uint64_t>(remaining) : 1;
+  }
+  wire.attempt = context.attempt;
+  wire.trace_id = context.trace_id;
+  return wire;
+}
+
+RequestContext RequestContextWire::ToContext(int64_t base_ms) const {
+  RequestContext context;
+  if (budget_ms > 0) {
+    context.deadline_ms = base_ms + static_cast<int64_t>(budget_ms);
+  }
+  context.attempt = attempt;
+  context.trace_id = trace_id;
+  return context;
+}
+
+const RequestContext& CurrentRequestContext() { return g_current_context; }
+
+ScopedRequestContext::ScopedRequestContext(const RequestContext& context)
+    : saved_(g_current_context) {
+  g_current_context = context;
+}
+
+ScopedRequestContext::~ScopedRequestContext() { g_current_context = saved_; }
+
+int64_t CurrentReceiveTimestampMs() { return g_receive_timestamp_ms; }
+
+ScopedReceiveTimestamp::ScopedReceiveTimestamp(int64_t arrival_ms)
+    : saved_(g_receive_timestamp_ms) {
+  g_receive_timestamp_ms = arrival_ms;
+}
+
+ScopedReceiveTimestamp::~ScopedReceiveTimestamp() { g_receive_timestamp_ms = saved_; }
+
+Status ShedIfBudgetSpent(const char* who) {
+  const RequestContext& context = g_current_context;
+  if (!context.expired()) {
+    return Status::Ok();
+  }
+  return TimeoutError(StrFormat(
+      "%s: request budget exhausted (trace %016llx, attempt %u, %lld ms over)", who,
+      static_cast<unsigned long long>(context.trace_id), context.attempt,
+      static_cast<long long>(-context.remaining_ms())));
+}
+
+}  // namespace hcs

@@ -8,6 +8,17 @@ namespace hcs {
 
 namespace {
 
+// Rebases a decoded wire context onto this process's clock, anchored at the
+// message's arrival timestamp when the serving runtime recorded one (queue
+// time then counts against the budget), else at "now".
+RequestContext RebasedContext(const RequestContextWire& wire) {
+  int64_t base = CurrentReceiveTimestampMs();
+  if (base == 0) {
+    base = SteadyNowMs();
+  }
+  return wire.ToContext(base);
+}
+
 // ---------------------------------------------------------------------------
 // Sun RPC (RFC 1057-style framing, AUTH_NULL credentials).
 // ---------------------------------------------------------------------------
@@ -17,6 +28,10 @@ constexpr uint32_t kMsgTypeCall = 0;
 constexpr uint32_t kMsgTypeReply = 1;
 constexpr uint32_t kReplyAccepted = 0;
 constexpr uint32_t kAcceptSuccess = 0;
+// Credentials flavor carrying the HCS RequestContext as its opaque body
+// ("HCSX"). Servers that don't know the flavor skip it, per RFC 1057's
+// flavor+opaque credential structure; no-context calls stay AUTH_NULL.
+constexpr uint32_t kContextAuthFlavor = 0x48435358;
 
 class SunRpcControl : public ControlProtocol {
  public:
@@ -30,9 +45,18 @@ class SunRpcControl : public ControlProtocol {
     enc.PutUint32(call.program);
     enc.PutUint32(call.version);
     enc.PutUint32(call.procedure);
-    // AUTH_NULL credentials and verifier.
-    enc.PutUint32(0);
-    enc.PutUint32(0);
+    // Credentials: AUTH_NULL, unless a request context rides along — then
+    // the context travels as the credential body under its own flavor.
+    if (call.context.empty()) {
+      enc.PutUint32(0);
+      enc.PutUint32(0);
+    } else {
+      enc.PutUint32(kContextAuthFlavor);
+      XdrEncoder context_enc;
+      RequestContextWire::FromContext(call.context).EncodeTo(context_enc);
+      enc.PutOpaque(context_enc.Take());
+    }
+    // Verifier (AUTH_NULL).
     enc.PutUint32(0);
     enc.PutUint32(0);
     enc.PutOpaque(call.args);
@@ -54,14 +78,23 @@ class SunRpcControl : public ControlProtocol {
     HCS_ASSIGN_OR_RETURN(call.program, dec.GetUint32());
     HCS_ASSIGN_OR_RETURN(call.version, dec.GetUint32());
     HCS_ASSIGN_OR_RETURN(call.procedure, dec.GetUint32());
-    // Credentials and verifier: flavor + opaque body, both AUTH_NULL here
-    // but parsed generally.
-    for (int i = 0; i < 2; ++i) {
-      HCS_ASSIGN_OR_RETURN(uint32_t flavor, dec.GetUint32());
-      (void)flavor;
-      HCS_ASSIGN_OR_RETURN(Bytes body, dec.GetOpaque());
-      (void)body;
+    // Credentials: flavor + opaque body. The HCS context flavor carries the
+    // request budget; any other flavor (AUTH_NULL included) is skipped.
+    HCS_ASSIGN_OR_RETURN(uint32_t cred_flavor, dec.GetUint32());
+    HCS_ASSIGN_OR_RETURN(Bytes cred_body, dec.GetOpaque());
+    if (cred_flavor == kContextAuthFlavor) {
+      XdrDecoder context_dec(cred_body);
+      HCS_ASSIGN_OR_RETURN(RequestContextWire wire, RequestContextWire::DecodeFrom(context_dec));
+      if (!context_dec.AtEnd()) {
+        return ProtocolError("SunRPC: trailing bytes after context credential");
+      }
+      call.context = RebasedContext(wire);
     }
+    // Verifier: flavor + opaque body, AUTH_NULL here but parsed generally.
+    HCS_ASSIGN_OR_RETURN(uint32_t verf_flavor, dec.GetUint32());
+    (void)verf_flavor;
+    HCS_ASSIGN_OR_RETURN(Bytes verf_body, dec.GetOpaque());
+    (void)verf_body;
     HCS_ASSIGN_OR_RETURN(call.args, dec.GetOpaque());
     if (!dec.AtEnd()) {
       return ProtocolError("SunRPC: trailing bytes after call body");
@@ -123,6 +156,32 @@ class SunRpcControl : public ControlProtocol {
 constexpr uint16_t kCourierCall = 0;
 constexpr uint16_t kCourierReturn = 2;
 constexpr uint16_t kCourierAbort = 3;
+// Extension: a CALL whose header carries a RequestContext (emitted only when
+// a context is set; plain CALL stays the seed encoding).
+constexpr uint16_t kCourierCallWithContext = 4;
+
+// The context fields in Courier's 16-bit-word vocabulary: two LongCardinals
+// per 64-bit field, one Cardinal for the attempt counter.
+void EncodeContext(CourierEncoder& enc, const RequestContextWire& wire) {
+  enc.PutLongCardinal(static_cast<uint32_t>(wire.budget_ms >> 32));
+  enc.PutLongCardinal(static_cast<uint32_t>(wire.budget_ms & 0xffffffffu));
+  enc.PutCardinal(static_cast<uint16_t>(wire.attempt));
+  enc.PutLongCardinal(static_cast<uint32_t>(wire.trace_id >> 32));
+  enc.PutLongCardinal(static_cast<uint32_t>(wire.trace_id & 0xffffffffu));
+}
+
+Result<RequestContextWire> DecodeContext(CourierDecoder& dec) {
+  RequestContextWire wire;
+  HCS_ASSIGN_OR_RETURN(uint32_t budget_hi, dec.GetLongCardinal());
+  HCS_ASSIGN_OR_RETURN(uint32_t budget_lo, dec.GetLongCardinal());
+  wire.budget_ms = (static_cast<uint64_t>(budget_hi) << 32) | budget_lo;
+  HCS_ASSIGN_OR_RETURN(uint16_t attempt, dec.GetCardinal());
+  wire.attempt = attempt;
+  HCS_ASSIGN_OR_RETURN(uint32_t trace_hi, dec.GetLongCardinal());
+  HCS_ASSIGN_OR_RETURN(uint32_t trace_lo, dec.GetLongCardinal());
+  wire.trace_id = (static_cast<uint64_t>(trace_hi) << 32) | trace_lo;
+  return wire;
+}
 
 class CourierControl : public ControlProtocol {
  public:
@@ -130,7 +189,12 @@ class CourierControl : public ControlProtocol {
 
   Bytes EncodeCall(const RpcCall& call) const override {
     CourierEncoder enc;
-    enc.PutCardinal(kCourierCall);
+    if (call.context.empty()) {
+      enc.PutCardinal(kCourierCall);
+    } else {
+      enc.PutCardinal(kCourierCallWithContext);
+      EncodeContext(enc, RequestContextWire::FromContext(call.context));
+    }
     enc.PutCardinal(static_cast<uint16_t>(call.xid));  // transaction id
     enc.PutLongCardinal(call.program);
     enc.PutCardinal(static_cast<uint16_t>(call.version));
@@ -142,10 +206,14 @@ class CourierControl : public ControlProtocol {
   Result<RpcCall> DecodeCall(const Bytes& message) const override {
     CourierDecoder dec(message);
     HCS_ASSIGN_OR_RETURN(uint16_t mtype, dec.GetCardinal());
-    if (mtype != kCourierCall) {
+    if (mtype != kCourierCall && mtype != kCourierCallWithContext) {
       return ProtocolError(StrFormat("Courier: expected CALL, got message type %u", mtype));
     }
     RpcCall call;
+    if (mtype == kCourierCallWithContext) {
+      HCS_ASSIGN_OR_RETURN(RequestContextWire wire, DecodeContext(dec));
+      call.context = RebasedContext(wire);
+    }
     HCS_ASSIGN_OR_RETURN(uint16_t tid, dec.GetCardinal());
     call.xid = tid;
     HCS_ASSIGN_OR_RETURN(call.program, dec.GetLongCardinal());
@@ -197,7 +265,8 @@ class CourierControl : public ControlProtocol {
 // request/response framing for plain message-passing programs.
 // ---------------------------------------------------------------------------
 
-constexpr uint32_t kRawMagic = 0x48525043;  // "HRPC"
+constexpr uint32_t kRawMagic = 0x48525043;     // "HRPC"
+constexpr uint32_t kRawMagicContext = 0x48525058;  // "HRPX": call carrying a RequestContext
 
 class RawControl : public ControlProtocol {
  public:
@@ -205,7 +274,12 @@ class RawControl : public ControlProtocol {
 
   Bytes EncodeCall(const RpcCall& call) const override {
     XdrEncoder enc;
-    enc.PutUint32(kRawMagic);
+    if (call.context.empty()) {
+      enc.PutUint32(kRawMagic);
+    } else {
+      enc.PutUint32(kRawMagicContext);
+      RequestContextWire::FromContext(call.context).EncodeTo(enc);
+    }
     enc.PutUint32(call.xid);
     enc.PutUint32(call.program);
     enc.PutUint32(call.procedure);
@@ -216,11 +290,15 @@ class RawControl : public ControlProtocol {
   Result<RpcCall> DecodeCall(const Bytes& message) const override {
     XdrDecoder dec(message);
     HCS_ASSIGN_OR_RETURN(uint32_t magic, dec.GetUint32());
-    if (magic != kRawMagic) {
+    if (magic != kRawMagic && magic != kRawMagicContext) {
       return ProtocolError("RawHRPC: bad magic");
     }
     RpcCall call;
     call.version = 1;
+    if (magic == kRawMagicContext) {
+      HCS_ASSIGN_OR_RETURN(RequestContextWire wire, RequestContextWire::DecodeFrom(dec));
+      call.context = RebasedContext(wire);
+    }
     HCS_ASSIGN_OR_RETURN(call.xid, dec.GetUint32());
     HCS_ASSIGN_OR_RETURN(call.program, dec.GetUint32());
     HCS_ASSIGN_OR_RETURN(call.procedure, dec.GetUint32());

@@ -16,6 +16,7 @@
 #include "src/common/bytes.h"
 #include "src/common/result.h"
 #include "src/rpc/binding.h"
+#include "src/rpc/context.h"
 
 namespace hcs {
 
@@ -25,6 +26,10 @@ struct RpcCall {
   uint32_t program = 0;
   uint32_t version = 0;
   uint32_t procedure = 0;
+  // Per-request budget, carried in the RPC header. An empty context is
+  // wire-invisible: every protocol then emits its seed encoding, byte for
+  // byte, so context-free callers (the whole sim-world path) are unchanged.
+  RequestContext context;
   Bytes args;
 };
 

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "src/common/strings.h"
+#include "src/rpc/context.h"
 #include "src/rpc/ports.h"
 #include "src/wire/xdr.h"
 
@@ -27,6 +28,7 @@ void PortMapper::RegisterHandlers() {
 
   server_.RegisterProcedure(
       kPortmapperProgram, kPmapProcGetPort, [this](const Bytes& args) -> Result<Bytes> {
+        HCS_RETURN_IF_ERROR(ShedIfBudgetSpent("portmapper"));
         world_->ChargeMs(world_->costs().sun_portmapper_cpu_ms);
         XdrDecoder dec(args);
         HCS_ASSIGN_OR_RETURN(uint32_t program, dec.GetUint32());

@@ -1,0 +1,547 @@
+#include "src/rpc/reactor.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/rpc/context.h"
+
+namespace hcs {
+
+namespace {
+
+constexpr size_t kMaxDatagram = 64 * 1024;
+
+// Big-endian 4-byte frame length prefix (network order, like the rest of
+// the wire formats in this tree).
+void AppendFrameHeader(Bytes& out, size_t payload_size) {
+  uint32_t n = static_cast<uint32_t>(payload_size);
+  out.push_back(static_cast<uint8_t>(n >> 24));
+  out.push_back(static_cast<uint8_t>(n >> 16));
+  out.push_back(static_cast<uint8_t>(n >> 8));
+  out.push_back(static_cast<uint8_t>(n));
+}
+
+uint32_t ReadFrameLength(const Bytes& in) {
+  return (static_cast<uint32_t>(in[0]) << 24) | (static_cast<uint32_t>(in[1]) << 16) |
+         (static_cast<uint32_t>(in[2]) << 8) | static_cast<uint32_t>(in[3]);
+}
+
+}  // namespace
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return UnavailableError(StrFormat("fcntl(O_NONBLOCK): %s", std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+// One registered socket: a UDP endpoint or a stream listener.
+struct Reactor::Endpoint {
+  int fd = -1;
+  SimService* service = nullptr;
+  bool stream = false;
+  bool concurrent = false;
+  Handle handle{Handle::Kind::kUdp, nullptr};
+
+  // Serial-mode run queue: tasks execute in order, at most one batch in
+  // flight across the pool.
+  Mutex mu{"reactor-endpoint"};
+  std::deque<std::function<void()>> queue HCS_GUARDED_BY(mu);
+  bool scheduled HCS_GUARDED_BY(mu) = false;
+};
+
+// One accepted stream connection. The loop thread owns `inbuf` and frame
+// parsing; workers append replies to `outbuf` under `mu` and arm EPOLLOUT
+// for whatever a direct write could not flush. The fd is closed by the
+// destructor, i.e. only after the last worker holding a reference is done —
+// never out from under a concurrent write.
+struct Reactor::Conn {
+  ~Conn() {
+    if (fd >= 0) {
+      close(fd);
+    }
+  }
+
+  int fd = -1;
+  Endpoint* endpoint = nullptr;
+  Handle handle{Handle::Kind::kConn, nullptr};
+  Bytes inbuf;  // loop-thread only
+
+  Mutex mu{"reactor-conn"};
+  Bytes outbuf HCS_GUARDED_BY(mu);
+  size_t out_offset HCS_GUARDED_BY(mu) = 0;
+  bool out_armed HCS_GUARDED_BY(mu) = false;
+  bool closed HCS_GUARDED_BY(mu) = false;
+};
+
+Reactor::Reactor(ReactorOptions options) : options_(options) {}
+
+Reactor::~Reactor() { Stop(); }
+
+bool Reactor::running() const {
+  MutexLock lock(state_mu_);
+  return running_;
+}
+
+Status Reactor::Start() {
+  MutexLock lock(state_mu_);
+  if (running_) {
+    return Status::Ok();
+  }
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return UnavailableError(StrFormat("epoll_create1(): %s", std::strerror(errno)));
+  }
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    close(epoll_fd_);
+    epoll_fd_ = -1;
+    return UnavailableError(StrFormat("eventfd(): %s", std::strerror(errno)));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = &wake_handle_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    int saved = errno;
+    close(wake_fd_);
+    close(epoll_fd_);
+    wake_fd_ = epoll_fd_ = -1;
+    return UnavailableError(StrFormat("epoll_ctl(wake): %s", std::strerror(saved)));
+  }
+
+  stopping_.store(false, std::memory_order_release);
+  {
+    MutexLock work_lock(work_mu_);
+    draining_ = false;
+  }
+  int workers = options_.workers;
+  if (workers <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    workers = static_cast<int>(std::min(8u, std::max(2u, hw)));
+  }
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+  loop_thread_ = std::thread([this] { LoopMain(); });
+  running_ = true;
+  return Status::Ok();
+}
+
+void Reactor::Stop() {
+  {
+    MutexLock lock(state_mu_);
+    if (!running_) {
+      return;
+    }
+    running_ = false;
+  }
+  // Phase 1: halt the event loop — no new reads, frames, or accepts.
+  stopping_.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  (void)!write(wake_fd_, &one, sizeof(one));
+  if (loop_thread_.joinable()) {
+    loop_thread_.join();
+  }
+  // Phase 2: drain — workers finish everything already queued, then exit.
+  {
+    MutexLock lock(work_mu_);
+    draining_ = true;
+    work_cv_.NotifyAll();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  workers_.clear();
+  // Phase 3: flush pending stream writes best-effort, then release fds.
+  for (auto& [ptr, conn] : conns_) {
+    MutexLock lock(conn->mu);
+    while (conn->out_offset < conn->outbuf.size()) {
+      ssize_t n = send(conn->fd, conn->outbuf.data() + conn->out_offset,
+                       conn->outbuf.size() - conn->out_offset, MSG_NOSIGNAL);
+      if (n <= 0) {
+        break;
+      }
+      conn->out_offset += static_cast<size_t>(n);
+    }
+    conn->closed = true;
+  }
+  conns_.clear();
+  {
+    MutexLock lock(state_mu_);
+    for (auto& endpoint : endpoints_) {
+      if (endpoint->fd >= 0) {
+        close(endpoint->fd);
+        endpoint->fd = -1;
+      }
+    }
+    endpoints_.clear();
+  }
+  close(epoll_fd_);
+  close(wake_fd_);
+  epoll_fd_ = wake_fd_ = -1;
+  stopping_.store(false, std::memory_order_release);
+}
+
+Status Reactor::AddUdpEndpoint(int fd, SimService* service, ReactorEndpointOptions options) {
+  MutexLock lock(state_mu_);
+  if (!running_) {
+    close(fd);
+    return UnavailableError("reactor not running");
+  }
+  HCS_RETURN_IF_ERROR(SetNonBlocking(fd));
+  auto endpoint = std::make_unique<Endpoint>();
+  endpoint->fd = fd;
+  endpoint->service = service;
+  endpoint->stream = false;
+  endpoint->concurrent = options.concurrent;
+  endpoint->handle = Handle{Handle::Kind::kUdp, endpoint.get()};
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = &endpoint->handle;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    int saved = errno;
+    close(fd);
+    return UnavailableError(StrFormat("epoll_ctl(udp): %s", std::strerror(saved)));
+  }
+  endpoints_.push_back(std::move(endpoint));
+  return Status::Ok();
+}
+
+Status Reactor::AddStreamListener(int fd, SimService* service, ReactorEndpointOptions options) {
+  MutexLock lock(state_mu_);
+  if (!running_) {
+    close(fd);
+    return UnavailableError("reactor not running");
+  }
+  HCS_RETURN_IF_ERROR(SetNonBlocking(fd));
+  auto endpoint = std::make_unique<Endpoint>();
+  endpoint->fd = fd;
+  endpoint->service = service;
+  endpoint->stream = true;
+  endpoint->concurrent = options.concurrent;
+  endpoint->handle = Handle{Handle::Kind::kListener, endpoint.get()};
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = &endpoint->handle;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    int saved = errno;
+    close(fd);
+    return UnavailableError(StrFormat("epoll_ctl(listener): %s", std::strerror(saved)));
+  }
+  endpoints_.push_back(std::move(endpoint));
+  return Status::Ok();
+}
+
+void Reactor::LoopMain() {
+  std::vector<epoll_event> events(64);
+  std::vector<uint8_t> buffer(kMaxDatagram);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int n = epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        return;
+      }
+      Handle* handle = static_cast<Handle*>(events[i].data.ptr);
+      switch (handle->kind) {
+        case Handle::Kind::kWake: {
+          uint64_t value;
+          (void)!read(wake_fd_, &value, sizeof(value));
+          break;
+        }
+        case Handle::Kind::kUdp:
+          DrainUdp(static_cast<Endpoint*>(handle->target), buffer);
+          break;
+        case Handle::Kind::kListener:
+          DrainAccept(static_cast<Endpoint*>(handle->target));
+          break;
+        case Handle::Kind::kConn:
+          HandleConnEvent(static_cast<Conn*>(handle->target), events[i].events, buffer);
+          break;
+      }
+    }
+  }
+}
+
+void Reactor::DrainUdp(Endpoint* endpoint, std::vector<uint8_t>& buffer) {
+  while (true) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    ssize_t n = recvfrom(endpoint->fd, buffer.data(), buffer.size(), 0,
+                         reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      // EAGAIN: drained. Anything else (e.g. ICMP-induced errors): skip —
+      // level-triggered epoll re-reports genuine readiness.
+      return;
+    }
+    if (n == 0) {
+      continue;  // zero-byte datagram (the thread-mode wake convention)
+    }
+    Bytes request(buffer.begin(), buffer.begin() + n);
+    const int64_t arrival_ms = SteadyNowMs();
+    Submit(endpoint, [this, endpoint, request = std::move(request), peer, peer_len,
+                      arrival_ms] {
+      ScopedReceiveTimestamp stamp(arrival_ms);
+      Result<Bytes> response = endpoint->service->HandleMessage(request);
+      dispatched_.fetch_add(1, std::memory_order_relaxed);
+      if (!response.ok()) {
+        // Garbled request: drop, as UDP servers do; the client times out.
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        HCS_LOG(Debug) << "reactor dropping garbled datagram: " << response.status();
+        return;
+      }
+      // Datagram sends are atomic; concurrent workers may share the fd. A
+      // would-block send is a drop (UDP semantics: the client retries).
+      if (sendto(endpoint->fd, response->data(), response->size(), 0,
+                 reinterpret_cast<const sockaddr*>(&peer), peer_len) < 0) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+}
+
+void Reactor::DrainAccept(Endpoint* endpoint) {
+  while (true) {
+    int fd = accept4(endpoint->fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // EAGAIN: accepted everything pending
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conn->endpoint = endpoint;
+    conn->handle = Handle{Handle::Kind::kConn, conn.get()};
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = &conn->handle;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      continue;  // conn drops out of scope and closes
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    conns_[conn.get()] = std::move(conn);
+  }
+}
+
+void Reactor::HandleConnEvent(Conn* conn, uint32_t events, std::vector<uint8_t>& buffer) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end()) {
+    return;
+  }
+  std::shared_ptr<Conn> shared = it->second;
+
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    CloseConn(conn);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    MutexLock lock(conn->mu);
+    while (conn->out_offset < conn->outbuf.size()) {
+      ssize_t n = send(conn->fd, conn->outbuf.data() + conn->out_offset,
+                       conn->outbuf.size() - conn->out_offset, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        break;  // EAGAIN: stay armed; hard error surfaces via EPOLLERR
+      }
+      conn->out_offset += static_cast<size_t>(n);
+    }
+    if (conn->out_offset >= conn->outbuf.size()) {
+      conn->outbuf.clear();
+      conn->out_offset = 0;
+      conn->out_armed = false;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.ptr = &conn->handle;
+      (void)epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+    }
+  }
+  if ((events & EPOLLIN) == 0) {
+    return;
+  }
+
+  // Read until EAGAIN; a nonblocking peer may dribble bytes, so frames
+  // accumulate across events.
+  while (true) {
+    ssize_t n = recv(conn->fd, buffer.data(), buffer.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // EAGAIN: wait for the next event
+    }
+    if (n == 0) {
+      CloseConn(conn);
+      return;
+    }
+    conn->inbuf.insert(conn->inbuf.end(), buffer.begin(), buffer.begin() + n);
+  }
+
+  // Framing: 4-byte big-endian length, then the payload. A length beyond
+  // kMaxStreamFrame is a protocol violation — drop the connection.
+  while (conn->inbuf.size() >= 4) {
+    uint32_t frame_len = ReadFrameLength(conn->inbuf);
+    if (frame_len > kMaxStreamFrame) {
+      HCS_LOG(Debug) << "reactor closing stream conn: frame length " << frame_len
+                     << " exceeds cap";
+      CloseConn(conn);
+      return;
+    }
+    if (conn->inbuf.size() < 4 + static_cast<size_t>(frame_len)) {
+      break;  // partial frame; more bytes coming
+    }
+    Bytes frame(conn->inbuf.begin() + 4, conn->inbuf.begin() + 4 + frame_len);
+    conn->inbuf.erase(conn->inbuf.begin(), conn->inbuf.begin() + 4 + frame_len);
+    const int64_t arrival_ms = SteadyNowMs();
+    Submit(conn->endpoint, [this, shared, frame = std::move(frame), arrival_ms] {
+      ScopedReceiveTimestamp stamp(arrival_ms);
+      Result<Bytes> response = shared->endpoint->service->HandleMessage(frame);
+      dispatched_.fetch_add(1, std::memory_order_relaxed);
+      if (!response.ok()) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        HCS_LOG(Debug) << "reactor dropping garbled frame: " << response.status();
+        return;
+      }
+      Bytes framed;
+      framed.reserve(4 + response->size());
+      AppendFrameHeader(framed, response->size());
+      framed.insert(framed.end(), response->begin(), response->end());
+      SendOnConn(shared, framed);
+    });
+  }
+}
+
+void Reactor::CloseConn(Conn* conn) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end()) {
+    return;
+  }
+  (void)epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  {
+    MutexLock lock(conn->mu);
+    conn->closed = true;
+  }
+  // The fd itself closes when the last shared_ptr (possibly held by a
+  // worker mid-reply) goes away — never out from under a concurrent write.
+  conns_.erase(it);
+}
+
+void Reactor::SendOnConn(const std::shared_ptr<Conn>& conn, const Bytes& framed) {
+  MutexLock lock(conn->mu);
+  if (conn->closed) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Replies queue in completion order; append then flush preserves the
+  // byte stream even when several workers answer on one connection.
+  conn->outbuf.insert(conn->outbuf.end(), framed.begin(), framed.end());
+  while (conn->out_offset < conn->outbuf.size()) {
+    ssize_t n = send(conn->fd, conn->outbuf.data() + conn->out_offset,
+                     conn->outbuf.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // EAGAIN or error: leave the remainder queued
+    }
+    conn->out_offset += static_cast<size_t>(n);
+  }
+  if (conn->out_offset >= conn->outbuf.size()) {
+    conn->outbuf.clear();
+    conn->out_offset = 0;
+    return;
+  }
+  // Short write: arm EPOLLOUT so the loop thread finishes the flush.
+  if (!conn->out_armed) {
+    conn->out_armed = true;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT;
+    ev.data.ptr = &conn->handle;
+    (void)epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+}
+
+void Reactor::Submit(Endpoint* endpoint, std::function<void()> task) {
+  if (endpoint->concurrent) {
+    Enqueue(std::move(task));
+    return;
+  }
+  bool need_schedule = false;
+  {
+    MutexLock lock(endpoint->mu);
+    endpoint->queue.push_back(std::move(task));
+    if (!endpoint->scheduled) {
+      endpoint->scheduled = true;
+      need_schedule = true;
+    }
+  }
+  if (need_schedule) {
+    Enqueue([this, endpoint] { RunEndpoint(endpoint); });
+  }
+}
+
+void Reactor::Enqueue(std::function<void()> task) {
+  MutexLock lock(work_mu_);
+  work_.push_back(std::move(task));
+  work_cv_.NotifyOne();
+}
+
+void Reactor::RunEndpoint(Endpoint* endpoint) {
+  while (true) {
+    std::deque<std::function<void()>> batch;
+    {
+      MutexLock lock(endpoint->mu);
+      if (endpoint->queue.empty()) {
+        endpoint->scheduled = false;
+        return;
+      }
+      batch.swap(endpoint->queue);
+    }
+    for (std::function<void()>& task : batch) {
+      task();
+    }
+  }
+}
+
+void Reactor::WorkerMain() {
+  while (true) {
+    std::function<void()> task;
+    {
+      MutexLock lock(work_mu_);
+      while (work_.empty() && !draining_) {
+        work_cv_.Wait(work_mu_);
+      }
+      if (work_.empty()) {
+        return;  // draining and nothing left
+      }
+      task = std::move(work_.front());
+      work_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace hcs

@@ -1,0 +1,146 @@
+// Reactor: the shared epoll-based service runtime. One event-loop thread
+// multiplexes every registered nonblocking socket — UDP endpoints and
+// length-prefixed TCP stream listeners — and dispatches ready work onto a
+// small worker pool. This replaces the seed's thread-per-endpoint blocking
+// recvfrom model: a host serving the BIND meta store, an HNS, and a handful
+// of NSMs needs one loop and a few workers, not one parked thread per
+// socket.
+//
+// Concurrency model. The sim-era services behind these sockets (RpcServer
+// over World-touching handlers) are not thread-safe, and under
+// thread-per-endpoint they were implicitly serialized by their single serve
+// thread. The reactor preserves that contract by default: each endpoint's
+// messages are processed in arrival order with no two handler invocations
+// in flight at once (a per-endpoint run queue bounces between workers but
+// never runs concurrently). Endpoints whose service is thread-safe opt in
+// to `concurrent` dispatch and fan out across the whole pool — that is
+// where the throughput win over thread-per-endpoint comes from.
+//
+// Shutdown is a graceful drain: Stop() first halts the event loop (no new
+// reads or accepts), then lets the workers finish every task already
+// queued, then flushes pending stream writes best-effort and closes all
+// file descriptors. Start() and Stop() are idempotent, and a stopped
+// reactor can be started again.
+
+#ifndef HCS_SRC_RPC_REACTOR_H_
+#define HCS_SRC_RPC_REACTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/sync.h"
+#include "src/sim/world.h"
+
+namespace hcs {
+
+// Upper bound on one length-prefixed stream frame (defense against a bogus
+// length prefix, and the framing assertion of the stream satellite).
+constexpr size_t kMaxStreamFrame = 1 << 20;
+
+struct ReactorOptions {
+  // Worker threads; 0 = min(8, max(2, hardware_concurrency)).
+  int workers = 0;
+};
+
+struct ReactorEndpointOptions {
+  // True: the service is thread-safe and handler invocations may run on
+  // all workers concurrently. False (default): per-endpoint serial
+  // execution, the thread-per-endpoint contract.
+  bool concurrent = false;
+};
+
+class Reactor {
+ public:
+  explicit Reactor(ReactorOptions options = {});
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  // Starts the event loop and worker pool. Idempotent.
+  Status Start();
+  // Graceful drain; idempotent. After Stop() the reactor holds no fds and
+  // may be started again (endpoints must be re-added).
+  void Stop();
+  bool running() const;
+
+  // Registers a bound, nonblocking UDP socket; the reactor takes ownership
+  // of `fd` and serves `service` on it. Requires running().
+  Status AddUdpEndpoint(int fd, SimService* service, ReactorEndpointOptions options = {});
+
+  // Registers a listening, nonblocking TCP socket; accepted connections
+  // speak 4-byte big-endian length-prefixed frames, one HandleMessage per
+  // frame. The reactor takes ownership of `fd`. Requires running().
+  Status AddStreamListener(int fd, SimService* service, ReactorEndpointOptions options = {});
+
+  // --- Counters (relaxed; for tests and benches) ---------------------------
+  uint64_t dispatched() const { return dispatched_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  uint64_t accepted() const { return accepted_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Endpoint;
+  struct Conn;
+
+  // Tag for the pointer stashed in each epoll event.
+  struct Handle {
+    enum class Kind { kWake, kUdp, kListener, kConn };
+    Kind kind;
+    void* target = nullptr;
+  };
+
+  void LoopMain();
+  void WorkerMain();
+
+  void DrainUdp(Endpoint* endpoint, std::vector<uint8_t>& buffer);
+  void DrainAccept(Endpoint* endpoint);
+  void HandleConnEvent(Conn* conn, uint32_t events, std::vector<uint8_t>& buffer);
+  void CloseConn(Conn* conn);
+
+  // Queues `task` honoring the endpoint's serial/concurrent mode.
+  void Submit(Endpoint* endpoint, std::function<void()> task);
+  void Enqueue(std::function<void()> task);
+  void RunEndpoint(Endpoint* endpoint);
+  void SendOnConn(const std::shared_ptr<Conn>& conn, const Bytes& framed);
+
+  ReactorOptions options_;
+
+  mutable Mutex state_mu_{"reactor-state"};
+  bool running_ HCS_GUARDED_BY(state_mu_) = false;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_ HCS_GUARDED_BY(state_mu_);
+
+  std::atomic<bool> stopping_{false};
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  Handle wake_handle_{Handle::Kind::kWake, nullptr};
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  Mutex work_mu_{"reactor-work"};
+  CondVar work_cv_;
+  std::deque<std::function<void()>> work_ HCS_GUARDED_BY(work_mu_);
+  bool draining_ HCS_GUARDED_BY(work_mu_) = false;
+
+  // Live connections; loop-thread-only (workers reach conns via the
+  // shared_ptr captured in their task).
+  std::map<Conn*, std::shared_ptr<Conn>> conns_;
+
+  std::atomic<uint64_t> dispatched_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> accepted_{0};
+};
+
+// Makes `fd` nonblocking (O_NONBLOCK); shared by the reactor and the
+// real-socket transports.
+Status SetNonBlocking(int fd);
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_RPC_REACTOR_H_

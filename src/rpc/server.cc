@@ -1,6 +1,8 @@
 #include "src/rpc/server.h"
 
+#include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/rpc/context.h"
 
 namespace hcs {
 
@@ -9,6 +11,26 @@ Result<Bytes> RpcServer::HandleMessage(const Bytes& request) {
 
   RpcReplyMsg reply;
   reply.xid = call.xid;
+
+  // Shed before dispatch: a request whose budget is already spent (decode
+  // rebases the wire budget against the message's arrival time, so queue
+  // delay counts) gets a kTimeout reply instead of wasted handler work —
+  // the caller has given up; answering into the void helps no one.
+  if (call.context.expired()) {
+    reply.app_status = StatusCode::kTimeout;
+    reply.error_message =
+        StrFormat("%s: budget exhausted before dispatch (trace %016llx, attempt %u)",
+                  name_.c_str(), static_cast<unsigned long long>(call.context.trace_id),
+                  call.context.attempt);
+    HCS_LOG(Debug) << name_ << " shed expired request, trace "
+                   << call.context.trace_id;
+    return control_.EncodeReply(reply);
+  }
+
+  // Make the request's context ambient for the handler: client calls made
+  // from inside it inherit the deadline, which is what carries the budget
+  // through FindNSM -> NSM -> underlying-name-service chains.
+  ScopedRequestContext scope(call.context);
 
   auto it = handlers_.find(Key(call.program, call.procedure));
   if (it == handlers_.end()) {

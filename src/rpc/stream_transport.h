@@ -12,9 +12,13 @@
 #ifndef HCS_SRC_RPC_STREAM_TRANSPORT_H_
 #define HCS_SRC_RPC_STREAM_TRANSPORT_H_
 
+#include <cstdint>
+#include <map>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "src/common/sync.h"
 #include "src/rpc/transport.h"
 #include "src/sim/world.h"
 
@@ -44,6 +48,47 @@ class StreamNetTransport : public Transport {
   World* world_;
   std::set<std::string> established_;
   uint64_t connects_ = 0;
+};
+
+// Real TCP client transport over 127.0.0.1, framed as 4-byte big-endian
+// length + payload (the reactor's ServeStream framing). Connections are
+// cached per port and reused across calls; a timeout or IO error discards
+// the connection and the next call reconnects. All socket IO is
+// nonblocking with explicit poll-bounded loops — partial reads and short
+// writes (a dribbling or slow peer) are reassembled, never treated as
+// errors, and a frame length beyond the cap is rejected outright.
+class TcpStreamTransport : public Transport {
+ public:
+  explicit TcpStreamTransport(int timeout_ms = 2000) : timeout_ms_(timeout_ms) {}
+  ~TcpStreamTransport() override;
+
+  TcpStreamTransport(const TcpStreamTransport&) = delete;
+  TcpStreamTransport& operator=(const TcpStreamTransport&) = delete;
+
+  Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
+                          uint16_t port, const Bytes& message) override;
+  Result<Bytes> RoundTripWithBudget(const std::string& from_host, const std::string& to_host,
+                                    uint16_t port, const Bytes& message,
+                                    int64_t budget_ms) override;
+  bool SupportsBudget() const override { return true; }
+
+  // Drops every cached connection (process restart).
+  void CloseAll();
+  // TCP connects performed (reuse means fewer connects than calls).
+  uint64_t connects() const;
+
+ private:
+  // Takes a pooled connection to 127.0.0.1:`port`, or dials a new one.
+  Result<int> AcquireConnection(uint16_t port, int64_t deadline_ms);
+  void ReleaseConnection(uint16_t port, int fd);
+  Result<Bytes> Exchange(uint16_t port, const Bytes& message, int64_t timeout_ms);
+
+  int timeout_ms_;
+  mutable Mutex mutex_{"tcp-stream-transport"};
+  // Idle pooled connections per port; a connection in use by a call is
+  // checked out, so concurrent callers each get their own.
+  std::map<uint16_t, std::vector<int>> idle_ HCS_GUARDED_BY(mutex_);
+  uint64_t connects_ HCS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace hcs

@@ -25,6 +25,23 @@ class Transport {
   // (`to_host`, `port`) and returns its response.
   virtual Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
                                   uint16_t port, const Bytes& message) = 0;
+
+  // Budget-aware variant: `budget_ms` bounds the whole exchange in real
+  // time (<= 0: the transport's own default applies). The base
+  // implementation ignores the budget — simulated and in-process transports
+  // complete synchronously on the virtual clock.
+  virtual Result<Bytes> RoundTripWithBudget(const std::string& from_host,
+                                            const std::string& to_host, uint16_t port,
+                                            const Bytes& message, int64_t budget_ms) {
+    (void)budget_ms;
+    return RoundTrip(from_host, to_host, port, message);
+  }
+
+  // True when the transport can bound one exchange in real time — the
+  // signal for the client runtime to run its per-attempt retry loop.
+  // Simulated transports return false, which keeps sim runs single-attempt
+  // and deterministic.
+  virtual bool SupportsBudget() const { return false; }
 };
 
 // Transport over the simulated internetwork. Endpoints are the services

@@ -6,7 +6,9 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "src/common/logging.h"
@@ -27,6 +29,28 @@ sockaddr_in LoopbackAddress(uint16_t port) {
   addr.sin_port = htons(port);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   return addr;
+}
+
+// Creates, binds, and reports a loopback socket of the given type.
+Result<int> BindLoopback(int type, uint16_t port, uint16_t* bound_port_out) {
+  int fd = socket(AF_INET, type, 0);
+  if (fd < 0) {
+    return UnavailableError(StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  sockaddr_in addr = LoopbackAddress(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    int saved = errno;
+    close(fd);
+    return UnavailableError(StrFormat("bind(127.0.0.1:%u): %s", port, std::strerror(saved)));
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    int saved = errno;
+    close(fd);
+    return UnavailableError(StrFormat("getsockname(): %s", std::strerror(saved)));
+  }
+  *bound_port_out = ntohs(addr.sin_port);
+  return fd;
 }
 
 // One serve loop: receive, dispatch, answer. Exits when `stop` is raised
@@ -61,24 +85,52 @@ void ServeLoop(int fd, SimService* service, std::atomic<bool>* stop) {
 
 }  // namespace
 
+ServeMode DefaultServeMode() {
+  const char* env = std::getenv("HCS_REACTOR");
+  if (env != nullptr && env[0] != '\0') {
+    if (env[0] == '1' || env[0] == 'y' || env[0] == 'Y' || env[0] == 't' || env[0] == 'T' ||
+        (env[0] == 'o' && env[1] == 'n')) {
+      return ServeMode::kReactor;
+    }
+    return ServeMode::kThreadPerEndpoint;
+  }
+#ifdef HCS_REACTOR_DEFAULT
+  return ServeMode::kReactor;
+#else
+  return ServeMode::kThreadPerEndpoint;
+#endif
+}
+
+Result<Reactor*> UdpServerHost::EnsureReactor() {
+  if (reactor_ == nullptr) {
+    ReactorOptions options;
+    options.workers = reactor_workers_;
+    reactor_ = std::make_unique<Reactor>(options);
+  }
+  HCS_RETURN_IF_ERROR(reactor_->Start());
+  return reactor_.get();
+}
+
 Result<uint16_t> UdpServerHost::Serve(SimService* service, uint16_t port) {
-  int fd = socket(AF_INET, SOCK_DGRAM, 0);
-  if (fd < 0) {
-    return UnavailableError(StrFormat("socket(): %s", std::strerror(errno)));
+  return ServeUdp(service, port, /*concurrent=*/false);
+}
+
+Result<uint16_t> UdpServerHost::ServeConcurrent(SimService* service, uint16_t port) {
+  return ServeUdp(service, port, /*concurrent=*/true);
+}
+
+Result<uint16_t> UdpServerHost::ServeUdp(SimService* service, uint16_t port, bool concurrent) {
+  uint16_t bound_port = 0;
+  HCS_ASSIGN_OR_RETURN(int fd, BindLoopback(SOCK_DGRAM, port, &bound_port));
+
+  if (mode_ == ServeMode::kReactor) {
+    MutexLock lock(mutex_);
+    HCS_ASSIGN_OR_RETURN(Reactor * reactor, EnsureReactor());
+    ReactorEndpointOptions options;
+    options.concurrent = concurrent;
+    HCS_RETURN_IF_ERROR(reactor->AddUdpEndpoint(fd, service, options));
+    return bound_port;
   }
-  sockaddr_in addr = LoopbackAddress(port);
-  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    int saved = errno;
-    close(fd);
-    return UnavailableError(StrFormat("bind(127.0.0.1:%u): %s", port, std::strerror(saved)));
-  }
-  socklen_t len = sizeof(addr);
-  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
-    int saved = errno;
-    close(fd);
-    return UnavailableError(StrFormat("getsockname(): %s", std::strerror(saved)));
-  }
-  uint16_t bound_port = ntohs(addr.sin_port);
 
   Endpoint endpoint;
   endpoint.fd = fd;
@@ -91,8 +143,36 @@ Result<uint16_t> UdpServerHost::Serve(SimService* service, uint16_t port) {
   return bound_port;
 }
 
+Result<uint16_t> UdpServerHost::ServeStream(SimService* service, uint16_t port) {
+  return ServeStreamInternal(service, port, /*concurrent=*/false);
+}
+
+Result<uint16_t> UdpServerHost::ServeStreamConcurrent(SimService* service, uint16_t port) {
+  return ServeStreamInternal(service, port, /*concurrent=*/true);
+}
+
+Result<uint16_t> UdpServerHost::ServeStreamInternal(SimService* service, uint16_t port,
+                                                    bool concurrent) {
+  uint16_t bound_port = 0;
+  HCS_ASSIGN_OR_RETURN(int fd, BindLoopback(SOCK_STREAM, port, &bound_port));
+  if (listen(fd, 64) < 0) {
+    int saved = errno;
+    close(fd);
+    return UnavailableError(StrFormat("listen(): %s", std::strerror(saved)));
+  }
+  MutexLock lock(mutex_);
+  HCS_ASSIGN_OR_RETURN(Reactor * reactor, EnsureReactor());
+  ReactorEndpointOptions options;
+  options.concurrent = concurrent;
+  HCS_RETURN_IF_ERROR(reactor->AddStreamListener(fd, service, options));
+  return bound_port;
+}
+
 void UdpServerHost::StopAll() {
   MutexLock lock(mutex_);
+  if (reactor_ != nullptr) {
+    reactor_->Stop();  // graceful drain; closes the endpoint fds it owns
+  }
   for (Endpoint& endpoint : endpoints_) {
     // Raise the stop flag, then wake the blocking recvfrom with a zero-byte
     // datagram; the loop notices the flag and exits. The socket is closed
@@ -121,6 +201,19 @@ Result<Bytes> UdpTransport::RoundTrip(const std::string& from_host,
                                       const Bytes& message) {
   (void)from_host;
   (void)to_host;  // everything lives on 127.0.0.1
+  return Exchange(port, message, timeout_ms_);
+}
+
+Result<Bytes> UdpTransport::RoundTripWithBudget(const std::string& from_host,
+                                                const std::string& to_host, uint16_t port,
+                                                const Bytes& message, int64_t budget_ms) {
+  (void)from_host;
+  (void)to_host;
+  int64_t timeout = budget_ms > 0 ? std::min<int64_t>(budget_ms, timeout_ms_) : timeout_ms_;
+  return Exchange(port, message, timeout);
+}
+
+Result<Bytes> UdpTransport::Exchange(uint16_t port, const Bytes& message, int64_t timeout_ms) {
   if (message.size() > kMaxDatagram) {
     return ResourceExhaustedError("message exceeds one datagram");
   }
@@ -129,9 +222,12 @@ Result<Bytes> UdpTransport::RoundTrip(const std::string& from_host,
   if (fd < 0) {
     return UnavailableError(StrFormat("socket(): %s", std::strerror(errno)));
   }
+  if (timeout_ms < 1) {
+    timeout_ms = 1;  // 0 would mean "block forever" to SO_RCVTIMEO
+  }
   timeval tv{};
-  tv.tv_sec = timeout_ms_ / 1000;
-  tv.tv_usec = (timeout_ms_ % 1000) * 1000;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
   (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 
   sockaddr_in addr = LoopbackAddress(port);
@@ -148,8 +244,8 @@ Result<Bytes> UdpTransport::RoundTrip(const std::string& from_host,
   close(fd);
   if (n < 0) {
     if (saved == EAGAIN || saved == EWOULDBLOCK) {
-      return TimeoutError(StrFormat("no response from 127.0.0.1:%u within %d ms", port,
-                                    timeout_ms_));
+      return TimeoutError(StrFormat("no response from 127.0.0.1:%u within %lld ms", port,
+                                    static_cast<long long>(timeout_ms)));
     }
     return UnavailableError(StrFormat("recv(): %s", std::strerror(saved)));
   }

@@ -4,9 +4,17 @@
 // genuine — the control protocols and stubs are byte-level real, and only
 // the transport is swapped.
 //
-// UdpServerHost owns one background thread per served endpoint; services
-// must stay alive until StopAll()/destruction. Simulated-time charging is a
-// no-op on this path (pass a null World to RpcClient).
+// UdpServerHost serves in one of two modes:
+//   - kThreadPerEndpoint (the seed model): one background thread per served
+//     endpoint, blocking recvfrom.
+//   - kReactor: every endpoint is a nonblocking socket on a shared epoll
+//     reactor (src/rpc/reactor.h); handlers run on the reactor's worker
+//     pool, serialized per endpoint unless the service opts into
+//     concurrent dispatch.
+// The default comes from the HCS_REACTOR environment variable (1/0), else
+// the compile-time default (-DHCS_REACTOR=ON). Services must stay alive
+// until StopAll()/destruction. Simulated-time charging is a no-op on this
+// path (pass a null World to RpcClient).
 
 #ifndef HCS_SRC_RPC_UDP_TRANSPORT_H_
 #define HCS_SRC_RPC_UDP_TRANSPORT_H_
@@ -21,25 +29,55 @@
 
 #include "src/common/result.h"
 #include "src/common/sync.h"
+#include "src/rpc/reactor.h"
 #include "src/rpc/transport.h"
 
 namespace hcs {
 
-// Serves SimService instances on real UDP sockets bound to 127.0.0.1.
+enum class ServeMode {
+  kThreadPerEndpoint,
+  kReactor,
+};
+
+// Resolves the process-wide default serving mode: the HCS_REACTOR
+// environment variable ("1"/"on"/"true" vs "0"/"off"/"false") wins; unset
+// falls back to the compile-time default.
+ServeMode DefaultServeMode();
+
+// Serves SimService instances on real sockets bound to 127.0.0.1.
 class UdpServerHost {
  public:
-  UdpServerHost() = default;
+  explicit UdpServerHost(ServeMode mode = DefaultServeMode(), int reactor_workers = 0)
+      : mode_(mode), reactor_workers_(reactor_workers) {}
   ~UdpServerHost() { StopAll(); }
 
   UdpServerHost(const UdpServerHost&) = delete;
   UdpServerHost& operator=(const UdpServerHost&) = delete;
 
-  // Binds 127.0.0.1:`port` (0 = ephemeral) and serves `service` from a
-  // background thread. Returns the bound port.
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and serves `service` on UDP.
+  // Handler invocations for this endpoint never overlap (the seed's
+  // implicit thread-per-endpoint contract — the sim-era services are not
+  // thread-safe). Returns the bound port.
   Result<uint16_t> Serve(SimService* service, uint16_t port = 0);
 
-  // Stops every server thread and closes the sockets. Idempotent.
+  // Like Serve, but declares `service` thread-safe: in reactor mode its
+  // handlers fan out across the whole worker pool. In thread mode this is
+  // identical to Serve.
+  Result<uint16_t> ServeConcurrent(SimService* service, uint16_t port = 0);
+
+  // Serves `service` on a TCP listener speaking 4-byte big-endian
+  // length-prefixed frames (one HandleMessage per frame). Stream serving
+  // always runs on the reactor, regardless of mode.
+  Result<uint16_t> ServeStream(SimService* service, uint16_t port = 0);
+  Result<uint16_t> ServeStreamConcurrent(SimService* service, uint16_t port = 0);
+
+  // Stops every server thread / drains the reactor and closes the sockets.
+  // Idempotent; Serve may be called again afterwards.
   void StopAll();
+
+  ServeMode mode() const { return mode_; }
+  // The shared reactor (null until the first reactor-backed endpoint).
+  Reactor* reactor() { return reactor_.get(); }
 
  private:
   struct Endpoint {
@@ -48,8 +86,17 @@ class UdpServerHost {
     std::unique_ptr<std::atomic<bool>> stop;  // stable address for the loop
     std::thread thread;
   };
+
+  Result<uint16_t> ServeUdp(SimService* service, uint16_t port, bool concurrent);
+  Result<uint16_t> ServeStreamInternal(SimService* service, uint16_t port, bool concurrent);
+  // Lazily creates and starts the shared reactor.
+  Result<Reactor*> EnsureReactor() HCS_REQUIRES(mutex_);
+
+  const ServeMode mode_;
+  const int reactor_workers_;
   Mutex mutex_{"udp-server-host"};
   std::vector<Endpoint> endpoints_ HCS_GUARDED_BY(mutex_);
+  std::unique_ptr<Reactor> reactor_ HCS_GUARDED_BY(mutex_);
 };
 
 // Client-side transport: each RoundTrip sends one datagram to
@@ -62,7 +109,17 @@ class UdpTransport : public Transport {
   Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
                           uint16_t port, const Bytes& message) override;
 
+  // One exchange bounded by min(budget, default timeout); the client
+  // runtime's retry loop sizes `budget_ms` per attempt.
+  Result<Bytes> RoundTripWithBudget(const std::string& from_host, const std::string& to_host,
+                                    uint16_t port, const Bytes& message,
+                                    int64_t budget_ms) override;
+
+  bool SupportsBudget() const override { return true; }
+
  private:
+  Result<Bytes> Exchange(uint16_t port, const Bytes& message, int64_t timeout_ms);
+
   int timeout_ms_;
 };
 

@@ -5,6 +5,8 @@
 #   default      build + full ctest (the tier-1 gate)
 #   asan-ubsan   full ctest under -DHCS_SANITIZE=address,undefined
 #   tsan         `ctest -L concurrency` under -DHCS_SANITIZE=thread
+#   tsan-reactor same tsan build, rerun with HCS_REACTOR=1 so every
+#                real-socket host serves on the shared epoll reactor
 #   annotations  clang build with -DHCS_THREAD_SAFETY=ON (-Werror=thread-safety)
 #   clang-tidy   .clang-tidy over src/ via the default compile database
 #   lint-wire    tools/lint_wire.py encode/decode symmetry
@@ -57,6 +59,22 @@ configure_build_test asan-ubsan -DHCS_SANITIZE=address,undefined --
 
 # 3. TSan over the multi-threaded / real-socket tests.
 configure_build_test tsan -DHCS_SANITIZE=thread -- -L concurrency
+
+# 3b. Same TSan binaries, reactor serving mode: HCS_REACTOR=1 flips every
+# UdpServerHost onto the shared epoll runtime, so the worker-pool dispatch
+# and graceful-drain paths get the same data-race gate as thread-per-endpoint.
+if [[ -x "${BUILD_ROOT}/tsan/CMakeCache.txt" || -f "${BUILD_ROOT}/tsan/CMakeCache.txt" ]]; then
+  note "tsan-reactor: ctest -L concurrency with HCS_REACTOR=1"
+  if (cd "${BUILD_ROOT}/tsan" &&
+      HCS_REACTOR=1 ctest --output-on-failure -j "${JOBS}" -L concurrency); then
+    record tsan-reactor PASS
+  else
+    record tsan-reactor FAIL
+  fi
+else
+  note "tsan-reactor: SKIP (tsan build unavailable)"
+  record tsan-reactor SKIP
+fi
 
 # 4. Clang thread-safety annotations as errors (build-only gate).
 if command -v clang++ >/dev/null 2>&1; then

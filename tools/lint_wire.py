@@ -40,6 +40,7 @@ SCAN_FILES = [
     "src/hns/wire_protocol.cc",
     "src/bindns/protocol.cc",
     "src/bindns/record.cc",
+    "src/rpc/context.cc",
 ]
 
 ENCODE_NAMES = {"Encode": "Decode", "EncodeTo": "DecodeFrom"}
