@@ -35,7 +35,7 @@ void Run() {
       for (int i = 0; i < changes; ++i) {
         // The native administrator edits the zone; this is work the site
         // does regardless of any global name service.
-        (void)zone->Add(ResourceRecord::MakeA(
+        (void)zone->Add(ResourceRecord::MakeA(  // hcs:ignore-status(bench measurement loop; correctness is asserted by the tier-1 suite)
             StrFormat("churn%03d.cs.washington.edu", i), 0xc0000000u + i));
       }
     });
@@ -43,7 +43,7 @@ void Run() {
     // --- Reregistration: the same changes must be copied out. -------------
     double rereg_ms = MeasureMs(&bed.world(), [&] {
       for (int i = 0; i < changes; ++i) {
-        (void)zone->Add(ResourceRecord::MakeA(
+        (void)zone->Add(ResourceRecord::MakeA(  // hcs:ignore-status(bench measurement loop; correctness is asserted by the tier-1 suite)
             StrFormat("rrchurn%03d.cs.washington.edu", i), 0xd0000000u + i));
         // The reregistration daemon pushes each change into the global
         // registry: one authenticated Clearinghouse write per change.
@@ -69,7 +69,7 @@ void Run() {
 
   // fiji is renumbered through its native name service.
   zone->Remove(kSunServerHost, RrType::kA);
-  (void)zone->Add(ResourceRecord::MakeA(kSunServerHost, fiji.address + 100));
+  (void)zone->Add(ResourceRecord::MakeA(kSunServerHost, fiji.address + 100));  // hcs:ignore-status(bench measurement loop; correctness is asserted by the tier-1 suite)
 
   // Direct access: the HNS sees the new address as soon as its caches turn
   // over (flush emulates TTL expiry).

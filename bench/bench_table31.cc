@@ -95,9 +95,9 @@ void Run() {
       HnsSession session(&bed.world(), client_host, &bed.transport(), options);
       Importer importer(&session);
       std::string host_name = std::string(kContextBindBinding) + "!" + kSunServerHost;
-      (void)importer.Import(kDesiredService, host_name);  // warm
+      (void)importer.Import(kDesiredService, host_name);  // hcs:ignore-status(bench measurement loop; correctness is asserted by the tier-1 suite)
       return MeasureMs(&bed.world(), [&] {
-        (void)importer.Import(kDesiredService, host_name);
+        (void)importer.Import(kDesiredService, host_name);  // hcs:ignore-status(bench measurement loop; correctness is asserted by the tier-1 suite)
       });
     };
     double cross_host = measure_from(kClientHost);

@@ -28,10 +28,10 @@ class NativePublisher {
  public:
   virtual ~NativePublisher() = default;
   // Publishes "host exports `service` as (program, version, protocol)".
-  virtual Status Publish(const std::string& host, const std::string& service,
+  HCS_NODISCARD virtual Status Publish(const std::string& host, const std::string& service,
                          uint32_t program, uint32_t version, uint16_t port) = 0;
   // Withdraws the descriptor.
-  virtual Status Withdraw(const std::string& host, const std::string& service) = 0;
+  HCS_NODISCARD virtual Status Withdraw(const std::string& host, const std::string& service) = 0;
 };
 
 // Unix side: a WKS service record in the host's BIND zone plus a
@@ -44,9 +44,9 @@ class BindPublisher : public NativePublisher {
   BindPublisher(BindServer* zone_server, RpcClient* portmapper_client)
       : zone_server_(zone_server), portmapper_client_(portmapper_client) {}
 
-  Status Publish(const std::string& host, const std::string& service, uint32_t program,
+  HCS_NODISCARD Status Publish(const std::string& host, const std::string& service, uint32_t program,
                  uint32_t version, uint16_t port) override;
-  Status Withdraw(const std::string& host, const std::string& service) override;
+  HCS_NODISCARD Status Withdraw(const std::string& host, const std::string& service) override;
 
  private:
   BindServer* zone_server_;
@@ -58,9 +58,9 @@ class ChPublisher : public NativePublisher {
  public:
   explicit ChPublisher(ChClient* client) : client_(client) {}
 
-  Status Publish(const std::string& host, const std::string& service, uint32_t program,
+  HCS_NODISCARD Status Publish(const std::string& host, const std::string& service, uint32_t program,
                  uint32_t version, uint16_t port) override;
-  Status Withdraw(const std::string& host, const std::string& service) override;
+  HCS_NODISCARD Status Withdraw(const std::string& host, const std::string& service) override;
 
  private:
   ChClient* client_;
@@ -69,7 +69,7 @@ class ChPublisher : public NativePublisher {
 // The Export call: installs the server at (host, port) in the world and
 // publishes it natively. Returns an error (and installs nothing) when the
 // port is taken or publishing fails.
-Status ExportService(World* world, NativePublisher* publisher, const std::string& host,
+HCS_NODISCARD Status ExportService(World* world, NativePublisher* publisher, const std::string& host,
                      const std::string& service, uint32_t program, uint32_t version,
                      uint16_t port, RpcServer* server);
 

@@ -34,7 +34,7 @@ class BindFileServiceNsm : public NsmBase {
                      CacheMode cache_mode = CacheMode::kMarshalled);
 
   // Individual name: "<domain-host>:<absolute-path>".
-  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+  HCS_NODISCARD Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
 
  private:
   BindResolver resolver_;
@@ -47,7 +47,7 @@ class ChFileServiceNsm : public NsmBase {
                    CacheMode cache_mode = CacheMode::kMarshalled);
 
   // Individual name: "<object:domain:org>!<xde-file-name>".
-  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+  HCS_NODISCARD Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
 
  private:
   ChClient client_stub_;

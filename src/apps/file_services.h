@@ -42,11 +42,11 @@ class NfsLiteServer {
  public:
   // Installs at (host, kNfsLitePort) and registers with the host's
   // portmapper when one is present.
-  static Result<NfsLiteServer*> InstallOn(World* world, const std::string& host);
+  HCS_NODISCARD static Result<NfsLiteServer*> InstallOn(World* world, const std::string& host);
 
   // Local administrative file creation.
   void PutFile(const std::string& path, Bytes contents);
-  Result<Bytes> GetFile(const std::string& path) const;
+  HCS_NODISCARD Result<Bytes> GetFile(const std::string& path) const;
   size_t file_count() const { return files_.size(); }
 
   RpcServer* rpc() { return &rpc_server_; }
@@ -78,11 +78,11 @@ constexpr uint32_t kXdeProcEnumerate = 3;  // credentials, prefix -> names
 
 class XdeFileServer {
  public:
-  static Result<XdeFileServer*> InstallOn(World* world, const std::string& host);
+  HCS_NODISCARD static Result<XdeFileServer*> InstallOn(World* world, const std::string& host);
 
   void AddAccount(const std::string& user, const std::string& password);
   void PutFile(const std::string& name, Bytes contents);
-  Result<Bytes> GetFile(const std::string& name) const;
+  HCS_NODISCARD Result<Bytes> GetFile(const std::string& name) const;
   size_t file_count() const { return files_.size(); }
 
   RpcServer* rpc() { return &rpc_server_; }
@@ -90,7 +90,7 @@ class XdeFileServer {
  private:
   XdeFileServer(World* world, std::string host);
   void RegisterHandlers();
-  Status Authenticate(const std::string& user, const std::string& password);
+  HCS_NODISCARD Status Authenticate(const std::string& user, const std::string& password);
 
   World* world_;
   std::string host_;

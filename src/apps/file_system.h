@@ -24,13 +24,13 @@ class HcsFile {
 
   // Fetches the whole file named by `file_name` (context picks the world;
   // the individual name uses that world's native file-name syntax).
-  Result<Bytes> Fetch(const HnsName& file_name);
+  HCS_NODISCARD Result<Bytes> Fetch(const HnsName& file_name);
   // Stores `contents` as `file_name`, creating the file if needed.
-  Status Store(const HnsName& file_name, const Bytes& contents);
+  HCS_NODISCARD Status Store(const HnsName& file_name, const Bytes& contents);
 
   // Convenience overloads on "context!individual" text.
-  Result<Bytes> Fetch(const std::string& file_name_text);
-  Status Store(const std::string& file_name_text, const Bytes& contents);
+  HCS_NODISCARD Result<Bytes> Fetch(const std::string& file_name_text);
+  HCS_NODISCARD Status Store(const std::string& file_name_text, const Bytes& contents);
 
  private:
   struct ResolvedFile {
@@ -39,13 +39,13 @@ class HcsFile {
     HrpcBinding binding;
   };
 
-  Result<ResolvedFile> Resolve(const HnsName& file_name);
+  HCS_NODISCARD Result<ResolvedFile> Resolve(const HnsName& file_name);
 
   // The native protocols.
-  Result<Bytes> NfsFetch(const ResolvedFile& file);
-  Status NfsStore(const ResolvedFile& file, const Bytes& contents);
-  Result<Bytes> XdeFetch(const ResolvedFile& file);
-  Status XdeStore(const ResolvedFile& file, const Bytes& contents);
+  HCS_NODISCARD Result<Bytes> NfsFetch(const ResolvedFile& file);
+  HCS_NODISCARD Status NfsStore(const ResolvedFile& file, const Bytes& contents);
+  HCS_NODISCARD Result<Bytes> XdeFetch(const ResolvedFile& file);
+  HCS_NODISCARD Status XdeStore(const ResolvedFile& file, const Bytes& contents);
 
   HnsSession* session_;
   ChCredentials credentials_;

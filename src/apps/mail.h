@@ -34,11 +34,11 @@ constexpr uint32_t kMailProcFetch = 3;    // recipient, index -> message
 // Xerox ones) — the MTA never knows which it talked to.
 class MailDropServer {
  public:
-  static Result<MailDropServer*> InstallOn(World* world, const std::string& host,
+  HCS_NODISCARD static Result<MailDropServer*> InstallOn(World* world, const std::string& host,
                                            ControlKind control);
 
   size_t SpoolSize(const std::string& recipient) const;
-  Result<std::string> SpooledMessage(const std::string& recipient, size_t index) const;
+  HCS_NODISCARD Result<std::string> SpooledMessage(const std::string& recipient, size_t index) const;
 
   RpcServer* rpc() { return &rpc_server_; }
 
@@ -47,8 +47,8 @@ class MailDropServer {
   void RegisterHandlers();
 
   // Encoding helpers over the server's native data representation.
-  Result<std::pair<std::string, std::string>> DecodeDeliver(const Bytes& args) const;
-  Result<std::string> DecodeRecipient(const Bytes& args) const;
+  HCS_NODISCARD Result<std::pair<std::string, std::string>> DecodeDeliver(const Bytes& args) const;
+  HCS_NODISCARD Result<std::string> DecodeRecipient(const Bytes& args) const;
 
   World* world_;
   std::string host_;
@@ -68,13 +68,13 @@ class MailAgent {
 
   // Delivers `message` to the recipient named by `to` ("context!individual").
   // Returns the relay host that accepted the message.
-  Result<std::string> Deliver(const std::string& to, const std::string& message);
+  HCS_NODISCARD Result<std::string> Deliver(const std::string& to, const std::string& message);
 
   uint64_t deliveries() const { return deliveries_; }
 
  private:
   // Maps a mail context to the binding context of the same world.
-  static Result<std::string> BindingContextFor(const std::string& mail_context);
+  HCS_NODISCARD static Result<std::string> BindingContextFor(const std::string& mail_context);
   // The recipient's mailbox key at the relay (what DELIVER files under).
   static std::string SpoolKey(const HnsName& recipient);
   // The MailboxInfo query name: for BIND-world recipients "user@domain" the

@@ -32,7 +32,7 @@ class BroadcastLocator {
   // Resolves `local_name` by probing every NSM with a synthetic name in its
   // own context until one answers. Returns the first success; counts the
   // probes spent.
-  Result<WireValue> Query(const std::string& local_name, const WireValue& args);
+  HCS_NODISCARD Result<WireValue> Query(const std::string& local_name, const WireValue& args);
 
   // Probes issued over the locator's lifetime (failed + successful).
   uint64_t probes() const { return probes_; }

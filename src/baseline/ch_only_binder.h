@@ -28,11 +28,11 @@ class ChOnlyBinder {
 
   // Reregisters one service's binding data into the global registry (the
   // periodic job this baseline needs and the HNS does not).
-  Status Register(const std::string& host, const std::string& service, uint32_t program,
+  HCS_NODISCARD Status Register(const std::string& host, const std::string& service, uint32_t program,
                   uint32_t version, uint16_t port, uint32_t address);
 
   // One authenticated Clearinghouse access returns the whole binding.
-  Result<HrpcBinding> Bind(const std::string& service, const std::string& host);
+  HCS_NODISCARD Result<HrpcBinding> Bind(const std::string& service, const std::string& host);
 
  private:
   ChName RegistryName(const std::string& host, const std::string& service) const;

@@ -38,10 +38,12 @@ Result<HrpcBinding> LocalFileBinder::Bind(const std::string& service,
     if (fields.size() != 6 || fields[0] != want_host || fields[1] != want_service) {
       continue;
     }
-    uint32_t program = static_cast<uint32_t>(std::stoul(fields[2]));
-    uint32_t version = static_cast<uint32_t>(std::stoul(fields[3]));
-    uint32_t protocol = static_cast<uint32_t>(std::stoul(fields[4]));
-    uint32_t address = static_cast<uint32_t>(std::stoul(fields[5]));
+    // Replica lines are plain text anyone can edit; a corrupt numeric field
+    // is a malformed-file error, not a std::stoul throw.
+    HCS_ASSIGN_OR_RETURN(uint32_t program, ParseU32(fields[2]));
+    HCS_ASSIGN_OR_RETURN(uint32_t version, ParseU32(fields[3]));
+    HCS_ASSIGN_OR_RETURN(uint32_t protocol, ParseU32(fields[4]));
+    HCS_ASSIGN_OR_RETURN(uint32_t address, ParseU32(fields[5]));
 
     // The Sun binding protocol proper.
     HCS_ASSIGN_OR_RETURN(uint16_t port,

@@ -51,7 +51,7 @@ class LocalFileBinder {
 
   // Scans the local replica for (service, host), then asks the target
   // host's portmapper for the current port.
-  Result<HrpcBinding> Bind(const std::string& service, const std::string& host);
+  HCS_NODISCARD Result<HrpcBinding> Bind(const std::string& service, const std::string& host);
 
  private:
   World* world_;

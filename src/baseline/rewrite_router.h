@@ -46,7 +46,7 @@ class RewriteRouter {
   explicit RewriteRouter(std::vector<RewriteRule> rules) : rules_(std::move(rules)) {}
 
   // Routes a bare recipient string with no context to lean on.
-  Result<RouteDecision> Route(const std::string& recipient) const;
+  HCS_NODISCARD Result<RouteDecision> Route(const std::string& recipient) const;
 
   size_t rule_count() const { return rules_.size(); }
 

@@ -148,10 +148,13 @@ Result<std::vector<ResourceRecord>> ParseMasterFile(const std::string& text) {
       continue;
     }
     if (fields[0] == "$TTL") {
-      if (fields.size() != 2 || !IsAllDigits(fields[1])) {
+      Result<uint32_t> parsed_ttl =
+          fields.size() == 2 ? ParseU32(fields[1])
+                             : InvalidArgumentError("wrong field count");
+      if (!parsed_ttl.ok()) {
         return InvalidArgumentError(StrFormat("line %d: bad $TTL", line_number));
       }
-      default_ttl = static_cast<uint32_t>(std::stoul(fields[1]));
+      default_ttl = *parsed_ttl;
       continue;
     }
 
@@ -176,8 +179,12 @@ Result<std::vector<ResourceRecord>> ParseMasterFile(const std::string& text) {
     }
 
     uint32_t ttl = default_ttl;
-    if (IsAllDigits(fields[field_index])) {
-      ttl = static_cast<uint32_t>(std::stoul(fields[field_index]));
+    // An all-digit field here is an explicit TTL — but only if it actually
+    // fits in u32 (a 30-digit "TTL" used to throw out of std::stoul; now it
+    // falls through and is rejected as an unknown record type).
+    if (Result<uint32_t> explicit_ttl = ParseU32(fields[field_index]);
+        explicit_ttl.ok()) {
+      ttl = *explicit_ttl;
       ++field_index;
     }
     if (field_index >= fields.size()) {

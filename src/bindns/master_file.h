@@ -26,10 +26,10 @@ namespace hcs {
 
 // Parses master-file text into records. Reports the first syntax error with
 // its line number.
-Result<std::vector<ResourceRecord>> ParseMasterFile(const std::string& text);
+HCS_NODISCARD Result<std::vector<ResourceRecord>> ParseMasterFile(const std::string& text);
 
 // Parses and loads into `zone`; every record must fall inside the zone.
-Status LoadZoneFromMasterFile(Zone* zone, const std::string& text);
+HCS_NODISCARD Status LoadZoneFromMasterFile(Zone* zone, const std::string& text);
 
 // Renders records back to master-file text (round-trips with the parser for
 // the supported types).
@@ -38,7 +38,7 @@ std::string FormatMasterFile(const std::vector<ResourceRecord>& records);
 // Renders a dotted-quad address.
 std::string FormatAddress(uint32_t address);
 // Parses a dotted-quad address.
-Result<uint32_t> ParseAddress(const std::string& text);
+HCS_NODISCARD Result<uint32_t> ParseAddress(const std::string& text);
 
 }  // namespace hcs
 

@@ -58,12 +58,12 @@ struct ResourceRecord {
                                   uint32_t ttl = 3600);
 
   // Typed RDATA accessors (kProtocolError on shape mismatch).
-  Result<uint32_t> AddressRdata() const;
-  Result<std::string> TextRdata() const;
+  HCS_NODISCARD Result<uint32_t> AddressRdata() const;
+  HCS_NODISCARD Result<std::string> TextRdata() const;
 
   // Wire form within BIND protocol messages.
   void EncodeTo(XdrEncoder* enc) const;
-  static Result<ResourceRecord> DecodeFrom(XdrDecoder* dec);
+  HCS_NODISCARD static Result<ResourceRecord> DecodeFrom(XdrDecoder* dec);
 
   std::string ToString() const;
 
@@ -77,7 +77,7 @@ struct ResourceRecord {
 std::vector<ResourceRecord> UnspecRecordsFromValue(const std::string& name,
                                                    const WireValue& value,
                                                    uint32_t ttl = 3600);
-Result<WireValue> ValueFromUnspecRecords(std::vector<ResourceRecord> records);
+HCS_NODISCARD Result<WireValue> ValueFromUnspecRecords(std::vector<ResourceRecord> records);
 
 }  // namespace hcs
 

@@ -42,16 +42,16 @@ class BindResolver {
 
   // Resolves (name, type). Cache-aware. kNotFound on NXDOMAIN or an empty
   // answer set.
-  Result<std::vector<ResourceRecord>> Query(const std::string& name, RrType type);
+  HCS_NODISCARD Result<std::vector<ResourceRecord>> Query(const std::string& name, RrType type);
 
   // Convenience: the internet address of `host_name` (first A record).
-  Result<uint32_t> LookupAddress(const std::string& host_name);
+  HCS_NODISCARD Result<uint32_t> LookupAddress(const std::string& host_name);
 
   // Sends a dynamic update (modified-BIND servers only).
-  Status Update(UpdateOp op, const ResourceRecord& record);
+  HCS_NODISCARD Status Update(UpdateOp op, const ResourceRecord& record);
 
   // Full zone transfer, e.g. for preloading caches.
-  Result<BindAxfrResponse> ZoneTransfer(const std::string& origin);
+  HCS_NODISCARD Result<BindAxfrResponse> ZoneTransfer(const std::string& origin);
 
   void FlushCache() { cache_.clear(); }
   const ResolverStats& stats() const { return stats_; }

@@ -260,7 +260,7 @@ Result<BindUpdateResponse> BindServer::UpdateLocal(const BindUpdateRequest& requ
       peer.control = ControlKind::kRaw;
       Result<Bytes> ignored =
           forward_client_.Call(peer, kBindProcInvalidate, invalidate.Encode());
-      (void)ignored;  // a down secondary converges via TTL expiry instead
+      (void)ignored;  // hcs:ignore-status(best effort; a down secondary converges via TTL expiry instead)
     }
   }
   return response;

@@ -44,20 +44,20 @@ class BindServer {
  public:
   // Creates the server, registers it in the world at (host, kBindPort), and
   // hands ownership to the world.
-  static Result<BindServer*> InstallOn(World* world, const std::string& host,
+  HCS_NODISCARD static Result<BindServer*> InstallOn(World* world, const std::string& host,
                                        BindServerOptions options);
 
   // Adds an authoritative zone rooted at `origin`; returns it for loading.
-  Result<Zone*> AddZone(const std::string& origin);
+  HCS_NODISCARD Result<Zone*> AddZone(const std::string& origin);
 
   // Adds a *secondary* copy of `origin`, refreshed from the BIND server on
   // `primary_host` via zone transfer. The first transfer happens on the
   // next RefreshSecondaryZones() (or periodic refresh tick).
-  Status AddSecondaryZone(const std::string& origin, const std::string& primary_host);
+  HCS_NODISCARD Status AddSecondaryZone(const std::string& origin, const std::string& primary_host);
 
   // Checks each secondary's serial against its primary and transfers the
   // zone when stale. Returns the number of zones transferred.
-  Result<size_t> RefreshSecondaryZones();
+  HCS_NODISCARD Result<size_t> RefreshSecondaryZones();
 
   // Schedules RefreshSecondaryZones() every `interval_seconds` on the
   // world's event queue (classic BIND secondary refresh timer).
@@ -69,9 +69,9 @@ class BindServer {
 
   // --- Local (linked, non-RPC) interface -----------------------------------
   // Used by colocated processes; charges server CPU but no network.
-  Result<BindQueryResponse> QueryLocal(const BindQueryRequest& request);
-  Result<BindUpdateResponse> UpdateLocal(const BindUpdateRequest& request);
-  Result<BindAxfrResponse> AxfrLocal(const BindAxfrRequest& request);
+  HCS_NODISCARD Result<BindQueryResponse> QueryLocal(const BindQueryRequest& request);
+  HCS_NODISCARD Result<BindUpdateResponse> UpdateLocal(const BindUpdateRequest& request);
+  HCS_NODISCARD Result<BindAxfrResponse> AxfrLocal(const BindAxfrRequest& request);
 
   RpcServer* rpc() { return &rpc_server_; }
   const std::string& host() const { return host_; }
@@ -93,8 +93,8 @@ class BindServer {
 
   // Serves a query from authoritative data, the forward cache, or the
   // forwarder, in that order.
-  Result<BindQueryResponse> HandleQuery(const BindQueryRequest& request);
-  Result<BindQueryResponse> ForwardQuery(const BindQueryRequest& request);
+  HCS_NODISCARD Result<BindQueryResponse> HandleQuery(const BindQueryRequest& request);
+  HCS_NODISCARD Result<BindQueryResponse> ForwardQuery(const BindQueryRequest& request);
 
   struct CacheEntry {
     std::vector<ResourceRecord> answers;

@@ -29,7 +29,7 @@ class Zone {
   // Adds a record. Enforces the 256-byte rdata limit and zone membership.
   // Multiple records may share a (name, type) — that is how BIND stores
   // alternate data for one name. Bumps the serial.
-  Status Add(ResourceRecord rr);
+  HCS_NODISCARD Status Add(ResourceRecord rr);
 
   // Removes records. With `type` unset removes all records of `name`.
   // Returns the number removed; bumps the serial when nonzero.
@@ -39,14 +39,14 @@ class Zone {
   // zone when the requested type has no records. kAny returns everything
   // under the name. Returns an empty vector (not an error) when the name
   // exists with other types; kNotFound when the name is absent entirely.
-  Result<std::vector<ResourceRecord>> Lookup(const std::string& name, RrType type) const;
+  HCS_NODISCARD Result<std::vector<ResourceRecord>> Lookup(const std::string& name, RrType type) const;
 
   // Every record in the zone (zone-transfer order: by name, then type).
   std::vector<ResourceRecord> All() const;
 
   // Replaces the whole zone contents (secondary refresh after a zone
   // transfer). The serial is taken from the primary.
-  Status ReplaceAll(std::vector<ResourceRecord> records, uint32_t new_serial);
+  HCS_NODISCARD Status ReplaceAll(std::vector<ResourceRecord> records, uint32_t new_serial);
 
   // Number of records.
   size_t size() const;

@@ -74,7 +74,7 @@ Status ChClient::AddItem(const ChName& name, uint32_t property, const WireValue&
   }
   HCS_ASSIGN_OR_RETURN(Bytes reply,
                        CallWithFailover(kChProcAddItem, request.Encode()));
-  (void)reply;
+  (void)reply;  // hcs:ignore-status(success reply body is empty; errors already propagated above)
   return Status::Ok();
 }
 
@@ -90,7 +90,7 @@ Status ChClient::DeleteItem(const ChName& name, uint32_t property) {
   }
   HCS_ASSIGN_OR_RETURN(Bytes reply,
                        CallWithFailover(kChProcDeleteItem, request.Encode()));
-  (void)reply;
+  (void)reply;  // hcs:ignore-status(success reply body is empty; errors already propagated above)
   return Status::Ok();
 }
 

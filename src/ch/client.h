@@ -26,16 +26,16 @@ class ChClient {
 
   // Retrieves (name, property). The response includes the distinguished
   // name with aliases resolved.
-  Result<ChRetrieveItemResponse> RetrieveItem(const ChName& name, uint32_t property);
+  HCS_NODISCARD Result<ChRetrieveItemResponse> RetrieveItem(const ChName& name, uint32_t property);
 
   // Adds or replaces an item.
-  Status AddItem(const ChName& name, uint32_t property, const WireValue& item);
+  HCS_NODISCARD Status AddItem(const ChName& name, uint32_t property, const WireValue& item);
 
   // Deletes an item.
-  Status DeleteItem(const ChName& name, uint32_t property);
+  HCS_NODISCARD Status DeleteItem(const ChName& name, uint32_t property);
 
   // Lists the objects in a domain.
-  Result<std::vector<std::string>> ListObjects(const std::string& domain,
+  HCS_NODISCARD Result<std::vector<std::string>> ListObjects(const std::string& domain,
                                                const std::string& organization);
 
   const std::string& server_host() const { return server_hosts_.front(); }
@@ -44,7 +44,7 @@ class ChClient {
   HrpcBinding ServerBinding(const std::string& host) const;
   // Calls `procedure`, failing over across the configured hosts when a host
   // is unreachable.
-  Result<Bytes> CallWithFailover(uint32_t procedure, const Bytes& body);
+  HCS_NODISCARD Result<Bytes> CallWithFailover(uint32_t procedure, const Bytes& body);
 
   RpcClient* client_;
   std::vector<std::string> server_hosts_;

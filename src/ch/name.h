@@ -18,7 +18,7 @@ struct ChName {
 
   // Parses "object:domain:organization". All three parts are required and
   // non-empty.
-  static Result<ChName> Parse(const std::string& text);
+  HCS_NODISCARD static Result<ChName> Parse(const std::string& text);
 
   // "object:domain:organization".
   std::string ToString() const;

@@ -32,7 +32,7 @@ struct ChCredentials {
   std::string password;
 
   void EncodeTo(class CourierEncoder* enc) const;
-  static Result<ChCredentials> DecodeFrom(class CourierDecoder* dec);
+  HCS_NODISCARD static Result<ChCredentials> DecodeFrom(class CourierDecoder* dec);
 };
 
 struct ChRetrieveItemRequest {
@@ -41,7 +41,7 @@ struct ChRetrieveItemRequest {
   uint32_t property = 0;
 
   Bytes Encode() const;
-  static Result<ChRetrieveItemRequest> Decode(const Bytes& data);
+  HCS_NODISCARD static Result<ChRetrieveItemRequest> Decode(const Bytes& data);
 };
 
 struct ChRetrieveItemResponse {
@@ -51,7 +51,7 @@ struct ChRetrieveItemResponse {
   WireValue item;
 
   Bytes Encode() const;
-  static Result<ChRetrieveItemResponse> Decode(const Bytes& data);
+  HCS_NODISCARD static Result<ChRetrieveItemResponse> Decode(const Bytes& data);
 };
 
 struct ChAddItemRequest {
@@ -61,7 +61,7 @@ struct ChAddItemRequest {
   WireValue item;
 
   Bytes Encode() const;
-  static Result<ChAddItemRequest> Decode(const Bytes& data);
+  HCS_NODISCARD static Result<ChAddItemRequest> Decode(const Bytes& data);
 };
 
 struct ChDeleteItemRequest {
@@ -70,7 +70,7 @@ struct ChDeleteItemRequest {
   uint32_t property = 0;
 
   Bytes Encode() const;
-  static Result<ChDeleteItemRequest> Decode(const Bytes& data);
+  HCS_NODISCARD static Result<ChDeleteItemRequest> Decode(const Bytes& data);
 };
 
 struct ChListObjectsRequest {
@@ -80,14 +80,14 @@ struct ChListObjectsRequest {
   std::string organization;
 
   Bytes Encode() const;
-  static Result<ChListObjectsRequest> Decode(const Bytes& data);
+  HCS_NODISCARD static Result<ChListObjectsRequest> Decode(const Bytes& data);
 };
 
 struct ChListObjectsResponse {
   std::vector<std::string> objects;
 
   Bytes Encode() const;
-  static Result<ChListObjectsResponse> Decode(const Bytes& data);
+  HCS_NODISCARD static Result<ChListObjectsResponse> Decode(const Bytes& data);
 };
 
 }  // namespace hcs

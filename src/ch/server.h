@@ -29,14 +29,14 @@ class ChServer {
  public:
   // Creates the server, registers it at (host, kClearinghousePort), and
   // hands ownership to the world.
-  static Result<ChServer*> InstallOn(World* world, const std::string& host,
+  HCS_NODISCARD static Result<ChServer*> InstallOn(World* world, const std::string& host,
                                      ChServerOptions options);
 
   // Administrative (non-RPC) setup.
   void AddDomain(const std::string& domain, const std::string& organization);
   void AddAccount(const std::string& user, const std::string& password);
   // Registers `alias` as an alternate name for `target`.
-  Status AddAlias(const ChName& alias, const ChName& target);
+  HCS_NODISCARD Status AddAlias(const ChName& alias, const ChName& target);
 
   // Registers a replica Clearinghouse (already installed in the world) to
   // which this server synchronously propagates writes. Clients fail over to
@@ -44,10 +44,10 @@ class ChServer {
   void AddReplicaTarget(const std::string& host) { replica_hosts_.push_back(host); }
 
   // --- Local (linked) interface; also used by the RPC handlers ------------
-  Result<ChRetrieveItemResponse> RetrieveItemLocal(const ChRetrieveItemRequest& request);
-  Result<ChRetrieveItemResponse> AddItemLocal(const ChAddItemRequest& request);
-  Status DeleteItemLocal(const ChDeleteItemRequest& request);
-  Result<ChListObjectsResponse> ListObjectsLocal(const ChListObjectsRequest& request);
+  HCS_NODISCARD Result<ChRetrieveItemResponse> RetrieveItemLocal(const ChRetrieveItemRequest& request);
+  HCS_NODISCARD Result<ChRetrieveItemResponse> AddItemLocal(const ChAddItemRequest& request);
+  HCS_NODISCARD Status DeleteItemLocal(const ChDeleteItemRequest& request);
+  HCS_NODISCARD Result<ChListObjectsResponse> ListObjectsLocal(const ChListObjectsRequest& request);
 
   RpcServer* rpc() { return &rpc_server_; }
   const std::string& host() const { return host_; }
@@ -60,7 +60,7 @@ class ChServer {
   void RegisterHandlers();
 
   // Charges the per-access costs and checks credentials.
-  Status Authenticate(const ChCredentials& credentials);
+  HCS_NODISCARD Status Authenticate(const ChCredentials& credentials);
   // Forwards a successful write to every replica (best effort: an
   // unreachable replica converges on its next write or administrative sync).
   void PropagateWrite(uint32_t procedure, const Bytes& body);

@@ -17,7 +17,7 @@ namespace hcs {
 // constructing from an OK status is a programming error and is converted to
 // an INTERNAL error to keep the invariant checkable in release builds.
 template <typename T>
-class Result {
+class HCS_NODISCARD Result {
  public:
   // Constructs from a value (implicit, so `return value;` works).
   Result(T value) : value_(std::move(value)) {}
@@ -29,7 +29,7 @@ class Result {
     }
   }
 
-  bool ok() const { return value_.has_value(); }
+  HCS_NODISCARD bool ok() const { return value_.has_value(); }
 
   // The status: OK when a value is held.
   const Status& status() const { return status_; }

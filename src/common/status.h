@@ -12,6 +12,24 @@
 #include <string>
 #include <string_view>
 
+// HCS_NODISCARD marks Status, Result<T>, and every function returning them:
+// a dropped error return is a compile error under -Werror=unused-result
+// (enabled unconditionally in the top-level CMakeLists). The only sanctioned
+// way to discard one is an explicit void cast carrying an auditable reason,
+//
+//   (void)client.Call(...);  // hcs:ignore-status(best effort; TTL converges)
+//
+// which tools/lint_failpaths.py verifies tree-wide (a naked `(void)` cast
+// without the tag, or a tag with an empty reason, fails the lint gate).
+#if defined(__has_cpp_attribute)
+#if __has_cpp_attribute(nodiscard)
+#define HCS_NODISCARD [[nodiscard]]
+#endif
+#endif
+#ifndef HCS_NODISCARD
+#define HCS_NODISCARD
+#endif
+
 namespace hcs {
 
 // Canonical error space shared by every HCS subsystem. Codes are coarse on
@@ -45,8 +63,9 @@ enum class StatusCode : int {
 // Human-readable name of a status code ("NOT_FOUND" etc.).
 std::string_view StatusCodeToString(StatusCode code);
 
-// A (code, message) pair. Cheap to copy in the OK case.
-class Status {
+// A (code, message) pair. Cheap to copy in the OK case. The class itself is
+// nodiscard: any call returning a Status by value must be consumed.
+class HCS_NODISCARD Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -55,7 +74,7 @@ class Status {
 
   static Status Ok() { return Status(); }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
+  HCS_NODISCARD bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -74,16 +93,16 @@ class Status {
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
 // Constructors for each error class; each takes the human-readable detail.
-Status NotFoundError(std::string message);
-Status InvalidArgumentError(std::string message);
-Status AlreadyExistsError(std::string message);
-Status TimeoutError(std::string message);
-Status ProtocolError(std::string message);
-Status UnavailableError(std::string message);
-Status PermissionDeniedError(std::string message);
-Status InternalError(std::string message);
-Status UnimplementedError(std::string message);
-Status ResourceExhaustedError(std::string message);
+HCS_NODISCARD Status NotFoundError(std::string message);
+HCS_NODISCARD Status InvalidArgumentError(std::string message);
+HCS_NODISCARD Status AlreadyExistsError(std::string message);
+HCS_NODISCARD Status TimeoutError(std::string message);
+HCS_NODISCARD Status ProtocolError(std::string message);
+HCS_NODISCARD Status UnavailableError(std::string message);
+HCS_NODISCARD Status PermissionDeniedError(std::string message);
+HCS_NODISCARD Status InternalError(std::string message);
+HCS_NODISCARD Status UnimplementedError(std::string message);
+HCS_NODISCARD Status ResourceExhaustedError(std::string message);
 
 // Evaluates `expr` (a Status); returns it from the enclosing function if it
 // is not OK.

@@ -78,6 +78,26 @@ std::string StrFormat(const char* fmt, ...) {
   return out;
 }
 
+Result<uint32_t> ParseU32(std::string_view s) {
+  if (s.empty()) {
+    return InvalidArgumentError("empty integer field");
+  }
+  uint32_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return InvalidArgumentError("non-digit in integer field: " +
+                                  std::string(s));
+    }
+    uint32_t digit = static_cast<uint32_t>(c - '0');
+    if (value > (0xffffffffu - digit) / 10) {
+      return InvalidArgumentError("integer field overflows u32: " +
+                                  std::string(s));
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
 bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
   if (a.size() != b.size()) {
     return false;

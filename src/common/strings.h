@@ -5,9 +5,12 @@
 #define HCS_SRC_COMMON_STRINGS_H_
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/common/result.h"
 
 namespace hcs {
 
@@ -34,6 +37,12 @@ std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2))
 
 // Case-insensitive ASCII equality.
 bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Parses a non-negative decimal integer fitting in uint32_t. Rejects empty
+// input, signs, non-digits, and overflow with kInvalidArgument. Unlike
+// std::stoul this never throws, so it is safe on wire-derived text (MX
+// rdata, zone files, binding-file fields).
+HCS_NODISCARD Result<uint32_t> ParseU32(std::string_view s);
 
 }  // namespace hcs
 

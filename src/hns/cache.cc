@@ -128,7 +128,7 @@ HnsCache::LookupResult HnsCache::Lookup(const std::string& key) {
 
 Result<WireValue> HnsCache::Get(const std::string& key, SimTime* expires_out) {
   if (mode_ == CacheMode::kNone) {
-    (void)Lookup(key);  // keeps the miss counter honest
+    (void)Lookup(key);  // hcs:ignore-status(disabled-cache probe; only the miss-counter side effect matters)
     return NotFoundError("cache disabled");
   }
   LookupResult looked = Lookup(key);

@@ -119,7 +119,7 @@ class HnsCache {
   // Convenience wrapper over Lookup: kNotFound on miss, negative hit, or
   // TTL expiry. `expires_out`, when non-null, receives the entry's expiry
   // on a positive hit (used for min-TTL composition).
-  Result<WireValue> Get(const std::string& key, SimTime* expires_out = nullptr);
+  HCS_NODISCARD Result<WireValue> Get(const std::string& key, SimTime* expires_out = nullptr);
 
   // Inserts `value` under `key` with the given TTL. In marshalled mode the
   // value's wire form is what gets stored. May evict LRU entries to respect
@@ -153,7 +153,7 @@ class HnsCache {
   // and the running byte total equals the recomputed per-entry sum. Returns
   // the first violation; cache tests and bench_cache call this after
   // mutation storms.
-  Status CheckInvariants() const;
+  HCS_NODISCARD Status CheckInvariants() const;
 
  private:
   struct Entry {

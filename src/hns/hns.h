@@ -68,13 +68,13 @@ class Hns {
   // this performs six remote data lookups; with a warm cache, none.
   // `context` bounds the whole sequence (empty: inherit the ambient request
   // context); an already-expired context is shed on entry.
-  Result<NsmHandle> FindNsm(const HnsName& name, const QueryClass& query_class,
+  HCS_NODISCARD Result<NsmHandle> FindNsm(const HnsName& name, const QueryClass& query_class,
                             const RequestContext& context = RequestContext{});
 
   // Resolves a host name to its internet address through the host's own
   // name service (query class HostAddress). Used by mapping 3 and exposed
   // because it is itself a common client need.
-  Result<uint32_t> ResolveHostAddress(const std::string& host_context,
+  HCS_NODISCARD Result<uint32_t> ResolveHostAddress(const std::string& host_context,
                                       const std::string& host,
                                       const RequestContext& context = RequestContext{});
 
@@ -84,7 +84,7 @@ class Hns {
   // NSMs are normally linked, which is what bounds the FindNSM recursion
   // (paper §3). The instance is shared: it may be linked into several
   // components of one process (client + agent, say).
-  Status LinkNsm(std::shared_ptr<Nsm> nsm);
+  HCS_NODISCARD Status LinkNsm(std::shared_ptr<Nsm> nsm);
   // True when an NSM of this name is linked here.
   bool HasLinkedNsm(const std::string& nsm_name) const;
   Nsm* LinkedNsm(const std::string& nsm_name) const;
@@ -93,14 +93,14 @@ class Hns {
   // Forwarded to the meta store (dynamic updates to the modified BIND);
   // registering an NSM extends the functionality of all machines at once.
   // Registrations evict the composite binding-cache entries they affect.
-  Status RegisterNameService(const NameServiceInfo& info);
-  Status RegisterContext(const std::string& context, const std::string& ns_name);
-  Status RegisterNsm(const NsmInfo& info);
-  Status UnregisterNsm(const std::string& ns_name, const QueryClass& query_class);
+  HCS_NODISCARD Status RegisterNameService(const NameServiceInfo& info);
+  HCS_NODISCARD Status RegisterContext(const std::string& context, const std::string& ns_name);
+  HCS_NODISCARD Status RegisterNsm(const NsmInfo& info);
+  HCS_NODISCARD Status UnregisterNsm(const std::string& ns_name, const QueryClass& query_class);
 
   // Preloads the cache via a zone transfer of the meta zone; returns bytes
   // transferred (the paper's meta zone was ~2 KB, preload ~390 ms).
-  Result<size_t> PreloadCache();
+  HCS_NODISCARD Result<size_t> PreloadCache();
 
   HnsCache& cache() { return cache_; }
   CompositeBindingCache& composite_cache() { return composite_; }
@@ -113,14 +113,14 @@ class Hns {
  private:
   static constexpr int kMaxAddressRecursionDepth = 2;
 
-  Result<uint32_t> ResolveHostAddressAtDepth(const std::string& host_context,
+  HCS_NODISCARD Result<uint32_t> ResolveHostAddressAtDepth(const std::string& host_context,
                                              const std::string& host, int depth,
                                              SimTime* min_expires,
                                              const RequestContext& context);
   // The paper's mapping sequence (six data lookups cold), reporting the min
   // expiry of the meta records consumed — the composite entry's TTL source —
   // and the name service the context mapped to (invalidation metadata).
-  Result<NsmHandle> FindNsmUncomposed(const HnsName& name, const QueryClass& query_class,
+  HCS_NODISCARD Result<NsmHandle> FindNsmUncomposed(const HnsName& name, const QueryClass& query_class,
                                       SimTime* min_expires, std::string* ns_name_out,
                                       const RequestContext& context);
 

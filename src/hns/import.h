@@ -24,10 +24,10 @@ class Importer {
   // class is kQueryClassHrpcBinding; whichever NSM the HNS designates runs
   // the system type's native binding protocol (Sun portmapper, Courier
   // handshake, ...).
-  Result<HrpcBinding> Import(const std::string& service_name, const HnsName& host_name);
+  HCS_NODISCARD Result<HrpcBinding> Import(const std::string& service_name, const HnsName& host_name);
 
   // Convenience overload taking "context!host" text.
-  Result<HrpcBinding> Import(const std::string& service_name,
+  HCS_NODISCARD Result<HrpcBinding> Import(const std::string& service_name,
                              const std::string& host_name_text);
 
  private:

@@ -39,7 +39,7 @@ struct NameServiceInfo {
   std::string type;  // e.g. "BIND", "Clearinghouse", "Uniflex"
 
   WireValue ToWire() const;
-  static Result<NameServiceInfo> FromWire(const WireValue& value);
+  HCS_NODISCARD static Result<NameServiceInfo> FromWire(const WireValue& value);
 };
 
 // Registration record for one NSM: which (query class, name service) it
@@ -60,7 +60,7 @@ struct NsmInfo {
   ControlKind control = ControlKind::kRaw;
 
   WireValue ToWire() const;
-  static Result<NsmInfo> FromWire(const WireValue& value);
+  HCS_NODISCARD static Result<NsmInfo> FromWire(const WireValue& value);
 };
 
 class MetaStore {
@@ -85,28 +85,28 @@ class MetaStore {
   // TTLs. `rctx` bounds the upstream fetch on a cache miss (empty: the
   // ambient request context applies).
   // Mapping 1: context -> name service name.
-  Result<std::string> ContextToNameService(const std::string& context,
+  HCS_NODISCARD Result<std::string> ContextToNameService(const std::string& context,
                                            SimTime* expires_out = nullptr,
                                            const RequestContext& rctx = RequestContext{});
   // Mapping 2: (name service, query class) -> NSM name.
-  Result<std::string> NsmNameFor(const std::string& ns_name, const QueryClass& query_class,
+  HCS_NODISCARD Result<std::string> NsmNameFor(const std::string& ns_name, const QueryClass& query_class,
                                  SimTime* expires_out = nullptr,
                                  const RequestContext& rctx = RequestContext{});
   // Mapping 3 (first part): NSM name -> registration record.
-  Result<NsmInfo> NsmLocation(const std::string& nsm_name, SimTime* expires_out = nullptr,
+  HCS_NODISCARD Result<NsmInfo> NsmLocation(const std::string& nsm_name, SimTime* expires_out = nullptr,
                               const RequestContext& rctx = RequestContext{});
   // Name service descriptor (administration, diagnostics).
-  Result<NameServiceInfo> NameService(const std::string& ns_name);
+  HCS_NODISCARD Result<NameServiceInfo> NameService(const std::string& ns_name);
 
   // --- Registration (dynamic updates to the modified BIND) ----------------
-  Status RegisterNameService(const NameServiceInfo& info);
-  Status RegisterContext(const std::string& context, const std::string& ns_name);
-  Status RegisterNsm(const NsmInfo& info);
-  Status UnregisterNsm(const std::string& ns_name, const QueryClass& query_class);
+  HCS_NODISCARD Status RegisterNameService(const NameServiceInfo& info);
+  HCS_NODISCARD Status RegisterContext(const std::string& context, const std::string& ns_name);
+  HCS_NODISCARD Status RegisterNsm(const NsmInfo& info);
+  HCS_NODISCARD Status UnregisterNsm(const std::string& ns_name, const QueryClass& query_class);
 
   // Preloads the cache with the whole meta zone via a BIND zone transfer.
   // Returns the number of bytes transferred.
-  Result<size_t> Preload();
+  HCS_NODISCARD Result<size_t> Preload();
 
   // A snapshot of everything registered with the HNS (obtained with one
   // zone transfer from the authority): the administrative inventory an
@@ -117,7 +117,7 @@ class MetaStore {
     std::vector<NameServiceInfo> name_services;
     std::vector<NsmInfo> nsms;
   };
-  Result<Inventory> TakeInventory();
+  HCS_NODISCARD Result<Inventory> TakeInventory();
 
   HnsCache* cache() { return cache_; }
   // Remote meta lookups performed (misses that went to BIND); lets tests
@@ -151,15 +151,15 @@ class MetaStore {
   // One cache-aware structured read of an unspecified-type meta record.
   // Misses are coalesced (singleflight) and NotFound results are cached
   // negatively under the cache's short negative TTL.
-  Result<WireValue> ReadRecord(const std::string& record_name,
+  HCS_NODISCARD Result<WireValue> ReadRecord(const std::string& record_name,
                                SimTime* expires_out = nullptr,
                                const RequestContext& rctx = RequestContext{});
   // One uncached remote BIND lookup via the HRPC interface (stub-generated
   // marshalling), reassembling chunked unspecified-type records.
-  Result<WireValue> RemoteRead(const std::string& record_name, const RequestContext& rctx);
+  HCS_NODISCARD Result<WireValue> RemoteRead(const std::string& record_name, const RequestContext& rctx);
   // Writes a structured record (delete-then-add) via dynamic update.
-  Status WriteRecord(const std::string& record_name, const WireValue& value);
-  Status DeleteRecord(const std::string& record_name);
+  HCS_NODISCARD Status WriteRecord(const std::string& record_name, const WireValue& value);
+  HCS_NODISCARD Status DeleteRecord(const std::string& record_name);
 
   HrpcBinding MetaServerBinding(bool authority) const;
 

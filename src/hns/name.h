@@ -41,7 +41,7 @@ struct HnsName {
   std::string ToString() const;
 
   // Parses "context!individual".
-  static Result<HnsName> Parse(const std::string& text);
+  HCS_NODISCARD static Result<HnsName> Parse(const std::string& text);
 
   friend bool operator==(const HnsName& a, const HnsName& b);
   friend bool operator!=(const HnsName& a, const HnsName& b) { return !(a == b); }
@@ -50,7 +50,7 @@ struct HnsName {
 
 // Validates a context name: non-empty, printable ASCII, no '!' or
 // whitespace, at most 128 chars.
-Status ValidateContextName(const std::string& context);
+HCS_NODISCARD Status ValidateContextName(const std::string& context);
 
 }  // namespace hcs
 

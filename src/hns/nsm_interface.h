@@ -32,7 +32,7 @@ class Nsm {
   // inputs (e.g. the desired service name for HRPCBinding); the result is
   // the query class's standard format. Both are self-describing records, so
   // one wire protocol serves every query class.
-  virtual Result<WireValue> Query(const HnsName& name, const WireValue& args) = 0;
+  HCS_NODISCARD virtual Result<WireValue> Query(const HnsName& name, const WireValue& args) = 0;
 
   // The NSM's cache of underlying-name-service results, when it keeps one
   // (experiments flush and warm it). Null when the NSM does not cache.

@@ -23,7 +23,7 @@ class QueryClassRegistry {
 
   // Registers (or replaces) the result schema for `query_class`, given as
   // IDL text containing exactly one message definition.
-  Status RegisterSchema(const QueryClass& query_class, const std::string& idl_text);
+  HCS_NODISCARD Status RegisterSchema(const QueryClass& query_class, const std::string& idl_text);
 
   bool HasSchema(const QueryClass& query_class) const;
 
@@ -31,7 +31,7 @@ class QueryClassRegistry {
   // type (extra fields are allowed: schemas evolve additively).
   // kInvalidArgument with the offending field on mismatch; OK when no
   // schema is registered (validation is opt-in per class).
-  Status ValidateResult(const QueryClass& query_class, const WireValue& result) const;
+  HCS_NODISCARD Status ValidateResult(const QueryClass& query_class, const WireValue& result) const;
 
   // The registry pre-loaded with the prototype's four query classes.
   static QueryClassRegistry WithBuiltinSchemas();

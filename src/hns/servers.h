@@ -26,7 +26,7 @@ class NsmServer {
  public:
   // Registers `nsm` at (info.host, info.port) with info.control framing.
   // The world owns the wrapper; the NSM instance is shared.
-  static Result<NsmServer*> InstallOn(World* world, std::shared_ptr<Nsm> nsm);
+  HCS_NODISCARD static Result<NsmServer*> InstallOn(World* world, std::shared_ptr<Nsm> nsm);
 
   Nsm* nsm() { return nsm_.get(); }
   RpcServer* rpc() { return &rpc_server_; }
@@ -44,7 +44,7 @@ class HnsServer {
   // Builds an Hns instance living on `host` and serves FindNSM at
   // (host, kHnsServerPort). Host-address NSMs should be linked into the
   // returned server's hns() just as with a local instance.
-  static Result<HnsServer*> InstallOn(World* world, const std::string& host,
+  HCS_NODISCARD static Result<HnsServer*> InstallOn(World* world, const std::string& host,
                                       HnsOptions options);
 
   Hns& hns() { return *hns_; }
@@ -63,7 +63,7 @@ class AgentServer {
  public:
   // Builds an Hns on `host`, links the given NSMs, and serves whole queries
   // at (host, kAgentPort): FindNSM + NSM call in one remote exchange.
-  static Result<AgentServer*> InstallOn(World* world, const std::string& host,
+  HCS_NODISCARD static Result<AgentServer*> InstallOn(World* world, const std::string& host,
                                         HnsOptions options,
                                         std::vector<std::shared_ptr<Nsm>> nsms);
 

@@ -54,19 +54,19 @@ class HnsSession {
 
   // Links an NSM instance into the client process (used by arrangements
   // where the NSMs are colocated with the client).
-  Status LinkNsm(std::shared_ptr<Nsm> nsm);
+  HCS_NODISCARD Status LinkNsm(std::shared_ptr<Nsm> nsm);
 
   // Performs one complete HNS query: locate the right NSM for (context of
   // `name`, query class), call it, return the query class's standard result.
   // `context` bounds the whole exchange (empty: the ambient request context,
   // if any, is inherited — see src/rpc/context.h).
-  Result<WireValue> Query(const HnsName& name, const QueryClass& query_class,
+  HCS_NODISCARD Result<WireValue> Query(const HnsName& name, const QueryClass& query_class,
                           const WireValue& args,
                           const RequestContext& context = RequestContext{});
 
   // FindNSM only (no NSM call). Unavailable in agent mode, where the agent
   // owns the whole exchange.
-  Result<NsmHandle> FindNsm(const HnsName& name, const QueryClass& query_class,
+  HCS_NODISCARD Result<NsmHandle> FindNsm(const HnsName& name, const QueryClass& query_class,
                             const RequestContext& context = RequestContext{});
 
   // One FindNSM resolution request of a batch.
@@ -88,11 +88,11 @@ class HnsSession {
   const SessionOptions& options() const { return options_; }
 
  private:
-  Result<WireValue> CallNsmRemote(const HrpcBinding& binding, const HnsName& name,
+  HCS_NODISCARD Result<WireValue> CallNsmRemote(const HrpcBinding& binding, const HnsName& name,
                                   const WireValue& args, const RequestContext& context);
-  Result<WireValue> CallAgent(const HnsName& name, const QueryClass& query_class,
+  HCS_NODISCARD Result<WireValue> CallAgent(const HnsName& name, const QueryClass& query_class,
                               const WireValue& args, const RequestContext& context);
-  Result<NsmHandle> FindNsmRemote(const HnsName& name, const QueryClass& query_class,
+  HCS_NODISCARD Result<NsmHandle> FindNsmRemote(const HnsName& name, const QueryClass& query_class,
                                   const RequestContext& context);
 
   World* world_;

@@ -28,7 +28,7 @@ struct NsmQueryRequest {
   WireValue args;
 
   Bytes Encode() const;
-  static Result<NsmQueryRequest> Decode(const Bytes& data);
+  HCS_NODISCARD static Result<NsmQueryRequest> Decode(const Bytes& data);
 };
 // The NSM reply body is a bare encoded WireValue.
 
@@ -38,7 +38,7 @@ struct FindNsmRequest {
   QueryClass query_class;
 
   Bytes Encode() const;
-  static Result<FindNsmRequest> Decode(const Bytes& data);
+  HCS_NODISCARD static Result<FindNsmRequest> Decode(const Bytes& data);
 };
 
 struct FindNsmResponse {
@@ -46,7 +46,7 @@ struct FindNsmResponse {
   HrpcBinding binding;
 
   Bytes Encode() const;
-  static Result<FindNsmResponse> Decode(const Bytes& data);
+  HCS_NODISCARD static Result<FindNsmResponse> Decode(const Bytes& data);
 };
 
 // --- Agent (colocated HNS + NSMs behind one remote interface) ---------------
@@ -56,7 +56,7 @@ struct AgentQueryRequest {
   WireValue args;
 
   Bytes Encode() const;
-  static Result<AgentQueryRequest> Decode(const Bytes& data);
+  HCS_NODISCARD static Result<AgentQueryRequest> Decode(const Bytes& data);
 };
 // The agent reply body is a bare encoded WireValue (the NSM's result).
 

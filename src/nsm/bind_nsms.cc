@@ -171,12 +171,16 @@ Result<WireValue> BindMailboxNsm::Query(const HnsName& name, const WireValue& ar
       continue;
     }
     std::vector<std::string> fields = StrSplit(StringFromBytes(rr.rdata), ' ');
-    if (fields.size() != 2) {
+    // The rdata text came off the wire; a non-numeric or overlong preference
+    // must come back as a protocol error, not a throw out of std::stoul.
+    Result<uint32_t> preference =
+        fields.size() == 2 ? ParseU32(fields[0])
+                           : InvalidArgumentError("wrong field count");
+    if (!preference.ok()) {
       return ProtocolError("malformed MX record for " + domain);
     }
-    uint32_t preference = static_cast<uint32_t>(std::stoul(fields[0]));
-    if (preference < best_preference) {
-      best_preference = preference;
+    if (*preference < best_preference) {
+      best_preference = *preference;
       best_host = fields[1];
     }
   }

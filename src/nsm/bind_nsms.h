@@ -36,7 +36,7 @@ class BindHostAddressNsm : public NsmBase {
                      CacheMode cache_mode = CacheMode::kMarshalled);
 
   // Result: {address: u32, host: string}.
-  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+  HCS_NODISCARD Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
 
  private:
   BindResolver resolver_;
@@ -49,7 +49,7 @@ class BindBindingNsm : public NsmBase {
                  CacheMode cache_mode = CacheMode::kMarshalled);
 
   // Args: {service: string}. Result: an encoded HrpcBinding record.
-  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+  HCS_NODISCARD Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
 
  private:
   BindResolver resolver_;
@@ -62,7 +62,7 @@ class BindMailboxNsm : public NsmBase {
                  CacheMode cache_mode = CacheMode::kMarshalled);
 
   // Result: {mail_host: string, preference: u32} — the best MX relay.
-  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+  HCS_NODISCARD Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
 
  private:
   BindResolver resolver_;

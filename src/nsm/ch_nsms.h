@@ -25,7 +25,7 @@ class ChHostAddressNsm : public NsmBase {
                    CacheMode cache_mode = CacheMode::kMarshalled);
 
   // Result: {address: u32, host: string}.
-  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+  HCS_NODISCARD Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
 
  private:
   ChClient client_stub_;
@@ -38,7 +38,7 @@ class ChBindingNsm : public NsmBase {
                CacheMode cache_mode = CacheMode::kMarshalled);
 
   // Args: {service: string}. Result: an encoded HrpcBinding record.
-  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+  HCS_NODISCARD Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
 
  private:
   ChClient client_stub_;
@@ -51,7 +51,7 @@ class ChMailboxNsm : public NsmBase {
                CacheMode cache_mode = CacheMode::kMarshalled);
 
   // Result: {mail_host: string, preference: u32}.
-  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+  HCS_NODISCARD Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
 
  private:
   ChClient client_stub_;

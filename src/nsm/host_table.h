@@ -27,7 +27,7 @@ constexpr uint32_t kHostTableProcPut = 2;
 // with no reregistration.
 class HostTableServer {
  public:
-  static Result<HostTableServer*> InstallOn(World* world, const std::string& host);
+  HCS_NODISCARD static Result<HostTableServer*> InstallOn(World* world, const std::string& host);
 
   // Local administrative add.
   void Put(const std::string& name, uint32_t address);
@@ -52,14 +52,14 @@ class HostTableHostAddressNsm : public NsmBase {
                           CacheMode cache_mode = CacheMode::kMarshalled);
 
   // Result: {address: u32, host: string}.
-  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+  HCS_NODISCARD Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
 
  private:
   std::string table_server_host_;
 };
 
 // Client-side PUT, for native applications of the small system.
-Status HostTablePut(RpcClient* client, const std::string& table_server_host,
+HCS_NODISCARD Status HostTablePut(RpcClient* client, const std::string& table_server_host,
                     const std::string& name, uint32_t address);
 
 }  // namespace hcs

@@ -41,7 +41,7 @@ class NsmBase : public Nsm {
   // context (installed by the serving runtime before dispatch, or by the
   // caller for a linked instance) has already spent its budget. NSMs shed
   // such queries instead of interrogating the underlying name service.
-  Status CheckBudget(const char* op) const { return ShedIfBudgetSpent(op); }
+  HCS_NODISCARD Status CheckBudget(const char* op) const { return ShedIfBudgetSpent(op); }
 
   World* world_;
   std::string locus_host_;

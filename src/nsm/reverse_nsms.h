@@ -34,7 +34,7 @@ class BindHostNameNsm : public NsmBase {
                   CacheMode cache_mode = CacheMode::kMarshalled);
 
   // Individual name: dotted-quad address text. Result: {host, address}.
-  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+  HCS_NODISCARD Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
 
  private:
   BindResolver resolver_;
@@ -49,7 +49,7 @@ class ChHostNameNsm : public NsmBase {
                 CacheMode cache_mode = CacheMode::kMarshalled);
 
   // Individual name: dotted-quad address text. Result: {host, address}.
-  Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
+  HCS_NODISCARD Result<WireValue> Query(const HnsName& name, const WireValue& args) override;
 
  private:
   ChClient client_stub_;

@@ -76,7 +76,7 @@ struct HrpcBinding {
   // Serialization to/from the self-describing wire form (bindings travel
   // inside NSM replies and are stored in the HNS meta-store).
   WireValue ToWire() const;
-  static Result<HrpcBinding> FromWire(const WireValue& value);
+  HCS_NODISCARD static Result<HrpcBinding> FromWire(const WireValue& value);
 
   // Human-readable summary for logs.
   std::string ToString() const;

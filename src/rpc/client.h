@@ -50,7 +50,7 @@ class RpcClient {
   // budget capped by the remaining overall budget, the attempt counter
   // re-marshalled per try. Otherwise exactly one attempt is made (the seed
   // behavior; sim runs stay deterministic).
-  Result<Bytes> Call(const HrpcBinding& binding, uint32_t procedure, const Bytes& args,
+  HCS_NODISCARD Result<Bytes> Call(const HrpcBinding& binding, uint32_t procedure, const Bytes& args,
                      const RequestContext& context = RequestContext{},
                      RpcCallInfo* info_out = nullptr);
 

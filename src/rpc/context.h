@@ -61,7 +61,7 @@ struct RequestContextWire {
   uint64_t trace_id = 0;
 
   void EncodeTo(XdrEncoder& enc) const;
-  static Result<RequestContextWire> DecodeFrom(XdrDecoder& dec);
+  HCS_NODISCARD static Result<RequestContextWire> DecodeFrom(XdrDecoder& dec);
 
   static RequestContextWire FromContext(const RequestContext& context);
   // Rebases the relative budget onto this process's clock, anchored at
@@ -109,7 +109,7 @@ class ScopedReceiveTimestamp {
 
 // Shed helper for server layers: kTimeout when the ambient request's budget
 // is already spent. `who` names the shedding layer in the error.
-Status ShedIfBudgetSpent(const char* who);
+HCS_NODISCARD Status ShedIfBudgetSpent(const char* who);
 
 }  // namespace hcs
 

@@ -47,9 +47,9 @@ class ControlProtocol {
   virtual ~ControlProtocol() = default;
   virtual ControlKind kind() const = 0;
   virtual Bytes EncodeCall(const RpcCall& call) const = 0;
-  virtual Result<RpcCall> DecodeCall(const Bytes& message) const = 0;
+  HCS_NODISCARD virtual Result<RpcCall> DecodeCall(const Bytes& message) const = 0;
   virtual Bytes EncodeReply(const RpcReplyMsg& reply) const = 0;
-  virtual Result<RpcReplyMsg> DecodeReply(const Bytes& message) const = 0;
+  HCS_NODISCARD virtual Result<RpcReplyMsg> DecodeReply(const Bytes& message) const = 0;
 };
 
 // Returns the process-wide instance for a control protocol kind.

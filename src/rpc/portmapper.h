@@ -21,7 +21,7 @@ class PortMapper {
  public:
   // Creates the portmapper for `host` and registers it in the world at the
   // well-known portmapper port.
-  static Result<PortMapper*> InstallOn(World* world, const std::string& host);
+  HCS_NODISCARD static Result<PortMapper*> InstallOn(World* world, const std::string& host);
 
   // Local (same-host) registration, as a server process would perform when
   // it starts. Not an RPC.
@@ -30,7 +30,7 @@ class PortMapper {
 
   // Client-side GETPORT: one Sun RPC call to `host`'s portmapper. Returns
   // kNotFound when the program is not registered there.
-  static Result<uint16_t> GetPort(RpcClient* client, const std::string& host,
+  HCS_NODISCARD static Result<uint16_t> GetPort(RpcClient* client, const std::string& host,
                                   uint32_t program, uint32_t version, uint32_t protocol);
 
   RpcServer* server() { return &server_; }

@@ -65,7 +65,7 @@ class Reactor {
   Reactor& operator=(const Reactor&) = delete;
 
   // Starts the event loop and worker pool. Idempotent.
-  Status Start();
+  HCS_NODISCARD Status Start();
   // Graceful drain; idempotent. After Stop() the reactor holds no fds and
   // may be started again (endpoints must be re-added).
   void Stop();
@@ -73,12 +73,12 @@ class Reactor {
 
   // Registers a bound, nonblocking UDP socket; the reactor takes ownership
   // of `fd` and serves `service` on it. Requires running().
-  Status AddUdpEndpoint(int fd, SimService* service, ReactorEndpointOptions options = {});
+  HCS_NODISCARD Status AddUdpEndpoint(int fd, SimService* service, ReactorEndpointOptions options = {});
 
   // Registers a listening, nonblocking TCP socket; accepted connections
   // speak 4-byte big-endian length-prefixed frames, one HandleMessage per
   // frame. The reactor takes ownership of `fd`. Requires running().
-  Status AddStreamListener(int fd, SimService* service, ReactorEndpointOptions options = {});
+  HCS_NODISCARD Status AddStreamListener(int fd, SimService* service, ReactorEndpointOptions options = {});
 
   // --- Counters (relaxed; for tests and benches) ---------------------------
   uint64_t dispatched() const { return dispatched_.load(std::memory_order_relaxed); }
@@ -139,7 +139,7 @@ class Reactor {
 
 // Makes `fd` nonblocking (O_NONBLOCK); shared by the reactor and the
 // real-socket transports.
-Status SetNonBlocking(int fd);
+HCS_NODISCARD Status SetNonBlocking(int fd);
 
 }  // namespace hcs
 

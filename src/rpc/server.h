@@ -39,7 +39,7 @@ class RpcServer : public SimService {
   // dispatches, and encodes the reply. Application-level failures (including
   // "no such procedure") are carried inside a well-formed reply; only a
   // garbled request surfaces as a transport-level error.
-  Result<Bytes> HandleMessage(const Bytes& request) override;
+  HCS_NODISCARD Result<Bytes> HandleMessage(const Bytes& request) override;
 
   const std::string& name() const { return name_; }
   ControlKind control_kind() const { return control_.kind(); }

@@ -28,7 +28,7 @@ class StreamNetTransport : public Transport {
  public:
   explicit StreamNetTransport(World* world) : world_(world) {}
 
-  Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
+  HCS_NODISCARD Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
                           uint16_t port, const Bytes& message) override;
 
   // Drops one cached connection (peer closed / timeout); the next exchange
@@ -65,9 +65,9 @@ class TcpStreamTransport : public Transport {
   TcpStreamTransport(const TcpStreamTransport&) = delete;
   TcpStreamTransport& operator=(const TcpStreamTransport&) = delete;
 
-  Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
+  HCS_NODISCARD Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
                           uint16_t port, const Bytes& message) override;
-  Result<Bytes> RoundTripWithBudget(const std::string& from_host, const std::string& to_host,
+  HCS_NODISCARD Result<Bytes> RoundTripWithBudget(const std::string& from_host, const std::string& to_host,
                                     uint16_t port, const Bytes& message,
                                     int64_t budget_ms) override;
   bool SupportsBudget() const override { return true; }
@@ -79,9 +79,9 @@ class TcpStreamTransport : public Transport {
 
  private:
   // Takes a pooled connection to 127.0.0.1:`port`, or dials a new one.
-  Result<int> AcquireConnection(uint16_t port, int64_t deadline_ms);
+  HCS_NODISCARD Result<int> AcquireConnection(uint16_t port, int64_t deadline_ms);
   void ReleaseConnection(uint16_t port, int fd);
-  Result<Bytes> Exchange(uint16_t port, const Bytes& message, int64_t timeout_ms);
+  HCS_NODISCARD Result<Bytes> Exchange(uint16_t port, const Bytes& message, int64_t timeout_ms);
 
   int timeout_ms_;
   mutable Mutex mutex_{"tcp-stream-transport"};

@@ -23,14 +23,14 @@ class Transport {
 
   // Sends `message` from a process on `from_host` to the server listening at
   // (`to_host`, `port`) and returns its response.
-  virtual Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
+  HCS_NODISCARD virtual Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
                                   uint16_t port, const Bytes& message) = 0;
 
   // Budget-aware variant: `budget_ms` bounds the whole exchange in real
   // time (<= 0: the transport's own default applies). The base
   // implementation ignores the budget — simulated and in-process transports
   // complete synchronously on the virtual clock.
-  virtual Result<Bytes> RoundTripWithBudget(const std::string& from_host,
+  HCS_NODISCARD virtual Result<Bytes> RoundTripWithBudget(const std::string& from_host,
                                             const std::string& to_host, uint16_t port,
                                             const Bytes& message, int64_t budget_ms) {
     (void)budget_ms;
@@ -50,7 +50,7 @@ class SimNetTransport : public Transport {
  public:
   explicit SimNetTransport(World* world) : world_(world) {}
 
-  Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
+  HCS_NODISCARD Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
                           uint16_t port, const Bytes& message) override {
     return world_->RoundTrip(from_host, to_host, port, message);
   }
@@ -65,7 +65,7 @@ class SimNetTransport : public Transport {
 class LoopbackTransport : public Transport {
  public:
   // Registers a service at `port`. The service must outlive the transport.
-  Status Register(uint16_t port, SimService* service) {
+  HCS_NODISCARD Status Register(uint16_t port, SimService* service) {
     if (services_.count(port) != 0) {
       return AlreadyExistsError("loopback port already in use: " + std::to_string(port));
     }
@@ -75,7 +75,7 @@ class LoopbackTransport : public Transport {
 
   void Unregister(uint16_t port) { services_.erase(port); }
 
-  Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
+  HCS_NODISCARD Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
                           uint16_t port, const Bytes& message) override {
     (void)from_host;
     (void)to_host;

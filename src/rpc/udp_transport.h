@@ -58,18 +58,18 @@ class UdpServerHost {
   // Handler invocations for this endpoint never overlap (the seed's
   // implicit thread-per-endpoint contract — the sim-era services are not
   // thread-safe). Returns the bound port.
-  Result<uint16_t> Serve(SimService* service, uint16_t port = 0);
+  HCS_NODISCARD Result<uint16_t> Serve(SimService* service, uint16_t port = 0);
 
   // Like Serve, but declares `service` thread-safe: in reactor mode its
   // handlers fan out across the whole worker pool. In thread mode this is
   // identical to Serve.
-  Result<uint16_t> ServeConcurrent(SimService* service, uint16_t port = 0);
+  HCS_NODISCARD Result<uint16_t> ServeConcurrent(SimService* service, uint16_t port = 0);
 
   // Serves `service` on a TCP listener speaking 4-byte big-endian
   // length-prefixed frames (one HandleMessage per frame). Stream serving
   // always runs on the reactor, regardless of mode.
-  Result<uint16_t> ServeStream(SimService* service, uint16_t port = 0);
-  Result<uint16_t> ServeStreamConcurrent(SimService* service, uint16_t port = 0);
+  HCS_NODISCARD Result<uint16_t> ServeStream(SimService* service, uint16_t port = 0);
+  HCS_NODISCARD Result<uint16_t> ServeStreamConcurrent(SimService* service, uint16_t port = 0);
 
   // Stops every server thread / drains the reactor and closes the sockets.
   // Idempotent; Serve may be called again afterwards.
@@ -87,10 +87,10 @@ class UdpServerHost {
     std::thread thread;
   };
 
-  Result<uint16_t> ServeUdp(SimService* service, uint16_t port, bool concurrent);
-  Result<uint16_t> ServeStreamInternal(SimService* service, uint16_t port, bool concurrent);
+  HCS_NODISCARD Result<uint16_t> ServeUdp(SimService* service, uint16_t port, bool concurrent);
+  HCS_NODISCARD Result<uint16_t> ServeStreamInternal(SimService* service, uint16_t port, bool concurrent);
   // Lazily creates and starts the shared reactor.
-  Result<Reactor*> EnsureReactor() HCS_REQUIRES(mutex_);
+  HCS_NODISCARD Result<Reactor*> EnsureReactor() HCS_REQUIRES(mutex_);
 
   const ServeMode mode_;
   const int reactor_workers_;
@@ -106,19 +106,19 @@ class UdpTransport : public Transport {
   // `timeout_ms` bounds each exchange; expiry surfaces as kTimeout.
   explicit UdpTransport(int timeout_ms = 2000) : timeout_ms_(timeout_ms) {}
 
-  Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
+  HCS_NODISCARD Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
                           uint16_t port, const Bytes& message) override;
 
   // One exchange bounded by min(budget, default timeout); the client
   // runtime's retry loop sizes `budget_ms` per attempt.
-  Result<Bytes> RoundTripWithBudget(const std::string& from_host, const std::string& to_host,
+  HCS_NODISCARD Result<Bytes> RoundTripWithBudget(const std::string& from_host, const std::string& to_host,
                                     uint16_t port, const Bytes& message,
                                     int64_t budget_ms) override;
 
   bool SupportsBudget() const override { return true; }
 
  private:
-  Result<Bytes> Exchange(uint16_t port, const Bytes& message, int64_t timeout_ms);
+  HCS_NODISCARD Result<Bytes> Exchange(uint16_t port, const Bytes& message, int64_t timeout_ms);
 
   int timeout_ms_;
 };

@@ -48,10 +48,10 @@ class Network {
 
   // Registers a host. Host names are case-insensitive and must be unique.
   // Returns the assigned address.
-  Result<uint32_t> AddHost(const std::string& name, MachineType machine, OsType os);
+  HCS_NODISCARD Result<uint32_t> AddHost(const std::string& name, MachineType machine, OsType os);
 
   // Looks up a registered host.
-  Result<HostInfo> GetHost(const std::string& name) const;
+  HCS_NODISCARD Result<HostInfo> GetHost(const std::string& name) const;
 
   bool HasHost(const std::string& name) const;
 

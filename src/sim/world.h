@@ -33,7 +33,7 @@ namespace hcs {
 class SimService {
  public:
   virtual ~SimService() = default;
-  virtual Result<Bytes> HandleMessage(const Bytes& request) = 0;
+  HCS_NODISCARD virtual Result<Bytes> HandleMessage(const Bytes& request) = 0;
 };
 
 // Traffic counters, used by tests to assert call-graph properties (e.g.
@@ -74,7 +74,7 @@ class World {
   // Registers a service at (host, port). The host must exist. The service
   // is not owned; it must outlive the registration (use OwnService to hand
   // ownership to the world).
-  Status RegisterService(const std::string& host, uint16_t port, SimService* service);
+  HCS_NODISCARD Status RegisterService(const std::string& host, uint16_t port, SimService* service);
 
   // Removes a registration (e.g., server crash injection).
   void UnregisterService(const std::string& host, uint16_t port);
@@ -92,7 +92,7 @@ class World {
   // service at (`to_host`, `port`): advances the clock by the network round
   // trip (same-host exchanges are cheaper), dispatches to the service (which
   // charges its own processing), and returns the response.
-  Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
+  HCS_NODISCARD Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
                           uint16_t port, const Bytes& request);
 
   // True when a service is registered at (host, port).

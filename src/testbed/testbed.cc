@@ -81,19 +81,19 @@ Testbed::Testbed(TestbedOptions options)
 
 void Testbed::BuildNetwork() {
   Network& net = world_.network();
-  (void)net.AddHost(kClientHost, MachineType::kMicroVax, OsType::kUnix);
-  (void)net.AddHost(kMetaBindHost, MachineType::kMicroVax, OsType::kUnix);
-  (void)net.AddHost(kMetaSecondaryHost, MachineType::kMicroVax, OsType::kUnix);
-  (void)net.AddHost(kPublicBindHost, MachineType::kMicroVax, OsType::kUnix);
-  (void)net.AddHost(kSunServerHost, MachineType::kSun, OsType::kUnix);
-  (void)net.AddHost(kHnsServerHost, MachineType::kMicroVax, OsType::kUnix);
-  (void)net.AddHost(kNsmServerHost, MachineType::kMicroVax, OsType::kUnix);
-  (void)net.AddHost(kAgentHost, MachineType::kMicroVax, OsType::kUnix);
-  (void)net.AddHost(kChServerHost, MachineType::kXeroxD, OsType::kXde);
-  (void)net.AddHost(kXeroxServerHost, MachineType::kXeroxD, OsType::kXde);
+  (void)net.AddHost(kClientHost, MachineType::kMicroVax, OsType::kUnix);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)net.AddHost(kMetaBindHost, MachineType::kMicroVax, OsType::kUnix);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)net.AddHost(kMetaSecondaryHost, MachineType::kMicroVax, OsType::kUnix);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)net.AddHost(kPublicBindHost, MachineType::kMicroVax, OsType::kUnix);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)net.AddHost(kSunServerHost, MachineType::kSun, OsType::kUnix);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)net.AddHost(kHnsServerHost, MachineType::kMicroVax, OsType::kUnix);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)net.AddHost(kNsmServerHost, MachineType::kMicroVax, OsType::kUnix);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)net.AddHost(kAgentHost, MachineType::kMicroVax, OsType::kUnix);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)net.AddHost(kChServerHost, MachineType::kXeroxD, OsType::kXde);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)net.AddHost(kXeroxServerHost, MachineType::kXeroxD, OsType::kXde);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
   // Filler population, so zones and tables have realistic bulk.
   for (int i = 1; i <= 20; ++i) {
-    (void)net.AddHost(StrFormat("host%02d.cs.washington.edu", i), MachineType::kMicroVax,
+    (void)net.AddHost(StrFormat("host%02d.cs.washington.edu", i), MachineType::kMicroVax,  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
                       OsType::kUnix);
   }
 
@@ -119,7 +119,7 @@ void Testbed::BuildNetwork() {
                                return args;           // echo
                              });
   RpcServer* desired_raw = world_.OwnService(std::move(desired));
-  (void)world_.RegisterService(kSunServerHost, kDesiredServicePort, desired_raw);
+  (void)world_.RegisterService(kSunServerHost, kDesiredServicePort, desired_raw);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
 
   // The Courier service exported from the Xerox side: an echo server too.
   auto print = std::make_unique<RpcServer>(ControlKind::kCourier, "PrintService@Dorado");
@@ -129,7 +129,7 @@ void Testbed::BuildNetwork() {
                              return args;
                            });
   RpcServer* print_raw = world_.OwnService(std::move(print));
-  (void)world_.RegisterService(kXeroxServerHost, kPrintServicePort, print_raw);
+  (void)world_.RegisterService(kXeroxServerHost, kPrintServicePort, print_raw);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
 }
 
 void Testbed::BuildNameServices() {
@@ -138,7 +138,7 @@ void Testbed::BuildNameServices() {
   meta_options.allow_dynamic_update = true;
   meta_options.allow_unspecified_type = true;
   meta_bind_ = BindServer::InstallOn(&world_, kMetaBindHost, meta_options).value();
-  (void)meta_bind_->AddZone(MetaStore::kMetaZoneOrigin);
+  (void)meta_bind_->AddZone(MetaStore::kMetaZoneOrigin);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
 
   // The caching secondary every HNS instance queries: authoritative for
   // nothing, forwards cold queries to the primary and caches by TTL — the
@@ -154,19 +154,19 @@ void Testbed::BuildNameServices() {
   Zone* uw_zone = public_bind_->AddZone("cs.washington.edu").value();
   for (const HostInfo& host : world_.network().hosts()) {
     if (EndsWith(AsciiToLower(host.name), ".cs.washington.edu")) {
-      (void)uw_zone->Add(ResourceRecord::MakeA(host.name, host.address));
+      (void)uw_zone->Add(ResourceRecord::MakeA(host.name, host.address));  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
     }
   }
   // The reverse zone: PTR records for every department host.
   Zone* reverse_zone = public_bind_->AddZone("in-addr.arpa").value();
   for (const HostInfo& host : world_.network().hosts()) {
     if (EndsWith(AsciiToLower(host.name), ".cs.washington.edu")) {
-      (void)reverse_zone->Add(MakePtrRecord(host.address, host.name));
+      (void)reverse_zone->Add(MakePtrRecord(host.address, host.name));  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
     }
   }
 
   // The service descriptor fiji publishes for DesiredService.
-  (void)uw_zone->Add(MakeSunServiceRecord(kSunServerHost, kDesiredService,
+  (void)uw_zone->Add(MakeSunServiceRecord(kSunServerHost, kDesiredService,  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
                                           kDesiredServiceProgram, 1, kIpProtoUdp));
   // Mail relays for the department (MailboxInfo query class).
   {
@@ -175,10 +175,10 @@ void Testbed::BuildNameServices() {
     mx.type = RrType::kMx;
     mx.ttl_seconds = 3600;
     mx.rdata = BytesFromString("10 june.cs.washington.edu");
-    (void)uw_zone->Add(mx);
+    (void)uw_zone->Add(mx);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
     ResourceRecord mx2 = mx;
     mx2.rdata = BytesFromString("20 cascade.cs.washington.edu");
-    (void)uw_zone->Add(mx2);
+    (void)uw_zone->Add(mx2);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
   }
 
   // --- Clearinghouse ---------------------------------------------------------
@@ -195,7 +195,7 @@ void Testbed::BuildNameServices() {
     add.name = ch_name;
     add.property = kChPropAddress;
     add.item = RecordBuilder().U32("address", host.address).Build();
-    (void)ch_->AddItemLocal(add);
+    (void)ch_->AddItemLocal(add);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
   }
   // The Courier service registration on Dorado.
   {
@@ -211,7 +211,7 @@ void Testbed::BuildNameServices() {
                                                     .U32("port", kPrintServicePort)
                                                     .Build())
             .Build();
-    (void)ch_->AddItemLocal(add);
+    (void)ch_->AddItemLocal(add);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
   }
   // A user's mailbox registration.
   {
@@ -220,7 +220,7 @@ void Testbed::BuildNameServices() {
     add.name = ChName::Parse("Purcell:CSL:Xerox").value();
     add.property = kChPropMailboxes;
     add.item = RecordBuilder().Str("mail_host", kChServerHost).Build();
-    (void)ch_->AddItemLocal(add);
+    (void)ch_->AddItemLocal(add);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
   }
 
   // --- File services ---------------------------------------------------------
@@ -238,7 +238,7 @@ void Testbed::BuildNameServices() {
   mail_unix_ =
       MailDropServer::InstallOn(&world_, kHnsServerHost, ControlKind::kSunRpc).value();
   Zone* uw = public_bind_->FindZone("cs.washington.edu");
-  (void)uw->Add(MakeSunServiceRecord(kHnsServerHost, "MailDrop", kMailDropProgram, 1,
+  (void)uw->Add(MakeSunServiceRecord(kHnsServerHost, "MailDrop", kMailDropProgram, 1,  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
                                      kIpProtoUdp));
   portmappers_[kHnsServerHost]->SetMapping(kMailDropProgram, 1, kIpProtoUdp, kMailDropPort);
 
@@ -256,7 +256,7 @@ void Testbed::BuildNameServices() {
                                           .U32("port", kMailDropPort)
                                           .Build())
                    .Build();
-    (void)ch_->AddItemLocal(add);
+    (void)ch_->AddItemLocal(add);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
   }
 }
 
@@ -358,32 +358,32 @@ void Testbed::RegisterWithHns() {
   NameServiceInfo bind_info;
   bind_info.name = kNsBind;
   bind_info.type = "BIND";
-  (void)admin_hns_->RegisterNameService(bind_info);
+  (void)admin_hns_->RegisterNameService(bind_info);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
   NameServiceInfo ch_info;
   ch_info.name = kNsCh;
   ch_info.type = "Clearinghouse";
-  (void)admin_hns_->RegisterNameService(ch_info);
+  (void)admin_hns_->RegisterNameService(ch_info);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
 
   // Several contexts share one name service; its data is stored once.
-  (void)admin_hns_->RegisterContext(kContextBind, kNsBind);
-  (void)admin_hns_->RegisterContext(kContextBindBinding, kNsBind);
-  (void)admin_hns_->RegisterContext(kContextBindMail, kNsBind);
-  (void)admin_hns_->RegisterContext(kContextBindFiles, kNsBind);
-  (void)admin_hns_->RegisterContext(kContextCh, kNsCh);
-  (void)admin_hns_->RegisterContext(kContextChBinding, kNsCh);
-  (void)admin_hns_->RegisterContext(kContextChMail, kNsCh);
-  (void)admin_hns_->RegisterContext(kContextChFiles, kNsCh);
+  (void)admin_hns_->RegisterContext(kContextBind, kNsBind);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)admin_hns_->RegisterContext(kContextBindBinding, kNsBind);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)admin_hns_->RegisterContext(kContextBindMail, kNsBind);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)admin_hns_->RegisterContext(kContextBindFiles, kNsBind);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)admin_hns_->RegisterContext(kContextCh, kNsCh);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)admin_hns_->RegisterContext(kContextChBinding, kNsCh);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)admin_hns_->RegisterContext(kContextChMail, kNsCh);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)admin_hns_->RegisterContext(kContextChFiles, kNsCh);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
 
-  (void)admin_hns_->RegisterNsm(HostAddrBindInfo());
-  (void)admin_hns_->RegisterNsm(BindingBindInfo());
-  (void)admin_hns_->RegisterNsm(MailboxBindInfo());
-  (void)admin_hns_->RegisterNsm(HostAddrChInfo());
-  (void)admin_hns_->RegisterNsm(BindingChInfo());
-  (void)admin_hns_->RegisterNsm(MailboxChInfo());
-  (void)admin_hns_->RegisterNsm(FileBindInfo());
-  (void)admin_hns_->RegisterNsm(FileChInfo());
-  (void)admin_hns_->RegisterNsm(HostNameBindInfo());
-  (void)admin_hns_->RegisterNsm(HostNameChInfo());
+  (void)admin_hns_->RegisterNsm(HostAddrBindInfo());  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)admin_hns_->RegisterNsm(BindingBindInfo());  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)admin_hns_->RegisterNsm(MailboxBindInfo());  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)admin_hns_->RegisterNsm(HostAddrChInfo());  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)admin_hns_->RegisterNsm(BindingChInfo());  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)admin_hns_->RegisterNsm(MailboxChInfo());  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)admin_hns_->RegisterNsm(FileBindInfo());  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)admin_hns_->RegisterNsm(FileChInfo());  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)admin_hns_->RegisterNsm(HostNameBindInfo());  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
+  (void)admin_hns_->RegisterNsm(HostNameChInfo());  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
 }
 
 std::vector<std::shared_ptr<Nsm>> Testbed::MakeLinkedNsms(const std::string& locus_host) {
@@ -465,7 +465,7 @@ void Testbed::BuildBaselines() {
                  .U32("port", kDesiredServicePort)
                  .U32("address", fiji.address)
                  .Build();
-  (void)ch_->AddItemLocal(add);
+  (void)ch_->AddItemLocal(add);  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
 }
 
 std::unique_ptr<LocalFileBinder> Testbed::MakeLocalFileBinder() {
@@ -506,7 +506,7 @@ ClientSetup Testbed::MakeClient(Arrangement arrangement) {
           std::make_unique<HnsSession>(&world_, kClientHost, &transport_, options);
       for (std::shared_ptr<Nsm>& nsm : MakeLinkedNsms(kClientHost)) {
         setup.nsm_caches.push_back(nsm->cache());
-        (void)setup.session->LinkNsm(std::move(nsm));
+        (void)setup.session->LinkNsm(std::move(nsm));  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
       }
       setup.hns_cache = &setup.session->local_hns()->cache();
       setup.composite_cache = &setup.session->local_hns()->composite_cache();
@@ -534,7 +534,7 @@ ClientSetup Testbed::MakeClient(Arrangement arrangement) {
           std::make_unique<HnsSession>(&world_, kClientHost, &transport_, options);
       for (std::shared_ptr<Nsm>& nsm : MakeLinkedNsms(kClientHost)) {
         setup.nsm_caches.push_back(nsm->cache());
-        (void)setup.session->LinkNsm(std::move(nsm));
+        (void)setup.session->LinkNsm(std::move(nsm));  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
       }
       setup.hns_cache = &hns_server_->hns().cache();
       setup.composite_cache = &hns_server_->hns().composite_cache();
@@ -549,7 +549,7 @@ ClientSetup Testbed::MakeClient(Arrangement arrangement) {
       for (std::shared_ptr<Nsm>& nsm : MakeLinkedNsms(kClientHost)) {
         if (nsm->info().query_class == kQueryClassHostAddress) {
           setup.nsm_caches.push_back(nsm->cache());
-          (void)setup.session->LinkNsm(std::move(nsm));
+          (void)setup.session->LinkNsm(std::move(nsm));  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
         }
       }
       setup.hns_cache = &setup.session->local_hns()->cache();

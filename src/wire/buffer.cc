@@ -30,7 +30,9 @@ void BufferWriter::PutBytes(const uint8_t* data, size_t n) {
 void BufferWriter::PutZeros(size_t n) { out_.insert(out_.end(), n, 0); }
 
 Status BufferReader::Need(size_t n) const {
-  if (pos_ + n > size_) {
+  // Phrased as a subtraction so a wire-supplied n near SIZE_MAX cannot wrap
+  // pos_ + n around and sneak past the bound (pos_ <= size_ always holds).
+  if (n > size_ - pos_) {
     return ProtocolError(
         StrFormat("buffer underrun: need %zu bytes at offset %zu of %zu", n, pos_, size_));
   }

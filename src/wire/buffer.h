@@ -44,16 +44,16 @@ class BufferReader {
   explicit BufferReader(const Bytes& data) : data_(data.data()), size_(data.size()) {}
   BufferReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
-  Result<uint8_t> GetU8();
-  Result<uint16_t> GetU16();
-  Result<uint32_t> GetU32();
-  Result<uint64_t> GetU64();
+  HCS_NODISCARD Result<uint8_t> GetU8();
+  HCS_NODISCARD Result<uint16_t> GetU16();
+  HCS_NODISCARD Result<uint32_t> GetU32();
+  HCS_NODISCARD Result<uint64_t> GetU64();
 
   // Reads exactly `n` bytes.
-  Result<Bytes> GetBytes(size_t n);
+  HCS_NODISCARD Result<Bytes> GetBytes(size_t n);
 
   // Skips `n` bytes (padding).
-  Status Skip(size_t n);
+  HCS_NODISCARD Status Skip(size_t n);
 
   // Bytes not yet consumed.
   size_t remaining() const { return size_ - pos_; }
@@ -62,7 +62,7 @@ class BufferReader {
   size_t position() const { return pos_; }
 
  private:
-  Status Need(size_t n) const;
+  HCS_NODISCARD Status Need(size_t n) const;
 
   const uint8_t* data_;
   size_t size_;

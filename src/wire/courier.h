@@ -42,11 +42,11 @@ class CourierDecoder {
  public:
   explicit CourierDecoder(const Bytes& data) : r_(data) {}
 
-  Result<uint16_t> GetCardinal() { return r_.GetU16(); }
-  Result<uint32_t> GetLongCardinal() { return r_.GetU32(); }
-  Result<bool> GetBoolean();
-  Result<std::string> GetString();
-  Result<Bytes> GetSequence();
+  HCS_NODISCARD Result<uint16_t> GetCardinal() { return r_.GetU16(); }
+  HCS_NODISCARD Result<uint32_t> GetLongCardinal() { return r_.GetU32(); }
+  HCS_NODISCARD Result<bool> GetBoolean();
+  HCS_NODISCARD Result<std::string> GetString();
+  HCS_NODISCARD Result<Bytes> GetSequence();
 
   size_t remaining() const { return r_.remaining(); }
   bool AtEnd() const { return r_.AtEnd(); }

@@ -53,19 +53,19 @@ class WireValue {
 
   // Typed accessors; return kProtocolError when the kind does not match, so
   // demarshalling code can propagate malformed data cleanly.
-  Result<uint32_t> AsUint32() const;
-  Result<uint64_t> AsUint64() const;
-  Result<std::string> AsString() const;
-  Result<Bytes> AsBlob() const;
-  Result<std::vector<WireValue>> AsList() const;
-  Result<std::vector<WireField>> AsRecord() const;
+  HCS_NODISCARD Result<uint32_t> AsUint32() const;
+  HCS_NODISCARD Result<uint64_t> AsUint64() const;
+  HCS_NODISCARD Result<std::string> AsString() const;
+  HCS_NODISCARD Result<Bytes> AsBlob() const;
+  HCS_NODISCARD Result<std::vector<WireValue>> AsList() const;
+  HCS_NODISCARD Result<std::vector<WireField>> AsRecord() const;
 
   // Record field lookup by name (first match). kNotFound when absent,
   // kProtocolError when this value is not a record.
-  Result<WireValue> Field(const std::string& name) const;
+  HCS_NODISCARD Result<WireValue> Field(const std::string& name) const;
   // Convenience: string/uint32 field access in one step.
-  Result<std::string> StringField(const std::string& name) const;
-  Result<uint32_t> Uint32Field(const std::string& name) const;
+  HCS_NODISCARD Result<std::string> StringField(const std::string& name) const;
+  HCS_NODISCARD Result<uint32_t> Uint32Field(const std::string& name) const;
 
   // Number of leaf values — the "resource record count" analogue used by
   // the marshalling cost model.
@@ -74,8 +74,8 @@ class WireValue {
   // Wire form (XDR with type tags).
   void EncodeTo(XdrEncoder* enc) const;
   Bytes Encode() const;
-  static Result<WireValue> DecodeFrom(XdrDecoder* dec, int depth = 0);
-  static Result<WireValue> Decode(const Bytes& data);
+  HCS_NODISCARD static Result<WireValue> DecodeFrom(XdrDecoder* dec, int depth = 0);
+  HCS_NODISCARD static Result<WireValue> Decode(const Bytes& data);
 
   // Debug rendering, e.g. {host: "fiji", port: 2049}.
   std::string ToString() const;

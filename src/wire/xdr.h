@@ -45,13 +45,13 @@ class XdrDecoder {
   explicit XdrDecoder(const Bytes& data) : r_(data) {}
   XdrDecoder(const uint8_t* data, size_t size) : r_(data, size) {}
 
-  Result<uint32_t> GetUint32() { return r_.GetU32(); }
-  Result<int32_t> GetInt32();
-  Result<uint64_t> GetUint64() { return r_.GetU64(); }
-  Result<bool> GetBool();
-  Result<Bytes> GetOpaque();
-  Result<Bytes> GetFixedOpaque(size_t n);
-  Result<std::string> GetString();
+  HCS_NODISCARD Result<uint32_t> GetUint32() { return r_.GetU32(); }
+  HCS_NODISCARD Result<int32_t> GetInt32();
+  HCS_NODISCARD Result<uint64_t> GetUint64() { return r_.GetU64(); }
+  HCS_NODISCARD Result<bool> GetBool();
+  HCS_NODISCARD Result<Bytes> GetOpaque();
+  HCS_NODISCARD Result<Bytes> GetFixedOpaque(size_t n);
+  HCS_NODISCARD Result<std::string> GetString();
 
   size_t remaining() const { return r_.remaining(); }
   bool AtEnd() const { return r_.AtEnd(); }

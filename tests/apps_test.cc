@@ -96,15 +96,15 @@ TEST_F(HcsFileTest, WholeFileVsBlockAccessCostStructure) {
   Bytes contents(4096, 7);
   ASSERT_TRUE(fs_.Store("Files-BIND!fiji.cs.washington.edu:/tmp/cost.bin", contents).ok());
   // Warm caches so only the transfer remains.
-  (void)fs_.Fetch("Files-BIND!fiji.cs.washington.edu:/tmp/cost.bin");
+  (void)fs_.Fetch("Files-BIND!fiji.cs.washington.edu:/tmp/cost.bin");  // hcs:ignore-status(warm-up and timing probes; only clock deltas are asserted)
   double t0 = bed_.world().clock().NowMs();
-  (void)fs_.Fetch("Files-BIND!fiji.cs.washington.edu:/tmp/cost.bin");
+  (void)fs_.Fetch("Files-BIND!fiji.cs.washington.edu:/tmp/cost.bin");  // hcs:ignore-status(warm-up and timing probes; only clock deltas are asserted)
   double nfs_ms = bed_.world().clock().NowMs() - t0;
 
   ASSERT_TRUE(fs_.Store("Files-CH!Dorado:CSL:Xerox!<Temp>cost.press", contents).ok());
-  (void)fs_.Fetch("Files-CH!Dorado:CSL:Xerox!<Temp>cost.press");
+  (void)fs_.Fetch("Files-CH!Dorado:CSL:Xerox!<Temp>cost.press");  // hcs:ignore-status(warm-up and timing probes; only clock deltas are asserted)
   t0 = bed_.world().clock().NowMs();
-  (void)fs_.Fetch("Files-CH!Dorado:CSL:Xerox!<Temp>cost.press");
+  (void)fs_.Fetch("Files-CH!Dorado:CSL:Xerox!<Temp>cost.press");  // hcs:ignore-status(warm-up and timing probes; only clock deltas are asserted)
   double xde_ms = bed_.world().clock().NowMs() - t0;
 
   // Four block round trips vs one authenticated whole-file exchange — both

@@ -123,6 +123,17 @@ TEST(StringsTest, CaseFoldingIsAsciiOnly) {
   EXPECT_FALSE(EqualsIgnoreCase("BIND", "bine"));
 }
 
+TEST(StringsTest, ParseU32AcceptsOnlyInRangeDecimals) {
+  EXPECT_EQ(ParseU32("0").value(), 0u);
+  EXPECT_EQ(ParseU32("4294967295").value(), 0xffffffffu);
+  EXPECT_EQ(ParseU32("00042").value(), 42u);
+  for (const char* bad : {"", "-1", "+1", " 1", "1 ", "4294967296",
+                          "99999999999999999999", "0x10", "1.5", "abc"}) {
+    EXPECT_EQ(ParseU32(bad).status().code(), StatusCode::kInvalidArgument)
+        << "input: \"" << bad << "\"";
+  }
+}
+
 TEST(StringsTest, Affixes) {
   EXPECT_TRUE(StartsWith("ctx.bind.hns", "ctx."));
   EXPECT_FALSE(StartsWith("ctx", "ctx."));

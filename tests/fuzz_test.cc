@@ -55,24 +55,24 @@ TEST_P(FuzzTest, RandomBytesNeverCrashDecoders) {
   Rng rng(GetParam());
   for (int i = 0; i < 300; ++i) {
     Bytes junk = RandomBytes(&rng, 200);
-    (void)WireValue::Decode(junk);
-    (void)HrpcBinding::FromWire(WireValue::OfBlob(junk));
-    (void)BindQueryRequest::Decode(junk);
-    (void)BindQueryResponse::Decode(junk);
-    (void)BindUpdateRequest::Decode(junk);
-    (void)BindAxfrResponse::Decode(junk);
-    (void)ChRetrieveItemRequest::Decode(junk);
-    (void)ChRetrieveItemResponse::Decode(junk);
-    (void)ChListObjectsResponse::Decode(junk);
-    (void)NsmQueryRequest::Decode(junk);
-    (void)FindNsmRequest::Decode(junk);
-    (void)FindNsmResponse::Decode(junk);
-    (void)AgentQueryRequest::Decode(junk);
+    (void)WireValue::Decode(junk);  // hcs:ignore-status(fuzz probe; only crash-freedom is asserted)
+    (void)HrpcBinding::FromWire(WireValue::OfBlob(junk));  // hcs:ignore-status(fuzz probe; only crash-freedom is asserted)
+    (void)BindQueryRequest::Decode(junk);  // hcs:ignore-status(fuzz probe; only crash-freedom is asserted)
+    (void)BindQueryResponse::Decode(junk);  // hcs:ignore-status(fuzz probe; only crash-freedom is asserted)
+    (void)BindUpdateRequest::Decode(junk);  // hcs:ignore-status(fuzz probe; only crash-freedom is asserted)
+    (void)BindAxfrResponse::Decode(junk);  // hcs:ignore-status(fuzz probe; only crash-freedom is asserted)
+    (void)ChRetrieveItemRequest::Decode(junk);  // hcs:ignore-status(fuzz probe; only crash-freedom is asserted)
+    (void)ChRetrieveItemResponse::Decode(junk);  // hcs:ignore-status(fuzz probe; only crash-freedom is asserted)
+    (void)ChListObjectsResponse::Decode(junk);  // hcs:ignore-status(fuzz probe; only crash-freedom is asserted)
+    (void)NsmQueryRequest::Decode(junk);  // hcs:ignore-status(fuzz probe; only crash-freedom is asserted)
+    (void)FindNsmRequest::Decode(junk);  // hcs:ignore-status(fuzz probe; only crash-freedom is asserted)
+    (void)FindNsmResponse::Decode(junk);  // hcs:ignore-status(fuzz probe; only crash-freedom is asserted)
+    (void)AgentQueryRequest::Decode(junk);  // hcs:ignore-status(fuzz probe; only crash-freedom is asserted)
     for (ControlKind kind :
          {ControlKind::kSunRpc, ControlKind::kCourier, ControlKind::kRaw}) {
       const ControlProtocol& control = GetControlProtocol(kind);
-      (void)control.DecodeCall(junk);
-      (void)control.DecodeReply(junk);
+      (void)control.DecodeCall(junk);  // hcs:ignore-status(fuzz probe; only crash-freedom is asserted)
+      (void)control.DecodeReply(junk);  // hcs:ignore-status(fuzz probe; only crash-freedom is asserted)
     }
   }
 }
@@ -115,7 +115,7 @@ TEST_P(FuzzTest, MutatedMetaRecordsFailCleanly) {
     Bytes mutated = Mutate(&rng, valid);
     Result<WireValue> value = WireValue::Decode(mutated);
     if (value.ok()) {
-      (void)NsmInfo::FromWire(*value);
+      (void)NsmInfo::FromWire(*value);  // hcs:ignore-status(fuzz probe; only crash-freedom is asserted)
     }
   }
 }

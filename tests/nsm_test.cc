@@ -163,6 +163,29 @@ TEST_F(NsmTest, MailboxNsmRejectsMalformedMxRecords) {
             StatusCode::kProtocolError);
 }
 
+// Regression: a two-field MX whose preference is non-numeric or wider than
+// u32 used to reach std::stoul and throw (a remote crash — the rdata text
+// arrives off the wire). Both must come back as clean protocol errors.
+TEST_F(NsmTest, MailboxNsmSurvivesHostileMxPreference) {
+  Zone* zone = bed_.public_bind()->FindZone("cs.washington.edu");
+  const char* hostile[] = {"evil mailhost", "99999999999999999999 mailhost",
+                           "-1 mailhost", " mailhost"};
+  int i = 0;
+  for (const char* rdata : hostile) {
+    ResourceRecord bad;
+    bad.name = StrFormat("hostile%d.cs.washington.edu", i++);
+    bad.type = RrType::kMx;
+    bad.rdata = BytesFromString(rdata);
+    ASSERT_TRUE(zone->Add(bad).ok());
+    EXPECT_EQ(Find(kNsmMailboxBind)
+                  ->Query(Name(kContextBindMail, bad.name), no_args_)
+                  .status()
+                  .code(),
+              StatusCode::kProtocolError)
+        << "rdata: " << rdata;
+  }
+}
+
 // --- Host-table system type ------------------------------------------------------------
 
 TEST(HostTableTest, ServerStoresAndServes) {

@@ -475,7 +475,7 @@ TEST(ReactorTest, SingleflightFollowerHonorsItsOwnDeadline) {
   meta.set_meta_port(*port);
 
   // Leader: no deadline, blocks on the slow upstream.
-  std::thread leader([&] { (void)meta.ContextToNameService("sharedctx"); });
+  std::thread leader([&] { (void)meta.ContextToNameService("sharedctx"); });  // hcs:ignore-status(leader blocks by design; the follower's deadline is the assertion)
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
 
   // Follower with a 100 ms budget: must give up on the coalesced wait when

@@ -186,10 +186,10 @@ TEST_F(WorldTest, SameHostIsCheaper) {
   EchoService echo(&world_, 0.0);
   ASSERT_TRUE(world_.RegisterService("b", 99, &echo).ok());
   double t0 = world_.clock().NowMs();
-  (void)world_.RoundTrip("b", "b", 99, Bytes{});
+  (void)world_.RoundTrip("b", "b", 99, Bytes{});  // hcs:ignore-status(timing probe; only the clock delta is asserted)
   double same = world_.clock().NowMs() - t0;
   t0 = world_.clock().NowMs();
-  (void)world_.RoundTrip("a", "b", 99, Bytes{});
+  (void)world_.RoundTrip("a", "b", 99, Bytes{});  // hcs:ignore-status(timing probe; only the clock delta is asserted)
   double cross = world_.clock().NowMs() - t0;
   EXPECT_LT(same, cross);
 }
@@ -198,10 +198,10 @@ TEST_F(WorldTest, LargerPayloadsCostMore) {
   EchoService echo(&world_, 0.0);
   ASSERT_TRUE(world_.RegisterService("b", 99, &echo).ok());
   double t0 = world_.clock().NowMs();
-  (void)world_.RoundTrip("a", "b", 99, Bytes(16, 0));
+  (void)world_.RoundTrip("a", "b", 99, Bytes(16, 0));  // hcs:ignore-status(timing probe; only the clock delta is asserted)
   double small = world_.clock().NowMs() - t0;
   t0 = world_.clock().NowMs();
-  (void)world_.RoundTrip("a", "b", 99, Bytes(8192, 0));
+  (void)world_.RoundTrip("a", "b", 99, Bytes(8192, 0));  // hcs:ignore-status(timing probe; only the clock delta is asserted)
   double large = world_.clock().NowMs() - t0;
   EXPECT_GT(large, small);
 }
@@ -229,12 +229,12 @@ TEST_F(WorldTest, ExtraDelayApplied) {
   EchoService echo(&world_, 0.0);
   ASSERT_TRUE(world_.RegisterService("b", 99, &echo).ok());
   double t0 = world_.clock().NowMs();
-  (void)world_.RoundTrip("a", "b", 99, Bytes{});
+  (void)world_.RoundTrip("a", "b", 99, Bytes{});  // hcs:ignore-status(timing probe; only the clock delta is asserted)
   double base = world_.clock().NowMs() - t0;
 
   world_.network().SetExtraDelayMs("a", "b", 40.0);
   t0 = world_.clock().NowMs();
-  (void)world_.RoundTrip("a", "b", 99, Bytes{});
+  (void)world_.RoundTrip("a", "b", 99, Bytes{});  // hcs:ignore-status(timing probe; only the clock delta is asserted)
   EXPECT_NEAR(world_.clock().NowMs() - t0, base + 40.0, 1e-3);
 }
 

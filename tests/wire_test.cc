@@ -39,6 +39,18 @@ TEST(BufferTest, UnderrunIsProtocolErrorNotUb) {
   EXPECT_EQ(r.Skip(1).code(), StatusCode::kProtocolError);
 }
 
+// Regression: Need() used to test `pos_ + n > size_`, which wraps for n near
+// SIZE_MAX once the cursor has advanced — the request passed the bound check
+// and the subsequent copy read out of bounds.
+TEST(BufferTest, HugeLengthCannotWrapTheBoundCheck) {
+  Bytes four{1, 2, 3, 4};
+  BufferReader r(four);
+  EXPECT_TRUE(r.GetU8().ok());  // pos_ = 1, so pos_ + SIZE_MAX wraps to 0
+  EXPECT_EQ(r.GetBytes(SIZE_MAX).status().code(), StatusCode::kProtocolError);
+  EXPECT_EQ(r.Skip(SIZE_MAX - 2).code(), StatusCode::kProtocolError);
+  EXPECT_EQ(r.GetBytes(3).value(), (Bytes{2, 3, 4}));  // reader still usable
+}
+
 TEST(BufferTest, GetBytesAndSkip) {
   BufferWriter w;
   w.PutBytes(Bytes{9, 8, 7, 6});

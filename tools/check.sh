@@ -10,6 +10,9 @@
 #   annotations  clang build with -DHCS_THREAD_SAFETY=ON (-Werror=thread-safety)
 #   clang-tidy   .clang-tidy over src/ via the default compile database
 #   lint-wire    tools/lint_wire.py encode/decode symmetry
+#   lint-failpaths   tools/lint_failpaths.py error-discipline lint + self-test
+#   decode-sweep-asan  decode_sweep_test alone under the asan-ubsan build:
+#                the truncation/bit-flip sweep with over-reads made fatal
 #
 # Configurations whose toolchain is missing (no clang++, no clang-tidy) are
 # SKIPped, not failed: the container bakes in GCC only; the clang gates run
@@ -114,6 +117,32 @@ if python3 "${REPO}/tools/lint_wire.py" "${REPO}"; then
   record lint-wire PASS
 else
   record lint-wire FAIL
+fi
+
+# 7. Failure-path discipline lint: tagged discards, decode-before-ok, RPC
+# handlers that swallow errors. The self-test proves every rule still fires.
+note "lint-failpaths: tools/lint_failpaths.py (+ --self-test)"
+if python3 "${REPO}/tools/lint_failpaths.py" --self-test &&
+   python3 "${REPO}/tools/lint_failpaths.py" "${REPO}"; then
+  record lint-failpaths PASS
+else
+  record lint-failpaths FAIL
+fi
+
+# 8. The decoder truncation/bit-flip sweep, isolated under ASan+UBSan so a
+# one-byte over-read in any Decode path is fatal, not merely undetected.
+# Reuses the asan-ubsan build from step 2 when it exists.
+if [[ -x "${BUILD_ROOT}/asan-ubsan/tests/decode_sweep_test" ]]; then
+  note "decode-sweep-asan: decode_sweep_test under address,undefined"
+  if (cd "${BUILD_ROOT}/asan-ubsan" &&
+      ctest --output-on-failure -R '^decode_sweep_test$'); then
+    record decode-sweep-asan PASS
+  else
+    record decode-sweep-asan FAIL
+  fi
+else
+  note "decode-sweep-asan: SKIP (asan-ubsan build unavailable)"
+  record decode-sweep-asan SKIP
 fi
 
 printf '\n=== check.sh summary ===\n'

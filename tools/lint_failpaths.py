@@ -1,0 +1,421 @@
+#!/usr/bin/env python3
+"""Cross-TU failure-path discipline lint.
+
+The compiler half of the failure-path gate is `HCS_NODISCARD` on
+hcs::Status / hcs::Result<T> plus -Werror=unused-result: a *naked* dropped
+error return no longer compiles. The remaining escape hatches are exactly
+the patterns a compiler cannot judge, and this lint closes them tree-wide:
+
+  1. `(void)`-casts of a Status/Result expression must carry an auditable
+     ignore tag on the same or the preceding line:
+
+         (void)client.Call(...);  // hcs:ignore-status(best effort; TTL converges)
+
+     The cast silences -Wunused-result; the tag records *why* that is safe.
+     Which expressions are Status/Result is decided cross-TU: every header
+     and source under src/ contributes its Status/Result-returning function
+     and method names to one database, so `(void)obj.Call(...)` in one TU is
+     matched against `Result<Bytes> Call(...)` declared in another.
+
+  2. Decode*/Get*/Parse*/FromWire/Demarshal results (Result<T>) must be
+     checked with .ok()/.status() before .value()/operator*/operator-> use,
+     and never dereferenced directly off the temporary (`Decode(x).value()`).
+     Scope: src/ excluding src/testbed (the sim-harness builds a controlled
+     world where constructors cannot propagate Status; its setup asserts are
+     covered by the tier-1 suite instead). Control-flow caveat: the scan is
+     per-function and textual, like lint_wire's set-level check — a use and
+     a check in mutually exclusive branches still count as checked.
+
+  3. RPC handler lambdas registered via RegisterProcedure must not swallow a
+     failed Status/Result into a success reply: an `if (!x.ok())` (or
+     `if (x.ok()) ... else`) branch inside a handler must return/propagate
+     the error (which RpcServer::HandleMessage encodes as a protocol-level
+     error reply) or carry an ignore tag. A branch that falls through to a
+     success return drops the request without telling the caller why.
+
+  4. Ignore tags must give a reason: `hcs:ignore-status()` is rejected.
+
+Exit status 0 = clean; 1 = violations (one per line); 2 = usage.
+
+Usage: lint_failpaths.py [repo_root]
+       lint_failpaths.py --self-test   (seeds violations, checks they fire)
+"""
+
+import os
+import re
+import sys
+import tempfile
+
+SRC_DIRS = ["src"]
+# (void)-cast and empty-reason checks also cover the test/bench/example
+# trees: a silently dropped Status in a test is a test that cannot fail.
+VOID_DIRS = ["src", "tests", "bench", "examples", "tools"]
+# Decode-before-ok scope (see module docstring for the testbed carve-out).
+DECODE_CHECK_EXCLUDE = ["src/testbed"]
+
+IGNORE_TAG = re.compile(r"hcs:ignore-status\(([^)]*)\)")
+EMPTY_TAG = re.compile(r"hcs:ignore-status\(\s*\)")
+
+# Return types that make a function part of the failure path.
+SR_RETURN = r"(?:Status|Result<(?:[^<>;]|<[^<>;]*>)*>)"
+
+# A declaration or definition returning Status/Result. Catches annotated
+# header declarations, plain .cc definitions (`Result<X> Class::Name(`),
+# and file-local helpers in anonymous namespaces.
+SR_DECL = re.compile(
+    r"^\s*(?:HCS_NODISCARD\s+)?(?:static\s+|virtual\s+|inline\s+)*"
+    rf"{SR_RETURN}\s+(?:[\w:]+::)?(\w+)\s*\(",
+    re.MULTILINE,
+)
+
+# Callee names whose Result must visibly pass an ok()/status() check before
+# the value is touched (rule 2).
+DECODE_NAME = re.compile(r"^(Decode|Get|Parse|FromWire$|Demarshal)")
+
+VOID_CALL = re.compile(r"\(void\)\s*([\w.\->:()\[\]]*?)(\w+)\s*\(")
+VOID_IDENT = re.compile(r"\(void\)\s*(\w+)\s*;")
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments/strings, preserving newlines (lint_wire's routine)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            out.extend(ch if ch == "\n" else " " for ch in text[i : j + 2])
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append(" " if text[i] != "\n" else "\n")
+                    i += 1
+            out.append(quote)
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_files(root, rel_dirs, exts=(".h", ".cc")):
+    for rel in rel_dirs:
+        base = os.path.join(root, rel)
+        if os.path.isfile(base):
+            yield base
+            continue
+        for dirpath, _, files in os.walk(base):
+            for name in sorted(files):
+                if name.endswith(exts):
+                    yield os.path.join(dirpath, name)
+
+
+def build_sr_database(root):
+    """Names of functions/methods returning Status or Result, tree-wide."""
+    names = set()
+    for path in iter_files(root, SRC_DIRS):
+        with open(path, encoding="utf-8") as f:
+            text = strip_comments_and_strings(f.read())
+        for m in SR_DECL.finditer(text):
+            names.add(m.group(1))
+    return names
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def has_tag(raw_lines, lineno):
+    """Tag on the same line or the line above (tags live in comments, which
+    the stripped text blanks — so consult the raw source)."""
+    for ln in (lineno, lineno - 1):
+        if 1 <= ln <= len(raw_lines) and IGNORE_TAG.search(raw_lines[ln - 1]):
+            return True
+    return False
+
+
+def match_brace_block(text, open_pos):
+    """Returns the end index (past '}') of the block opening at open_pos."""
+    depth = 0
+    i = open_pos
+    while i < len(text):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return len(text)
+
+
+def check_void_casts(root, sr_names, errors):
+    for path in iter_files(root, VOID_DIRS):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        raw_lines = raw.splitlines()
+        text = strip_comments_and_strings(raw)
+
+        for m in VOID_CALL.finditer(text):
+            callee = m.group(2)
+            if callee not in sr_names:
+                continue
+            lineno = line_of(text, m.start())
+            if not has_tag(raw_lines, lineno):
+                errors.append(
+                    f"{rel}:{lineno}: (void)-cast discards Status/Result of "
+                    f"{callee}() without an // hcs:ignore-status(reason) tag")
+
+        for m in VOID_IDENT.finditer(text):
+            ident = m.group(1)
+            # Only a violation when the identifier is a local declared as
+            # Status/Result (unused-parameter casts of other types pass).
+            decl = re.compile(rf"\b{SR_RETURN}\s+{re.escape(ident)}\s*[=;(]")
+            window = text[max(0, m.start() - 4000) : m.start()]
+            if not decl.search(window):
+                continue
+            lineno = line_of(text, m.start())
+            if not has_tag(raw_lines, lineno):
+                errors.append(
+                    f"{rel}:{lineno}: (void)-cast discards Status/Result "
+                    f"variable '{ident}' without an "
+                    f"// hcs:ignore-status(reason) tag")
+
+
+def function_bodies(text):
+    """Yields (start, end) spans of top-level function bodies ('{' opened by
+    a line ending in ')' or '{' at brace depth 0, closed at '^}')."""
+    for m in re.finditer(r"^\{|\)\s*(?:const)?\s*\{", text, re.MULTILINE):
+        open_pos = text.find("{", m.start())
+        yield open_pos, match_brace_block(text, open_pos)
+
+
+def check_decode_before_ok(root, sr_names, errors):
+    scan = []
+    for path in iter_files(root, SRC_DIRS, exts=(".cc",)):
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        if any(rel.startswith(d + "/") for d in DECODE_CHECK_EXCLUDE):
+            continue
+        scan.append(path)
+
+    assign = re.compile(
+        rf"(?:auto|{SR_RETURN})\s+(\w+)\s*=\s*[^;]*?\b(\w+)\s*\(", re.DOTALL)
+    temp_value = re.compile(r"\b(\w+)\s*\(([^;()]*)\)\s*\.\s*value\s*\(\)")
+
+    for path in scan:
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        raw_lines = raw.splitlines()
+        text = strip_comments_and_strings(raw)
+
+        # Rule 2a: value() straight off the Decode/Get temporary.
+        for m in temp_value.finditer(text):
+            callee = m.group(1)
+            if callee in sr_names and DECODE_NAME.search(callee):
+                lineno = line_of(text, m.start())
+                if not has_tag(raw_lines, lineno):
+                    errors.append(
+                        f"{rel}:{lineno}: {callee}(...).value() dereferences a "
+                        f"decode result before any ok() check")
+
+        # Rule 2b: a named Result from a decoder used before an ok() check.
+        for m in assign.finditer(text):
+            var, callee = m.group(1), m.group(2)
+            if callee not in sr_names or not DECODE_NAME.search(callee):
+                continue
+            # The enclosing scope: up to the end of the current function.
+            close = text.find("\n}", m.end())
+            close = len(text) if close < 0 else close
+            body = text[m.end() : close]
+            use = re.search(
+                rf"\b{re.escape(var)}\s*(?:\.\s*value\s*\(|->|\))?|\*\s*{re.escape(var)}\b",
+                body)
+            checked = re.search(
+                rf"\b{re.escape(var)}\s*\.\s*(ok|status)\s*\(", body)
+            deref = re.search(
+                rf"(?:\*\s*{re.escape(var)}\b|\b{re.escape(var)}\s*(?:\.\s*value\s*\(|->))",
+                body)
+            del use
+            if deref and (not checked or checked.start() > deref.start()):
+                lineno = line_of(text, m.start())
+                if not has_tag(raw_lines, line_of(text, m.end() + deref.start())):
+                    errors.append(
+                        f"{rel}:{lineno}: decode result '{var}' from "
+                        f"{callee}() is dereferenced before an ok() check")
+
+
+def check_rpc_handlers(root, errors):
+    register = re.compile(r"RegisterProcedure\s*\(")
+    not_ok_branch = re.compile(r"if\s*\(\s*!\s*(\w+)\s*(?:\.|->)\s*(?:ok|status)\s*\(\)\s*\)\s*\{")
+
+    for path in iter_files(root, SRC_DIRS, exts=(".cc",)):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        raw_lines = raw.splitlines()
+        text = strip_comments_and_strings(raw)
+
+        for m in register.finditer(text):
+            # The handler body: first '{' after the match that begins a
+            # lambda (look for "{" after "]...{" or "-> Result<Bytes> {").
+            lam = re.search(r"\[[^\]]*\]\s*\([^)]*\)\s*(?:->\s*[\w:<>]+\s*)?\{",
+                            text[m.end() : m.end() + 400])
+            if lam is None:
+                continue
+            open_pos = text.find("{", m.end() + lam.end() - 1)
+            body_end = match_brace_block(text, open_pos)
+            body = text[open_pos:body_end]
+            base = open_pos
+
+            for b in not_ok_branch.finditer(body):
+                var = b.group(1)
+                block_open = base + b.end() - 1
+                block_end = match_brace_block(text, block_open)
+                block = text[block_open:block_end]
+                propagates = re.search(
+                    rf"return\b[^;]*(?:\b{re.escape(var)}\b|status\s*\(|Error\s*\()",
+                    block) or "HCS_RETURN_IF_ERROR" in block
+                lineno = line_of(text, block_open)
+                if not propagates and not has_tag(raw_lines, lineno):
+                    errors.append(
+                        f"{rel}:{lineno}: RPC handler swallows failed "
+                        f"'{var}' without returning an error reply "
+                        f"(add a return or an // hcs:ignore-status(reason))")
+
+
+def check_empty_tags(root, errors):
+    for path in iter_files(root, VOID_DIRS, exts=(".h", ".cc", ".py", ".sh")):
+        if os.path.basename(path) == "lint_failpaths.py":
+            continue  # this file names the pattern in its own docs
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if EMPTY_TAG.search(line):
+                    errors.append(
+                        f"{rel}:{lineno}: hcs:ignore-status() has an empty "
+                        f"reason — say why discarding is safe")
+
+
+def run(root):
+    errors = []
+    sr_names = build_sr_database(root)
+    if not sr_names:
+        errors.append("src/: found no Status/Result-returning declarations "
+                      "(wrong repo root?)")
+    check_void_casts(root, sr_names, errors)
+    check_decode_before_ok(root, sr_names, errors)
+    check_rpc_handlers(root, errors)
+    check_empty_tags(root, errors)
+
+    if errors:
+        print(f"lint_failpaths: {len(errors)} violation(s):")
+        for err in sorted(errors):
+            print(f"  {err}")
+        return 1
+    print(f"lint_failpaths: clean ({len(sr_names)} Status/Result-returning "
+          f"functions in the cross-TU database)")
+    return 0
+
+
+# --- self test ---------------------------------------------------------------
+
+SELF_TEST_HEADER = """
+#define HCS_NODISCARD [[nodiscard]]
+class HCS_NODISCARD Status {};
+template <typename T> class HCS_NODISCARD Result {};
+HCS_NODISCARD Status Flush();
+HCS_NODISCARD Result<int> DecodeThing(int);
+"""
+
+SELF_TEST_CASES = [
+    # (name, file content, substring the lint must print)
+    ("naked-void-call",
+     "void f() {\n  (void)Flush();\n}\n",
+     "without an // hcs:ignore-status"),
+    ("tagged-void-call-ok",
+     "void f() {\n  (void)Flush();  // hcs:ignore-status(best effort)\n}\n",
+     None),
+    ("naked-void-var",
+     "void f() {\n  Status s = Flush();\n  (void)s;\n}\n",
+     "variable 's'"),
+    ("decode-temporary-value",
+     "void f() {\n  int v = DecodeThing(1).value();\n}\n",
+     "before any ok() check"),
+    ("decode-var-unchecked",
+     "void f() {\n  auto r = DecodeThing(1);\n  use(r.value());\n}\n",
+     "dereferenced before an ok() check"),
+    ("decode-var-checked-ok",
+     "void f() {\n  auto r = DecodeThing(1);\n  if (!r.ok()) return;\n"
+     "  use(r.value());\n}\n",
+     None),
+    ("handler-swallows-error",
+     "void g() {\n  server.RegisterProcedure(1, 2, [](const Bytes& a)"
+     " -> Result<Bytes> {\n    auto r = DecodeThing(1);\n"
+     "    if (!r.ok()) {\n      log();\n    }\n    return ok_bytes();\n"
+     "  });\n}\n",
+     "swallows failed 'r'"),
+    ("empty-tag",
+     "void f() {\n  (void)Flush();  // hcs:ignore-status()\n}\n",
+     "empty"),
+]
+
+
+def self_test():
+    failures = []
+    for name, body, want in SELF_TEST_CASES:
+        with tempfile.TemporaryDirectory() as root:
+            os.makedirs(os.path.join(root, "src"))
+            with open(os.path.join(root, "src", "seed.h"), "w") as f:
+                f.write(SELF_TEST_HEADER)
+            with open(os.path.join(root, "src", "seed.cc"), "w") as f:
+                f.write(body)
+            errors = []
+            sr_names = build_sr_database(root)
+            check_void_casts(root, sr_names, errors)
+            check_decode_before_ok(root, sr_names, errors)
+            check_rpc_handlers(root, errors)
+            check_empty_tags(root, errors)
+            if want is None:
+                if errors:
+                    failures.append(f"{name}: expected clean, got {errors}")
+            else:
+                if not any(want in e for e in errors):
+                    failures.append(
+                        f"{name}: expected a violation containing {want!r}, "
+                        f"got {errors}")
+    if failures:
+        print(f"lint_failpaths --self-test: {len(failures)} failure(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"lint_failpaths --self-test: all {len(SELF_TEST_CASES)} seeded "
+          f"cases behave")
+    return 0
+
+
+def main():
+    if len(sys.argv) > 2:
+        print(__doc__)
+        return 2
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        return self_test()
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    return run(root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,11 +19,23 @@ This lint cross-checks every pair statically:
     calls match each other as single tokens;
   * functions with control flow (if/switch/loops) cannot be sequenced
     statically; for those the *set* of primitive kinds must agree, so a
-    field type added on one side only is still caught.
+    field type added on one side only is still caught;
+  * every Decode side must consume its decoder's error state before it can
+    return OK: a statement calling `dec.Get*(...)` must propagate the
+    Result (HCS_ASSIGN_OR_RETURN / HCS_RETURN_IF_ERROR / return) or bind it
+    to a variable in a body that visibly checks `.ok()`/`.status()`. A
+    discarded Get is a decode error that silently becomes OK-with-garbage.
+    Same control-flow caveat as the kind check: the consumption test is
+    set-level per statement/body, not path-sensitive;
+  * every two-sided pair must be exercised by the deterministic
+    truncation/corruption sweep (tests/decode_sweep_test.cc): the class
+    name has to appear there, so a newly added message type cannot ship
+    without sweep coverage.
 
 Exit status 0 = clean; 1 = violations (printed one per line); 2 = usage.
 
 Usage: lint_wire.py [repo_root]
+       lint_wire.py --list-pairs [repo_root]   (print the discovered pairs)
 """
 
 import os
@@ -41,7 +53,12 @@ SCAN_FILES = [
     "src/bindns/protocol.cc",
     "src/bindns/record.cc",
     "src/rpc/context.cc",
+    "src/ch/protocol.cc",
 ]
+
+# The deterministic truncation/corruption sweep; every two-sided pair found
+# here must be covered there (checked in main()).
+SWEEP_TEST = "tests/decode_sweep_test.cc"
 
 ENCODE_NAMES = {"Encode": "Decode", "EncodeTo": "DecodeFrom"}
 DECODE_NAMES = {v: k for k, v in ENCODE_NAMES.items()}
@@ -148,10 +165,37 @@ def op_sequence(body, side):
 
 BRANCHY = re.compile(r"\b(if|switch|for|while)\s*\(")
 
+GET_CALL = re.compile(r"(?:\.|->)\s*Get\w+\s*\(")
+CONSUMES = re.compile(r"HCS_ASSIGN_OR_RETURN|HCS_RETURN_IF_ERROR|\breturn\b")
+CHECKS_STATE = re.compile(r"\.\s*(?:ok|status)\s*\(")
+
+
+def check_decoder_error_state(cls, decode_name, body, rel, line, errors):
+    """Flags Get* statements whose Result can be lost on the way to OK."""
+    body_checks = bool(CHECKS_STATE.search(body))
+    offset = 0
+    for stmt in body.split(";"):
+        stmt_line = line + body.count("\n", 0, offset)
+        offset += len(stmt) + 1
+        if not GET_CALL.search(stmt):
+            continue
+        if CONSUMES.search(stmt):
+            continue
+        if "=" in stmt and body_checks:
+            # Bound to a variable in a body that checks ok()/status()
+            # somewhere (set-level; branches are not followed).
+            continue
+        errors.append(
+            f"{rel}:{stmt_line}: {cls}::{decode_name} discards a decoder "
+            f"Get* Result; a failed read can still return OK")
+
 
 def main():
-    root = sys.argv[1] if len(sys.argv) > 1 else "."
-    if len(sys.argv) > 2:
+    argv = sys.argv[1:]
+    list_pairs = "--list-pairs" in argv
+    argv = [a for a in argv if a != "--list-pairs"]
+    root = argv[0] if argv else "."
+    if len(argv) > 1:
         print(__doc__)
         return 2
 
@@ -172,6 +216,8 @@ def main():
             key = (cls, pair_name)
             seq = op_sequence(body, side)
             branchy = bool(BRANCHY.search(body))
+            if side == "get":
+                check_decoder_error_state(cls, method, body, rel, line, errors)
             entry = pairs.setdefault(key, {})
             if side in entry:
                 # Overload (e.g. Decode(Bytes) delegating to DecodeFrom):
@@ -223,6 +269,28 @@ def main():
             errors.append(
                 f"{where}: field order mismatch in {cls}: "
                 f"{pair_name} writes {put_seq} but {decode_name} reads {get_seq}")
+
+    two_sided = sorted({cls for (cls, _), e in pairs.items()
+                        if "put" in e and "get" in e})
+    if list_pairs:
+        for cls in two_sided:
+            print(cls)
+        return 0
+
+    # Sweep coverage: every two-sided pair must appear in the truncation/
+    # corruption sweep so hostile-input totality is tested, not assumed.
+    sweep_path = os.path.join(root, SWEEP_TEST)
+    if not os.path.exists(sweep_path):
+        errors.append(f"{SWEEP_TEST}: sweep test is missing; every "
+                      f"encode/decode pair must be sweep-covered")
+    else:
+        with open(sweep_path, encoding="utf-8") as f:
+            sweep_text = f.read()
+        for cls in two_sided:
+            if not re.search(rf"\b{cls}\b", sweep_text):
+                errors.append(
+                    f"{SWEEP_TEST}: encode/decode pair {cls} has no "
+                    f"truncation/corruption sweep coverage")
 
     if errors:
         print(f"lint_wire: {len(errors)} violation(s):")
