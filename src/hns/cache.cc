@@ -422,4 +422,32 @@ void CompositeBindingCache::ResetStats() {
   stats_.bytes = bytes;
 }
 
+Status CompositeBindingCache::CheckInvariants() const {
+  MutexLock lock(mu_);
+  uint64_t bytes = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (key != entry.context + '\x1f' + entry.query_class) {
+      return InternalError("composite cache: key does not match entry metadata: " + key);
+    }
+    if (entry.context != AsciiToLower(entry.context) ||
+        entry.query_class != AsciiToLower(entry.query_class) ||
+        entry.ns_name != AsciiToLower(entry.ns_name)) {
+      return InternalError("composite cache: entry metadata not lower-cased: " + key);
+    }
+    if (entry.nsm_name.empty()) {
+      return InternalError("composite cache: entry designates no NSM: " + key);
+    }
+    if (entry.expires == 0) {
+      return InternalError("composite cache: entry has no expiry: " + key);
+    }
+    bytes += CompositeEntryBytes(entry);
+  }
+  if (bytes != stats_.bytes) {
+    return InternalError(StrFormat("composite cache: byte total %llu != accounted %llu",
+                                   static_cast<unsigned long long>(bytes),
+                                   static_cast<unsigned long long>(stats_.bytes)));
+  }
+  return Status::Ok();
+}
+
 }  // namespace hcs

@@ -233,6 +233,12 @@ class CompositeBindingCache {
   CacheStats stats() const;
   void ResetStats();
 
+  // Structural self-check, mirroring HnsCache::CheckInvariants: every key
+  // matches its entry's lower-cased (context, query class) metadata, every
+  // entry names an NSM, every expiry is set, and the byte total equals the
+  // sum over entries. Chaos scenarios run this after every fault schedule.
+  HCS_NODISCARD Status CheckInvariants() const;
+
  private:
   SimTime Now() const { return CacheNow(world_); }
 

@@ -25,15 +25,45 @@ double ControlCostMs(const CostModel& costs, ControlKind kind) {
   return 0.0;
 }
 
+}  // namespace
+
 // Retry policy for budgeted real-transport calls. Attempts are derived from
 // the deadline: each attempt's transport budget doubles from kAttemptBaseMs
 // and is capped by the remaining overall budget, so a 2000 ms budget yields
 // roughly five attempts against a lossy datagram path.
-constexpr int64_t kAttemptBaseMs = 100;
-constexpr int64_t kBackoffBaseMs = 10;
-constexpr int64_t kBackoffCapMs = 250;
+int64_t RetryPolicy::AttemptBudgetMs(uint32_t attempt, int64_t remaining_ms) {
+  return std::min(remaining_ms, kAttemptBaseMs << std::min<uint32_t>(attempt, 4));
+}
 
-}  // namespace
+int64_t RetryPolicy::JitteredBackoffMs(uint64_t trace_id, uint32_t wire_attempt,
+                                       int64_t backoff_ms, int64_t remaining_ms) {
+  Rng rng(trace_id ^ (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(wire_attempt) + 1)));
+  int64_t sleep_ms =
+      backoff_ms / 2 + static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(backoff_ms / 2) + 1));
+  return std::min(sleep_ms, remaining_ms);
+}
+
+int64_t RetryPolicy::NextBackoffMs(int64_t backoff_ms) {
+  return std::min(backoff_ms * 2, kBackoffCapMs);
+}
+
+uint32_t RetryPolicy::MaxAttempts(int64_t budget_ms) {
+  if (budget_ms <= 0) {
+    return 1;
+  }
+  uint32_t attempts = 1;
+  int64_t elapsed = 0;
+  int64_t backoff = kBackoffBaseMs;
+  while (attempts < 10000) {
+    elapsed += backoff / 2;  // the minimum post-attempt sleep
+    if (elapsed >= budget_ms) {
+      break;
+    }
+    ++attempts;
+    backoff = NextBackoffMs(backoff);
+  }
+  return attempts;
+}
 
 Result<Bytes> RpcClient::Call(const HrpcBinding& binding, uint32_t procedure, const Bytes& args,
                               const RequestContext& context, RpcCallInfo* info_out) {
@@ -72,7 +102,7 @@ Result<Bytes> RpcClient::Call(const HrpcBinding& binding, uint32_t procedure, co
   const bool budgeted = effective.has_deadline() && transport_->SupportsBudget();
 
   Result<Bytes> response = UnavailableError("not attempted");
-  int64_t backoff_ms = kBackoffBaseMs;
+  int64_t backoff_ms = RetryPolicy::kBackoffBaseMs;
   for (uint32_t attempt = 0;; ++attempt) {
     call.context = effective;
     call.context.attempt = effective.attempt + attempt;  // re-marshalled per try
@@ -82,21 +112,23 @@ Result<Bytes> RpcClient::Call(const HrpcBinding& binding, uint32_t procedure, co
       world_->ChargeMs(ControlCostMs(world_->costs(), binding.control));
     }
 
-    ++info.attempts;
     if (budgeted) {
+      // Check the budget before charging the attempt: info.attempts counts
+      // transport exchanges actually performed, never a shed one.
       int64_t remaining = effective.remaining_ms();
       if (remaining <= 0) {
         if (info_out != nullptr) {
           *info_out = info;
         }
         return TimeoutError(StrFormat("call to %s:%u: budget exhausted after %u attempts",
-                                      binding.host.c_str(), binding.port, info.attempts - 1));
+                                      binding.host.c_str(), binding.port, info.attempts));
       }
-      int64_t attempt_budget =
-          std::min(remaining, kAttemptBaseMs << std::min<uint32_t>(attempt, 4));
+      ++info.attempts;
+      int64_t attempt_budget = RetryPolicy::AttemptBudgetMs(attempt, remaining);
       response = transport_->RoundTripWithBudget(local_host_, binding.host, binding.port,
                                                  message, attempt_budget);
     } else {
+      ++info.attempts;
       response = transport_->RoundTrip(local_host_, binding.host, binding.port, message);
     }
     if (info_out != nullptr) {
@@ -120,13 +152,12 @@ Result<Bytes> RpcClient::Call(const HrpcBinding& binding, uint32_t procedure, co
     // Exponential backoff with deterministic jitter (seeded from the trace
     // id and attempt number, so a given call's schedule reproduces), capped
     // by the remaining budget.
-    Rng rng(effective.trace_id ^ (0x9e3779b97f4a7c15ULL * (call.context.attempt + 1)));
-    int64_t sleep_ms = backoff_ms / 2 + static_cast<int64_t>(rng.Uniform(backoff_ms / 2 + 1));
-    sleep_ms = std::min(sleep_ms, remaining);
+    int64_t sleep_ms = RetryPolicy::JitteredBackoffMs(effective.trace_id, call.context.attempt,
+                                                      backoff_ms, remaining);
     if (sleep_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     }
-    backoff_ms = std::min(backoff_ms * 2, kBackoffCapMs);
+    backoff_ms = RetryPolicy::NextBackoffMs(backoff_ms);
     ++info.retries;
     if (info_out != nullptr) {
       *info_out = info;

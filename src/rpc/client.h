@@ -29,6 +29,37 @@ struct RpcCallInfo {
   uint64_t trace_id = 0;  // trace id the call traveled under (0: untraced)
 };
 
+// The budgeted-call retry policy: attempt budgets and the exponential
+// backoff/jitter schedule RpcClient::Call follows. Exposed as pure
+// functions so tests assert the exact deterministic schedule instead of
+// re-deriving (and silently diverging from) the constants, and so chaos
+// scenarios can bound "retries never exceed the transport budget" from the
+// same arithmetic the client uses.
+struct RetryPolicy {
+  static constexpr int64_t kAttemptBaseMs = 100;  // first attempt's budget
+  static constexpr int64_t kBackoffBaseMs = 10;   // initial backoff
+  static constexpr int64_t kBackoffCapMs = 250;   // backoff ceiling
+
+  // Transport budget for 0-based `attempt` given the remaining overall
+  // budget: doubles from kAttemptBaseMs (capped at 16x) and never exceeds
+  // what is left.
+  static int64_t AttemptBudgetMs(uint32_t attempt, int64_t remaining_ms);
+
+  // The post-attempt sleep: backoff/2 plus deterministic jitter in
+  // [0, backoff/2], seeded from (trace id, wire attempt counter) so a given
+  // call's schedule replays, capped by the remaining budget.
+  static int64_t JitteredBackoffMs(uint64_t trace_id, uint32_t wire_attempt,
+                                   int64_t backoff_ms, int64_t remaining_ms);
+
+  // The backoff value after one retry (doubles, capped).
+  static int64_t NextBackoffMs(int64_t backoff_ms);
+
+  // Upper bound on transport attempts a budget admits, assuming every
+  // attempt fails instantly and every jitter draw lands on its minimum.
+  // Chaos tests assert observed attempts <= MaxAttempts(budget).
+  static uint32_t MaxAttempts(int64_t budget_ms);
+};
+
 class RpcClient {
  public:
   // `world` may be null when running over a real (non-simulated) transport;

@@ -14,6 +14,7 @@
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/rpc/context.h"
+#include "src/rpc/fault.h"
 
 namespace hcs {
 
@@ -52,7 +53,12 @@ struct Reactor::Endpoint {
   SimService* service = nullptr;
   bool stream = false;
   bool concurrent = false;
+  uint16_t port = 0;
   Handle handle{Handle::Kind::kUdp, nullptr};
+
+  // Per-endpoint counters (relaxed; see Reactor::endpoint_stats).
+  std::atomic<uint64_t> dispatched{0};
+  std::atomic<uint64_t> dropped{0};
 
   // Serial-mode run queue: tasks execute in order, at most one batch in
   // flight across the pool.
@@ -207,6 +213,7 @@ Status Reactor::AddUdpEndpoint(int fd, SimService* service, ReactorEndpointOptio
   endpoint->service = service;
   endpoint->stream = false;
   endpoint->concurrent = options.concurrent;
+  endpoint->port = options.port;
   endpoint->handle = Handle{Handle::Kind::kUdp, endpoint.get()};
   epoll_event ev{};
   ev.events = EPOLLIN;
@@ -232,6 +239,7 @@ Status Reactor::AddStreamListener(int fd, SimService* service, ReactorEndpointOp
   endpoint->service = service;
   endpoint->stream = true;
   endpoint->concurrent = options.concurrent;
+  endpoint->port = options.port;
   endpoint->handle = Handle{Handle::Kind::kListener, endpoint.get()};
   epoll_event ev{};
   ev.events = EPOLLIN;
@@ -301,13 +309,23 @@ void Reactor::DrainUdp(Endpoint* endpoint, std::vector<uint8_t>& buffer) {
     Bytes request(buffer.begin(), buffer.begin() + n);
     const int64_t arrival_ms = SteadyNowMs();
     Submit(endpoint, [this, endpoint, request = std::move(request), peer, peer_len,
-                      arrival_ms] {
+                      arrival_ms]() mutable {
       ScopedReceiveTimestamp stamp(arrival_ms);
+      // Fault filtering runs on the worker, not the loop thread, so an
+      // injected inbound delay never stalls the whole reactor.
+      Status admitted = FilterInbound(GlobalFaultInjector(), endpoint->port, &request);
+      if (!admitted.ok()) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        endpoint->dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
       Result<Bytes> response = endpoint->service->HandleMessage(request);
       dispatched_.fetch_add(1, std::memory_order_relaxed);
+      endpoint->dispatched.fetch_add(1, std::memory_order_relaxed);
       if (!response.ok()) {
         // Garbled request: drop, as UDP servers do; the client times out.
         dropped_.fetch_add(1, std::memory_order_relaxed);
+        endpoint->dropped.fetch_add(1, std::memory_order_relaxed);
         HCS_LOG(Debug) << "reactor dropping garbled datagram: " << response.status();
         return;
       }
@@ -316,6 +334,7 @@ void Reactor::DrainUdp(Endpoint* endpoint, std::vector<uint8_t>& buffer) {
       if (sendto(endpoint->fd, response->data(), response->size(), 0,
                  reinterpret_cast<const sockaddr*>(&peer), peer_len) < 0) {
         dropped_.fetch_add(1, std::memory_order_relaxed);
+        endpoint->dropped.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
@@ -416,12 +435,21 @@ void Reactor::HandleConnEvent(Conn* conn, uint32_t events, std::vector<uint8_t>&
     Bytes frame(conn->inbuf.begin() + 4, conn->inbuf.begin() + 4 + frame_len);
     conn->inbuf.erase(conn->inbuf.begin(), conn->inbuf.begin() + 4 + frame_len);
     const int64_t arrival_ms = SteadyNowMs();
-    Submit(conn->endpoint, [this, shared, frame = std::move(frame), arrival_ms] {
+    Submit(conn->endpoint, [this, shared, frame = std::move(frame), arrival_ms]() mutable {
       ScopedReceiveTimestamp stamp(arrival_ms);
-      Result<Bytes> response = shared->endpoint->service->HandleMessage(frame);
+      Endpoint* endpoint = shared->endpoint;
+      Status admitted = FilterInbound(GlobalFaultInjector(), endpoint->port, &frame);
+      if (!admitted.ok()) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        endpoint->dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      Result<Bytes> response = endpoint->service->HandleMessage(frame);
       dispatched_.fetch_add(1, std::memory_order_relaxed);
+      endpoint->dispatched.fetch_add(1, std::memory_order_relaxed);
       if (!response.ok()) {
         dropped_.fetch_add(1, std::memory_order_relaxed);
+        endpoint->dropped.fetch_add(1, std::memory_order_relaxed);
         HCS_LOG(Debug) << "reactor dropping garbled frame: " << response.status();
         return;
       }
@@ -453,6 +481,7 @@ void Reactor::SendOnConn(const std::shared_ptr<Conn>& conn, const Bytes& framed)
   MutexLock lock(conn->mu);
   if (conn->closed) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    conn->endpoint->dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   // Replies queue in completion order; append then flush preserves the
@@ -524,6 +553,21 @@ void Reactor::RunEndpoint(Endpoint* endpoint) {
       task();
     }
   }
+}
+
+std::vector<ReactorEndpointStats> Reactor::endpoint_stats() const {
+  MutexLock lock(state_mu_);
+  std::vector<ReactorEndpointStats> out;
+  out.reserve(endpoints_.size());
+  for (const auto& endpoint : endpoints_) {
+    ReactorEndpointStats stats;
+    stats.port = endpoint->port;
+    stats.stream = endpoint->stream;
+    stats.dispatched = endpoint->dispatched.load(std::memory_order_relaxed);
+    stats.dropped = endpoint->dropped.load(std::memory_order_relaxed);
+    out.push_back(stats);
+  }
+  return out;
 }
 
 void Reactor::WorkerMain() {

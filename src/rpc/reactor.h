@@ -54,6 +54,20 @@ struct ReactorEndpointOptions {
   // all workers concurrently. False (default): per-endpoint serial
   // execution, the thread-per-endpoint contract.
   bool concurrent = false;
+  // The local port the socket is bound to. Labels this endpoint's
+  // dispatch/drop counters (endpoint_stats()) and keys the fault
+  // injector's inbound filtering ("local:<port>" plans).
+  uint16_t port = 0;
+};
+
+// Per-endpoint counter snapshot (endpoint_stats()). `dropped` counts
+// garbled requests, undeliverable replies, and injector-discarded inbound
+// messages for that endpoint alone.
+struct ReactorEndpointStats {
+  uint16_t port = 0;
+  bool stream = false;
+  uint64_t dispatched = 0;
+  uint64_t dropped = 0;
 };
 
 class Reactor {
@@ -84,6 +98,9 @@ class Reactor {
   uint64_t dispatched() const { return dispatched_.load(std::memory_order_relaxed); }
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
   uint64_t accepted() const { return accepted_.load(std::memory_order_relaxed); }
+  // Per-endpoint counters (chaos tests assert on these instead of sleeping).
+  // Endpoints are released by Stop(), so snapshot before stopping.
+  std::vector<ReactorEndpointStats> endpoint_stats() const;
 
  private:
   struct Endpoint;

@@ -14,6 +14,7 @@
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/rpc/control.h"
+#include "src/rpc/fault.h"
 
 namespace hcs {
 
@@ -55,8 +56,11 @@ Result<int> BindLoopback(int type, uint16_t port, uint16_t* bound_port_out) {
 
 // One serve loop: receive, dispatch, answer. Exits when `stop` is raised
 // (StopAll wakes the blocking recvfrom with a zero-byte datagram); the
-// owner closes the socket only after joining this thread.
-void ServeLoop(int fd, SimService* service, std::atomic<bool>* stop) {
+// owner closes the socket only after joining this thread. `dropped` counts
+// this endpoint's discarded messages (garbled requests, undeliverable
+// replies, injector-discarded inbound traffic).
+void ServeLoop(int fd, uint16_t port, SimService* service, std::atomic<bool>* stop,
+               std::atomic<uint64_t>* dropped) {
   std::vector<uint8_t> buffer(kMaxDatagram);
   while (true) {
     sockaddr_in peer{};
@@ -71,15 +75,23 @@ void ServeLoop(int fd, SimService* service, std::atomic<bool>* stop) {
       return;
     }
     Bytes request(buffer.begin(), buffer.begin() + n);
+    Status admitted = FilterInbound(GlobalFaultInjector(), port, &request);
+    if (!admitted.ok()) {
+      dropped->fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     Result<Bytes> response = service->HandleMessage(request);
     if (!response.ok()) {
       // Transport-level failure (garbled request): drop it, as UDP servers
       // do; the client times out and reports kTimeout.
+      dropped->fetch_add(1, std::memory_order_relaxed);
       HCS_LOG(Debug) << "udp server dropping garbled request: " << response.status();
       continue;
     }
-    (void)sendto(fd, response->data(), response->size(), 0,
-                 reinterpret_cast<sockaddr*>(&peer), peer_len);
+    if (sendto(fd, response->data(), response->size(), 0,
+               reinterpret_cast<sockaddr*>(&peer), peer_len) < 0) {
+      dropped->fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -128,6 +140,7 @@ Result<uint16_t> UdpServerHost::ServeUdp(SimService* service, uint16_t port, boo
     HCS_ASSIGN_OR_RETURN(Reactor * reactor, EnsureReactor());
     ReactorEndpointOptions options;
     options.concurrent = concurrent;
+    options.port = bound_port;
     HCS_RETURN_IF_ERROR(reactor->AddUdpEndpoint(fd, service, options));
     return bound_port;
   }
@@ -136,7 +149,9 @@ Result<uint16_t> UdpServerHost::ServeUdp(SimService* service, uint16_t port, boo
   endpoint.fd = fd;
   endpoint.port = bound_port;
   endpoint.stop = std::make_unique<std::atomic<bool>>(false);
-  endpoint.thread = std::thread(ServeLoop, fd, service, endpoint.stop.get());
+  endpoint.dropped = std::make_unique<std::atomic<uint64_t>>(0);
+  endpoint.thread = std::thread(ServeLoop, fd, bound_port, service, endpoint.stop.get(),
+                                endpoint.dropped.get());
 
   MutexLock lock(mutex_);
   endpoints_.push_back(std::move(endpoint));
@@ -164,8 +179,23 @@ Result<uint16_t> UdpServerHost::ServeStreamInternal(SimService* service, uint16_
   HCS_ASSIGN_OR_RETURN(Reactor * reactor, EnsureReactor());
   ReactorEndpointOptions options;
   options.concurrent = concurrent;
+  options.port = bound_port;
   HCS_RETURN_IF_ERROR(reactor->AddStreamListener(fd, service, options));
   return bound_port;
+}
+
+std::map<uint16_t, uint64_t> UdpServerHost::dropped_by_endpoint() const {
+  MutexLock lock(mutex_);
+  std::map<uint16_t, uint64_t> out;
+  for (const Endpoint& endpoint : endpoints_) {
+    out[endpoint.port] += endpoint.dropped->load(std::memory_order_relaxed);
+  }
+  if (reactor_ != nullptr) {
+    for (const ReactorEndpointStats& stats : reactor_->endpoint_stats()) {
+      out[stats.port] += stats.dropped;
+    }
+  }
+  return out;
 }
 
 void UdpServerHost::StopAll() {

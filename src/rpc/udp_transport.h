@@ -79,11 +79,20 @@ class UdpServerHost {
   // The shared reactor (null until the first reactor-backed endpoint).
   Reactor* reactor() { return reactor_.get(); }
 
+  // Per-endpoint drop counters (port → dropped messages), merged across
+  // both serve modes: thread-per-endpoint loops and reactor endpoints.
+  // Drops cover garbled requests, undeliverable replies, and messages the
+  // fault injector discarded inbound. Snapshot before StopAll() — stopping
+  // releases the endpoints. Chaos tests assert on these counts instead of
+  // sleeping.
+  std::map<uint16_t, uint64_t> dropped_by_endpoint() const;
+
  private:
   struct Endpoint {
     int fd = -1;
     uint16_t port = 0;
     std::unique_ptr<std::atomic<bool>> stop;  // stable address for the loop
+    std::unique_ptr<std::atomic<uint64_t>> dropped;  // stable address, ditto
     std::thread thread;
   };
 
@@ -94,7 +103,7 @@ class UdpServerHost {
 
   const ServeMode mode_;
   const int reactor_workers_;
-  Mutex mutex_{"udp-server-host"};
+  mutable Mutex mutex_{"udp-server-host"};
   std::vector<Endpoint> endpoints_ HCS_GUARDED_BY(mutex_);
   std::unique_ptr<Reactor> reactor_ HCS_GUARDED_BY(mutex_);
 };

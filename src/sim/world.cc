@@ -28,6 +28,27 @@ bool World::HasService(const std::string& host, uint16_t port) const {
   return services_.count(EndpointKey(host, port)) != 0;
 }
 
+void World::CrashHost(const std::string& host) { crashed_hosts_.insert(AsciiToLower(host)); }
+
+void World::RestartHost(const std::string& host) { crashed_hosts_.erase(AsciiToLower(host)); }
+
+bool World::HostCrashed(const std::string& host) const {
+  return crashed_hosts_.count(AsciiToLower(host)) != 0;
+}
+
+void World::Partition(std::set<std::string> group) {
+  partition_group_.clear();
+  for (const std::string& host : group) {
+    partition_group_.insert(AsciiToLower(host));
+  }
+  partitioned_ = true;
+}
+
+void World::HealPartition() {
+  partition_group_.clear();
+  partitioned_ = false;
+}
+
 Result<Bytes> World::RoundTrip(const std::string& from_host, const std::string& to_host,
                                uint16_t port, const Bytes& request) {
   if (!network_.HasHost(from_host)) {
@@ -43,6 +64,21 @@ Result<Bytes> World::RoundTrip(const std::string& from_host, const std::string& 
   }
 
   bool same_host = EqualsIgnoreCase(from_host, to_host);
+
+  // Chaos controls. A crashed destination refuses everything (the service
+  // registration survives for the restart). A partition cut times the
+  // exchange out: the request bytes leave and vanish, so the one-way cost
+  // is still charged to the clock.
+  if (crashed_hosts_.count(AsciiToLower(to_host)) != 0) {
+    return UnavailableError("host crashed (injected): " + AsciiToLower(to_host));
+  }
+  if (partitioned_ && !same_host &&
+      (partition_group_.count(AsciiToLower(from_host)) != 0) !=
+          (partition_group_.count(AsciiToLower(to_host)) != 0)) {
+    clock_.AdvanceMs(costs_.NetRttMs(false, request.size(), 0) / 2);
+    return TimeoutError("network partition (injected): " + AsciiToLower(from_host) +
+                        " cannot reach " + AsciiToLower(to_host));
+  }
 
   // Request propagation + server processing (the service charges its own CPU
   // and disk costs while handling the message) + response propagation. The

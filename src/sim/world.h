@@ -16,6 +16,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "src/common/bytes.h"
@@ -98,6 +99,22 @@ class World {
   // True when a service is registered at (host, port).
   bool HasService(const std::string& host, uint16_t port) const;
 
+  // --- Chaos controls (fault-injection scenarios) --------------------------
+  // A crashed host keeps its registrations but answers nothing: every
+  // exchange to it fails kUnavailable until RestartHost. This models a
+  // whole-machine crash/restart, distinct from UnregisterService (one
+  // service cleanly gone).
+  void CrashHost(const std::string& host);
+  void RestartHost(const std::string& host);
+  bool HostCrashed(const std::string& host) const;
+
+  // Partitions the network into `group` vs everyone else: exchanges that
+  // cross the cut fail kTimeout (the request is charged to the clock — the
+  // bytes left, nothing came back). Hosts on the same side communicate
+  // normally. HealPartition removes the cut.
+  void Partition(std::set<std::string> group);
+  void HealPartition();
+
  private:
   static std::string EndpointKey(const std::string& host, uint16_t port);
 
@@ -108,6 +125,11 @@ class World {
   TrafficStats stats_;
   std::map<std::string, SimService*> services_;
   std::vector<std::shared_ptr<void>> owned_;
+  // Chaos state: crashed hosts and the current partition group (lowercased
+  // host names; empty set = no partition).
+  std::set<std::string> crashed_hosts_;
+  std::set<std::string> partition_group_;
+  bool partitioned_ = false;
 };
 
 }  // namespace hcs

@@ -389,31 +389,50 @@ void Testbed::RegisterWithHns() {
 std::vector<std::shared_ptr<Nsm>> Testbed::MakeLinkedNsms(const std::string& locus_host) {
   CacheMode mode = options_.nsm_cache_mode;
   ChCredentials creds = TestbedCredentials();
+  // Linked NSMs run in the client process, so their remote lookups belong
+  // to the client path and go through the fault wrapper when installed.
+  Transport* transport = client_transport();
   std::vector<std::shared_ptr<Nsm>> nsms;
-  nsms.push_back(std::make_shared<BindHostAddressNsm>(&world_, locus_host, &transport_,
+  nsms.push_back(std::make_shared<BindHostAddressNsm>(&world_, locus_host, transport,
                                                       HostAddrBindInfo(), kPublicBindHost,
                                                       mode));
-  nsms.push_back(std::make_shared<BindBindingNsm>(&world_, locus_host, &transport_,
+  nsms.push_back(std::make_shared<BindBindingNsm>(&world_, locus_host, transport,
                                                   BindingBindInfo(), kPublicBindHost, mode));
-  nsms.push_back(std::make_shared<BindMailboxNsm>(&world_, locus_host, &transport_,
+  nsms.push_back(std::make_shared<BindMailboxNsm>(&world_, locus_host, transport,
                                                   MailboxBindInfo(), kPublicBindHost, mode));
-  nsms.push_back(std::make_shared<ChHostAddressNsm>(&world_, locus_host, &transport_,
+  nsms.push_back(std::make_shared<ChHostAddressNsm>(&world_, locus_host, transport,
                                                     HostAddrChInfo(), kChServerHost, creds,
                                                     mode));
-  nsms.push_back(std::make_shared<ChBindingNsm>(&world_, locus_host, &transport_,
+  nsms.push_back(std::make_shared<ChBindingNsm>(&world_, locus_host, transport,
                                                 BindingChInfo(), kChServerHost, creds, mode));
-  nsms.push_back(std::make_shared<ChMailboxNsm>(&world_, locus_host, &transport_,
+  nsms.push_back(std::make_shared<ChMailboxNsm>(&world_, locus_host, transport,
                                                 MailboxChInfo(), kChServerHost, creds, mode));
-  nsms.push_back(std::make_shared<BindFileServiceNsm>(&world_, locus_host, &transport_,
+  nsms.push_back(std::make_shared<BindFileServiceNsm>(&world_, locus_host, transport,
                                                       FileBindInfo(), kPublicBindHost, mode));
-  nsms.push_back(std::make_shared<ChFileServiceNsm>(&world_, locus_host, &transport_,
+  nsms.push_back(std::make_shared<ChFileServiceNsm>(&world_, locus_host, transport,
                                                     FileChInfo(), kChServerHost, creds, mode));
-  nsms.push_back(std::make_shared<BindHostNameNsm>(&world_, locus_host, &transport_,
+  nsms.push_back(std::make_shared<BindHostNameNsm>(&world_, locus_host, transport,
                                                    HostNameBindInfo(), kPublicBindHost, mode));
-  nsms.push_back(std::make_shared<ChHostNameNsm>(&world_, locus_host, &transport_,
+  nsms.push_back(std::make_shared<ChHostNameNsm>(&world_, locus_host, transport,
                                                  HostNameChInfo(), kChServerHost, creds,
                                                  "CSL", "Xerox", mode));
   return nsms;
+}
+
+void Testbed::InstallFaultInjector(FaultInjector* injector) {
+  if (injector == nullptr) {
+    fault_transport_.reset();
+    return;
+  }
+  fault_transport_ =
+      std::make_unique<FaultInjectingTransport>(&transport_, injector, &world_);
+}
+
+Transport* Testbed::client_transport() {
+  if (fault_transport_ != nullptr) {
+    return fault_transport_.get();
+  }
+  return &transport_;
 }
 
 void Testbed::InstallRemoteServers() {
@@ -503,7 +522,7 @@ ClientSetup Testbed::MakeClient(Arrangement arrangement) {
       options.hns_location = HnsLocation::kLinked;
       options.nsm_location = NsmLocation::kLinked;
       setup.session =
-          std::make_unique<HnsSession>(&world_, kClientHost, &transport_, options);
+          std::make_unique<HnsSession>(&world_, kClientHost, client_transport(), options);
       for (std::shared_ptr<Nsm>& nsm : MakeLinkedNsms(kClientHost)) {
         setup.nsm_caches.push_back(nsm->cache());
         (void)setup.session->LinkNsm(std::move(nsm));  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
@@ -515,7 +534,7 @@ ClientSetup Testbed::MakeClient(Arrangement arrangement) {
     case Arrangement::kAgent: {
       options.hns_location = HnsLocation::kAgent;
       setup.session =
-          std::make_unique<HnsSession>(&world_, kClientHost, &transport_, options);
+          std::make_unique<HnsSession>(&world_, kClientHost, client_transport(), options);
       setup.hns_cache = &agent_server_->hns().cache();
       setup.composite_cache = &agent_server_->hns().composite_cache();
       for (const char* name : {kNsmHostAddrBind, kNsmBindingBind, kNsmMailboxBind,
@@ -531,7 +550,7 @@ ClientSetup Testbed::MakeClient(Arrangement arrangement) {
       options.hns_location = HnsLocation::kRemote;
       options.nsm_location = NsmLocation::kLinked;
       setup.session =
-          std::make_unique<HnsSession>(&world_, kClientHost, &transport_, options);
+          std::make_unique<HnsSession>(&world_, kClientHost, client_transport(), options);
       for (std::shared_ptr<Nsm>& nsm : MakeLinkedNsms(kClientHost)) {
         setup.nsm_caches.push_back(nsm->cache());
         (void)setup.session->LinkNsm(std::move(nsm));  // hcs:ignore-status(testbed wiring over fixed fixtures; failures surface in the tests built on this world)
@@ -545,7 +564,7 @@ ClientSetup Testbed::MakeClient(Arrangement arrangement) {
       options.hns_location = HnsLocation::kLinked;
       options.nsm_location = NsmLocation::kLinked;  // only HostAddress is linked
       setup.session =
-          std::make_unique<HnsSession>(&world_, kClientHost, &transport_, options);
+          std::make_unique<HnsSession>(&world_, kClientHost, client_transport(), options);
       for (std::shared_ptr<Nsm>& nsm : MakeLinkedNsms(kClientHost)) {
         if (nsm->info().query_class == kQueryClassHostAddress) {
           setup.nsm_caches.push_back(nsm->cache());
@@ -563,7 +582,7 @@ ClientSetup Testbed::MakeClient(Arrangement arrangement) {
       options.hns_location = HnsLocation::kRemote;
       options.nsm_location = NsmLocation::kRemote;
       setup.session =
-          std::make_unique<HnsSession>(&world_, kClientHost, &transport_, options);
+          std::make_unique<HnsSession>(&world_, kClientHost, client_transport(), options);
       setup.hns_cache = &hns_server_->hns().cache();
       setup.composite_cache = &hns_server_->hns().composite_cache();
       hns_server_addr_caches(&setup.nsm_caches);

@@ -20,6 +20,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,7 @@
 #include "src/nsm/bind_nsms.h"
 #include "src/nsm/ch_nsms.h"
 #include "src/nsm/reverse_nsms.h"
+#include "src/rpc/fault.h"
 #include "src/rpc/portmapper.h"
 #include "src/sim/world.h"
 
@@ -141,6 +143,29 @@ class Testbed {
   World& world() { return world_; }
   SimNetTransport& transport() { return transport_; }
 
+  // --- Chaos controls -------------------------------------------------------
+  // Routes every subsequently-built client (MakeClient, MakeLinkedNsms)
+  // through a FaultInjectingTransport wrapping the sim transport, so the
+  // injector's plans apply to the client path. Injected latency is charged
+  // to the world's virtual clock. Install BEFORE MakeClient — sessions
+  // capture their Transport* at construction. Pass nullptr to revert to the
+  // raw transport for future clients. The injector is not owned.
+  void InstallFaultInjector(FaultInjector* injector);
+
+  // The transport clients are built against: the fault wrapper when an
+  // injector is installed, else the raw sim transport. (The admin/
+  // registration path always uses the raw transport — scenario faults must
+  // not corrupt the fixture itself.)
+  Transport* client_transport();
+
+  // Whole-host crash/restart and network partition, delegated to the World
+  // (see world.h). Crashed hosts answer kUnavailable; partition cuts answer
+  // kTimeout.
+  void CrashHost(const std::string& host) { world_.CrashHost(host); }
+  void RestartHost(const std::string& host) { world_.RestartHost(host); }
+  void Partition(std::set<std::string> group) { world_.Partition(std::move(group)); }
+  void HealPartition() { world_.HealPartition(); }
+
   BindServer* meta_bind() { return meta_bind_; }
   NfsLiteServer* nfs_server() { return nfs_; }
   XdeFileServer* xde_server() { return xde_; }
@@ -188,6 +213,8 @@ class Testbed {
   TestbedOptions options_;
   World world_;
   SimNetTransport transport_;
+  // Present only while a fault injector is installed; wraps transport_.
+  std::unique_ptr<FaultInjectingTransport> fault_transport_;
 
   BindServer* meta_bind_ = nullptr;
   BindServer* meta_secondary_ = nullptr;

@@ -1,11 +1,14 @@
 // Failure injection: servers vanishing mid-run, bad credentials, garbled
 // messages, unregistered components — every path must surface a clean
-// Status, never a crash or a hang.
+// Status, never a crash or a hang. The outage scenarios run through the
+// seeded FaultInjector (five fixed seeds each) rather than ad-hoc service
+// toggles, so a failure replays byte-identically from its seed.
 
 #include <gtest/gtest.h>
 
 #include "src/common/strings.h"
 #include "src/hns/import.h"
+#include "src/rpc/fault.h"
 #include "src/rpc/ports.h"
 #include "src/testbed/testbed.h"
 
@@ -16,36 +19,88 @@ HnsName SunName() {
   return HnsName::Parse(std::string(kContextBindBinding) + "!" + kSunServerHost).value();
 }
 
-TEST(FailureTest, MetaBindOutageMakesColdQueriesUnavailable) {
+// Each scenario runs once per seed: the injector's decision streams (and so
+// the whole simulated run) are pure functions of the seed.
+class SeededFailureTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededFailureTest,
+                         ::testing::Values(uint64_t{1}, uint64_t{7}, uint64_t{42},
+                                           uint64_t{1999}, uint64_t{0xc0ffee}));
+
+TEST_P(SeededFailureTest, MetaBlackholeMakesColdQueriesUnavailable) {
   Testbed bed;
+  FaultInjector injector(FaultConfig{GetParam(), {}});
+  bed.InstallFaultInjector(&injector);
   ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
   client.FlushAll();
 
-  // Both the secondary and the primary go down.
-  bed.world().UnregisterService(kMetaSecondaryHost, kBindPort);
-  bed.world().UnregisterService(kMetaBindHost, kBindPort);
+  // Both the secondary and the primary become unreachable.
+  injector.BlackholeEndpoint(kMetaSecondaryHost);
+  injector.BlackholeEndpoint(kMetaBindHost);
 
   Importer importer(client.session.get());
   EXPECT_EQ(importer.Import(kDesiredService, SunName()).status().code(),
             StatusCode::kUnavailable);
+  EXPECT_GT(injector.stats().blackholed, 0u) << "the outage ran through the injector";
 }
 
-TEST(FailureTest, WarmCacheSurvivesMetaBindOutage) {
+TEST_P(SeededFailureTest, WarmCacheSurvivesMetaBlackhole) {
   Testbed bed;
+  FaultInjector injector(FaultConfig{GetParam(), {}});
+  bed.InstallFaultInjector(&injector);
   ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
   Importer importer(client.session.get());
   ASSERT_TRUE(importer.Import(kDesiredService, SunName()).ok());
 
   // The meta store can now disappear: cached mappings keep working until
   // their TTLs run out — the availability argument for caching.
-  bed.world().UnregisterService(kMetaSecondaryHost, kBindPort);
-  bed.world().UnregisterService(kMetaBindHost, kBindPort);
+  injector.BlackholeEndpoint(kMetaSecondaryHost);
+  injector.BlackholeEndpoint(kMetaBindHost);
   EXPECT_TRUE(importer.Import(kDesiredService, SunName()).ok());
 
   // After TTL expiry the outage becomes visible.
   bed.world().clock().AdvanceMs(3601.0 * 1000.0);
   EXPECT_EQ(importer.Import(kDesiredService, SunName()).status().code(),
             StatusCode::kUnavailable);
+
+  // Healing the endpoints restores cold resolution.
+  injector.HealEndpoint(kMetaSecondaryHost);
+  injector.HealEndpoint(kMetaBindHost);
+  EXPECT_TRUE(importer.Import(kDesiredService, SunName()).ok());
+}
+
+TEST_P(SeededFailureTest, LossyMetaPathResolvesWithinBoundedRetries) {
+  Testbed bed;
+  FaultInjector injector(FaultConfig{GetParam(), {}});
+  bed.InstallFaultInjector(&injector);
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  client.FlushAll();
+
+  // 40% loss toward both meta servers. The simulated transport makes one
+  // attempt per call, so the scenario retries at its own level — bounded,
+  // and deterministic for the seed.
+  FaultSpec lossy;
+  lossy.drop = 0.4;
+  injector.SetPlan(FaultPlan{kMetaSecondaryHost, {FaultPhase{0, lossy}}});
+  injector.SetPlan(FaultPlan{kMetaBindHost, {FaultPhase{0, lossy}}});
+
+  Importer importer(client.session.get());
+  constexpr int kMaxTries = 20;
+  Result<HrpcBinding> imported = UnavailableError("not attempted");
+  int tries = 0;
+  for (; tries < kMaxTries; ++tries) {
+    imported = importer.Import(kDesiredService, SunName());
+    if (imported.ok()) {
+      break;
+    }
+    // An injected drop looks like loss, never like a refusal.
+    EXPECT_TRUE(imported.status().code() == StatusCode::kTimeout ||
+                imported.status().code() == StatusCode::kUnavailable)
+        << imported.status();
+  }
+  EXPECT_TRUE(imported.ok()) << "seed " << GetParam() << " did not resolve within "
+                             << kMaxTries << " tries: " << imported.status();
+  EXPECT_GT(injector.stats().decisions, 0u);
 }
 
 TEST(FailureTest, UnderlyingNameServiceOutageOnlyBreaksItsSubsystemsData) {
@@ -72,15 +127,20 @@ TEST(FailureTest, UnderlyingNameServiceOutageOnlyBreaksItsSubsystemsData) {
   EXPECT_TRUE(client.session->Query(fresh, kQueryClassHostAddress, no_args).ok());
 }
 
-TEST(FailureTest, RemoteNsmOutageReportsUnavailable) {
+TEST_P(SeededFailureTest, RemoteNsmBlackholeReportsUnavailable) {
   Testbed bed;
+  FaultInjector injector(FaultConfig{GetParam(), {}});
+  bed.InstallFaultInjector(&injector);
   ClientSetup client = bed.MakeClient(Arrangement::kAllRemote);
   client.FlushAll();
-  bed.world().UnregisterService(kNsmServerHost, 711);  // the remote binding NSM
+  // FindNSM still works (the HNS server is reachable); the designated NSM's
+  // host is not, and the outage surfaces as kUnavailable at the client.
+  injector.BlackholeEndpoint(kNsmServerHost);
 
   WireValue args = RecordBuilder().Str("service", kDesiredService).Build();
   EXPECT_EQ(client.session->Query(SunName(), kQueryClassHrpcBinding, args).status().code(),
             StatusCode::kUnavailable);
+  EXPECT_GT(injector.stats().blackholed, 0u);
 }
 
 TEST(FailureTest, PermissionDeniedPropagatesFromClearinghouseToClient) {

@@ -496,5 +496,95 @@ TEST_F(CompositeFindNsmTest, CompositeTtlCapBoundsEntryLifetime) {
   EXPECT_EQ(capped->composite_cache().stats().hits, 1u);
 }
 
+
+// --- Cache behavior under injected faults ---------------------------------------------
+// The negative-entry and eviction machinery exercised while a seeded
+// FaultInjector degrades the meta path, with CheckInvariants after every
+// storm (the chaos-test discipline applied to the record cache).
+
+inline constexpr uint64_t kCacheFaultSeed = 0x5eedcafe;
+
+TEST(CacheFaultTest, NegativeEntriesServeThroughInjectedMetaOutage) {
+  Testbed bed;
+  FaultInjector injector(FaultConfig{kCacheFaultSeed, {}});
+  bed.InstallFaultInjector(&injector);
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  MetaStore& meta = client.session->local_hns()->meta();
+
+  // Seed a negative entry while the meta path is healthy.
+  EXPECT_EQ(meta.ContextToNameService("NoSuchContext").status().code(),
+            StatusCode::kNotFound);
+  uint64_t lookups = meta.remote_lookups();
+
+  // Blackhole both meta servers: the cached NotFound keeps answering without
+  // touching the (unreachable) network.
+  injector.BlackholeEndpoint(kMetaBindHost);
+  injector.BlackholeEndpoint(kMetaSecondaryHost);
+  EXPECT_EQ(meta.ContextToNameService("NoSuchContext").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(meta.remote_lookups(), lookups) << "answered by the negative entry";
+  EXPECT_GE(client.hns_cache->stats().negative_hits, 1u);
+
+  // Past the negative TTL the probe must go upstream again — and now the
+  // outage surfaces instead of a stale NotFound.
+  bed.world().clock().AdvanceMs(
+      (client.hns_cache->options().negative_ttl_seconds + 1) * 1000.0);
+  EXPECT_EQ(meta.ContextToNameService("NoSuchContext").status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_GT(injector.stats().blackholed, 0u);
+
+  Status invariants = client.hns_cache->CheckInvariants();
+  EXPECT_TRUE(invariants.ok()) << invariants;
+}
+
+TEST(CacheFaultTest, EvictionStormUnderInjectedLossKeepsCacheConsistent) {
+  TestbedOptions options;
+  options.hns_cache_mode = CacheMode::kDemarshalled;
+  options.hns_cache.shards = 1;
+  options.hns_cache.max_bytes = 2048;  // far below the storm's working set
+  Testbed bed(options);
+
+  FaultInjector injector(FaultConfig{kCacheFaultSeed, {}});
+  bed.InstallFaultInjector(&injector);
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  MetaStore& meta = client.session->local_hns()->meta();
+
+  // 20% loss on every endpoint. A registration is several meta writes and
+  // restarts wholesale on any drop, so the per-try failure rate is much
+  // higher than the per-message rate; the scenario retries at its own level
+  // (the sim transport is single-attempt), bounded per call.
+  FaultSpec lossy;
+  lossy.drop = 0.2;
+  injector.SetPlan(FaultPlan{"*", {FaultPhase{0, lossy}}});
+
+  constexpr int kNsms = 40;
+  constexpr int kMaxTriesPerCall = 30;
+  for (int i = 0; i < kNsms; ++i) {
+    NsmInfo info = bed.HostAddrBindInfo();
+    info.nsm_name = "EvictNSM-" + std::to_string(i);
+    info.query_class = "EvictQC-" + std::to_string(i);
+
+    Status registered = UnavailableError("not attempted");
+    for (int t = 0; t < kMaxTriesPerCall && !registered.ok(); ++t) {
+      registered = meta.RegisterNsm(info);
+    }
+    ASSERT_TRUE(registered.ok()) << "nsm " << i << ": " << registered;
+
+    Result<NsmInfo> read_back = UnavailableError("not attempted");
+    for (int t = 0; t < kMaxTriesPerCall && !read_back.ok(); ++t) {
+      read_back = meta.NsmLocation(info.nsm_name);
+    }
+    ASSERT_TRUE(read_back.ok()) << "nsm " << i << ": " << read_back.status();
+    EXPECT_EQ(read_back->host, info.host);
+  }
+
+  CacheStats stats = client.hns_cache->stats();
+  EXPECT_GT(stats.evictions, 0u) << "the byte budget never engaged";
+  EXPECT_LE(client.hns_cache->ApproximateBytes(), options.hns_cache.max_bytes);
+  EXPECT_GT(injector.stats().drops, 0u) << "the loss plan never fired";
+  Status invariants = client.hns_cache->CheckInvariants();
+  EXPECT_TRUE(invariants.ok()) << invariants;
+}
+
 }  // namespace
 }  // namespace hcs

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "src/rpc/binding.h"
 #include "src/rpc/client.h"
 #include "src/rpc/control.h"
@@ -295,6 +298,167 @@ TEST_F(RpcRuntimeTest, PortmapperSetViaRpc) {
   EXPECT_EQ(dec.GetUint32().value(), 1u);  // freshly registered
 
   EXPECT_EQ(PortMapper::GetPort(&client, "server", 300001, 1, kIpProtoUdp).value(), 5555);
+}
+
+
+// --- RetryPolicy: the budgeted-call retry schedule -----------------------------
+
+TEST(RetryPolicyTest, AttemptBudgetsDoubleFromBaseAndCapAtSixteenX) {
+  constexpr int64_t kPlenty = int64_t{1} << 40;
+  EXPECT_EQ(RetryPolicy::AttemptBudgetMs(0, kPlenty), 100);
+  EXPECT_EQ(RetryPolicy::AttemptBudgetMs(1, kPlenty), 200);
+  EXPECT_EQ(RetryPolicy::AttemptBudgetMs(2, kPlenty), 400);
+  EXPECT_EQ(RetryPolicy::AttemptBudgetMs(3, kPlenty), 800);
+  EXPECT_EQ(RetryPolicy::AttemptBudgetMs(4, kPlenty), 1600);
+  EXPECT_EQ(RetryPolicy::AttemptBudgetMs(5, kPlenty), 1600) << "doubling caps at 16x base";
+  EXPECT_EQ(RetryPolicy::AttemptBudgetMs(40, kPlenty), 1600);
+  // Never beyond the remaining overall budget.
+  EXPECT_EQ(RetryPolicy::AttemptBudgetMs(0, 40), 40);
+  EXPECT_EQ(RetryPolicy::AttemptBudgetMs(3, 150), 150);
+}
+
+TEST(RetryPolicyTest, BackoffDoublesToTheCap) {
+  int64_t backoff = RetryPolicy::kBackoffBaseMs;
+  std::vector<int64_t> schedule;
+  for (int i = 0; i < 8; ++i) {
+    schedule.push_back(backoff);
+    backoff = RetryPolicy::NextBackoffMs(backoff);
+  }
+  EXPECT_EQ(schedule, (std::vector<int64_t>{10, 20, 40, 80, 160, 250, 250, 250}));
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicAndBounded) {
+  for (uint64_t trace : {uint64_t{1}, uint64_t{0xdeadbeef}, uint64_t{42}}) {
+    for (uint32_t attempt = 0; attempt < 6; ++attempt) {
+      int64_t first = RetryPolicy::JitteredBackoffMs(trace, attempt, 40, 1000);
+      int64_t again = RetryPolicy::JitteredBackoffMs(trace, attempt, 40, 1000);
+      EXPECT_EQ(first, again) << "a given (trace, attempt) must replay its jitter";
+      EXPECT_GE(first, 20) << "at least backoff/2";
+      EXPECT_LE(first, 40) << "at most the full backoff";
+    }
+  }
+  // The schedule varies across attempts (it is jitter, not a constant).
+  std::set<int64_t> distinct;
+  for (uint32_t attempt = 0; attempt < 16; ++attempt) {
+    distinct.insert(RetryPolicy::JitteredBackoffMs(7, attempt, 200, 10000));
+  }
+  EXPECT_GT(distinct.size(), 1u);
+  // Capped by the remaining budget.
+  EXPECT_EQ(RetryPolicy::JitteredBackoffMs(1, 0, 40, 7), 7);
+}
+
+TEST(RetryPolicyTest, MaxAttemptsMatchesTheMinimumSleepSchedule) {
+  EXPECT_EQ(RetryPolicy::MaxAttempts(0), 1u);
+  EXPECT_EQ(RetryPolicy::MaxAttempts(-5), 1u);
+  // The minimum post-attempt sleeps run 5, 10, 20, 40, 80, 125, 125, ... ms
+  // (backoff/2 with the 250 ms cap): a budget of 5 ms is spent after the
+  // first sleep, 6 ms admits exactly one more attempt, and so on.
+  EXPECT_EQ(RetryPolicy::MaxAttempts(1), 1u);
+  EXPECT_EQ(RetryPolicy::MaxAttempts(5), 1u);
+  EXPECT_EQ(RetryPolicy::MaxAttempts(6), 2u);
+  EXPECT_EQ(RetryPolicy::MaxAttempts(100), 5u);
+  EXPECT_EQ(RetryPolicy::MaxAttempts(2000), 20u);
+  uint32_t previous = 0;
+  for (int64_t budget = 1; budget <= 600; ++budget) {
+    uint32_t attempts = RetryPolicy::MaxAttempts(budget);
+    EXPECT_GE(attempts, previous) << "budget " << budget;
+    previous = attempts;
+  }
+}
+
+// A budget-capable transport that fails the first `fail_first` exchanges
+// with kTimeout and then answers properly, recording every per-attempt
+// budget the client granted.
+class FlakyBudgetTransport : public Transport {
+ public:
+  explicit FlakyBudgetTransport(int fail_first) : fail_first_(fail_first) {}
+
+  Result<Bytes> RoundTrip(const std::string& from_host, const std::string& to_host,
+                          uint16_t port, const Bytes& message) override {
+    return RoundTripWithBudget(from_host, to_host, port, message, -1);
+  }
+
+  Result<Bytes> RoundTripWithBudget(const std::string&, const std::string&, uint16_t,
+                                    const Bytes& message, int64_t budget_ms) override {
+    budgets_.push_back(budget_ms);
+    if (static_cast<int>(budgets_.size()) <= fail_first_) {
+      return TimeoutError("injected exchange timeout");
+    }
+    const ControlProtocol& control = GetControlProtocol(ControlKind::kRaw);
+    HCS_ASSIGN_OR_RETURN(RpcCall call, control.DecodeCall(message));
+    RpcReplyMsg reply;
+    reply.xid = call.xid;
+    reply.results = call.args;
+    return control.EncodeReply(reply);
+  }
+
+  bool SupportsBudget() const override { return true; }
+
+  const std::vector<int64_t>& budgets() const { return budgets_; }
+
+ private:
+  int fail_first_;
+  std::vector<int64_t> budgets_;
+};
+
+HrpcBinding RawLoopbackBinding() {
+  HrpcBinding b;
+  b.host = "flaky";
+  b.port = 99;
+  b.program = 7;
+  b.version = 1;
+  b.control = ControlKind::kRaw;
+  return b;
+}
+
+TEST(RetryPolicyTest, CallRetriesOnTheExactScheduleAndSucceeds) {
+  FlakyBudgetTransport transport(/*fail_first=*/2);
+  RpcClient client(/*world=*/nullptr, "client", &transport);
+  RpcCallInfo info;
+  Result<Bytes> reply = client.Call(RawLoopbackBinding(), 1, Bytes{5, 6},
+                                    RequestContext::WithTimeout(5000), &info);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(*reply, (Bytes{5, 6}));
+  EXPECT_EQ(info.attempts, 3u);
+  EXPECT_EQ(info.retries, 2u);
+  ASSERT_EQ(transport.budgets().size(), 3u);
+  // The first attempts see an almost-untouched budget, so their transport
+  // budgets are the policy's doubling sequence exactly.
+  EXPECT_EQ(transport.budgets()[0], 100);
+  EXPECT_EQ(transport.budgets()[1], 200);
+  EXPECT_LE(transport.budgets()[2], 400);
+  EXPECT_GT(transport.budgets()[2], 0);
+}
+
+TEST(RetryPolicyTest, CallStopsAtTheDeadlineWithinMaxAttempts) {
+  FlakyBudgetTransport transport(/*fail_first=*/1 << 20);  // never succeeds
+  RpcClient client(/*world=*/nullptr, "client", &transport);
+  constexpr int64_t kBudgetMs = 300;
+  RpcCallInfo info;
+  Result<Bytes> reply = client.Call(RawLoopbackBinding(), 1, Bytes{1},
+                                    RequestContext::WithTimeout(kBudgetMs), &info);
+  EXPECT_EQ(reply.status().code(), StatusCode::kTimeout);
+  EXPECT_GE(info.attempts, 2u) << "the budget admits retries";
+  EXPECT_LE(info.attempts, RetryPolicy::MaxAttempts(kBudgetMs))
+      << "attempts beyond the budget's admission are forbidden";
+  EXPECT_EQ(info.attempts, static_cast<uint32_t>(transport.budgets().size()));
+  for (size_t i = 0; i < transport.budgets().size(); ++i) {
+    EXPECT_LE(transport.budgets()[i],
+              RetryPolicy::AttemptBudgetMs(static_cast<uint32_t>(i), kBudgetMs))
+        << "attempt " << i;
+  }
+}
+
+TEST(RetryPolicyTest, NoDeadlineMeansTheSeedsSingleAttempt) {
+  FlakyBudgetTransport transport(/*fail_first=*/1 << 20);
+  RpcClient client(/*world=*/nullptr, "client", &transport);
+  RpcCallInfo info;
+  Result<Bytes> reply = client.Call(RawLoopbackBinding(), 1, Bytes{1},
+                                    RequestContext{}, &info);
+  EXPECT_EQ(reply.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(info.attempts, 1u);
+  EXPECT_EQ(info.retries, 0u);
+  EXPECT_EQ(transport.budgets().size(), 1u);
 }
 
 }  // namespace

@@ -13,6 +13,10 @@
 #   lint-failpaths   tools/lint_failpaths.py error-discipline lint + self-test
 #   decode-sweep-asan  decode_sweep_test alone under the asan-ubsan build:
 #                the truncation/bit-flip sweep with over-reads made fatal
+#   chaos-asan   `ctest -L chaos` under the asan-ubsan build: the seeded
+#                fault-injection scenarios with memory errors made fatal
+#   chaos-tsan   `ctest -L chaos` under the tsan build, in both serve modes
+#                (plain, then HCS_REACTOR=1)
 #
 # Configurations whose toolchain is missing (no clang++, no clang-tidy) are
 # SKIPped, not failed: the container bakes in GCC only; the clang gates run
@@ -143,6 +147,37 @@ if [[ -x "${BUILD_ROOT}/asan-ubsan/tests/decode_sweep_test" ]]; then
 else
   note "decode-sweep-asan: SKIP (asan-ubsan build unavailable)"
   record decode-sweep-asan SKIP
+fi
+
+# 9. The seeded chaos scenarios, isolated under ASan+UBSan: injected drops,
+# duplicates, reordering, corruption, and partitions with memory errors
+# fatal. Reuses the asan-ubsan build from step 2 when it exists.
+if [[ -x "${BUILD_ROOT}/asan-ubsan/tests/chaos_test" ]]; then
+  note "chaos-asan: ctest -L chaos under address,undefined"
+  if (cd "${BUILD_ROOT}/asan-ubsan" && ctest --output-on-failure -L chaos); then
+    record chaos-asan PASS
+  else
+    record chaos-asan FAIL
+  fi
+else
+  note "chaos-asan: SKIP (asan-ubsan build unavailable)"
+  record chaos-asan SKIP
+fi
+
+# 10. The same scenarios under TSan, in both serve modes: the injector's
+# serve-side hooks run on reactor workers and per-endpoint threads, and the
+# decision/trace state is shared across every calling thread.
+if [[ -x "${BUILD_ROOT}/tsan/tests/chaos_test" ]]; then
+  note "chaos-tsan: ctest -L chaos under thread (both serve modes)"
+  if (cd "${BUILD_ROOT}/tsan" && ctest --output-on-failure -L chaos) &&
+     (cd "${BUILD_ROOT}/tsan" && HCS_REACTOR=1 ctest --output-on-failure -L chaos); then
+    record chaos-tsan PASS
+  else
+    record chaos-tsan FAIL
+  fi
+else
+  note "chaos-tsan: SKIP (tsan build unavailable)"
+  record chaos-tsan SKIP
 fi
 
 printf '\n=== check.sh summary ===\n'

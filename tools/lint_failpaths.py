@@ -35,6 +35,14 @@ the patterns a compiler cannot judge, and this lint closes them tree-wide:
 
   4. Ignore tags must give a reason: `hcs:ignore-status()` is rejected.
 
+  5. FaultInjector hooks must propagate their verdict. `FilterInbound`
+     returns Status, so rules 1–3 already police it; `Decide` returns a
+     plain FaultDecision the compiler will happily let fall on the floor.
+     A discarded Decide() — a bare statement or a (void)-cast — consumes a
+     PRNG draw without acting on it: the fault silently never happens AND
+     the endpoint's decision stream shifts, breaking seed replay. Every
+     Decide() result must be bound or consumed, or carry an ignore tag.
+
 Exit status 0 = clean; 1 = violations (one per line); 2 = usage.
 
 Usage: lint_failpaths.py [repo_root]
@@ -297,6 +305,52 @@ def check_rpc_handlers(root, errors):
                         f"(add a return or an // hcs:ignore-status(reason))")
 
 
+def check_fault_decisions(root, errors):
+    """Rule 5: FaultInjector::Decide results must act (see module docstring)."""
+    bare = re.compile(r"^\s*[\w\[\]().\->]*(?:\.|->)\s*Decide\s*\(", re.MULTILINE)
+    voided = re.compile(r"\(void\)\s*[\w\[\]().\->]*(?:\.|->)?\s*Decide\s*\(")
+
+    for path in iter_files(root, VOID_DIRS):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        raw_lines = raw.splitlines()
+        text = strip_comments_and_strings(raw)
+
+        for m in bare.finditer(text):
+            # A bare statement: the call's closing paren is followed by ';'
+            # (anything else — '.', ')', an operator — means the decision is
+            # consumed by the surrounding expression).
+            open_paren = text.find("(", text.find("Decide", m.start()))
+            depth, i = 0, open_paren
+            while i < len(text):
+                if text[i] == "(":
+                    depth += 1
+                elif text[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            tail = text[i + 1 : i + 16].lstrip()
+            if not tail.startswith(";"):
+                continue
+            lineno = line_of(text, m.start())
+            if not has_tag(raw_lines, lineno):
+                errors.append(
+                    f"{rel}:{lineno}: FaultInjector decision discarded — a "
+                    f"bare Decide() draws from the fault stream without "
+                    f"acting on it (bind the FaultDecision or add an "
+                    f"// hcs:ignore-status(reason) tag)")
+
+        for m in voided.finditer(text):
+            lineno = line_of(text, m.start())
+            if not has_tag(raw_lines, lineno):
+                errors.append(
+                    f"{rel}:{lineno}: (void)-cast discards a FaultDecision "
+                    f"from Decide() without an // hcs:ignore-status(reason) "
+                    f"tag")
+
+
 def check_empty_tags(root, errors):
     for path in iter_files(root, VOID_DIRS, exts=(".h", ".cc", ".py", ".sh")):
         if os.path.basename(path) == "lint_failpaths.py":
@@ -319,6 +373,7 @@ def run(root):
     check_void_casts(root, sr_names, errors)
     check_decode_before_ok(root, sr_names, errors)
     check_rpc_handlers(root, errors)
+    check_fault_decisions(root, errors)
     check_empty_tags(root, errors)
 
     if errors:
@@ -371,6 +426,20 @@ SELF_TEST_CASES = [
     ("empty-tag",
      "void f() {\n  (void)Flush();  // hcs:ignore-status()\n}\n",
      "empty"),
+    ("bare-decide-discard",
+     "void f() {\n  injector->Decide(host, port);\n}\n",
+     "bare Decide() draws from the fault stream"),
+    ("void-decide-discard",
+     "void f() {\n  (void)injector.Decide(host, port);\n}\n",
+     "discards a FaultDecision"),
+    ("decide-consumed-ok",
+     "void f() {\n  FaultDecision d = injector->Decide(host, port);\n"
+     "  if (d.drop) return;\n}\n",
+     None),
+    ("decide-tagged-ok",
+     "void f() {\n  // hcs:ignore-status(warming the stream for the test)\n"
+     "  injector->Decide(host, port);\n}\n",
+     None),
 ]
 
 
@@ -388,6 +457,7 @@ def self_test():
             check_void_casts(root, sr_names, errors)
             check_decode_before_ok(root, sr_names, errors)
             check_rpc_handlers(root, errors)
+            check_fault_decisions(root, errors)
             check_empty_tags(root, errors)
             if want is None:
                 if errors:
