@@ -1,0 +1,65 @@
+#include "src/common/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hcs {
+
+namespace {
+constexpr size_t kMinBlock = 4096;
+}  // namespace
+
+Arena::Arena(size_t initial_capacity) {
+  if (initial_capacity > 0) {
+    AddBlock(initial_capacity);
+  }
+}
+
+void Arena::AddBlock(size_t min_size) {
+  // Geometric growth so a pathological request sequence costs O(log n)
+  // mallocs, with the floor keeping tiny arenas out of the allocator.
+  size_t size = std::max({min_size, capacity_, kMinBlock});
+  Block block;
+  block.data = std::make_unique<uint8_t[]>(size);
+  block.size = size;
+  capacity_ += size;
+  blocks_.push_back(std::move(block));
+  cur_ = blocks_.back().data.get();
+  end_ = cur_ + size;
+}
+
+uint8_t* Arena::Allocate(size_t n, size_t align) {
+  uintptr_t p = reinterpret_cast<uintptr_t>(cur_);
+  uintptr_t aligned = (p + (align - 1)) & ~(static_cast<uintptr_t>(align) - 1);
+  size_t pad = aligned - p;
+  if (cur_ == nullptr || n + pad > static_cast<size_t>(end_ - cur_)) {
+    AddBlock(n + align);
+    p = reinterpret_cast<uintptr_t>(cur_);
+    aligned = (p + (align - 1)) & ~(static_cast<uintptr_t>(align) - 1);
+    pad = aligned - p;
+  }
+  cur_ = reinterpret_cast<uint8_t*>(aligned) + n;
+  used_ += n + pad;
+  return reinterpret_cast<uint8_t*>(aligned);
+}
+
+void Arena::Reset() {
+  used_ = 0;
+  if (blocks_.empty()) {
+    return;
+  }
+  if (blocks_.size() > 1) {
+    // Coalesce: one block of the full high-water capacity, so the next
+    // fill of the same volume bump-allocates without touching malloc.
+    size_t total = capacity_;
+    blocks_.clear();
+    capacity_ = 0;
+    AddBlock(total);
+    used_ = 0;
+    return;
+  }
+  cur_ = blocks_.back().data.get();
+  end_ = cur_ + blocks_.back().size;
+}
+
+}  // namespace hcs

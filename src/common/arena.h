@@ -1,0 +1,61 @@
+// Arena: a bump allocator for per-request and per-batch scratch memory on
+// the transport hot path. A batched receive lands every datagram of the
+// batch in one arena block; decode and dispatch then run over views into
+// that block (src/rpc/mmsg.h, DESIGN.md §13) instead of copying each frame
+// into its own std::vector. Reset() retains the high-water capacity, so a
+// steady-state serve loop stops allocating entirely after warm-up.
+//
+// Not thread-safe: each arena is owned by one batch / one request at a
+// time. Lifetime rule: memory returned by Allocate is valid until the next
+// Reset() or destruction — callers handing out views into an arena must
+// keep the arena alive until the last view is dropped.
+
+#ifndef HCS_SRC_COMMON_ARENA_H_
+#define HCS_SRC_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hcs {
+
+class Arena {
+ public:
+  // `initial_capacity` pre-sizes the first block (0 = allocate lazily).
+  explicit Arena(size_t initial_capacity = 0);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns `n` bytes aligned to `align` (a power of two). Never null for
+  // n > 0; n == 0 returns a valid one-past pointer that must not be
+  // dereferenced.
+  uint8_t* Allocate(size_t n, size_t align = 8);
+
+  // Invalidates every outstanding allocation and makes the full high-water
+  // capacity available again as one contiguous block.
+  void Reset();
+
+  size_t bytes_used() const { return used_; }
+  size_t bytes_capacity() const { return capacity_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+  };
+
+  // Appends a block of at least `min_size` bytes and makes it current.
+  void AddBlock(size_t min_size);
+
+  std::vector<Block> blocks_;
+  uint8_t* cur_ = nullptr;   // bump pointer within blocks_.back()
+  uint8_t* end_ = nullptr;   // one past blocks_.back()
+  size_t used_ = 0;          // bytes handed out since the last Reset
+  size_t capacity_ = 0;      // sum of block sizes
+};
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_COMMON_ARENA_H_

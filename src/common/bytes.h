@@ -12,6 +12,34 @@ namespace hcs {
 // All wire-format code in the tree operates on this alias.
 using Bytes = std::vector<uint8_t>;
 
+// A non-owning view of a byte range — the zero-copy currency of the
+// request hot path. Converts implicitly from Bytes (so view-taking APIs
+// accept owned buffers) and to Bytes (materializing a copy, so legacy
+// Bytes-taking handlers keep compiling at their old cost). A view does not
+// keep its backing storage alive: on the serve path it points into the
+// arrival batch's arena and is valid only until the handler returns
+// (DESIGN.md §13).
+class BytesView {
+ public:
+  constexpr BytesView() = default;
+  constexpr BytesView(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  BytesView(const Bytes& bytes) : data_(bytes.data()), size_(bytes.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const uint8_t* begin() const { return data_; }
+  const uint8_t* end() const { return data_ + size_; }
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  Bytes ToBytes() const { return Bytes(data_, data_ + size_); }
+  operator Bytes() const { return ToBytes(); }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 // Hex dump ("de ad be ef") of at most `max_bytes` bytes, for diagnostics.
 std::string HexDump(const Bytes& bytes, size_t max_bytes = 64);
 

@@ -63,9 +63,7 @@ const HnsCache::Shard& HnsCache::ShardFor(const std::string& key) const {
 HnsCache::LookupResult HnsCache::Lookup(const std::string& key) {
   LookupResult result;
   if (mode_ == CacheMode::kNone) {
-    Shard& shard = ShardFor(key);
-    MutexLock lock(shard.mu);
-    ++shard.stats.misses;
+    ShardFor(key).stats.misses.fetch_add(1, std::memory_order_relaxed);
     return result;
   }
   if (world_ != nullptr) {
@@ -75,25 +73,25 @@ HnsCache::LookupResult HnsCache::Lookup(const std::string& key) {
   MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    ++shard.stats.misses;
+    shard.stats.misses.fetch_add(1, std::memory_order_relaxed);
     return result;
   }
   if (it->second->expires <= Now()) {
     Unlink(&shard, it);
-    ++shard.stats.expirations;
-    ++shard.stats.misses;
+    shard.stats.expirations.fetch_add(1, std::memory_order_relaxed);
+    shard.stats.misses.fetch_add(1, std::memory_order_relaxed);
     return result;
   }
   // Refresh the LRU position.
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
 
   if (it->second->negative) {
-    ++shard.stats.negative_hits;
+    shard.stats.negative_hits.fetch_add(1, std::memory_order_relaxed);
     result.probe = Probe::kNegativeHit;
     result.expires = it->second->expires;
     return result;
   }
-  ++shard.stats.hits;
+  shard.stats.hits.fetch_add(1, std::memory_order_relaxed);
   result.probe = Probe::kHit;
   result.expires = it->second->expires;
 
@@ -108,8 +106,8 @@ HnsCache::LookupResult HnsCache::Lookup(const std::string& key) {
     if (!decoded.ok()) {
       // A corrupt stored form behaves like a miss.
       Unlink(&shard, it);
-      --shard.stats.hits;
-      ++shard.stats.misses;
+      shard.stats.hits.fetch_sub(1, std::memory_order_relaxed);
+      shard.stats.misses.fetch_add(1, std::memory_order_relaxed);
       result.probe = Probe::kMiss;
       return result;
     }
@@ -159,18 +157,19 @@ void HnsCache::Insert(Entry entry) {
   if (it != shard.index.end()) {
     Unlink(&shard, it);
   }
-  shard.bytes += entry.bytes;
+  shard.bytes.fetch_add(entry.bytes, std::memory_order_relaxed);
   shard.lru.push_front(std::move(entry));
   shard.index[shard.lru.front().key] = shard.lru.begin();
-  ++shard.stats.inserts;
+  shard.stats.inserts.fetch_add(1, std::memory_order_relaxed);
 
   // Enforce the byte budget from the cold end; the fresh entry survives
   // even when it alone exceeds the budget (an oversized record is still
   // more useful cached once than never).
-  while (shard_budget != 0 && shard.bytes > shard_budget && shard.lru.size() > 1) {
+  while (shard_budget != 0 && shard.bytes.load(std::memory_order_relaxed) > shard_budget &&
+         shard.lru.size() > 1) {
     auto victim = shard.index.find(shard.lru.back().key);
     Unlink(&shard, victim);
-    ++shard.stats.evictions;
+    shard.stats.evictions.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -209,7 +208,7 @@ void HnsCache::PutNegative(const std::string& key, uint32_t ttl_seconds) {
 
 void HnsCache::Unlink(Shard* shard,
                       std::unordered_map<std::string, std::list<Entry>::iterator>::iterator it) {
-  shard->bytes -= it->second->bytes;
+  shard->bytes.fetch_sub(it->second->bytes, std::memory_order_relaxed);
   shard->lru.erase(it->second);
   shard->index.erase(it);
 }
@@ -228,7 +227,7 @@ void HnsCache::Clear() {
     MutexLock lock(shard->mu);
     shard->lru.clear();
     shard->index.clear();
-    shard->bytes = 0;
+    shard->bytes.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -244,8 +243,7 @@ size_t HnsCache::size() const {
 size_t HnsCache::ApproximateBytes() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    MutexLock lock(shard->mu);
-    total += shard->bytes;
+    total += shard->bytes.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -253,24 +251,34 @@ size_t HnsCache::ApproximateBytes() const {
 CacheStats HnsCache::stats() const {
   CacheStats total;
   for (const auto& shard : shards_) {
-    MutexLock lock(shard->mu);
-    total += shard->stats;
-    total.bytes += shard->bytes;
+    const ShardStats& s = shard->stats;
+    total.hits += s.hits.load(std::memory_order_relaxed);
+    total.misses += s.misses.load(std::memory_order_relaxed);
+    total.expirations += s.expirations.load(std::memory_order_relaxed);
+    total.inserts += s.inserts.load(std::memory_order_relaxed);
+    total.evictions += s.evictions.load(std::memory_order_relaxed);
+    total.negative_hits += s.negative_hits.load(std::memory_order_relaxed);
+    total.coalesced_misses += s.coalesced_misses.load(std::memory_order_relaxed);
+    total.bytes += shard->bytes.load(std::memory_order_relaxed);
   }
   return total;
 }
 
 void HnsCache::ResetStats() {
   for (auto& shard : shards_) {
-    MutexLock lock(shard->mu);
-    shard->stats = CacheStats{};
+    ShardStats& s = shard->stats;
+    s.hits.store(0, std::memory_order_relaxed);
+    s.misses.store(0, std::memory_order_relaxed);
+    s.expirations.store(0, std::memory_order_relaxed);
+    s.inserts.store(0, std::memory_order_relaxed);
+    s.evictions.store(0, std::memory_order_relaxed);
+    s.negative_hits.store(0, std::memory_order_relaxed);
+    s.coalesced_misses.store(0, std::memory_order_relaxed);
   }
 }
 
 void HnsCache::NoteCoalescedMiss() {
-  Shard& shard = *shards_[0];
-  MutexLock lock(shard.mu);
-  ++shard.stats.coalesced_misses;
+  shards_[0]->stats.coalesced_misses.fetch_add(1, std::memory_order_relaxed);
 }
 
 Status HnsCache::CheckInvariants() const {
@@ -294,9 +302,10 @@ Status HnsCache::CheckInvariants() const {
       }
       recomputed += it->bytes;
     }
-    if (recomputed != shard.bytes) {
+    size_t accounted = shard.bytes.load(std::memory_order_relaxed);
+    if (recomputed != accounted) {
       return InternalError(StrFormat(
-          "shard %zu: running byte total %zu != recomputed sum %zu", i, shard.bytes, recomputed));
+          "shard %zu: running byte total %zu != recomputed sum %zu", i, accounted, recomputed));
     }
   }
   return Status::Ok();
@@ -319,25 +328,36 @@ size_t CompositeEntryBytes(const CompositeEntry& entry) {
 
 }  // namespace
 
+CompositeBindingCache::Shard& CompositeBindingCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+const CompositeBindingCache::Shard& CompositeBindingCache::ShardFor(
+    const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
 std::optional<CompositeEntry> CompositeBindingCache::Get(const std::string& context,
                                                          const std::string& query_class) {
   if (world_ != nullptr) {
     world_->ChargeMs(world_->costs().cache_probe_ms);
   }
-  MutexLock lock(mu_);
-  auto it = entries_.find(CompositeKey(context, query_class));
-  if (it == entries_.end()) {
-    ++stats_.misses;
+  std::string key = CompositeKey(context, query_class);
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    counters_.misses.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   if (it->second.expires <= Now()) {
-    stats_.bytes -= CompositeEntryBytes(it->second);
-    entries_.erase(it);
-    ++stats_.expirations;
-    ++stats_.misses;
+    counters_.bytes.fetch_sub(CompositeEntryBytes(it->second), std::memory_order_relaxed);
+    shard.entries.erase(it);
+    counters_.expirations.fetch_add(1, std::memory_order_relaxed);
+    counters_.misses.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  ++stats_.hits;
+  counters_.hits.fetch_add(1, std::memory_order_relaxed);
   // The entry is already composed and demarshalled: a hit costs one copy.
   if (world_ != nullptr) {
     world_->ChargeMs(world_->costs().cache_copy_per_record_ms *
@@ -354,27 +374,30 @@ void CompositeBindingCache::Put(CompositeEntry entry) {
   entry.query_class = AsciiToLower(entry.query_class);
   entry.ns_name = AsciiToLower(entry.ns_name);
   std::string key = entry.context + '\x1f' + entry.query_class;
-  MutexLock lock(mu_);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    stats_.bytes -= CompositeEntryBytes(it->second);
-    entries_.erase(it);
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    counters_.bytes.fetch_sub(CompositeEntryBytes(it->second), std::memory_order_relaxed);
+    shard.entries.erase(it);
   }
-  stats_.bytes += CompositeEntryBytes(entry);
-  ++stats_.inserts;
-  entries_[std::move(key)] = std::move(entry);
+  counters_.bytes.fetch_add(CompositeEntryBytes(entry), std::memory_order_relaxed);
+  counters_.inserts.fetch_add(1, std::memory_order_relaxed);
+  shard.entries[std::move(key)] = std::move(entry);
 }
 
 void CompositeBindingCache::InvalidateContext(const std::string& context) {
   std::string needle = AsciiToLower(context);
-  MutexLock lock(mu_);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.context == needle) {
-      stats_.bytes -= CompositeEntryBytes(it->second);
-      ++stats_.evictions;
-      it = entries_.erase(it);
-    } else {
-      ++it;
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (it->second.context == needle) {
+        counters_.bytes.fetch_sub(CompositeEntryBytes(it->second), std::memory_order_relaxed);
+        counters_.evictions.fetch_add(1, std::memory_order_relaxed);
+        it = shard.entries.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }
@@ -385,67 +408,86 @@ void CompositeBindingCache::InvalidateNsm(const std::string& ns_name,
   std::string ns = AsciiToLower(ns_name);
   std::string qc = AsciiToLower(query_class);
   std::string nsm = AsciiToLower(nsm_name);
-  MutexLock lock(mu_);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    bool from_mapping = it->second.ns_name == ns && it->second.query_class == qc;
-    bool designates = !nsm.empty() && AsciiToLower(it->second.nsm_name) == nsm;
-    if (from_mapping || designates) {
-      stats_.bytes -= CompositeEntryBytes(it->second);
-      ++stats_.evictions;
-      it = entries_.erase(it);
-    } else {
-      ++it;
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      bool from_mapping = it->second.ns_name == ns && it->second.query_class == qc;
+      bool designates = !nsm.empty() && AsciiToLower(it->second.nsm_name) == nsm;
+      if (from_mapping || designates) {
+        counters_.bytes.fetch_sub(CompositeEntryBytes(it->second), std::memory_order_relaxed);
+        counters_.evictions.fetch_add(1, std::memory_order_relaxed);
+        it = shard.entries.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }
 
 void CompositeBindingCache::Clear() {
-  MutexLock lock(mu_);
-  entries_.clear();
-  stats_.bytes = 0;
+  for (Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    shard.entries.clear();
+  }
+  counters_.bytes.store(0, std::memory_order_relaxed);
 }
 
 size_t CompositeBindingCache::size() const {
-  MutexLock lock(mu_);
-  return entries_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
 }
 
 CacheStats CompositeBindingCache::stats() const {
-  MutexLock lock(mu_);
-  return stats_;
+  CacheStats out;
+  out.hits = counters_.hits.load(std::memory_order_relaxed);
+  out.misses = counters_.misses.load(std::memory_order_relaxed);
+  out.expirations = counters_.expirations.load(std::memory_order_relaxed);
+  out.inserts = counters_.inserts.load(std::memory_order_relaxed);
+  out.evictions = counters_.evictions.load(std::memory_order_relaxed);
+  out.bytes = counters_.bytes.load(std::memory_order_relaxed);
+  return out;
 }
 
 void CompositeBindingCache::ResetStats() {
-  MutexLock lock(mu_);
-  uint64_t bytes = stats_.bytes;
-  stats_ = CacheStats{};
-  stats_.bytes = bytes;
+  counters_.hits.store(0, std::memory_order_relaxed);
+  counters_.misses.store(0, std::memory_order_relaxed);
+  counters_.expirations.store(0, std::memory_order_relaxed);
+  counters_.inserts.store(0, std::memory_order_relaxed);
+  counters_.evictions.store(0, std::memory_order_relaxed);
+  // `bytes` tracks live contents, not history — it survives a reset.
 }
 
 Status CompositeBindingCache::CheckInvariants() const {
-  MutexLock lock(mu_);
   uint64_t bytes = 0;
-  for (const auto& [key, entry] : entries_) {
-    if (key != entry.context + '\x1f' + entry.query_class) {
-      return InternalError("composite cache: key does not match entry metadata: " + key);
+  for (const Shard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    for (const auto& [key, entry] : shard.entries) {
+      if (key != entry.context + '\x1f' + entry.query_class) {
+        return InternalError("composite cache: key does not match entry metadata: " + key);
+      }
+      if (entry.context != AsciiToLower(entry.context) ||
+          entry.query_class != AsciiToLower(entry.query_class) ||
+          entry.ns_name != AsciiToLower(entry.ns_name)) {
+        return InternalError("composite cache: entry metadata not lower-cased: " + key);
+      }
+      if (entry.nsm_name.empty()) {
+        return InternalError("composite cache: entry designates no NSM: " + key);
+      }
+      if (entry.expires == 0) {
+        return InternalError("composite cache: entry has no expiry: " + key);
+      }
+      bytes += CompositeEntryBytes(entry);
     }
-    if (entry.context != AsciiToLower(entry.context) ||
-        entry.query_class != AsciiToLower(entry.query_class) ||
-        entry.ns_name != AsciiToLower(entry.ns_name)) {
-      return InternalError("composite cache: entry metadata not lower-cased: " + key);
-    }
-    if (entry.nsm_name.empty()) {
-      return InternalError("composite cache: entry designates no NSM: " + key);
-    }
-    if (entry.expires == 0) {
-      return InternalError("composite cache: entry has no expiry: " + key);
-    }
-    bytes += CompositeEntryBytes(entry);
   }
-  if (bytes != stats_.bytes) {
+  uint64_t accounted = counters_.bytes.load(std::memory_order_relaxed);
+  if (bytes != accounted) {
     return InternalError(StrFormat("composite cache: byte total %llu != accounted %llu",
                                    static_cast<unsigned long long>(bytes),
-                                   static_cast<unsigned long long>(stats_.bytes)));
+                                   static_cast<unsigned long long>(accounted)));
   }
   return Status::Ok();
 }

@@ -21,6 +21,8 @@
 #ifndef HCS_SRC_HNS_CACHE_H_
 #define HCS_SRC_HNS_CACHE_H_
 
+#include <array>
+#include <atomic>
 #include <list>
 #include <map>
 #include <memory>
@@ -165,12 +167,27 @@ class HnsCache {
     SimTime expires = 0;
     bool negative = false;
   };
+  // Per-shard counters. Relaxed atomics rather than HCS_GUARDED_BY(mu):
+  // they are pure tallies, so stats()/ResetStats()/NoteCoalescedMiss()
+  // never take a shard lock, and bumps inside locked sections cost a
+  // relaxed add instead of extending the critical section's footprint.
+  struct ShardStats {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> expirations{0};
+    std::atomic<uint64_t> inserts{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> negative_hits{0};
+    std::atomic<uint64_t> coalesced_misses{0};
+  };
   struct Shard {
     mutable Mutex mu{"hns-cache-shard"};
     std::list<Entry> lru HCS_GUARDED_BY(mu);  // front = most recently used
     std::unordered_map<std::string, std::list<Entry>::iterator> index HCS_GUARDED_BY(mu);
-    size_t bytes HCS_GUARDED_BY(mu) = 0;
-    CacheStats stats HCS_GUARDED_BY(mu);
+    // Structural (budget decisions read it under mu), but atomic so
+    // ApproximateBytes()/stats() read it lock-free; only mutated under mu.
+    std::atomic<size_t> bytes{0};
+    ShardStats stats;
   };
 
   SimTime Now() const { return CacheNow(world_); }
@@ -211,6 +228,9 @@ class CompositeBindingCache {
  public:
   explicit CompositeBindingCache(World* world) : world_(world) {}
 
+  CompositeBindingCache(const CompositeBindingCache&) = delete;
+  CompositeBindingCache& operator=(const CompositeBindingCache&) = delete;
+
   // One probe (charged); on a hit, one copy (charged). Expired entries are
   // reaped and reported as misses.
   std::optional<CompositeEntry> Get(const std::string& context,
@@ -240,13 +260,34 @@ class CompositeBindingCache {
   HCS_NODISCARD Status CheckInvariants() const;
 
  private:
+  // Fixed shard count: warm FindNSM probes from concurrent serving threads
+  // hash to independent locks instead of one global mutex (invalidations
+  // still sweep every shard — they are rare registration-time events).
+  static constexpr size_t kShards = 8;
+
+  struct Shard {
+    mutable Mutex mu{"hns-composite-shard"};
+    // By "context\x1fqc", lower-cased.
+    std::map<std::string, CompositeEntry> entries HCS_GUARDED_BY(mu);
+  };
+  // Counters are relaxed atomics (pure tallies; see HnsCache::ShardStats).
+  // `bytes` is mutated only under the owning shard's mu but read lock-free.
+  struct Counters {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> expirations{0};
+    std::atomic<uint64_t> inserts{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> bytes{0};
+  };
+
   SimTime Now() const { return CacheNow(world_); }
+  Shard& ShardFor(const std::string& key);
+  const Shard& ShardFor(const std::string& key) const;
 
   World* world_;
-  mutable Mutex mu_{"hns-composite-cache"};
-  // By "context\x1fqc", lower-cased.
-  std::map<std::string, CompositeEntry> entries_ HCS_GUARDED_BY(mu_);
-  CacheStats stats_ HCS_GUARDED_BY(mu_);
+  std::array<Shard, kShards> shards_;
+  Counters counters_;
 };
 
 }  // namespace hcs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <thread>
 
 #include "src/common/rand.h"
@@ -10,6 +11,39 @@
 namespace hcs {
 
 namespace {
+
+// Depth-indexed thread-local scratch buffers for call encoding. A single
+// thread_local Bytes would be clobbered by nested calls: the sim transport
+// dispatches handlers synchronously on the calling thread, zero-copy
+// dispatch hands the handler an argument view that aliases the outer call's
+// encode buffer, and FindNSM-style chains re-enter Call from inside the
+// handler. Each nesting depth leases its own buffer (deque: stable
+// addresses), so re-encoding a nested call never rewrites bytes an outer
+// frame is still reading.
+class ScratchLease {
+ public:
+  ScratchLease() {
+    if (depth_ == buffers_.size()) {
+      buffers_.emplace_back();
+    }
+    buffer_ = &buffers_[depth_];
+    ++depth_;
+  }
+  ~ScratchLease() { --depth_; }
+
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  Bytes* get() { return buffer_; }
+
+ private:
+  static thread_local std::deque<Bytes> buffers_;
+  static thread_local size_t depth_;
+  Bytes* buffer_;
+};
+
+thread_local std::deque<Bytes> ScratchLease::buffers_;
+thread_local size_t ScratchLease::depth_ = 0;
 
 // Per-call control-protocol processing charged to the simulation (covers
 // both the client and server ends of the exchange).
@@ -103,10 +137,12 @@ Result<Bytes> RpcClient::Call(const HrpcBinding& binding, uint32_t procedure, co
 
   Result<Bytes> response = UnavailableError("not attempted");
   int64_t backoff_ms = RetryPolicy::kBackoffBaseMs;
+  ScratchLease scratch;
+  Bytes& message = *scratch.get();
   for (uint32_t attempt = 0;; ++attempt) {
     call.context = effective;
     call.context.attempt = effective.attempt + attempt;  // re-marshalled per try
-    Bytes message = control.EncodeCall(call);
+    control.EncodeCallTo(call, &message);
 
     if (world_ != nullptr) {
       world_->ChargeMs(ControlCostMs(world_->costs(), binding.control));

@@ -37,8 +37,8 @@ class SunRpcControl : public ControlProtocol {
  public:
   ControlKind kind() const override { return ControlKind::kSunRpc; }
 
-  Bytes EncodeCall(const RpcCall& call) const override {
-    XdrEncoder enc;
+  void EncodeCallTo(const RpcCall& call, Bytes* out) const override {
+    XdrEncoder enc(out);
     enc.PutUint32(call.xid);
     enc.PutUint32(kMsgTypeCall);
     enc.PutUint32(kSunRpcVersion);
@@ -60,12 +60,11 @@ class SunRpcControl : public ControlProtocol {
     enc.PutUint32(0);
     enc.PutUint32(0);
     enc.PutOpaque(call.args);
-    return enc.Take();
   }
 
-  Result<RpcCall> DecodeCall(const Bytes& message) const override {
-    XdrDecoder dec(message);
-    RpcCall call;
+  Result<RpcCallView> DecodeCallView(const uint8_t* data, size_t size) const override {
+    XdrDecoder dec(data, size);
+    RpcCallView call;
     HCS_ASSIGN_OR_RETURN(call.xid, dec.GetUint32());
     HCS_ASSIGN_OR_RETURN(uint32_t mtype, dec.GetUint32());
     if (mtype != kMsgTypeCall) {
@@ -95,15 +94,15 @@ class SunRpcControl : public ControlProtocol {
     (void)verf_flavor;
     HCS_ASSIGN_OR_RETURN(Bytes verf_body, dec.GetOpaque());
     (void)verf_body;
-    HCS_ASSIGN_OR_RETURN(call.args, dec.GetOpaque());
+    HCS_ASSIGN_OR_RETURN(call.args, dec.GetOpaqueView());
     if (!dec.AtEnd()) {
       return ProtocolError("SunRPC: trailing bytes after call body");
     }
     return call;
   }
 
-  Bytes EncodeReply(const RpcReplyMsg& reply) const override {
-    XdrEncoder enc;
+  void EncodeReplyTo(const RpcReplyMsg& reply, Bytes* out) const override {
+    XdrEncoder enc(out);
     enc.PutUint32(reply.xid);
     enc.PutUint32(kMsgTypeReply);
     enc.PutUint32(kReplyAccepted);
@@ -115,7 +114,6 @@ class SunRpcControl : public ControlProtocol {
     enc.PutUint32(static_cast<uint32_t>(reply.app_status));
     enc.PutString(reply.error_message);
     enc.PutOpaque(reply.results);
-    return enc.Take();
   }
 
   Result<RpcReplyMsg> DecodeReply(const Bytes& message) const override {
@@ -187,8 +185,8 @@ class CourierControl : public ControlProtocol {
  public:
   ControlKind kind() const override { return ControlKind::kCourier; }
 
-  Bytes EncodeCall(const RpcCall& call) const override {
-    CourierEncoder enc;
+  void EncodeCallTo(const RpcCall& call, Bytes* out) const override {
+    CourierEncoder enc(out);
     if (call.context.empty()) {
       enc.PutCardinal(kCourierCall);
     } else {
@@ -200,16 +198,15 @@ class CourierControl : public ControlProtocol {
     enc.PutCardinal(static_cast<uint16_t>(call.version));
     enc.PutCardinal(static_cast<uint16_t>(call.procedure));
     enc.PutSequence(call.args);
-    return enc.Take();
   }
 
-  Result<RpcCall> DecodeCall(const Bytes& message) const override {
-    CourierDecoder dec(message);
+  Result<RpcCallView> DecodeCallView(const uint8_t* data, size_t size) const override {
+    CourierDecoder dec(data, size);
     HCS_ASSIGN_OR_RETURN(uint16_t mtype, dec.GetCardinal());
     if (mtype != kCourierCall && mtype != kCourierCallWithContext) {
       return ProtocolError(StrFormat("Courier: expected CALL, got message type %u", mtype));
     }
-    RpcCall call;
+    RpcCallView call;
     if (mtype == kCourierCallWithContext) {
       HCS_ASSIGN_OR_RETURN(RequestContextWire wire, DecodeContext(dec));
       call.context = RebasedContext(wire);
@@ -221,12 +218,12 @@ class CourierControl : public ControlProtocol {
     call.version = version;
     HCS_ASSIGN_OR_RETURN(uint16_t proc, dec.GetCardinal());
     call.procedure = proc;
-    HCS_ASSIGN_OR_RETURN(call.args, dec.GetSequence());
+    HCS_ASSIGN_OR_RETURN(call.args, dec.GetSequenceView());
     return call;
   }
 
-  Bytes EncodeReply(const RpcReplyMsg& reply) const override {
-    CourierEncoder enc;
+  void EncodeReplyTo(const RpcReplyMsg& reply, Bytes* out) const override {
+    CourierEncoder enc(out);
     if (reply.app_status == StatusCode::kOk) {
       enc.PutCardinal(kCourierReturn);
       enc.PutCardinal(static_cast<uint16_t>(reply.xid));
@@ -237,7 +234,6 @@ class CourierControl : public ControlProtocol {
       enc.PutCardinal(static_cast<uint16_t>(reply.app_status));
       enc.PutString(reply.error_message);
     }
-    return enc.Take();
   }
 
   Result<RpcReplyMsg> DecodeReply(const Bytes& message) const override {
@@ -272,8 +268,8 @@ class RawControl : public ControlProtocol {
  public:
   ControlKind kind() const override { return ControlKind::kRaw; }
 
-  Bytes EncodeCall(const RpcCall& call) const override {
-    XdrEncoder enc;
+  void EncodeCallTo(const RpcCall& call, Bytes* out) const override {
+    XdrEncoder enc(out);
     if (call.context.empty()) {
       enc.PutUint32(kRawMagic);
     } else {
@@ -284,16 +280,15 @@ class RawControl : public ControlProtocol {
     enc.PutUint32(call.program);
     enc.PutUint32(call.procedure);
     enc.PutOpaque(call.args);
-    return enc.Take();
   }
 
-  Result<RpcCall> DecodeCall(const Bytes& message) const override {
-    XdrDecoder dec(message);
+  Result<RpcCallView> DecodeCallView(const uint8_t* data, size_t size) const override {
+    XdrDecoder dec(data, size);
     HCS_ASSIGN_OR_RETURN(uint32_t magic, dec.GetUint32());
     if (magic != kRawMagic && magic != kRawMagicContext) {
       return ProtocolError("RawHRPC: bad magic");
     }
-    RpcCall call;
+    RpcCallView call;
     call.version = 1;
     if (magic == kRawMagicContext) {
       HCS_ASSIGN_OR_RETURN(RequestContextWire wire, RequestContextWire::DecodeFrom(dec));
@@ -302,21 +297,20 @@ class RawControl : public ControlProtocol {
     HCS_ASSIGN_OR_RETURN(call.xid, dec.GetUint32());
     HCS_ASSIGN_OR_RETURN(call.program, dec.GetUint32());
     HCS_ASSIGN_OR_RETURN(call.procedure, dec.GetUint32());
-    HCS_ASSIGN_OR_RETURN(call.args, dec.GetOpaque());
+    HCS_ASSIGN_OR_RETURN(call.args, dec.GetOpaqueView());
     if (!dec.AtEnd()) {
       return ProtocolError("RawHRPC: trailing bytes after call body");
     }
     return call;
   }
 
-  Bytes EncodeReply(const RpcReplyMsg& reply) const override {
-    XdrEncoder enc;
+  void EncodeReplyTo(const RpcReplyMsg& reply, Bytes* out) const override {
+    XdrEncoder enc(out);
     enc.PutUint32(kRawMagic);
     enc.PutUint32(reply.xid);
     enc.PutUint32(static_cast<uint32_t>(reply.app_status));
     enc.PutString(reply.error_message);
     enc.PutOpaque(reply.results);
-    return enc.Take();
   }
 
   Result<RpcReplyMsg> DecodeReply(const Bytes& message) const override {
@@ -339,6 +333,18 @@ class RawControl : public ControlProtocol {
 };
 
 }  // namespace
+
+Result<RpcCall> ControlProtocol::DecodeCall(const Bytes& message) const {
+  HCS_ASSIGN_OR_RETURN(RpcCallView view, DecodeCallView(message.data(), message.size()));
+  RpcCall call;
+  call.xid = view.xid;
+  call.program = view.program;
+  call.version = view.version;
+  call.procedure = view.procedure;
+  call.context = view.context;
+  call.args = view.args.ToBytes();
+  return call;
+}
 
 const ControlProtocol& GetControlProtocol(ControlKind kind) {
   static const SunRpcControl* sun = new SunRpcControl;

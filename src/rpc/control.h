@@ -42,14 +42,46 @@ struct RpcReplyMsg {
   Bytes results;
 };
 
+// A decoded call whose argument bytes are a view into the message buffer —
+// the zero-copy hand-off from transport to dispatch. The view is valid only
+// while that buffer lives (on the serve path: until the handler returns;
+// DESIGN.md §13).
+struct RpcCallView {
+  uint32_t xid = 0;
+  uint32_t program = 0;
+  uint32_t version = 0;
+  uint32_t procedure = 0;
+  RequestContext context;
+  BytesView args;
+};
+
 class ControlProtocol {
  public:
   virtual ~ControlProtocol() = default;
   virtual ControlKind kind() const = 0;
-  virtual Bytes EncodeCall(const RpcCall& call) const = 0;
-  HCS_NODISCARD virtual Result<RpcCall> DecodeCall(const Bytes& message) const = 0;
-  virtual Bytes EncodeReply(const RpcReplyMsg& reply) const = 0;
+
+  // Encode into `*out` (cleared first): the allocation-reusing primitives
+  // the hot paths call.
+  virtual void EncodeCallTo(const RpcCall& call, Bytes* out) const = 0;
+  virtual void EncodeReplyTo(const RpcReplyMsg& reply, Bytes* out) const = 0;
+  // Decode without copying the argument bytes; the returned view aliases
+  // [data, data + size).
+  HCS_NODISCARD virtual Result<RpcCallView> DecodeCallView(const uint8_t* data,
+                                                           size_t size) const = 0;
   HCS_NODISCARD virtual Result<RpcReplyMsg> DecodeReply(const Bytes& message) const = 0;
+
+  // Owning convenience wrappers over the primitives above.
+  Bytes EncodeCall(const RpcCall& call) const {
+    Bytes out;
+    EncodeCallTo(call, &out);
+    return out;
+  }
+  Bytes EncodeReply(const RpcReplyMsg& reply) const {
+    Bytes out;
+    EncodeReplyTo(reply, &out);
+    return out;
+  }
+  HCS_NODISCARD Result<RpcCall> DecodeCall(const Bytes& message) const;
 };
 
 // Returns the process-wide instance for a control protocol kind.

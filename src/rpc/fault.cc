@@ -152,13 +152,13 @@ FaultDecision FaultInjector::Decide(const std::string& host, uint16_t port) {
   MutexLock lock(mu_);
   FaultDecision decision;
   decision.sequence = sequence_[endpoint_key]++;
-  stats_.decisions++;
+  counters_.decisions.fetch_add(1, std::memory_order_relaxed);
 
   const FaultSpec* spec = ActiveSpec(host_key, endpoint_key);
   if (spec != nullptr && !spec->healthy()) {
     if (spec->blackhole) {
       decision.blackhole = true;
-      stats_.blackholed++;
+      counters_.blackholed.fetch_add(1, std::memory_order_relaxed);
     } else {
       // Fixed draw order, every draw taken regardless of which probabilities
       // are zero: the PRNG consumption per decision is constant, so editing
@@ -186,13 +186,14 @@ FaultDecision FaultInjector::Decide(const std::string& host, uint16_t port) {
       if (delayed || decision.reorder) {
         decision.delay_ms = delay_draw;
       }
-      if (decision.drop) stats_.drops++;
-      if (decision.duplicate) stats_.duplicates++;
-      if (decision.reorder) stats_.reorders++;
-      if (decision.corrupt) stats_.corruptions++;
+      if (decision.drop) counters_.drops.fetch_add(1, std::memory_order_relaxed);
+      if (decision.duplicate) counters_.duplicates.fetch_add(1, std::memory_order_relaxed);
+      if (decision.reorder) counters_.reorders.fetch_add(1, std::memory_order_relaxed);
+      if (decision.corrupt) counters_.corruptions.fetch_add(1, std::memory_order_relaxed);
       if (decision.delay_ms > 0) {
-        stats_.delays++;
-        stats_.delay_ms_total += static_cast<uint64_t>(decision.delay_ms);
+        counters_.delays.fetch_add(1, std::memory_order_relaxed);
+        counters_.delay_ms_total.fetch_add(static_cast<uint64_t>(decision.delay_ms),
+                                           std::memory_order_relaxed);
       }
     }
   }
@@ -212,26 +213,41 @@ FaultDecision FaultInjector::Decide(const std::string& host, uint16_t port) {
 }
 
 void FaultInjector::CorruptFrame(Bytes* frame, uint64_t salt) {
-  if (frame == nullptr || frame->empty()) {
+  if (frame == nullptr) {
+    return;
+  }
+  CorruptFrame(frame->data(), frame->size(), salt);
+}
+
+void FaultInjector::CorruptFrame(uint8_t* data, size_t size, uint64_t salt) {
+  if (data == nullptr || size == 0) {
     return;
   }
   Rng rng(Mix64(salt ^ 0xc0a2f7d9e5b31847ULL));
   uint64_t flips = 1 + rng.Uniform(3);
-  uint64_t bits = static_cast<uint64_t>(frame->size()) * 8;
+  uint64_t bits = static_cast<uint64_t>(size) * 8;
   for (uint64_t i = 0; i < flips; ++i) {
     uint64_t bit = rng.Uniform(bits);
-    (*frame)[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    data[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
   }
 }
 
 FaultStats FaultInjector::stats() const {
-  MutexLock lock(mu_);
-  return stats_;
+  FaultStats out;
+  out.decisions = counters_.decisions.load(std::memory_order_relaxed);
+  out.drops = counters_.drops.load(std::memory_order_relaxed);
+  out.duplicates = counters_.duplicates.load(std::memory_order_relaxed);
+  out.reorders = counters_.reorders.load(std::memory_order_relaxed);
+  out.corruptions = counters_.corruptions.load(std::memory_order_relaxed);
+  out.delays = counters_.delays.load(std::memory_order_relaxed);
+  out.delay_ms_total = counters_.delay_ms_total.load(std::memory_order_relaxed);
+  out.blackholed = counters_.blackholed.load(std::memory_order_relaxed);
+  out.server_drops = counters_.server_drops.load(std::memory_order_relaxed);
+  return out;
 }
 
 void FaultInjector::NoteServerDrop() {
-  MutexLock lock(mu_);
-  stats_.server_drops++;
+  counters_.server_drops.fetch_add(1, std::memory_order_relaxed);
 }
 
 void FaultInjector::set_trace_enabled(bool enabled) {
@@ -408,6 +424,13 @@ void InstallGlobalFaultInjector(FaultInjector* injector) {
 }
 
 Status FilterInbound(FaultInjector* injector, uint16_t local_port, Bytes* message) {
+  return FilterInboundFrame(injector, local_port,
+                            message != nullptr ? message->data() : nullptr,
+                            message != nullptr ? message->size() : 0);
+}
+
+Status FilterInboundFrame(FaultInjector* injector, uint16_t local_port, uint8_t* data,
+                          size_t size) {
   if (injector == nullptr) {
     return Status::Ok();
   }
@@ -427,8 +450,8 @@ Status FilterInbound(FaultInjector* injector, uint16_t local_port, Bytes* messag
   if (decision.delay_ms > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(decision.delay_ms));
   }
-  if (decision.corrupt && message != nullptr) {
-    FaultInjector::CorruptFrame(message, decision.corrupt_salt);
+  if (decision.corrupt) {
+    FaultInjector::CorruptFrame(data, size, decision.corrupt_salt);
   }
   // `duplicate` is a carrier-side fault; inbound filtering has no second
   // copy to deliver, so the flag is intentionally a no-op here.

@@ -26,6 +26,7 @@
 #ifndef HCS_SRC_RPC_FAULT_H_
 #define HCS_SRC_RPC_FAULT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -159,11 +160,15 @@ class FaultInjector {
 
   // Flips 1..3 bits of `frame` at positions derived from `salt` (a pure
   // function: the same salt corrupts the same frame the same way). Empty
-  // frames are left alone.
+  // frames are left alone. The span overload corrupts a frame in place in
+  // its arrival buffer (the batched serve path).
   static void CorruptFrame(Bytes* frame, uint64_t salt);
+  static void CorruptFrame(uint8_t* data, size_t size, uint64_t salt);
 
   // Counters accumulated so far (endpoint_drops is left empty here — the
-  // serving runtime owns those; see CollectFaultStats).
+  // serving runtime owns those; see CollectFaultStats). Lock-free: the
+  // counters are relaxed atomics, so stats() never contends with Decide on
+  // the serve hot path.
   FaultStats stats() const;
   void NoteServerDrop();
 
@@ -186,12 +191,29 @@ class FaultInjector {
   const FaultSpec* ActiveSpec(const std::string& host_key, const std::string& endpoint_key) const
       HCS_REQUIRES(mu_);
 
+  // Injected-fault counters. Relaxed atomics, not HCS_GUARDED_BY(mu_):
+  // these are pure tallies (no invariant couples them), so readers never
+  // take the decision lock and NoteServerDrop is lock-free on the serve
+  // path. mu_ still guards everything with structure: plans, per-endpoint
+  // sequences, the time source, and the trace.
+  struct Counters {
+    std::atomic<uint64_t> decisions{0};
+    std::atomic<uint64_t> drops{0};
+    std::atomic<uint64_t> duplicates{0};
+    std::atomic<uint64_t> reorders{0};
+    std::atomic<uint64_t> corruptions{0};
+    std::atomic<uint64_t> delays{0};
+    std::atomic<uint64_t> delay_ms_total{0};
+    std::atomic<uint64_t> blackholed{0};
+    std::atomic<uint64_t> server_drops{0};
+  };
+
   FaultConfig config_;
   mutable Mutex mu_{"fault-injector"};
   std::map<std::string, PlanState> plans_ HCS_GUARDED_BY(mu_);
   std::map<std::string, uint64_t> sequence_ HCS_GUARDED_BY(mu_);
   std::function<int64_t()> now_ms_ HCS_GUARDED_BY(mu_);
-  FaultStats stats_ HCS_GUARDED_BY(mu_);
+  Counters counters_;
   bool trace_enabled_ HCS_GUARDED_BY(mu_) = false;
   std::vector<std::string> trace_ HCS_GUARDED_BY(mu_);
 };
@@ -229,6 +251,12 @@ void InstallGlobalFaultInjector(FaultInjector* injector);
 // desynchronizes every replay. Passing a null `injector` is a no-op.
 HCS_NODISCARD Status FilterInbound(FaultInjector* injector, uint16_t local_port,
                                    Bytes* message);
+
+// Span variant for the batched serve path: one decision per frame (never
+// per batch), corruption applied in place in the arrival buffer. Same
+// contract as FilterInbound — a non-OK Status means drop-and-account.
+HCS_NODISCARD Status FilterInboundFrame(FaultInjector* injector, uint16_t local_port,
+                                        uint8_t* data, size_t size);
 
 // Gathers the injector's counters and the serving host's per-endpoint drop
 // counters into one FaultStats (either argument may be null).

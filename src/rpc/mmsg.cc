@@ -1,0 +1,244 @@
+#include "src/rpc/mmsg.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace hcs {
+
+namespace {
+
+struct UdpIoCounters {
+  std::atomic<uint64_t> recv_syscalls{0};
+  std::atomic<uint64_t> recv_datagrams{0};
+  std::atomic<uint64_t> send_syscalls{0};
+  std::atomic<uint64_t> send_datagrams{0};
+};
+
+UdpIoCounters& Counters() {
+  static UdpIoCounters counters;
+  return counters;
+}
+
+int RealRecvmmsg(int fd, mmsghdr* msgs, unsigned int vlen, int flags) {
+  return recvmmsg(fd, msgs, vlen, flags, nullptr);
+}
+
+int RealSendmmsg(int fd, mmsghdr* msgs, unsigned int vlen, int flags) {
+  return sendmmsg(fd, msgs, vlen, flags);
+}
+
+std::atomic<RecvmmsgFn> g_recvmmsg{&RealRecvmmsg};
+std::atomic<SendmmsgFn> g_sendmmsg{&RealSendmmsg};
+std::atomic<bool> g_mmsg_available{true};
+
+// An errno meaning "this kernel/emulation layer does not do batched
+// datagram syscalls" rather than "this call failed": degrade permanently.
+bool IsUnsupportedErrno(int err) { return err == ENOSYS || err == EOPNOTSUPP; }
+
+}  // namespace
+
+int ResolveUdpBatchSize(int requested) {
+  int batch = requested;
+  if (batch <= 0) {
+    batch = kDefaultUdpBatch;
+    const char* env = std::getenv("HCS_UDP_BATCH");
+    if (env != nullptr && env[0] != '\0') {
+      char* end = nullptr;
+      long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 1) {
+        batch = static_cast<int>(v);
+      }
+    }
+  }
+  if (batch < 1) {
+    batch = 1;
+  }
+  if (batch > kMaxUdpBatch) {
+    batch = kMaxUdpBatch;
+  }
+  return batch;
+}
+
+UdpIoSnapshot SnapshotUdpIoCounters() {
+  UdpIoCounters& c = Counters();
+  UdpIoSnapshot out;
+  out.recv_syscalls = c.recv_syscalls.load(std::memory_order_relaxed);
+  out.recv_datagrams = c.recv_datagrams.load(std::memory_order_relaxed);
+  out.send_syscalls = c.send_syscalls.load(std::memory_order_relaxed);
+  out.send_datagrams = c.send_datagrams.load(std::memory_order_relaxed);
+  return out;
+}
+
+void SetMmsgSyscallsForTest(RecvmmsgFn recv_fn, SendmmsgFn send_fn) {
+  g_recvmmsg.store(recv_fn != nullptr ? recv_fn : &RealRecvmmsg, std::memory_order_release);
+  g_sendmmsg.store(send_fn != nullptr ? send_fn : &RealSendmmsg, std::memory_order_release);
+}
+
+bool MmsgAvailable() { return g_mmsg_available.load(std::memory_order_acquire); }
+
+void ResetMmsgAvailabilityForTest() { g_mmsg_available.store(true, std::memory_order_release); }
+
+UdpRecvBatch::UdpRecvBatch(int capacity, size_t slot_bytes)
+    : capacity_(capacity < 1 ? 1 : capacity),
+      slot_bytes_(slot_bytes < 1 ? 1 : slot_bytes),
+      arena_(static_cast<size_t>(capacity_) * slot_bytes_),
+      frames_(static_cast<size_t>(capacity_)),
+      msgs_(static_cast<size_t>(capacity_)),
+      iovs_(static_cast<size_t>(capacity_)) {}
+
+int UdpRecvBatch::Recv(int fd, bool wait_for_one) {
+  arena_.Reset();
+  uint8_t* slots = arena_.Allocate(static_cast<size_t>(capacity_) * slot_bytes_);
+
+  if (MmsgAvailable()) {
+    for (int i = 0; i < capacity_; ++i) {
+      UdpFrame& f = frames_[static_cast<size_t>(i)];
+      f.peer = sockaddr_in{};
+      f.truncated = false;
+      iovs_[static_cast<size_t>(i)].iov_base = slots + static_cast<size_t>(i) * slot_bytes_;
+      iovs_[static_cast<size_t>(i)].iov_len = slot_bytes_;
+      mmsghdr& m = msgs_[static_cast<size_t>(i)];
+      std::memset(&m, 0, sizeof(m));
+      m.msg_hdr.msg_name = &f.peer;
+      m.msg_hdr.msg_namelen = sizeof(f.peer);
+      m.msg_hdr.msg_iov = &iovs_[static_cast<size_t>(i)];
+      m.msg_hdr.msg_iovlen = 1;
+    }
+    int flags = wait_for_one ? MSG_WAITFORONE : MSG_DONTWAIT;
+    RecvmmsgFn recv_fn = g_recvmmsg.load(std::memory_order_acquire);
+    int n;
+    do {
+      n = recv_fn(fd, msgs_.data(), static_cast<unsigned int>(capacity_), flags);
+    } while (n < 0 && errno == EINTR);
+    if (n >= 0) {
+      Counters().recv_syscalls.fetch_add(1, std::memory_order_relaxed);
+      Counters().recv_datagrams.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      for (int i = 0; i < n; ++i) {
+        UdpFrame& f = frames_[static_cast<size_t>(i)];
+        const mmsghdr& m = msgs_[static_cast<size_t>(i)];
+        f.peer_len = m.msg_hdr.msg_namelen;
+        f.data = slots + static_cast<size_t>(i) * slot_bytes_;
+        f.size = m.msg_len;
+        f.truncated = (m.msg_hdr.msg_flags & MSG_TRUNC) != 0;
+      }
+      return n;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return 0;
+    }
+    if (!IsUnsupportedErrno(errno)) {
+      return -1;
+    }
+    g_mmsg_available.store(false, std::memory_order_release);
+    // Fall through to the single-shot loop below.
+  }
+
+  // Single-shot fallback: the same frames, one recvfrom per datagram. The
+  // first read may block (wait_for_one on a blocking socket); the rest
+  // never do, so a drained queue ends the batch instead of stalling it.
+  int count = 0;
+  while (count < capacity_) {
+    UdpFrame& f = frames_[static_cast<size_t>(count)];
+    f.peer = sockaddr_in{};
+    f.peer_len = sizeof(f.peer);
+    f.data = slots + static_cast<size_t>(count) * slot_bytes_;
+    int flags = (count == 0 && wait_for_one) ? MSG_TRUNC : (MSG_DONTWAIT | MSG_TRUNC);
+    ssize_t n = recvfrom(fd, f.data, slot_bytes_, flags,
+                         reinterpret_cast<sockaddr*>(&f.peer), &f.peer_len);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      return count > 0 ? count : -1;
+    }
+    Counters().recv_syscalls.fetch_add(1, std::memory_order_relaxed);
+    Counters().recv_datagrams.fetch_add(1, std::memory_order_relaxed);
+    // With MSG_TRUNC, recvfrom reports the datagram's full length even when
+    // the slot cut it short — the same signal recvmmsg gives via msg_flags.
+    f.truncated = static_cast<size_t>(n) > slot_bytes_;
+    f.size = f.truncated ? slot_bytes_ : static_cast<size_t>(n);
+    ++count;
+  }
+  return count;
+}
+
+size_t SendReplies(int fd, std::vector<UdpReply>& replies) {
+  if (replies.empty()) {
+    return 0;
+  }
+
+  if (MmsgAvailable()) {
+    std::vector<mmsghdr> msgs(replies.size());
+    std::vector<iovec> iovs(replies.size());
+    for (size_t i = 0; i < replies.size(); ++i) {
+      iovs[i].iov_base = replies[i].payload.data();
+      iovs[i].iov_len = replies[i].payload.size();
+      std::memset(&msgs[i], 0, sizeof(msgs[i]));
+      msgs[i].msg_hdr.msg_name = &replies[i].peer;
+      msgs[i].msg_hdr.msg_namelen = replies[i].peer_len;
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    size_t sent = 0;
+    SendmmsgFn send_fn = g_sendmmsg.load(std::memory_order_acquire);
+    while (sent < replies.size()) {
+      int n = send_fn(fd, msgs.data() + sent, static_cast<unsigned int>(replies.size() - sent),
+                      MSG_DONTWAIT);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        if (IsUnsupportedErrno(errno)) {
+          g_mmsg_available.store(false, std::memory_order_release);
+          break;  // resume from `sent` on the single-shot path below
+        }
+        // EAGAIN or a hard error mid-batch: abandon the remainder (UDP
+        // drop semantics); the caller accounts for the shortfall.
+        return sent;
+      }
+      Counters().send_syscalls.fetch_add(1, std::memory_order_relaxed);
+      Counters().send_datagrams.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      sent += static_cast<size_t>(n);
+    }
+    if (sent == replies.size()) {
+      return sent;
+    }
+    // Unsupported: finish the batch single-shot, starting where sendmmsg
+    // left off.
+    size_t done = sent;
+    for (size_t i = done; i < replies.size(); ++i) {
+      if (sendto(fd, replies[i].payload.data(), replies[i].payload.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&replies[i].peer), replies[i].peer_len) < 0) {
+        return done;
+      }
+      Counters().send_syscalls.fetch_add(1, std::memory_order_relaxed);
+      Counters().send_datagrams.fetch_add(1, std::memory_order_relaxed);
+      ++done;
+    }
+    return done;
+  }
+
+  size_t done = 0;
+  for (const UdpReply& reply : replies) {
+    ssize_t n;
+    do {
+      n = sendto(fd, reply.payload.data(), reply.payload.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&reply.peer), reply.peer_len);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      return done;
+    }
+    Counters().send_syscalls.fetch_add(1, std::memory_order_relaxed);
+    Counters().send_datagrams.fetch_add(1, std::memory_order_relaxed);
+    ++done;
+  }
+  return done;
+}
+
+}  // namespace hcs

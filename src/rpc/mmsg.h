@@ -1,0 +1,127 @@
+// Batched UDP I/O: recvmmsg/sendmmsg wrappers shared by the reactor's UDP
+// endpoints and UdpServerHost's thread-per-endpoint loops. One syscall
+// moves up to a batch of datagrams in either direction; each received frame
+// is a view into the batch's arena (src/common/arena.h), so decode and
+// dispatch run without a per-datagram copy.
+//
+// Availability and fallback. The first recvmmsg/sendmmsg that fails with
+// ENOSYS (or EINVAL from an emulation layer that rejects the vectors) flips
+// a process-global flag and every subsequent batch call degrades to a
+// recvfrom/sendto loop with identical semantics — same frames, same order,
+// same partial-completion accounting — so the serving runtimes never need a
+// second code path.
+//
+// Partial completion is the contract, not an error: Recv returns however
+// many datagrams were ready, SendReplies returns how many datagrams the
+// kernel accepted. Callers MUST consume those counts
+// (tools/lint_failpaths.py enforces this for raw recvmmsg/sendmmsg calls).
+//
+// Tests inject fake syscalls (SetMmsgSyscallsForTest) to exercise ENOSYS
+// fallback, partial sends, and EAGAIN mid-batch deterministically.
+
+#ifndef HCS_SRC_RPC_MMSG_H_
+#define HCS_SRC_RPC_MMSG_H_
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/arena.h"
+#include "src/common/bytes.h"
+
+namespace hcs {
+
+// Hard cap on one batch; ResolveUdpBatchSize clamps to it.
+constexpr int kMaxUdpBatch = 64;
+// Default batch when neither an explicit size nor HCS_UDP_BATCH is given.
+constexpr int kDefaultUdpBatch = 16;
+
+// Resolves a requested batch size: > 0 wins (clamped to [1, kMaxUdpBatch]);
+// 0 consults the HCS_UDP_BATCH environment variable, else kDefaultUdpBatch.
+// A result of 1 means "single-shot": the serving runtimes keep their
+// seed-identical recvfrom/sendto paths.
+int ResolveUdpBatchSize(int requested);
+
+// --- Syscall counters (relaxed; bench_runner derives syscalls/req) ---------
+struct UdpIoSnapshot {
+  uint64_t recv_syscalls = 0;
+  uint64_t recv_datagrams = 0;
+  uint64_t send_syscalls = 0;
+  uint64_t send_datagrams = 0;
+};
+UdpIoSnapshot SnapshotUdpIoCounters();
+
+// --- Test injection ---------------------------------------------------------
+using RecvmmsgFn = int (*)(int fd, mmsghdr* msgs, unsigned int vlen, int flags);
+using SendmmsgFn = int (*)(int fd, mmsghdr* msgs, unsigned int vlen, int flags);
+// Replaces the batched syscalls (nullptr restores the real ones). Tests
+// pair this with restoration in their teardown.
+void SetMmsgSyscallsForTest(RecvmmsgFn recv_fn, SendmmsgFn send_fn);
+// False once a batched syscall reported it is unsupported; every batch call
+// then uses the single-shot fallback.
+bool MmsgAvailable();
+void ResetMmsgAvailabilityForTest();
+
+// One received datagram: a view into the owning batch's arena, valid until
+// the next Recv() on that batch (DESIGN.md §13 lifetime rules). `data` is
+// writable — the fault injector corrupts frames in place.
+struct UdpFrame {
+  sockaddr_in peer{};
+  socklen_t peer_len = 0;
+  uint8_t* data = nullptr;
+  size_t size = 0;
+  // The datagram exceeded the batch's slot size and was cut short by the
+  // kernel (MSG_TRUNC). Callers drop such frames — a truncated RPC would
+  // decode as garbage anyway.
+  bool truncated = false;
+};
+
+// A reusable receive batch: `capacity` slots of `slot_bytes` each, landed
+// in one arena block per Recv.
+class UdpRecvBatch {
+ public:
+  UdpRecvBatch(int capacity, size_t slot_bytes);
+
+  UdpRecvBatch(const UdpRecvBatch&) = delete;
+  UdpRecvBatch& operator=(const UdpRecvBatch&) = delete;
+
+  // Receives up to capacity() datagrams. `wait_for_one` blocks for the
+  // first datagram (thread-per-endpoint loops; the socket is blocking);
+  // otherwise the call never blocks (reactor; nonblocking socket). Returns
+  // the number of frames landed (0 = nothing ready), or -1 on a hard
+  // socket error (errno preserved). Invalidates the previous Recv's frames.
+  int Recv(int fd, bool wait_for_one = false);
+
+  int capacity() const { return capacity_; }
+  size_t slot_bytes() const { return slot_bytes_; }
+  UdpFrame& frame(int i) { return frames_[static_cast<size_t>(i)]; }
+
+ private:
+  const int capacity_;
+  const size_t slot_bytes_;
+  Arena arena_;
+  std::vector<UdpFrame> frames_;
+  std::vector<mmsghdr> msgs_;
+  std::vector<iovec> iovs_;
+};
+
+// One staged reply. `payload` is owned (encode targets move into it).
+struct UdpReply {
+  sockaddr_in peer{};
+  socklen_t peer_len = 0;
+  Bytes payload;
+};
+
+// Sends `replies` with as few sendmmsg calls as possible, consuming partial
+// completions (a short count resumes from the first unsent message).
+// Returns how many datagrams the kernel accepted; on EAGAIN or a hard error
+// mid-batch the remainder is abandoned — UDP semantics, the caller counts
+// the shortfall as drops and the peer retries.
+size_t SendReplies(int fd, std::vector<UdpReply>& replies);
+
+}  // namespace hcs
+
+#endif  // HCS_SRC_RPC_MMSG_H_

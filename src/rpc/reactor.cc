@@ -15,6 +15,7 @@
 #include "src/common/strings.h"
 #include "src/rpc/context.h"
 #include "src/rpc/fault.h"
+#include "src/rpc/mmsg.h"
 
 namespace hcs {
 
@@ -65,6 +66,13 @@ struct Reactor::Endpoint {
   Mutex mu{"reactor-endpoint"};
   std::deque<std::function<void()>> queue HCS_GUARDED_BY(mu);
   bool scheduled HCS_GUARDED_BY(mu) = false;
+
+  // Concurrent-mode reply combining (batched path): workers stage replies
+  // here; whichever worker finds `sending` clear drains the stage through
+  // SendReplies, so replies completing close together share one sendmmsg.
+  Mutex send_mu{"reactor-endpoint-send"};
+  std::vector<UdpReply> pending_replies HCS_GUARDED_BY(send_mu);
+  bool sending HCS_GUARDED_BY(send_mu) = false;
 };
 
 // One accepted stream connection. The loop thread owns `inbuf` and frame
@@ -131,6 +139,8 @@ Status Reactor::Start() {
     MutexLock work_lock(work_mu_);
     draining_ = false;
   }
+  udp_batch_ = ResolveUdpBatchSize(options_.udp_batch);
+  udp_slot_bytes_ = options_.udp_slot_bytes != 0 ? options_.udp_slot_bytes : kMaxDatagram;
   int workers = options_.workers;
   if (workers <= 0) {
     unsigned hw = std::thread::hardware_concurrency();
@@ -198,6 +208,11 @@ void Reactor::Stop() {
   close(epoll_fd_);
   close(wake_fd_);
   epoll_fd_ = wake_fd_ = -1;
+  {
+    // Batch geometry may differ on the next Start(); drop the pool.
+    MutexLock lock(batch_mu_);
+    batch_pool_.clear();
+  }
   stopping_.store(false, std::memory_order_release);
 }
 
@@ -290,6 +305,10 @@ void Reactor::LoopMain() {
 }
 
 void Reactor::DrainUdp(Endpoint* endpoint, std::vector<uint8_t>& buffer) {
+  if (udp_batch_ > 1) {
+    DrainUdpBatched(endpoint);
+    return;
+  }
   while (true) {
     sockaddr_in peer{};
     socklen_t peer_len = sizeof(peer);
@@ -337,6 +356,143 @@ void Reactor::DrainUdp(Endpoint* endpoint, std::vector<uint8_t>& buffer) {
         endpoint->dropped.fetch_add(1, std::memory_order_relaxed);
       }
     });
+  }
+}
+
+void Reactor::DrainUdpBatched(Endpoint* endpoint) {
+  while (true) {
+    std::shared_ptr<UdpRecvBatch> batch = AcquireBatch();
+    int count = batch->Recv(endpoint->fd, /*wait_for_one=*/false);
+    if (count <= 0) {
+      // 0: drained (EAGAIN). -1: transient socket error (e.g. ICMP-induced)
+      // — either way level-triggered epoll re-reports genuine readiness.
+      return;
+    }
+    const int64_t arrival_ms = SteadyNowMs();
+    if (endpoint->concurrent) {
+      // Fan each frame out across the pool; the shared batch keeps every
+      // frame's arena view alive until the last task finishes.
+      for (int i = 0; i < count; ++i) {
+        Enqueue([this, endpoint, batch, i, arrival_ms] {
+          ScopedReceiveTimestamp stamp(arrival_ms);
+          ProcessUdpFrame(endpoint, batch->frame(i), nullptr);
+        });
+      }
+    } else {
+      // Serial endpoints process the whole batch as one task, in arrival
+      // order, and flush all staged replies with one SendReplies.
+      Submit(endpoint, [this, endpoint, batch, count, arrival_ms] {
+        ScopedReceiveTimestamp stamp(arrival_ms);
+        std::vector<UdpReply> replies;
+        replies.reserve(static_cast<size_t>(count));
+        for (int i = 0; i < count; ++i) {
+          ProcessUdpFrame(endpoint, batch->frame(i), &replies);
+        }
+        size_t sent = SendReplies(endpoint->fd, replies);
+        if (sent < replies.size()) {
+          // UDP semantics: an unsendable reply is a drop, the client
+          // retries.
+          uint64_t shortfall = static_cast<uint64_t>(replies.size() - sent);
+          dropped_.fetch_add(shortfall, std::memory_order_relaxed);
+          endpoint->dropped.fetch_add(shortfall, std::memory_order_relaxed);
+        }
+      });
+    }
+    if (count < udp_batch_) {
+      return;  // short batch: the socket is drained
+    }
+  }
+}
+
+std::shared_ptr<UdpRecvBatch> Reactor::AcquireBatch() {
+  std::unique_ptr<UdpRecvBatch> batch;
+  {
+    MutexLock lock(batch_mu_);
+    if (!batch_pool_.empty()) {
+      batch = std::move(batch_pool_.back());
+      batch_pool_.pop_back();
+    }
+  }
+  if (batch == nullptr) {
+    batch = std::make_unique<UdpRecvBatch>(udp_batch_, udp_slot_bytes_);
+  }
+  // Workers drop their references before Stop() returns (phase-2 drain),
+  // so the deleter never outlives the reactor.
+  return std::shared_ptr<UdpRecvBatch>(batch.release(), [this](UdpRecvBatch* b) {
+    MutexLock lock(batch_mu_);
+    batch_pool_.emplace_back(b);
+  });
+}
+
+void Reactor::ProcessUdpFrame(Endpoint* endpoint, UdpFrame& frame,
+                              std::vector<UdpReply>* staged) {
+  if (frame.size == 0) {
+    return;  // zero-byte datagram (the thread-mode wake convention)
+  }
+  if (frame.truncated) {
+    // The kernel cut the datagram to the slot size; it would decode as
+    // garbage, so drop it whole.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    endpoint->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // One fault decision per frame, never per batch: the decision stream
+  // stays a pure function of (seed, endpoint, per-endpoint sequence)
+  // whatever the batch geometry. Corruption rewrites the frame in place in
+  // the batch arena.
+  Status admitted =
+      FilterInboundFrame(GlobalFaultInjector(), endpoint->port, frame.data, frame.size);
+  if (!admitted.ok()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    endpoint->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Result<Bytes> response = endpoint->service->HandleFrame(frame.data, frame.size);
+  dispatched_.fetch_add(1, std::memory_order_relaxed);
+  endpoint->dispatched.fetch_add(1, std::memory_order_relaxed);
+  if (!response.ok()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    endpoint->dropped.fetch_add(1, std::memory_order_relaxed);
+    HCS_LOG(Debug) << "reactor dropping garbled datagram: " << response.status();
+    return;
+  }
+  UdpReply reply;
+  reply.peer = frame.peer;
+  reply.peer_len = frame.peer_len;
+  reply.payload = std::move(response).value();
+  if (staged != nullptr) {
+    staged->push_back(std::move(reply));
+  } else {
+    SubmitUdpReply(endpoint, std::move(reply));
+  }
+}
+
+void Reactor::SubmitUdpReply(Endpoint* endpoint, UdpReply reply) {
+  {
+    MutexLock lock(endpoint->send_mu);
+    endpoint->pending_replies.push_back(std::move(reply));
+    if (endpoint->sending) {
+      return;  // the in-flight sender drains the stage before unsetting
+    }
+    endpoint->sending = true;
+  }
+  std::vector<UdpReply> out;
+  while (true) {
+    {
+      MutexLock lock(endpoint->send_mu);
+      if (endpoint->pending_replies.empty()) {
+        endpoint->sending = false;
+        return;
+      }
+      out.swap(endpoint->pending_replies);
+    }
+    size_t sent = SendReplies(endpoint->fd, out);
+    if (sent < out.size()) {
+      uint64_t shortfall = static_cast<uint64_t>(out.size() - sent);
+      dropped_.fetch_add(shortfall, std::memory_order_relaxed);
+      endpoint->dropped.fetch_add(shortfall, std::memory_order_relaxed);
+    }
+    out.clear();
   }
 }
 

@@ -40,6 +40,10 @@
 
 namespace hcs {
 
+class UdpRecvBatch;
+struct UdpFrame;
+struct UdpReply;
+
 // Upper bound on one length-prefixed stream frame (defense against a bogus
 // length prefix, and the framing assertion of the stream satellite).
 constexpr size_t kMaxStreamFrame = 1 << 20;
@@ -47,6 +51,13 @@ constexpr size_t kMaxStreamFrame = 1 << 20;
 struct ReactorOptions {
   // Worker threads; 0 = min(8, max(2, hardware_concurrency)).
   int workers = 0;
+  // Datagrams moved per recvmmsg/sendmmsg on UDP endpoints. 0 = resolve
+  // from HCS_UDP_BATCH (default kDefaultUdpBatch); 1 = single-shot
+  // recvfrom/sendto, the seed-identical path. Clamped to kMaxUdpBatch.
+  int udp_batch = 0;
+  // Bytes per received-datagram slot in a batch; 0 = 64 KiB (the UDP
+  // maximum). Smaller slots trade truncation risk for a denser arena.
+  size_t udp_slot_bytes = 0;
 };
 
 struct ReactorEndpointOptions {
@@ -117,6 +128,16 @@ class Reactor {
   void WorkerMain();
 
   void DrainUdp(Endpoint* endpoint, std::vector<uint8_t>& buffer);
+  void DrainUdpBatched(Endpoint* endpoint);
+  // Checks out a pooled receive batch; the returned shared_ptr keeps the
+  // batch (and every frame view into its arena) alive until the last
+  // in-flight frame task drops it, which returns it to the pool.
+  std::shared_ptr<UdpRecvBatch> AcquireBatch();
+  // Filter + dispatch for one batched frame. A reply goes to *staged
+  // (serial path: one flush per batch) or, when staged is null, to the
+  // endpoint's combining sender (concurrent path).
+  void ProcessUdpFrame(Endpoint* endpoint, UdpFrame& frame, std::vector<UdpReply>* staged);
+  void SubmitUdpReply(Endpoint* endpoint, UdpReply reply);
   void DrainAccept(Endpoint* endpoint);
   void HandleConnEvent(Conn* conn, uint32_t events, std::vector<uint8_t>& buffer);
   void CloseConn(Conn* conn);
@@ -128,6 +149,13 @@ class Reactor {
   void SendOnConn(const std::shared_ptr<Conn>& conn, const Bytes& framed);
 
   ReactorOptions options_;
+  // Resolved at Start() (before the loop/worker threads exist, so plain
+  // ints are race-free): 1 = single-shot, >1 = batched.
+  int udp_batch_ = 1;
+  size_t udp_slot_bytes_ = 0;
+
+  Mutex batch_mu_{"reactor-batch-pool"};
+  std::vector<std::unique_ptr<UdpRecvBatch>> batch_pool_ HCS_GUARDED_BY(batch_mu_);
 
   mutable Mutex state_mu_{"reactor-state"};
   bool running_ HCS_GUARDED_BY(state_mu_) = false;

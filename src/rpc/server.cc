@@ -7,7 +7,14 @@
 namespace hcs {
 
 Result<Bytes> RpcServer::HandleMessage(const Bytes& request) {
-  HCS_ASSIGN_OR_RETURN(RpcCall call, control_.DecodeCall(request));
+  return HandleFrame(request.data(), request.size());
+}
+
+Result<Bytes> RpcServer::HandleFrame(const uint8_t* data, size_t size) {
+  // Zero-copy decode: the call header is parsed in place and `call.args`
+  // aliases [data, data + size) — both stay valid until this function
+  // returns, which is exactly as long as the handler runs.
+  HCS_ASSIGN_OR_RETURN(RpcCallView call, control_.DecodeCallView(data, size));
 
   RpcReplyMsg reply;
   reply.xid = call.xid;

@@ -22,8 +22,12 @@ class RpcServer : public SimService {
  public:
   // A procedure body: argument bytes in, result bytes out. CPU costs are
   // charged by the body itself (simulated servers) or not at all (real
-  // transports).
-  using Handler = std::function<Result<Bytes>(const Bytes& args)>;
+  // transports). The argument bytes are a view into the arrival buffer,
+  // valid only until the handler returns; a lambda written against
+  // `const Bytes&` still compiles (BytesView materializes a copy at the
+  // call, the pre-view cost), while hot handlers take BytesView directly
+  // and decode without one.
+  using Handler = std::function<Result<Bytes>(BytesView args)>;
 
   // `name` appears in diagnostics only.
   RpcServer(ControlKind control, std::string name)
@@ -38,8 +42,11 @@ class RpcServer : public SimService {
   // SimService: decodes the call with this server's control protocol,
   // dispatches, and encodes the reply. Application-level failures (including
   // "no such procedure") are carried inside a well-formed reply; only a
-  // garbled request surfaces as a transport-level error.
+  // garbled request surfaces as a transport-level error. HandleFrame is the
+  // zero-copy path (call header and args decoded as views into `data`);
+  // HandleMessage delegates to it.
   HCS_NODISCARD Result<Bytes> HandleMessage(const Bytes& request) override;
+  HCS_NODISCARD Result<Bytes> HandleFrame(const uint8_t* data, size_t size) override;
 
   const std::string& name() const { return name_; }
   ControlKind control_kind() const { return control_.kind(); }

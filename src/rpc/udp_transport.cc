@@ -15,6 +15,7 @@
 #include "src/common/strings.h"
 #include "src/rpc/control.h"
 #include "src/rpc/fault.h"
+#include "src/rpc/mmsg.h"
 
 namespace hcs {
 
@@ -95,6 +96,59 @@ void ServeLoop(int fd, uint16_t port, SimService* service, std::atomic<bool>* st
   }
 }
 
+// Batched serve loop: one recvmmsg blocks for the first datagram and sweeps
+// up whatever else is queued; replies for the whole batch leave in one
+// sendmmsg. Per-frame semantics match ServeLoop exactly — each frame gets
+// its own fault decision, a zero-byte frame still runs through filter and
+// dispatch (it garbles and counts a drop, and doubles as the stop wake),
+// and an unsendable reply is a drop.
+void ServeLoopBatched(int fd, uint16_t port, SimService* service, std::atomic<bool>* stop,
+                      std::atomic<uint64_t>* dropped, int batch, size_t slot_bytes) {
+  UdpRecvBatch recv_batch(batch, slot_bytes);
+  std::vector<UdpReply> replies;
+  while (true) {
+    int count = recv_batch.Recv(fd, /*wait_for_one=*/true);
+    if (stop->load(std::memory_order_acquire)) {
+      return;
+    }
+    if (count < 0) {
+      // Transient error: stop serving.
+      return;
+    }
+    replies.clear();
+    for (int i = 0; i < count; ++i) {
+      UdpFrame& frame = recv_batch.frame(i);
+      if (frame.truncated) {
+        // The kernel cut the datagram to the slot size; it would decode as
+        // garbage, so drop it whole.
+        dropped->fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      Status admitted = FilterInboundFrame(GlobalFaultInjector(), port, frame.data, frame.size);
+      if (!admitted.ok()) {
+        dropped->fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      Result<Bytes> response = service->HandleFrame(frame.data, frame.size);
+      if (!response.ok()) {
+        dropped->fetch_add(1, std::memory_order_relaxed);
+        HCS_LOG(Debug) << "udp server dropping garbled request: " << response.status();
+        continue;
+      }
+      UdpReply reply;
+      reply.peer = frame.peer;
+      reply.peer_len = frame.peer_len;
+      reply.payload = std::move(response).value();
+      replies.push_back(std::move(reply));
+    }
+    size_t sent = SendReplies(fd, replies);
+    if (sent < replies.size()) {
+      dropped->fetch_add(static_cast<uint64_t>(replies.size() - sent),
+                         std::memory_order_relaxed);
+    }
+  }
+}
+
 }  // namespace
 
 ServeMode DefaultServeMode() {
@@ -117,6 +171,8 @@ Result<Reactor*> UdpServerHost::EnsureReactor() {
   if (reactor_ == nullptr) {
     ReactorOptions options;
     options.workers = reactor_workers_;
+    options.udp_batch = udp_batch_;
+    options.udp_slot_bytes = udp_slot_bytes_;
     reactor_ = std::make_unique<Reactor>(options);
   }
   HCS_RETURN_IF_ERROR(reactor_->Start());
@@ -150,8 +206,16 @@ Result<uint16_t> UdpServerHost::ServeUdp(SimService* service, uint16_t port, boo
   endpoint.port = bound_port;
   endpoint.stop = std::make_unique<std::atomic<bool>>(false);
   endpoint.dropped = std::make_unique<std::atomic<uint64_t>>(0);
-  endpoint.thread = std::thread(ServeLoop, fd, bound_port, service, endpoint.stop.get(),
-                                endpoint.dropped.get());
+  int batch = ResolveUdpBatchSize(udp_batch_);
+  if (batch > 1) {
+    size_t slot_bytes = udp_slot_bytes_ != 0 ? udp_slot_bytes_ : kMaxDatagram;
+    endpoint.thread =
+        std::thread(ServeLoopBatched, fd, bound_port, service, endpoint.stop.get(),
+                    endpoint.dropped.get(), batch, slot_bytes);
+  } else {
+    endpoint.thread = std::thread(ServeLoop, fd, bound_port, service, endpoint.stop.get(),
+                                  endpoint.dropped.get());
+  }
 
   MutexLock lock(mutex_);
   endpoints_.push_back(std::move(endpoint));
@@ -243,14 +307,43 @@ Result<Bytes> UdpTransport::RoundTripWithBudget(const std::string& from_host,
   return Exchange(port, message, timeout);
 }
 
+namespace {
+
+// Thread-local client socket, reused across exchanges: the socket()/close()
+// pair per call was two syscalls and a port allocation on the client hot
+// path. On ANY failed exchange (send error, timeout, recv error) the socket
+// is closed instead of reused — a reply that arrives after its exchange
+// gave up must never sit in the queue to be read as the answer to the next
+// call (the xid check upstream would reject it as kProtocolError, turning
+// an injected drop into the wrong failure kind).
+struct ClientSocket {
+  int fd = -1;
+  ~ClientSocket() {
+    if (fd >= 0) {
+      close(fd);
+    }
+  }
+  void Abandon() {
+    if (fd >= 0) {
+      close(fd);
+      fd = -1;
+    }
+  }
+};
+
+}  // namespace
+
 Result<Bytes> UdpTransport::Exchange(uint16_t port, const Bytes& message, int64_t timeout_ms) {
   if (message.size() > kMaxDatagram) {
     return ResourceExhaustedError("message exceeds one datagram");
   }
 
-  int fd = socket(AF_INET, SOCK_DGRAM, 0);
-  if (fd < 0) {
-    return UnavailableError(StrFormat("socket(): %s", std::strerror(errno)));
+  thread_local ClientSocket sock;
+  if (sock.fd < 0) {
+    sock.fd = socket(AF_INET, SOCK_DGRAM, 0);
+    if (sock.fd < 0) {
+      return UnavailableError(StrFormat("socket(): %s", std::strerror(errno)));
+    }
   }
   if (timeout_ms < 1) {
     timeout_ms = 1;  // 0 would mean "block forever" to SO_RCVTIMEO
@@ -258,21 +351,21 @@ Result<Bytes> UdpTransport::Exchange(uint16_t port, const Bytes& message, int64_
   timeval tv{};
   tv.tv_sec = timeout_ms / 1000;
   tv.tv_usec = (timeout_ms % 1000) * 1000;
-  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)setsockopt(sock.fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 
   sockaddr_in addr = LoopbackAddress(port);
-  if (sendto(fd, message.data(), message.size(), 0, reinterpret_cast<sockaddr*>(&addr),
+  if (sendto(sock.fd, message.data(), message.size(), 0, reinterpret_cast<sockaddr*>(&addr),
              sizeof(addr)) < 0) {
     int saved = errno;
-    close(fd);
+    sock.Abandon();
     return UnavailableError(StrFormat("sendto(): %s", std::strerror(saved)));
   }
 
-  std::vector<uint8_t> buffer(kMaxDatagram);
-  ssize_t n = recv(fd, buffer.data(), buffer.size(), 0);
-  int saved = errno;
-  close(fd);
+  thread_local std::vector<uint8_t> buffer(kMaxDatagram);
+  ssize_t n = recv(sock.fd, buffer.data(), buffer.size(), 0);
   if (n < 0) {
+    int saved = errno;
+    sock.Abandon();
     if (saved == EAGAIN || saved == EWOULDBLOCK) {
       return TimeoutError(StrFormat("no response from 127.0.0.1:%u within %lld ms", port,
                                     static_cast<long long>(timeout_ms)));

@@ -47,8 +47,15 @@ ServeMode DefaultServeMode();
 // Serves SimService instances on real sockets bound to 127.0.0.1.
 class UdpServerHost {
  public:
-  explicit UdpServerHost(ServeMode mode = DefaultServeMode(), int reactor_workers = 0)
-      : mode_(mode), reactor_workers_(reactor_workers) {}
+  // `udp_batch` / `udp_slot_bytes` follow ReactorOptions semantics (0 =
+  // HCS_UDP_BATCH or the default; 1 = single-shot seed path) and apply to
+  // both serve modes — reactor endpoints and thread-per-endpoint loops.
+  explicit UdpServerHost(ServeMode mode = DefaultServeMode(), int reactor_workers = 0,
+                         int udp_batch = 0, size_t udp_slot_bytes = 0)
+      : mode_(mode),
+        reactor_workers_(reactor_workers),
+        udp_batch_(udp_batch),
+        udp_slot_bytes_(udp_slot_bytes) {}
   ~UdpServerHost() { StopAll(); }
 
   UdpServerHost(const UdpServerHost&) = delete;
@@ -103,6 +110,8 @@ class UdpServerHost {
 
   const ServeMode mode_;
   const int reactor_workers_;
+  const int udp_batch_;
+  const size_t udp_slot_bytes_;
   mutable Mutex mutex_{"udp-server-host"};
   std::vector<Endpoint> endpoints_ HCS_GUARDED_BY(mutex_);
   std::unique_ptr<Reactor> reactor_ HCS_GUARDED_BY(mutex_);

@@ -35,6 +35,15 @@ class SimService {
  public:
   virtual ~SimService() = default;
   HCS_NODISCARD virtual Result<Bytes> HandleMessage(const Bytes& request) = 0;
+
+  // Zero-copy entry point used by the real-socket serving runtimes: the
+  // request bytes are a view into the arrival buffer, valid only for the
+  // duration of the call (DESIGN.md §13). The default bridges to
+  // HandleMessage with a copy; services on the hot path (RpcServer)
+  // override it to decode and dispatch without one.
+  HCS_NODISCARD virtual Result<Bytes> HandleFrame(const uint8_t* data, size_t size) {
+    return HandleMessage(Bytes(data, data + size));
+  }
 };
 
 // Traffic counters, used by tests to assert call-graph properties (e.g.

@@ -4,18 +4,18 @@
 
 namespace hcs {
 
-void BufferWriter::PutU8(uint8_t v) { out_.push_back(v); }
+void BufferWriter::PutU8(uint8_t v) { out_->push_back(v); }
 
 void BufferWriter::PutU16(uint16_t v) {
-  out_.push_back(static_cast<uint8_t>(v >> 8));
-  out_.push_back(static_cast<uint8_t>(v));
+  out_->push_back(static_cast<uint8_t>(v >> 8));
+  out_->push_back(static_cast<uint8_t>(v));
 }
 
 void BufferWriter::PutU32(uint32_t v) {
-  out_.push_back(static_cast<uint8_t>(v >> 24));
-  out_.push_back(static_cast<uint8_t>(v >> 16));
-  out_.push_back(static_cast<uint8_t>(v >> 8));
-  out_.push_back(static_cast<uint8_t>(v));
+  out_->push_back(static_cast<uint8_t>(v >> 24));
+  out_->push_back(static_cast<uint8_t>(v >> 16));
+  out_->push_back(static_cast<uint8_t>(v >> 8));
+  out_->push_back(static_cast<uint8_t>(v));
 }
 
 void BufferWriter::PutU64(uint64_t v) {
@@ -24,10 +24,10 @@ void BufferWriter::PutU64(uint64_t v) {
 }
 
 void BufferWriter::PutBytes(const uint8_t* data, size_t n) {
-  out_.insert(out_.end(), data, data + n);
+  out_->insert(out_->end(), data, data + n);
 }
 
-void BufferWriter::PutZeros(size_t n) { out_.insert(out_.end(), n, 0); }
+void BufferWriter::PutZeros(size_t n) { out_->insert(out_->end(), n, 0); }
 
 Status BufferReader::Need(size_t n) const {
   // Phrased as a subtraction so a wire-supplied n near SIZE_MAX cannot wrap
@@ -70,6 +70,13 @@ Result<uint64_t> BufferReader::GetU64() {
 Result<Bytes> BufferReader::GetBytes(size_t n) {
   HCS_RETURN_IF_ERROR(Need(n));
   Bytes out(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+Result<BytesView> BufferReader::GetView(size_t n) {
+  HCS_RETURN_IF_ERROR(Need(n));
+  BytesView out(data_ + pos_, n);
   pos_ += n;
   return out;
 }

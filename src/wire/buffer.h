@@ -17,6 +17,10 @@ namespace hcs {
 class BufferWriter {
  public:
   BufferWriter() = default;
+  // External-target mode: appends into `*out` (cleared first) instead of an
+  // internal buffer, so callers can reuse one allocation across encodes.
+  // `*out` must outlive the writer.
+  explicit BufferWriter(Bytes* out) : out_(out) { out_->clear(); }
 
   // Raw big-endian integer appends.
   void PutU8(uint8_t v);
@@ -31,12 +35,13 @@ class BufferWriter {
   // Appends `n` zero bytes (padding).
   void PutZeros(size_t n);
 
-  size_t size() const { return out_.size(); }
-  const Bytes& bytes() const { return out_; }
-  Bytes Take() { return std::move(out_); }
+  size_t size() const { return out_->size(); }
+  const Bytes& bytes() const { return *out_; }
+  Bytes Take() { return std::move(*out_); }
 
  private:
-  Bytes out_;
+  Bytes own_;
+  Bytes* out_ = &own_;
 };
 
 class BufferReader {
@@ -51,6 +56,10 @@ class BufferReader {
 
   // Reads exactly `n` bytes.
   HCS_NODISCARD Result<Bytes> GetBytes(size_t n);
+
+  // Reads exactly `n` bytes as a view into the underlying buffer (no copy);
+  // valid only while that buffer lives.
+  HCS_NODISCARD Result<BytesView> GetView(size_t n);
 
   // Skips `n` bytes (padding).
   HCS_NODISCARD Status Skip(size_t n);

@@ -13,10 +13,10 @@ void CourierEncoder::PutString(const std::string& s) {
   w_.PutZeros(CourierPadding(s.size()));
 }
 
-void CourierEncoder::PutSequence(const Bytes& data) {
+void CourierEncoder::PutSequence(BytesView data) {
   assert(data.size() <= 0xffff && "Courier sequences carry a 16-bit length");
   w_.PutU16(static_cast<uint16_t>(data.size()));
-  w_.PutBytes(data);
+  w_.PutBytes(data.data(), data.size());
   w_.PutZeros(CourierPadding(data.size()));
 }
 
@@ -33,6 +33,13 @@ Result<std::string> CourierDecoder::GetString() {
   HCS_ASSIGN_OR_RETURN(Bytes data, r_.GetBytes(len));
   HCS_RETURN_IF_ERROR(r_.Skip(CourierPadding(len)));
   return std::string(data.begin(), data.end());
+}
+
+Result<BytesView> CourierDecoder::GetSequenceView() {
+  HCS_ASSIGN_OR_RETURN(uint16_t len, r_.GetU16());
+  HCS_ASSIGN_OR_RETURN(BytesView data, r_.GetView(len));
+  HCS_RETURN_IF_ERROR(r_.Skip(CourierPadding(len)));
+  return data;
 }
 
 Result<Bytes> CourierDecoder::GetSequence() {

@@ -18,6 +18,8 @@ namespace hcs {
 class CourierEncoder {
  public:
   CourierEncoder() = default;
+  // Encodes into `*out` (cleared first) instead of an internal buffer.
+  explicit CourierEncoder(Bytes* out) : w_(out) {}
 
   // CARDINAL: one 16-bit word.
   void PutCardinal(uint16_t v) { w_.PutU16(v); }
@@ -28,7 +30,7 @@ class CourierEncoder {
   // STRING: word count prefix is the *byte* length; padded to a word.
   void PutString(const std::string& s);
   // SEQUENCE OF UNSPECIFIED: word length prefix then raw words (byte pairs).
-  void PutSequence(const Bytes& data);
+  void PutSequence(BytesView data);
 
   size_t size() const { return w_.size(); }
   const Bytes& bytes() const { return w_.bytes(); }
@@ -41,12 +43,17 @@ class CourierEncoder {
 class CourierDecoder {
  public:
   explicit CourierDecoder(const Bytes& data) : r_(data) {}
+  CourierDecoder(const uint8_t* data, size_t size) : r_(data, size) {}
+  explicit CourierDecoder(BytesView data) : r_(data.data(), data.size()) {}
 
   HCS_NODISCARD Result<uint16_t> GetCardinal() { return r_.GetU16(); }
   HCS_NODISCARD Result<uint32_t> GetLongCardinal() { return r_.GetU32(); }
   HCS_NODISCARD Result<bool> GetBoolean();
   HCS_NODISCARD Result<std::string> GetString();
   HCS_NODISCARD Result<Bytes> GetSequence();
+  // Zero-copy variant: the view aliases the decoder's buffer and is valid
+  // only while that buffer lives.
+  HCS_NODISCARD Result<BytesView> GetSequenceView();
 
   size_t remaining() const { return r_.remaining(); }
   bool AtEnd() const { return r_.AtEnd(); }

@@ -4,14 +4,14 @@
 
 namespace hcs {
 
-void XdrEncoder::PutOpaque(const Bytes& data) {
+void XdrEncoder::PutOpaque(BytesView data) {
   w_.PutU32(static_cast<uint32_t>(data.size()));
-  w_.PutBytes(data);
+  w_.PutBytes(data.data(), data.size());
   w_.PutZeros(XdrPadding(data.size()));
 }
 
-void XdrEncoder::PutFixedOpaque(const Bytes& data) {
-  w_.PutBytes(data);
+void XdrEncoder::PutFixedOpaque(BytesView data) {
+  w_.PutBytes(data.data(), data.size());
   w_.PutZeros(XdrPadding(data.size()));
 }
 
@@ -37,6 +37,13 @@ Result<bool> XdrDecoder::GetBool() {
 Result<Bytes> XdrDecoder::GetOpaque() {
   HCS_ASSIGN_OR_RETURN(uint32_t len, r_.GetU32());
   HCS_ASSIGN_OR_RETURN(Bytes data, r_.GetBytes(len));
+  HCS_RETURN_IF_ERROR(r_.Skip(XdrPadding(len)));
+  return data;
+}
+
+Result<BytesView> XdrDecoder::GetOpaqueView() {
+  HCS_ASSIGN_OR_RETURN(uint32_t len, r_.GetU32());
+  HCS_ASSIGN_OR_RETURN(BytesView data, r_.GetView(len));
   HCS_RETURN_IF_ERROR(r_.Skip(XdrPadding(len)));
   return data;
 }

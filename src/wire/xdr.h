@@ -18,6 +18,9 @@ namespace hcs {
 class XdrEncoder {
  public:
   XdrEncoder() = default;
+  // Encodes into `*out` (cleared first) instead of an internal buffer, so
+  // hot paths reuse one allocation across calls.
+  explicit XdrEncoder(Bytes* out) : w_(out) {}
 
   void PutUint32(uint32_t v) { w_.PutU32(v); }
   void PutInt32(int32_t v) { w_.PutU32(static_cast<uint32_t>(v)); }
@@ -26,9 +29,9 @@ class XdrEncoder {
 
   // Variable-length opaque: 4-byte length, data, zero padding to a 4-byte
   // boundary.
-  void PutOpaque(const Bytes& data);
+  void PutOpaque(BytesView data);
   // Fixed-length opaque: data plus padding, no length prefix.
-  void PutFixedOpaque(const Bytes& data);
+  void PutFixedOpaque(BytesView data);
   // Strings are encoded as opaque byte sequences.
   void PutString(const std::string& s);
 
@@ -44,12 +47,16 @@ class XdrDecoder {
  public:
   explicit XdrDecoder(const Bytes& data) : r_(data) {}
   XdrDecoder(const uint8_t* data, size_t size) : r_(data, size) {}
+  explicit XdrDecoder(BytesView data) : r_(data.data(), data.size()) {}
 
   HCS_NODISCARD Result<uint32_t> GetUint32() { return r_.GetU32(); }
   HCS_NODISCARD Result<int32_t> GetInt32();
   HCS_NODISCARD Result<uint64_t> GetUint64() { return r_.GetU64(); }
   HCS_NODISCARD Result<bool> GetBool();
   HCS_NODISCARD Result<Bytes> GetOpaque();
+  // Zero-copy variant: the view aliases the decoder's buffer and is valid
+  // only while that buffer lives.
+  HCS_NODISCARD Result<BytesView> GetOpaqueView();
   HCS_NODISCARD Result<Bytes> GetFixedOpaque(size_t n);
   HCS_NODISCARD Result<std::string> GetString();
 

@@ -17,6 +17,9 @@
 #                fault-injection scenarios with memory errors made fatal
 #   chaos-tsan   `ctest -L chaos` under the tsan build, in both serve modes
 #                (plain, then HCS_REACTOR=1)
+#   bench-smoke  tools/bench_snapshot.py --check over every checked-in
+#                BENCH_*.json: schema + embedded trajectory floors (no
+#                re-measurement; also runs as the bench_smoke ctest)
 #
 # Configurations whose toolchain is missing (no clang++, no clang-tidy) are
 # SKIPped, not failed: the container bakes in GCC only; the clang gates run
@@ -178,6 +181,17 @@ if [[ -x "${BUILD_ROOT}/tsan/tests/chaos_test" ]]; then
 else
   note "chaos-tsan: SKIP (tsan build unavailable)"
   record chaos-tsan SKIP
+fi
+
+# 11. Perf-trajectory snapshots: every BENCH_*.json must parse, match the
+# schema, and clear the acceptance floors it records against the prior PR's
+# numbers. Pure validation — CI boxes are not benchmarks; regenerate
+# snapshots with tools/bench_snapshot.py --run on a quiet machine.
+note "bench-smoke: tools/bench_snapshot.py --check"
+if (cd "${REPO}" && python3 tools/bench_snapshot.py --check); then
+  record bench-smoke PASS
+else
+  record bench-smoke FAIL
 fi
 
 printf '\n=== check.sh summary ===\n'

@@ -43,6 +43,14 @@ the patterns a compiler cannot judge, and this lint closes them tree-wide:
      the endpoint's decision stream shifts, breaking seed replay. Every
      Decide() result must be bound or consumed, or carry an ignore tag.
 
+  6. Batched-datagram completion counts must be consumed. recvmmsg() /
+     sendmmsg() (and the tree's SendReplies wrapper) report PARTIAL
+     completion through a plain int/size_t the compiler never flags: a
+     sendmmsg batch of 8 may send 3 and return 3, and a caller that drops
+     the count silently loses five datagrams with no error anywhere. A
+     bare-statement or (void)-cast call of any of these must bind the
+     count, or carry an ignore tag explaining why the shortfall is safe.
+
 Exit status 0 = clean; 1 = violations (one per line); 2 = usage.
 
 Usage: lint_failpaths.py [repo_root]
@@ -351,6 +359,56 @@ def check_fault_decisions(root, errors):
                     f"tag")
 
 
+def check_mmsg_completions(root, errors):
+    """Rule 6: recvmmsg/sendmmsg/SendReplies counts must be consumed."""
+    mmsg_names = r"(?:recvmmsg|sendmmsg|SendReplies)"
+    bare = re.compile(
+        rf"^\s*(?:[\w\[\]().\->]*(?:\.|->|::)\s*)?({mmsg_names})\s*\(",
+        re.MULTILINE)
+    voided = re.compile(
+        rf"\(void\)\s*(?:[\w\[\]().\->]*(?:\.|->|::)\s*)?({mmsg_names})\s*\(")
+
+    for path in iter_files(root, VOID_DIRS):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        raw_lines = raw.splitlines()
+        text = strip_comments_and_strings(raw)
+
+        for m in bare.finditer(text):
+            # Same bare-statement test as Decide: a statement-level call
+            # whose closing paren runs straight into ';' discards the count;
+            # anything else consumes it in the surrounding expression.
+            open_paren = text.find("(", text.find(m.group(1), m.start()))
+            depth, i = 0, open_paren
+            while i < len(text):
+                if text[i] == "(":
+                    depth += 1
+                elif text[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            tail = text[i + 1 : i + 16].lstrip()
+            if not tail.startswith(";"):
+                continue
+            lineno = line_of(text, m.start())
+            if not has_tag(raw_lines, lineno):
+                errors.append(
+                    f"{rel}:{lineno}: {m.group(1)}() completion count "
+                    f"discarded — batched sends/receives complete PARTIALLY "
+                    f"and the count is the only signal (bind it or add an "
+                    f"// hcs:ignore-status(reason) tag)")
+
+        for m in voided.finditer(text):
+            lineno = line_of(text, m.start())
+            if not has_tag(raw_lines, lineno):
+                errors.append(
+                    f"{rel}:{lineno}: (void)-cast discards the "
+                    f"{m.group(1)}() completion count without an "
+                    f"// hcs:ignore-status(reason) tag")
+
+
 def check_empty_tags(root, errors):
     for path in iter_files(root, VOID_DIRS, exts=(".h", ".cc", ".py", ".sh")):
         if os.path.basename(path) == "lint_failpaths.py":
@@ -374,6 +432,7 @@ def run(root):
     check_decode_before_ok(root, sr_names, errors)
     check_rpc_handlers(root, errors)
     check_fault_decisions(root, errors)
+    check_mmsg_completions(root, errors)
     check_empty_tags(root, errors)
 
     if errors:
@@ -440,6 +499,28 @@ SELF_TEST_CASES = [
      "void f() {\n  // hcs:ignore-status(warming the stream for the test)\n"
      "  injector->Decide(host, port);\n}\n",
      None),
+    ("bare-sendmmsg-discard",
+     "void f() {\n  sendmmsg(fd, msgs, 8, 0);\n}\n",
+     "sendmmsg() completion count discarded"),
+    ("bare-recvmmsg-discard",
+     "void f() {\n  recvmmsg(fd, msgs, 8, 0, nullptr);\n}\n",
+     "recvmmsg() completion count discarded"),
+    ("bare-sendreplies-discard",
+     "void f() {\n  SendReplies(fd, replies);\n}\n",
+     "SendReplies() completion count discarded"),
+    ("void-sendmmsg-discard",
+     "void f() {\n  (void)sendmmsg(fd, msgs, 8, 0);\n}\n",
+     "discards the sendmmsg() completion count"),
+    ("sendmmsg-count-bound-ok",
+     "void f() {\n  int n = sendmmsg(fd, msgs, 8, 0);\n  use(n);\n}\n",
+     None),
+    ("sendmmsg-in-expression-ok",
+     "int f() {\n  return sendmmsg(fd, msgs, 8, 0);\n}\n",
+     None),
+    ("sendreplies-tagged-ok",
+     "void f() {\n  // hcs:ignore-status(fire-and-forget wake datagram)\n"
+     "  SendReplies(fd, replies);\n}\n",
+     None),
 ]
 
 
@@ -458,6 +539,7 @@ def self_test():
             check_decode_before_ok(root, sr_names, errors)
             check_rpc_handlers(root, errors)
             check_fault_decisions(root, errors)
+            check_mmsg_completions(root, errors)
             check_empty_tags(root, errors)
             if want is None:
                 if errors:
