@@ -1,8 +1,46 @@
 #include "src/common/bytes.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "src/common/strings.h"
 
 namespace hcs {
+
+#if HCS_VIEW_DEBUG_ENABLED
+
+namespace {
+thread_local ViewDebugState* g_ambient_view_state = nullptr;
+}  // namespace
+
+ViewDebugState* AmbientViewDebugState() { return g_ambient_view_state; }
+
+ViewDebugState* SetAmbientViewDebugState(ViewDebugState* state) {
+  ViewDebugState* previous = g_ambient_view_state;
+  g_ambient_view_state = state;
+  return previous;
+}
+
+void ViewUseAfterResetAbort(const char* birth_file, uint32_t birth_line,
+                            uint64_t birth_generation, const ViewDebugState* guard) {
+  const char* reset_file = guard->reset_file.load(std::memory_order_acquire);
+  uint32_t reset_line = guard->reset_line.load(std::memory_order_acquire);
+  uint64_t current = guard->generation.load(std::memory_order_acquire);
+  // fprintf, not HCS_LOG: the logger allocates, and this runs on a path
+  // whose memory assumptions just proved wrong.
+  std::fprintf(stderr,
+               "hcs view-lifetime: use-after-reset: BytesView born at %s:%u "
+               "(arena generation %llu) accessed after Arena::Reset at %s:%u "
+               "(generation now %llu); see DESIGN.md §13 rule L1\n",
+               birth_file != nullptr ? birth_file : "<unknown>", birth_line,
+               static_cast<unsigned long long>(birth_generation),
+               reset_file != nullptr ? reset_file : "<unknown>", reset_line,
+               static_cast<unsigned long long>(current));
+  std::fflush(stderr);
+  std::abort();
+}
+
+#endif  // HCS_VIEW_DEBUG_ENABLED
 
 std::string HexDump(const Bytes& bytes, size_t max_bytes) {
   std::string out;

@@ -52,6 +52,9 @@ struct RpcCallView {
   uint32_t version = 0;
   uint32_t procedure = 0;
   RequestContext context;
+  // Call-scoped carrier: HandleFrame constructs this struct, dispatches, and
+  // drops it before the reply is sent, all inside the frame's arena binding.
+  // hcs:owns-view(dies with the frame: built and consumed under HandleFrame)
   BytesView args;
 };
 

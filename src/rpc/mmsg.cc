@@ -38,6 +38,23 @@ std::atomic<bool> g_mmsg_available{true};
 // datagram syscalls" rather than "this call failed": degrade permanently.
 bool IsUnsupportedErrno(int err) { return err == ENOSYS || err == EOPNOTSUPP; }
 
+#if HCS_VIEW_DEBUG_ENABLED
+// Partial-batch poisoning (DESIGN.md §13 rule R3): after a Recv lands
+// `count` of `capacity` frames, everything the kernel did not fill is
+// re-trapped — the tail of each received slot past its datagram, and every
+// unreceived slot. A decoder that walks past frame.size, or dispatch code
+// that touches a neighboring slot, hits poison instead of stale bytes.
+void PoisonUnreceivedSpans(uint8_t* slots, size_t slot_bytes, const UdpFrame* frames,
+                           int count, int capacity) {
+  for (int i = 0; i < count; ++i) {
+    uint8_t* slot = slots + static_cast<size_t>(i) * slot_bytes;
+    DebugPoisonSpan(slot + frames[i].size, slot_bytes - frames[i].size);
+  }
+  DebugPoisonSpan(slots + static_cast<size_t>(count) * slot_bytes,
+                  static_cast<size_t>(capacity - count) * slot_bytes);
+}
+#endif
+
 }  // namespace
 
 int ResolveUdpBatchSize(int requested) {
@@ -124,6 +141,9 @@ int UdpRecvBatch::Recv(int fd, bool wait_for_one) {
         f.size = m.msg_len;
         f.truncated = (m.msg_hdr.msg_flags & MSG_TRUNC) != 0;
       }
+#if HCS_VIEW_DEBUG_ENABLED
+      PoisonUnreceivedSpans(slots, slot_bytes_, frames_.data(), n, capacity_);
+#endif
       return n;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -165,6 +185,9 @@ int UdpRecvBatch::Recv(int fd, bool wait_for_one) {
     f.size = f.truncated ? slot_bytes_ : static_cast<size_t>(n);
     ++count;
   }
+#if HCS_VIEW_DEBUG_ENABLED
+  PoisonUnreceivedSpans(slots, slot_bytes_, frames_.data(), count, capacity_);
+#endif
   return count;
 }
 

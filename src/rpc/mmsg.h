@@ -99,6 +99,12 @@ class UdpRecvBatch {
   size_t slot_bytes() const { return slot_bytes_; }
   UdpFrame& frame(int i) { return frames_[static_cast<size_t>(i)]; }
 
+  // The arena backing this batch's frames, exposed for the view-lifetime
+  // debug binding (ScopedArenaViewBinding) and its generation counter —
+  // NOT for allocating into. Dispatch code must treat the batch as the
+  // sole owner of this arena (DESIGN.md §13 rule L2).
+  Arena* debug_arena() { return &arena_; }
+
  private:
   const int capacity_;
   const size_t slot_bytes_;

@@ -375,6 +375,9 @@ void Reactor::DrainUdpBatched(Endpoint* endpoint) {
       for (int i = 0; i < count; ++i) {
         Enqueue([this, endpoint, batch, i, arrival_ms] {
           ScopedReceiveTimestamp stamp(arrival_ms);
+          // Debug view stamping: views built over this batch's arena die
+          // when the pooled batch is reused (its next Recv Resets).
+          ScopedArenaViewBinding view_binding(batch->debug_arena());
           ProcessUdpFrame(endpoint, batch->frame(i), nullptr);
         });
       }
@@ -383,6 +386,7 @@ void Reactor::DrainUdpBatched(Endpoint* endpoint) {
       // order, and flush all staged replies with one SendReplies.
       Submit(endpoint, [this, endpoint, batch, count, arrival_ms] {
         ScopedReceiveTimestamp stamp(arrival_ms);
+        ScopedArenaViewBinding view_binding(batch->debug_arena());
         std::vector<UdpReply> replies;
         replies.reserve(static_cast<size_t>(count));
         for (int i = 0; i < count; ++i) {

@@ -105,6 +105,10 @@ void ServeLoop(int fd, uint16_t port, SimService* service, std::atomic<bool>* st
 void ServeLoopBatched(int fd, uint16_t port, SimService* service, std::atomic<bool>* stop,
                       std::atomic<uint64_t>* dropped, int batch, size_t slot_bytes) {
   UdpRecvBatch recv_batch(batch, slot_bytes);
+  // Debug builds stamp every view built over the batch arena with its
+  // generation; a view that survives past the next Recv (which Resets the
+  // arena) aborts on access instead of reading recycled bytes.
+  ScopedArenaViewBinding view_binding(recv_batch.debug_arena());
   std::vector<UdpReply> replies;
   while (true) {
     int count = recv_batch.Recv(fd, /*wait_for_one=*/true);

@@ -11,6 +11,10 @@
 #   clang-tidy   .clang-tidy over src/ via the default compile database
 #   lint-wire    tools/lint_wire.py encode/decode symmetry
 #   lint-failpaths   tools/lint_failpaths.py error-discipline lint + self-test
+#   lint-views   tools/lint_views.py view-escape lint + self-test
+#   views-asan   view_lifetime_test + fuzz_test under the asan-ubsan build in
+#                both serve modes: the poisoned debug arena and generation
+#                stamps made fatal (HCS_SANITIZE compiles them in)
 #   decode-sweep-asan  decode_sweep_test alone under the asan-ubsan build:
 #                the truncation/bit-flip sweep with over-reads made fatal
 #   chaos-asan   `ctest -L chaos` under the asan-ubsan build: the seeded
@@ -134,6 +138,38 @@ if python3 "${REPO}/tools/lint_failpaths.py" --self-test &&
   record lint-failpaths PASS
 else
   record lint-failpaths FAIL
+fi
+
+# 7b. View-escape discipline lint: untagged view members, lambda escapes,
+# returns of locally-backed views, views used across an arena recycle. The
+# self-test proves every rule still fires.
+note "lint-views: tools/lint_views.py (+ --self-test)"
+if python3 "${REPO}/tools/lint_views.py" --self-test &&
+   python3 "${REPO}/tools/lint_views.py" "${REPO}"; then
+  record lint-views PASS
+else
+  record lint-views FAIL
+fi
+
+# 7c. The runtime half of the view-lifetime gate: under the asan-ubsan build
+# (which compiles in HCS_DEBUG_ARENA/HCS_DEBUG_VIEW) the arena poisons
+# recycled spans and generation-stamped views abort on stale access, so the
+# death tests and the poisoned-arena fuzz leg run with real teeth — in both
+# serve modes, since view retention bugs differ between thread-per-endpoint
+# and the reactor.
+if [[ -x "${BUILD_ROOT}/asan-ubsan/tests/view_lifetime_test" ]]; then
+  note "views-asan: view_lifetime_test + fuzz_test under address,undefined (both serve modes)"
+  if (cd "${BUILD_ROOT}/asan-ubsan" &&
+      ctest --output-on-failure -R '^(view_lifetime_test|fuzz_test)$') &&
+     (cd "${BUILD_ROOT}/asan-ubsan" &&
+      HCS_REACTOR=1 ctest --output-on-failure -R '^(view_lifetime_test|fuzz_test)$'); then
+    record views-asan PASS
+  else
+    record views-asan FAIL
+  fi
+else
+  note "views-asan: SKIP (asan-ubsan build unavailable)"
+  record views-asan SKIP
 fi
 
 # 8. The decoder truncation/bit-flip sweep, isolated under ASan+UBSan so a

@@ -1,0 +1,623 @@
+#!/usr/bin/env python3
+"""Cross-TU view-escape lint: the static half of the zero-copy lifetime gate.
+
+The hot path hands out non-owning views (hcs::BytesView, string_view) into
+batch arenas and decode buffers (DESIGN.md §13). The runtime half of the
+gate is the poisoned debug arena + generation-stamped views
+(HCS_VIEW_DEBUG_ENABLED, src/common/{arena,bytes}.h) — but that only fires
+on paths a test exercises. This lint closes the gap statically, tree-wide:
+
+  V1. View-typed STORAGE: a BytesView / string_view class member, or a
+      container element of one (vector<BytesView>, map<K, string_view>...),
+      outlives the statement that created it by construction — exactly what
+      a view must justify. Every such declaration must carry an auditable
+      tag on the same or the preceding line:
+
+          BytesView args;  // hcs:owns-view(call-scoped: dies with the frame)
+
+      The tag records WHY the backing storage provably outlives the holder.
+
+  V2. View ESCAPE BY LAMBDA: a view variable captured (by value or by
+      reference) into a lambda handed to an escaping sink — a reactor task
+      post (Enqueue/Submit/Post/Defer), a std::thread, or a stored callback
+      (assignment of a lambda to a member). A copied BytesView is still a
+      dangling pointer once the arena recycles; capture the owning batch or
+      materialize with ToBytes() instead, or tag the sink line.
+
+  V3. View RETURN OF LOCAL BACKING: a function whose return type is a view
+      returning a view derived from a LOCAL owner (Arena, Bytes, Buffer,
+      std::string, vector<uint8_t>) — including through a BufferReader
+      constructed over the local. The owner dies at the return; the view is
+      born dangling. Which names produce views is decided cross-TU: every
+      header and source under src/ contributes its view-returning function
+      names (GetView, GetOpaqueView, GetSequenceView, ...) to one database.
+
+  V4. View LIVE ACROSS A RECYCLE: within one function body, a view variable
+      declared before an Arena::Reset() / UdpRecvBatch::Recv() on an
+      arena/batch object and used after it. Reset/Recv invalidates every
+      outstanding view (the debug arena enforces this at runtime with a
+      generation bump); textual order is the static over-approximation —
+      in a loop, a view declared after the Recv at the top of the body is
+      (correctly) not flagged, one hoisted out of the loop is.
+
+  V5. Tags must give a reason: `hcs:owns-view()` is rejected.
+
+The scan is textual and per-function like lint_failpaths: a view use and a
+kill in mutually exclusive branches still count as crossing. The tag is the
+escape hatch, and the tag is greppable — `git grep hcs:owns-view` is the
+audit of every sanctioned view escape in the tree.
+
+Exit status 0 = clean; 1 = violations (one per line); 2 = usage.
+
+Usage: lint_views.py [repo_root]
+       lint_views.py --self-test   (seeds violations, checks they fire)
+"""
+
+import os
+import re
+import sys
+import tempfile
+
+SRC_DIRS = ["src"]
+# Storage/escape checks cover the test and bench trees too: a dangling view
+# in a test reads recycled memory and flakes; deliberate violations in
+# death tests carry tags like production code does.
+VIEW_DIRS = ["src", "tests", "bench", "examples"]
+TAG_DIRS = ["src", "tests", "bench", "examples", "tools"]
+
+OWNS_TAG = re.compile(r"hcs:owns-view\(([^)]*)\)")
+EMPTY_TAG = re.compile(r"hcs:owns-view\(\s*\)")
+
+# The view types this tree hands out. hcs::BytesView is the wire currency;
+# string_view escapes matter identically.
+VIEW_TYPE = r"(?:hcs::)?(?:BytesView|std::string_view|string_view)"
+
+# A declaration or definition returning a view (possibly wrapped in
+# Result<>) — the cross-TU producer database for V3/V4 variable tracking.
+VIEW_PRODUCER_DECL = re.compile(
+    r"^\s*(?:HCS_NODISCARD\s+)?(?:static\s+|virtual\s+|inline\s+|constexpr\s+)*"
+    rf"(?:(?:hcs::)?Result<\s*)?{VIEW_TYPE}\s*>?\s+(?:[\w:]+::)?(\w+)\s*\(",
+    re.MULTILINE,
+)
+
+# Local view-variable declarations inside a function body.
+VIEW_VAR_DECL = re.compile(
+    rf"\b(?:const\s+)?{VIEW_TYPE}\s+(\w+)\s*[=;({{]")
+VIEW_VAR_ASSIGN_OR_RETURN = re.compile(
+    rf"HCS_ASSIGN_OR_RETURN\s*\(\s*{VIEW_TYPE}\s+(\w+)")
+AUTO_ASSIGN = re.compile(r"\b(?:const\s+)?auto\s+(\w+)\s*=\s*[^;]*?\b(\w+)\s*\(")
+
+# V1: member / container-element view storage (scanned inside class bodies
+# with function bodies blanked out).
+MEMBER_VIEW = re.compile(
+    rf"^\s*(?:mutable\s+)?(?:const\s+)?{VIEW_TYPE}\s+(\w+)\s*(?:=[^;]*)?;",
+    re.MULTILINE)
+CONTAINER_VIEW = re.compile(
+    r"^\s*(?:mutable\s+)?(?:const\s+)?(?:std::)?"
+    r"(?:vector|deque|array|optional|set|map|unordered_map|pair)\s*"
+    r"<[^;{}()]*\b(?:BytesView|string_view)\b[^;{}()]*>\s+(\w+)"
+    r"\s*(?:\{[^;{}]*\})?\s*(?:=[^;]*)?;",
+    re.MULTILINE)
+
+# V2: sinks a lambda escapes through. Submit takes (endpoint, lambda);
+# the lambda finder skips leading non-lambda arguments.
+ESCAPE_SINK = re.compile(r"\b(Enqueue|Submit|Post|Defer|std::thread|thread)\s*\(")
+STORED_CALLBACK = re.compile(r"\b(\w+_)\s*=\s*\[")
+
+# V3: local owners whose storage dies with the function.
+LOCAL_OWNER = re.compile(
+    r"(?:^|[;{}]\s*)(?:const\s+)?"
+    r"(Arena|Bytes|BufferWriter|std::string|std::vector<uint8_t>)\s+(\w+)\s*[;({=]")
+READER_OVER = re.compile(r"\bBufferReader\s+(\w+)\s*[({]")
+
+# V4: kill sites. Reset/Recv on something that is an arena or a batch —
+# either by declared type in the same body or by name.
+KILL_SITE = re.compile(r"\b(\w+)(?:\.|->)\s*(Reset|Recv)\s*\(")
+ARENA_DECL = re.compile(r"\b(?:Arena|UdpRecvBatch)[&*]?\s+(\w+)\s*[;({=]")
+ARENAISH_NAME = re.compile(r"arena|batch", re.IGNORECASE)
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments/strings, preserving newlines (lint_wire's routine)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            out.extend(ch if ch == "\n" else " " for ch in text[i : j + 2])
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append(" " if text[i] != "\n" else "\n")
+                    i += 1
+            out.append(quote)
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_files(root, rel_dirs, exts=(".h", ".cc")):
+    for rel in rel_dirs:
+        base = os.path.join(root, rel)
+        if os.path.isfile(base):
+            yield base
+            continue
+        for dirpath, _, files in os.walk(base):
+            for name in sorted(files):
+                if name.endswith(exts):
+                    yield os.path.join(dirpath, name)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def has_tag(raw_lines, lineno):
+    """Tag on the same line or the line above (tags live in comments, which
+    the stripped text blanks — so consult the raw source)."""
+    for ln in (lineno, lineno - 1):
+        if 1 <= ln <= len(raw_lines) and OWNS_TAG.search(raw_lines[ln - 1]):
+            return True
+    return False
+
+
+def match_brace_block(text, open_pos):
+    """Returns the end index (past '}') of the block opening at open_pos."""
+    depth = 0
+    i = open_pos
+    while i < len(text):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return len(text)
+
+
+def function_bodies(text):
+    """Yields (start, end) spans of function bodies: '{' preceded by a
+    parameter list ')' (with optional const/noexcept/trailing return) or a
+    brace at column zero."""
+    seen_end = 0
+    for m in re.finditer(
+            r"\)\s*(?:const\s*)?(?:noexcept\s*)?(?:->\s*[\w:<>,&*\s]+?)?\s*\{"
+            r"|^\{|\]\s*\{",
+            text, re.MULTILINE):
+        open_pos = text.find("{", m.start())
+        if open_pos < seen_end:
+            continue  # nested inside a body already yielded
+        end = match_brace_block(text, open_pos)
+        seen_end = end
+        yield open_pos, end
+
+
+def blank_function_bodies(text):
+    """Replaces the interior of every function body with spaces (newlines
+    kept) so class-body scans see member declarations only."""
+    out = list(text)
+    for start, end in function_bodies(text):
+        for i in range(start + 1, end - 1):
+            if out[i] != "\n":
+                out[i] = " "
+    return "".join(out)
+
+
+def build_view_producer_db(root):
+    """Names of functions/methods returning a view type, tree-wide."""
+    names = set()
+    for path in iter_files(root, SRC_DIRS):
+        with open(path, encoding="utf-8") as f:
+            text = strip_comments_and_strings(f.read())
+        for m in VIEW_PRODUCER_DECL.finditer(text):
+            names.add(m.group(1))
+    return names
+
+
+def view_vars_in(body, base, producers):
+    """Maps view-variable name -> decl position (absolute) within a body."""
+    out = {}
+    for m in VIEW_VAR_DECL.finditer(body):
+        out.setdefault(m.group(1), base + m.start())
+    for m in VIEW_VAR_ASSIGN_OR_RETURN.finditer(body):
+        out.setdefault(m.group(1), base + m.start())
+    for m in AUTO_ASSIGN.finditer(body):
+        if m.group(2) in producers:
+            out.setdefault(m.group(1), base + m.start())
+    return out
+
+
+def check_view_members(root, errors):
+    """V1: view-typed members and container elements must be tagged."""
+    reported = set()
+    for path in iter_files(root, VIEW_DIRS):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        raw_lines = raw.splitlines()
+        text = blank_function_bodies(strip_comments_and_strings(raw))
+
+        for cm in re.finditer(r"\b(?:class|struct)\s+\w[^;{()]*\{", text):
+            open_pos = text.find("{", cm.start())
+            body = text[open_pos:match_brace_block(text, open_pos)]
+            for pat, what in ((MEMBER_VIEW, "view-typed member"),
+                              (CONTAINER_VIEW, "container of views")):
+                for m in pat.finditer(body):
+                    lineno = line_of(text, open_pos + m.start() +
+                                     len(m.group(0)) - len(m.group(0).lstrip()))
+                    key = (rel, lineno)
+                    if key in reported or has_tag(raw_lines, lineno):
+                        continue
+                    reported.add(key)
+                    errors.append(
+                        f"{rel}:{lineno}: {what} '{m.group(1)}' stores a "
+                        f"non-owning view past its statement — tag it with "
+                        f"// hcs:owns-view(why the backing outlives this) "
+                        f"or own the bytes")
+
+
+def lambda_after(text, pos, limit=240):
+    """Finds the first lambda capture list at/after pos (within limit).
+    Returns (capture_list, body_open) or None."""
+    m = re.search(r"\[([^\]\[]*)\]\s*(?:\([^)]*\)\s*)?(?:mutable\s*)?"
+                  r"(?:->\s*[\w:<>,&*\s]+?)?\s*\{",
+                  text[pos : pos + limit])
+    if m is None:
+        return None
+    return m.group(1), pos + m.end() - 1
+
+
+def lambda_escapes_view(captures, body, views):
+    """Which view var (if any) escapes through this lambda."""
+    toks = [t.strip() for t in captures.split(",") if t.strip()]
+    by_ref_default = any(t == "&" for t in toks)
+    by_val_default = any(t == "=" for t in toks)
+    for name in views:
+        for t in toks:
+            # [v], [&v], [x = v], [x = v.sub(...)]
+            if re.search(rf"(?:^|=[^=]*\b)&?\s*\b{re.escape(name)}\b", t):
+                return name
+        if (by_ref_default or by_val_default) and re.search(
+                rf"\b{re.escape(name)}\b", body):
+            return name
+    return None
+
+
+def check_lambda_escapes(root, producers, errors):
+    """V2: view vars must not ride a lambda into an escaping sink."""
+    for path in iter_files(root, VIEW_DIRS):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        raw_lines = raw.splitlines()
+        text = strip_comments_and_strings(raw)
+
+        for start, end in function_bodies(text):
+            body = text[start:end]
+            views = view_vars_in(body, start, producers)
+            if not views:
+                continue
+            sinks = [(m.start() + start, m.group(1))
+                     for m in ESCAPE_SINK.finditer(body)]
+            sinks += [(m.start() + start, f"stored callback '{m.group(1)}'")
+                      for m in STORED_CALLBACK.finditer(body)]
+            for pos, sink in sinks:
+                lam = lambda_after(text, pos)
+                if lam is None:
+                    continue
+                captures, body_open = lam
+                if body_open >= end:
+                    continue
+                lam_body = text[body_open:match_brace_block(text, body_open)]
+                name = lambda_escapes_view(captures, lam_body, views)
+                if name is None:
+                    continue
+                lineno = line_of(text, pos)
+                if not has_tag(raw_lines, lineno):
+                    errors.append(
+                        f"{rel}:{lineno}: view '{name}' escapes through a "
+                        f"lambda into {sink} — the backing arena can recycle "
+                        f"before it runs (capture the owning batch, "
+                        f"ToBytes(), or tag // hcs:owns-view(reason))")
+
+
+def check_return_of_local(root, producers, errors):
+    """V3: view-returning functions must not return views of local owners."""
+    for path in iter_files(root, VIEW_DIRS):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        raw_lines = raw.splitlines()
+        text = strip_comments_and_strings(raw)
+
+        returns_view = re.compile(
+            rf"(?:(?:hcs::)?Result<\s*)?{VIEW_TYPE}\s*>?\s+[\w:]+\s*"
+            r"\([^;{}]*\)\s*(?:const\s*)?(?:noexcept\s*)?$")
+
+        for start, end in function_bodies(text):
+            sig = text[max(0, start - 400) : start].rstrip()
+            if not returns_view.search(sig):
+                continue
+            body = text[start:end]
+            owners = {m.group(2) for m in LOCAL_OWNER.finditer(body)}
+            if not owners:
+                continue
+            # Taint propagation: readers over a local owner, then view vars
+            # built from an owner or a tainted reader.
+            tainted = set(owners)
+            for m in READER_OVER.finditer(body):
+                stmt = body[m.start() : body.find(";", m.start()) + 1]
+                if any(re.search(rf"\b{re.escape(o)}\b", stmt) for o in owners):
+                    tainted.add(m.group(1))
+            views = view_vars_in(body, 0, producers)
+            tainted_views = set()
+            for name, pos in views.items():
+                stmt = body[pos : body.find(";", pos) + 1]
+                if any(re.search(rf"\b{re.escape(t)}\b", stmt)
+                       for t in tainted):
+                    tainted_views.add(name)
+            for m in re.finditer(r"\breturn\b([^;]*);", body):
+                expr = m.group(1)
+                hit = next(
+                    (t for t in sorted(tainted | tainted_views)
+                     if t not in owners or "(" in expr or "." in expr
+                     if re.search(rf"\b{re.escape(t)}\b", expr)), None)
+                if hit is None:
+                    continue
+                lineno = line_of(text, start + m.start())
+                if not has_tag(raw_lines, lineno):
+                    errors.append(
+                        f"{rel}:{lineno}: returns a view backed by local "
+                        f"'{hit}' which dies at this return — return owned "
+                        f"bytes, take the owner as a parameter, or tag "
+                        f"// hcs:owns-view(reason)")
+
+
+def check_use_across_reset(root, producers, errors):
+    """V4: a view declared before an arena/batch Reset/Recv and used after
+    it within the same body is reading recycled memory."""
+    for path in iter_files(root, VIEW_DIRS):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        raw_lines = raw.splitlines()
+        text = strip_comments_and_strings(raw)
+
+        for start, end in function_bodies(text):
+            body = text[start:end]
+            views = view_vars_in(body, start, producers)
+            if not views:
+                continue
+            arenas = {m.group(1) for m in ARENA_DECL.finditer(body)}
+            kills = []
+            for m in KILL_SITE.finditer(body):
+                recv = m.group(1)
+                if recv in arenas or ARENAISH_NAME.search(recv):
+                    kills.append((start + m.start(), recv, m.group(2)))
+            if not kills:
+                continue
+            for name, decl_pos in views.items():
+                use_re = re.compile(rf"\b{re.escape(name)}\b")
+                for kill_pos, recv, op in kills:
+                    if decl_pos >= kill_pos:
+                        continue
+                    use = use_re.search(body, kill_pos - start + 1)
+                    if use is None:
+                        continue
+                    use_pos = start + use.start()
+                    lineno = line_of(text, use_pos)
+                    if not has_tag(raw_lines, lineno):
+                        errors.append(
+                            f"{rel}:{lineno}: view '{name}' used after "
+                            f"{recv}.{op}() recycled its backing memory "
+                            f"(declared before the {op} at line "
+                            f"{line_of(text, decl_pos)}) — re-derive the "
+                            f"view or tag // hcs:owns-view(reason)")
+                    break  # one report per view var
+
+
+def check_empty_tags(root, errors):
+    """V5: a tag without a reason is an unaudited escape."""
+    for path in iter_files(root, TAG_DIRS, exts=(".h", ".cc", ".py", ".sh")):
+        if os.path.basename(path) == "lint_views.py":
+            continue  # this file names the pattern in its own docs
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if EMPTY_TAG.search(line):
+                    errors.append(
+                        f"{rel}:{lineno}: hcs:owns-view() has an empty "
+                        f"reason — say why the backing outlives the view")
+
+
+def run(root):
+    errors = []
+    producers = build_view_producer_db(root)
+    if not producers:
+        errors.append("src/: found no view-returning declarations "
+                      "(wrong repo root?)")
+    check_view_members(root, errors)
+    check_lambda_escapes(root, producers, errors)
+    check_return_of_local(root, producers, errors)
+    check_use_across_reset(root, producers, errors)
+    check_empty_tags(root, errors)
+
+    if errors:
+        print(f"lint_views: {len(errors)} violation(s):")
+        for err in sorted(errors):
+            print(f"  {err}")
+        return 1
+    print(f"lint_views: clean ({len(producers)} view-producing functions in "
+          f"the cross-TU database)")
+    return 0
+
+
+# --- self test ---------------------------------------------------------------
+
+SELF_TEST_HEADER = """
+#include <cstdint>
+template <typename T> class Result {};
+class Bytes { public: const uint8_t* data() const; unsigned long size() const; };
+class BytesView { public: const uint8_t* data() const; };
+class Arena { public: uint8_t* Allocate(unsigned long n); void Reset(); };
+class UdpRecvBatch { public: int Recv(int fd, bool w); };
+class BufferReader { public: explicit BufferReader(const Bytes& b); };
+BytesView GetView(int);
+BytesView GetOpaqueView(int);
+Result<BytesView> GetSequenceView(int);
+"""
+
+SELF_TEST_CASES = [
+    # (name, file content, substring the lint must print)
+    ("member-view-untagged",
+     "class Holder {\n public:\n  BytesView view_;\n};\n",
+     "view-typed member 'view_'"),
+    ("member-view-tagged-ok",
+     "class Holder {\n public:\n"
+     "  BytesView view_;  // hcs:owns-view(backing pinned by owner_)\n};\n",
+     None),
+    ("member-string-view-untagged",
+     "struct Row {\n  std::string_view name;\n};\n",
+     "view-typed member 'name'"),
+    ("container-of-views-untagged",
+     "class Cache {\n  std::vector<BytesView> frames_;\n};\n",
+     "container of views 'frames_'"),
+    ("container-tagged-ok",
+     "class Cache {\n  // hcs:owns-view(entries die with the batch each tick)\n"
+     "  std::vector<BytesView> frames_;\n};\n",
+     None),
+    ("plain-members-ok",
+     "class Plain {\n  Bytes owned_;\n  const uint8_t* raw_ = nullptr;\n};\n",
+     None),
+    ("local-view-ok",
+     "void f() {\n  BytesView v = GetView(1);\n  use(v);\n}\n",
+     None),
+    ("lambda-ref-escape",
+     "void f(Pool* p) {\n  BytesView v = GetView(1);\n"
+     "  p->Enqueue([&] { use(v); });\n}\n",
+     "escapes through a lambda into Enqueue"),
+    ("lambda-value-escape",
+     "void f(Pool* p) {\n  BytesView v = GetView(1);\n"
+     "  p->Enqueue([v] { use(v); });\n}\n",
+     "escapes through a lambda into Enqueue"),
+    ("lambda-escape-tagged-ok",
+     "void f(Pool* p) {\n  BytesView v = GetView(1);\n"
+     "  // hcs:owns-view(batch shared_ptr in the same capture pins the arena)\n"
+     "  p->Enqueue([v] { use(v); });\n}\n",
+     None),
+    ("lambda-no-view-ok",
+     "void f(Pool* p) {\n  BytesView v = GetView(1);\n  int count = 3;\n"
+     "  p->Enqueue([count] { use(count); });\n  use(v);\n}\n",
+     None),
+    ("thread-view-escape",
+     "void f() {\n  BytesView v = GetView(1);\n"
+     "  std::thread([&] { use(v); }).detach();\n}\n",
+     "escapes through a lambda into std::thread"),
+    ("stored-callback-escape",
+     "void C::Arm() {\n  BytesView v = GetView(1);\n"
+     "  callback_ = [v] { use(v); };\n}\n",
+     "stored callback 'callback_'"),
+    ("return-view-of-local-bytes",
+     "BytesView Leak() {\n  Bytes owned;\n"
+     "  return BytesView(owned.data(), owned.size());\n}\n",
+     "backed by local 'owned'"),
+    ("return-view-via-reader",
+     "BytesView Leak2() {\n  Bytes owned;\n  BufferReader reader(owned);\n"
+     "  BytesView v = reader.GetView(4);\n  return v;\n}\n",
+     "dies at this return"),
+    ("return-view-param-ok",
+     "BytesView Pass(BytesView v) {\n  return v;\n}\n",
+     None),
+    ("return-owned-bytes-ok",
+     "Bytes Materialize() {\n  Bytes owned;\n  return owned;\n}\n",
+     None),
+    ("use-after-reset",
+     "void f() {\n  Arena arena(16);\n  BytesView v = GetView(1);\n"
+     "  arena.Reset();\n  use(v);\n}\n",
+     "used after arena.Reset()"),
+    ("use-after-recv",
+     "void f(UdpRecvBatch& batch, int fd) {\n  BytesView v = GetView(1);\n"
+     "  batch.Recv(fd, true);\n  use(v);\n}\n",
+     "used after batch.Recv()"),
+    ("use-after-reset-tagged-ok",
+     "void f() {\n  Arena arena(16);\n  BytesView v = GetView(1);\n"
+     "  arena.Reset();\n"
+     "  // hcs:owns-view(v points into a different arena owned by caller)\n"
+     "  use(v);\n}\n",
+     None),
+    ("redeclare-after-reset-ok",
+     "void f() {\n  Arena arena(16);\n  arena.Reset();\n"
+     "  BytesView v = GetView(1);\n  use(v);\n}\n",
+     None),
+    ("non-arena-reset-ok",
+     "void f() {\n  BytesView v = GetView(1);\n  Metrics m;\n  m.Reset();\n"
+     "  use(v);\n}\n",
+     None),
+    ("empty-owns-tag",
+     "class Holder {\n  BytesView view_;  // hcs:owns-view()\n};\n",
+     "empty"),
+]
+
+
+def self_test():
+    failures = []
+    for name, body, want in SELF_TEST_CASES:
+        with tempfile.TemporaryDirectory() as root:
+            os.makedirs(os.path.join(root, "src"))
+            with open(os.path.join(root, "src", "seed.h"), "w") as f:
+                f.write(SELF_TEST_HEADER)
+            with open(os.path.join(root, "src", "seed.cc"), "w") as f:
+                f.write(body)
+            errors = []
+            producers = build_view_producer_db(root)
+            check_view_members(root, errors)
+            check_lambda_escapes(root, producers, errors)
+            check_return_of_local(root, producers, errors)
+            check_use_across_reset(root, producers, errors)
+            check_empty_tags(root, errors)
+            if want is None:
+                if errors:
+                    failures.append(f"{name}: expected clean, got {errors}")
+            else:
+                if not any(want in e for e in errors):
+                    failures.append(
+                        f"{name}: expected a violation containing {want!r}, "
+                        f"got {errors}")
+    if failures:
+        print(f"lint_views --self-test: {len(failures)} failure(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"lint_views --self-test: all {len(SELF_TEST_CASES)} seeded cases "
+          f"behave")
+    return 0
+
+
+def main():
+    if len(sys.argv) > 2:
+        print(__doc__)
+        return 2
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        return self_test()
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    return run(root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
