@@ -11,10 +11,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/rpc/async_client.h"
 #include "src/rpc/client.h"
 #include "src/rpc/context.h"
 #include "src/rpc/control.h"
@@ -38,7 +41,7 @@ struct SweepPoint {
 // throughput plus the latency distribution tails. Every call carries a
 // RequestContext deadline so the per-attempt retry loop is live; the
 // attempt/retry totals from RpcCallInfo are surfaced in the row.
-inline SweepPoint DriveClients(uint16_t port, int clients, int requests_per_client) {
+inline HrpcBinding SweepBinding(uint16_t port) {
   HrpcBinding binding;
   binding.service_name = "runtime-sweep";
   binding.host = "localhost";
@@ -47,6 +50,12 @@ inline SweepPoint DriveClients(uint16_t port, int clients, int requests_per_clie
   binding.version = 2;
   binding.control = ControlKind::kRaw;
   binding.transport = TransportKind::kUdp;
+  return binding;
+}
+
+inline SweepPoint DriveClients(uint16_t port, int clients, int requests_per_client) {
+  HrpcBinding binding = SweepBinding(port);
+  const Bytes payload{1, 2, 3, 4};
 
   std::vector<std::vector<double>> latencies(clients);
   std::vector<std::thread> threads;
@@ -64,7 +73,7 @@ inline SweepPoint DriveClients(uint16_t port, int clients, int requests_per_clie
       for (int i = 0; i < requests_per_client; ++i) {
         RpcCallInfo info;
         auto t0 = std::chrono::steady_clock::now();
-        Result<Bytes> reply = client.Call(binding, 1, Bytes{1, 2, 3, 4},
+        Result<Bytes> reply = client.Call(binding, 1, payload,
                                           RequestContext::WithTimeout(5000), &info);
         auto t1 = std::chrono::steady_clock::now();
         if (!reply.ok()) {
@@ -101,6 +110,104 @@ inline SweepPoint DriveClients(uint16_t port, int clients, int requests_per_clie
   if (failures.load(std::memory_order_relaxed) != 0) {
     std::printf("  WARNING: %d calls failed at %d clients\n",
                 failures.load(std::memory_order_relaxed), clients);
+  }
+  return point;
+}
+
+// The single-process async counterpart of DriveClients: ONE client on ONE
+// thread keeps `window` CallAsync requests in flight (refilled from the
+// issuing loop as completions free slots) until `total_requests` have
+// completed. No thread per call: the engine's loop thread carries every
+// send, reply match, and completion callback. `clients` in the returned
+// point is the window, so rows line up with a thread-per-call sweep at the
+// same concurrency.
+inline SweepPoint DriveClientsAsync(uint16_t port, int window, int total_requests) {
+  HrpcBinding binding = SweepBinding(port);
+  const Bytes payload{1, 2, 3, 4};
+  UdpTransport transport(/*timeout_ms=*/2000);
+  RpcClient client(/*world=*/nullptr, "benchclient", &transport);
+  AsyncClientEngine engine;
+  client.set_async_engine(&engine);
+
+  // Shared between the issuing thread and the engine's completion
+  // callbacks. One pointer to this keeps the per-call closure at two words,
+  // small enough for std::function's inline storage — no allocation per
+  // completion handler.
+  struct AsyncSweepState {
+    std::mutex mu;
+    std::condition_variable cv;
+    int outstanding = 0;
+    int completed = 0;
+    int failures = 0;
+    int total = 0;
+    int low_water = 0;
+    std::vector<double> all;
+    uint64_t attempts = 0;
+    uint64_t retries = 0;
+  };
+  AsyncSweepState st;
+  st.total = total_requests;
+  // Burst refill: sleep until an eighth of the window drains, then top it
+  // back up. Waking the issuer per completion would cost a futex round-trip
+  // per call — the thread-per-call context-switch tax this driver exists to
+  // avoid — while draining too far would under-fill the pipeline (the
+  // closed-loop comparison holds ~`window` calls in flight, like `window`
+  // blocking threads do).
+  st.low_water = window - std::max(1, window / 8);
+  st.all.reserve(total_requests);
+
+  auto start = std::chrono::steady_clock::now();
+  int issued = 0;
+  while (issued < total_requests) {
+    int burst;
+    {
+      std::unique_lock<std::mutex> lock(st.mu);
+      st.cv.wait(lock, [&] { return st.outstanding <= st.low_water; });
+      burst = std::min(window - st.outstanding, total_requests - issued);
+      st.outstanding += burst;
+    }
+    for (int b = 0; b < burst; ++b, ++issued) {
+      auto t0 = std::chrono::steady_clock::now();
+      RpcFuture future = client.CallAsync(binding, 1, payload,
+                                          RequestContext::WithTimeout(5000));
+      AsyncSweepState* s = &st;
+      future.OnComplete([s, t0](const Result<Bytes>& result, const RpcCallInfo& info) {
+        auto t1 = std::chrono::steady_clock::now();
+        std::lock_guard<std::mutex> lock(s->mu);
+        --s->outstanding;
+        ++s->completed;
+        if (result.ok()) {
+          s->all.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+        } else {
+          ++s->failures;
+        }
+        s->attempts += info.attempts;
+        s->retries += info.retries;
+        if (s->outstanding == s->low_water || s->completed == s->total) {
+          s->cv.notify_one();
+        }
+      });
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(st.mu);
+    st.cv.wait(lock, [&] { return st.completed == total_requests; });
+  }
+  double elapsed_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                         .count();
+
+  std::sort(st.all.begin(), st.all.end());
+  SweepPoint point;
+  point.clients = window;
+  if (!st.all.empty() && elapsed_s > 0) {
+    point.throughput_qps = static_cast<double>(st.all.size()) / elapsed_s;
+    point.p50_ms = st.all[st.all.size() / 2];
+    point.p99_ms = st.all[std::min(st.all.size() - 1, (st.all.size() * 99) / 100)];
+  }
+  point.attempts = st.attempts;
+  point.retries = st.retries;
+  if (st.failures != 0) {
+    std::printf("  WARNING: %d async calls failed at window %d\n", st.failures, window);
   }
   return point;
 }

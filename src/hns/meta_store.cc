@@ -105,6 +105,11 @@ Result<WireValue> MetaStore::RemoteRead(const std::string& record_name,
   }
   HCS_ASSIGN_OR_RETURN(Bytes reply, client_->Call(MetaServerBinding(/*authority=*/false),
                                                   kBindProcQuery, request.Encode(), rctx));
+  return DecodeMetaReply(record_name, reply);
+}
+
+Result<WireValue> MetaStore::DecodeMetaReply(const std::string& record_name, const Bytes& reply) {
+  World* world = client_->world();
   HCS_ASSIGN_OR_RETURN(BindQueryResponse response, BindQueryResponse::Decode(reply));
   if (response.rcode == Rcode::kNxDomain || response.answers.empty()) {
     return NotFoundError("no meta record: " + record_name);
@@ -123,6 +128,81 @@ Result<WireValue> MetaStore::RemoteRead(const std::string& record_name,
     ChargeDemarshal(world, MarshalEngine::kStubGenerated, MarshalUnitsForBytes(answer_bytes));
   }
   return value;
+}
+
+SimTime MetaStore::FinishFlight(const std::string& record_name,
+                                const std::shared_ptr<InFlight>& flight,
+                                const Result<WireValue>& fetched) {
+  SimTime expires = 0;
+  if (fetched.ok()) {
+    cache_->Put(record_name, *fetched, kMetaTtlSeconds);
+    expires = CacheNow(client_->world()) +
+              MsToSim(static_cast<double>(kMetaTtlSeconds) * 1000.0);
+  } else if (fetched.status().code() == StatusCode::kNotFound) {
+    cache_->PutNegative(record_name);
+  }
+  {
+    MutexLock lock(flight_mu_);
+    flight->result = fetched;
+    flight->expires = expires;
+    flight->done = true;
+    in_flight_.erase(record_name);
+  }
+  flight_cv_.NotifyAll();
+  return expires;
+}
+
+void MetaStore::PrefetchRecords(const std::vector<std::string>& record_names,
+                                const RequestContext& rctx) {
+  const RequestContext& effective = rctx.empty() ? CurrentRequestContext() : rctx;
+  if (effective.expired()) {
+    return;  // shed like ReadRecord would; the individual reads report it
+  }
+
+  // Claim leadership for every record that actually needs a fetch. Records
+  // already cached, negatively cached, or in flight are skipped — their
+  // readers are served without us.
+  struct Launch {
+    std::string name;
+    std::shared_ptr<InFlight> flight;
+    RpcFuture future;
+  };
+  std::vector<Launch> launches;
+  for (const std::string& record_name : record_names) {
+    if (cache_->Lookup(record_name).probe != HnsCache::Probe::kMiss) {
+      continue;
+    }
+    {
+      MutexLock lock(flight_mu_);
+      if (in_flight_.count(record_name) != 0) {
+        continue;
+      }
+      auto flight = std::make_shared<InFlight>();
+      flight->leader_deadline_ms = effective.has_deadline() ? effective.deadline_ms : 0;
+      in_flight_[record_name] = flight;
+      launches.push_back(Launch{record_name, std::move(flight), RpcFuture{}});
+    }
+  }
+
+  // Fan out: every BIND query goes on the wire before any reply is awaited.
+  World* world = client_->world();
+  for (Launch& launch : launches) {
+    remote_lookups_.fetch_add(1, std::memory_order_relaxed);
+    BindQueryRequest request;
+    request.name = launch.name;
+    request.type = RrType::kUnspec;
+    if (world != nullptr) {
+      ChargeMarshal(world, MarshalEngine::kStubGenerated, 1);
+    }
+    launch.future = client_->CallAsync(MetaServerBinding(/*authority=*/false), kBindProcQuery,
+                                       request.Encode(), effective);
+  }
+  for (Launch& launch : launches) {
+    Result<Bytes> reply = launch.future.Wait();
+    Result<WireValue> fetched =
+        reply.ok() ? DecodeMetaReply(launch.name, *reply) : Result<WireValue>(reply.status());
+    (void)FinishFlight(launch.name, launch.flight, fetched);
+  }
 }
 
 Result<WireValue> MetaStore::ReadRecord(const std::string& record_name,
@@ -195,23 +275,7 @@ Result<WireValue> MetaStore::ReadRecord(const std::string& record_name,
   }
 
   Result<WireValue> fetched = RemoteRead(record_name, effective);
-  SimTime expires = 0;
-  if (fetched.ok()) {
-    cache_->Put(record_name, *fetched, kMetaTtlSeconds);
-    expires = CacheNow(client_->world()) +
-              MsToSim(static_cast<double>(kMetaTtlSeconds) * 1000.0);
-  } else if (fetched.status().code() == StatusCode::kNotFound) {
-    cache_->PutNegative(record_name);
-  }
-
-  {
-    MutexLock lock(flight_mu_);
-    flight->result = fetched;
-    flight->expires = expires;
-    flight->done = true;
-    in_flight_.erase(record_name);
-  }
-  flight_cv_.NotifyAll();
+  SimTime expires = FinishFlight(record_name, flight, fetched);
 
   if (fetched.ok() && expires_out != nullptr) {
     *expires_out = expires;

@@ -98,6 +98,18 @@ class MetaStore {
   // Name service descriptor (administration, diagnostics).
   HCS_NODISCARD Result<NameServiceInfo> NameService(const std::string& ns_name);
 
+  // Fetches every named record that is neither cached nor already being
+  // fetched, with all the upstream BIND queries in flight CONCURRENTLY
+  // (CallAsync fan-out) instead of one blocking exchange at a time. Each
+  // fetch registers as the singleflight leader for its record, so readers
+  // racing the prefetch coalesce onto it exactly as they would onto each
+  // other. Results land in the cache (negative results under the negative
+  // TTL); per-record errors are absorbed — the subsequent ReadRecord
+  // reissues and reports them. Used by batch resolution (ResolveMany) to
+  // turn N cold misses into one round trip's worth of latency.
+  void PrefetchRecords(const std::vector<std::string>& record_names,
+                       const RequestContext& rctx = RequestContext{});
+
   // --- Registration (dynamic updates to the modified BIND) ----------------
   HCS_NODISCARD Status RegisterNameService(const NameServiceInfo& info);
   HCS_NODISCARD Status RegisterContext(const std::string& context, const std::string& ns_name);
@@ -157,6 +169,15 @@ class MetaStore {
   // One uncached remote BIND lookup via the HRPC interface (stub-generated
   // marshalling), reassembling chunked unspecified-type records.
   HCS_NODISCARD Result<WireValue> RemoteRead(const std::string& record_name, const RequestContext& rctx);
+  // The decode tail of a BIND query reply (rcode mapping, chunk
+  // reassembly, demarshal charge); shared by RemoteRead and the prefetch
+  // fan-out.
+  HCS_NODISCARD Result<WireValue> DecodeMetaReply(const std::string& record_name, const Bytes& reply);
+  // Publishes a leader's fetch result: fills the cache, completes the
+  // flight, wakes the followers. Returns the cached entry's absolute
+  // expiry (0 when nothing was cached).
+  SimTime FinishFlight(const std::string& record_name, const std::shared_ptr<InFlight>& flight,
+                       const Result<WireValue>& fetched);
   // Writes a structured record (delete-then-add) via dynamic update.
   HCS_NODISCARD Status WriteRecord(const std::string& record_name, const WireValue& value);
   HCS_NODISCARD Status DeleteRecord(const std::string& record_name);

@@ -49,38 +49,83 @@ std::vector<Result<NsmHandle>> HnsSession::ResolveMany(
   // FindNSM depends only on (context, query class), never on the
   // individual part — one resolution serves every duplicate in the batch.
   std::map<std::string, Result<NsmHandle>> memo;
+  // One representative request per unique key, in first-appearance order.
+  std::vector<const ResolveRequest*> unique;
   for (const ResolveRequest& request : requests) {
     std::string key =
         AsciiToLower(request.name.context) + '\x1f' + AsciiToLower(request.query_class);
-    auto it = memo.find(key);
-    if (it == memo.end()) {
-      it = memo.emplace(key, FindNsm(request.name, request.query_class, context)).first;
+    if (memo.emplace(key, UnavailableError("resolution pending")).second) {
+      unique.push_back(&request);
     }
-    results.push_back(it->second);
+  }
+
+  if (options_.hns_location == HnsLocation::kRemote && unique.size() > 1) {
+    // Remote mode: one FindNSM exchange per unique pair, all in flight
+    // before any is awaited — N distinct pairs cost one round trip's
+    // latency. A transport without an async channel degrades gracefully
+    // (each future completes inline, reproducing the sequential loop).
+    std::vector<RpcFuture> futures;
+    futures.reserve(unique.size());
+    for (const ResolveRequest* request : unique) {
+      Bytes body = EncodeFindNsm(request->name, request->query_class);
+      futures.push_back(
+          rpc_client_.CallAsync(HnsServerBinding(), kHnsProcFindNsm, body, context));
+    }
+    for (size_t i = 0; i < unique.size(); ++i) {
+      Result<Bytes> reply = futures[i].Wait();
+      std::string key = AsciiToLower(unique[i]->name.context) + '\x1f' +
+                        AsciiToLower(unique[i]->query_class);
+      memo.at(key) =
+          reply.ok() ? DecodeFindNsmReply(*reply) : Result<NsmHandle>(reply.status());
+    }
+  } else {
+    if (options_.hns_location == HnsLocation::kLinked && unique.size() > 1) {
+      // Linked mode: warm the meta cache for every pair with concurrent
+      // fetch waves, so the per-pair resolutions below are cache hits.
+      std::vector<std::pair<std::string, QueryClass>> pairs;
+      pairs.reserve(unique.size());
+      for (const ResolveRequest* request : unique) {
+        pairs.emplace_back(request->name.context, request->query_class);
+      }
+      hns_->PrefetchFindNsm(pairs, context);
+    }
+    for (const ResolveRequest* request : unique) {
+      std::string key =
+          AsciiToLower(request->name.context) + '\x1f' + AsciiToLower(request->query_class);
+      memo.at(key) = FindNsm(request->name, request->query_class, context);
+    }
+  }
+
+  for (const ResolveRequest& request : requests) {
+    std::string key =
+        AsciiToLower(request.name.context) + '\x1f' + AsciiToLower(request.query_class);
+    results.push_back(memo.at(key));
   }
   return results;
 }
 
-Result<NsmHandle> HnsSession::FindNsmRemote(const HnsName& name,
-                                            const QueryClass& query_class,
-                                            const RequestContext& context) {
-  FindNsmRequest request;
-  request.context = name.context;
-  request.query_class = query_class;
-
+HrpcBinding HnsSession::HnsServerBinding() const {
   HrpcBinding hns_binding;
   hns_binding.service_name = "hns";
   hns_binding.host = options_.hns_server_host;
   hns_binding.port = kHnsServerPort;
   hns_binding.program = kHnsProgram;
   hns_binding.control = ControlKind::kRaw;
+  return hns_binding;
+}
 
+Bytes HnsSession::EncodeFindNsm(const HnsName& name, const QueryClass& query_class) {
+  FindNsmRequest request;
+  request.context = name.context;
+  request.query_class = query_class;
   Bytes body = request.Encode();
   if (world_ != nullptr) {
     ChargeMarshal(world_, MarshalEngine::kStubGenerated, MarshalUnitsForBytes(body.size()));
   }
-  HCS_ASSIGN_OR_RETURN(Bytes reply,
-                       rpc_client_.Call(hns_binding, kHnsProcFindNsm, body, context));
+  return body;
+}
+
+Result<NsmHandle> HnsSession::DecodeFindNsmReply(const Bytes& reply) {
   if (world_ != nullptr) {
     ChargeDemarshal(world_, MarshalEngine::kStubGenerated,
                     MarshalUnitsForBytes(reply.size()));
@@ -97,6 +142,15 @@ Result<NsmHandle> HnsSession::FindNsmRemote(const HnsName& name,
     handle.linked = it->second.get();
   }
   return handle;
+}
+
+Result<NsmHandle> HnsSession::FindNsmRemote(const HnsName& name,
+                                            const QueryClass& query_class,
+                                            const RequestContext& context) {
+  Bytes body = EncodeFindNsm(name, query_class);
+  HCS_ASSIGN_OR_RETURN(Bytes reply,
+                       rpc_client_.Call(HnsServerBinding(), kHnsProcFindNsm, body, context));
+  return DecodeFindNsmReply(reply);
 }
 
 Result<WireValue> HnsSession::CallNsmRemote(const HrpcBinding& binding, const HnsName& name,

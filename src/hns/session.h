@@ -79,6 +79,13 @@ class HnsSession {
   // resolved once and fanned out — a batch over one context costs a single
   // composite lookup (or one remote FindNSM exchange in remote mode) no
   // matter how many individuals it names. Results are positional.
+  //
+  // Distinct pairs resolve CONCURRENTLY: in remote mode each unique pair's
+  // FindNSM exchange is one CallAsync, all in flight before any is awaited,
+  // so a batch of N distinct pairs costs one round trip's latency, not N;
+  // in linked mode the meta-store fetches are prefetched in concurrent
+  // waves (Hns::PrefetchFindNsm) before the per-pair resolution runs over
+  // the warmed cache.
   std::vector<Result<NsmHandle>> ResolveMany(const std::vector<ResolveRequest>& requests,
                                              const RequestContext& context = RequestContext{});
 
@@ -94,6 +101,13 @@ class HnsSession {
                               const WireValue& args, const RequestContext& context);
   HCS_NODISCARD Result<NsmHandle> FindNsmRemote(const HnsName& name, const QueryClass& query_class,
                                   const RequestContext& context);
+  // The HnsServer's binding (remote mode).
+  HrpcBinding HnsServerBinding() const;
+  // Encodes one FindNSM request body, charging the marshal cost.
+  Bytes EncodeFindNsm(const HnsName& name, const QueryClass& query_class);
+  // The decode tail of a FindNSM exchange (demarshal charge, linked-NSM
+  // preference); shared by FindNsmRemote and the ResolveMany fan-out.
+  HCS_NODISCARD Result<NsmHandle> DecodeFindNsmReply(const Bytes& reply);
 
   World* world_;
   std::string client_host_;

@@ -101,6 +101,16 @@ uint32_t RetryPolicy::MaxAttempts(int64_t budget_ms) {
 
 Result<Bytes> RpcClient::Call(const HrpcBinding& binding, uint32_t procedure, const Bytes& args,
                               const RequestContext& context, RpcCallInfo* info_out) {
+  RpcFuture future = CallAsync(binding, procedure, args, context);
+  Result<Bytes> result = future.Wait();
+  if (info_out != nullptr) {
+    *info_out = future.info();
+  }
+  return result;
+}
+
+RpcFuture RpcClient::CallAsync(const HrpcBinding& binding, uint32_t procedure, const Bytes& args,
+                               const RequestContext& context) {
   const ControlProtocol& control = GetControlProtocol(binding.control);
 
   // Explicit context wins; otherwise inherit whatever the serving runtime
@@ -110,18 +120,49 @@ Result<Bytes> RpcClient::Call(const HrpcBinding& binding, uint32_t procedure, co
     effective.trace_id = NewTraceId();
   }
 
+  auto state = std::make_shared<RpcFutureState>();
   RpcCallInfo info;
   info.trace_id = effective.trace_id;
-  if (info_out != nullptr) {
-    *info_out = info;
-  }
 
   // Client-side shed: a spent budget never goes on the wire.
   if (effective.expired()) {
-    return TimeoutError(StrFormat("call to %s:%u shed before send: budget exhausted (trace %016llx)",
-                                  binding.host.c_str(), binding.port,
-                                  static_cast<unsigned long long>(effective.trace_id)));
+    state->Complete(
+        TimeoutError(StrFormat("call to %s:%u shed before send: budget exhausted (trace %016llx)",
+                               binding.host.c_str(), binding.port,
+                               static_cast<unsigned long long>(effective.trace_id))),
+        info);
+    return RpcFuture(state);
   }
+
+  AsyncChannelSpec channel = transport_->async_channel();
+  if (channel.kind == AsyncChannelKind::kNone) {
+    // No nonblocking channel (sim, loopback, fault wrappers): run the
+    // blocking path inline and complete the future with its result — the
+    // seed's exact semantics, wire bytes, and virtual-clock charges.
+    state->Complete(CallBlocking(control, binding, procedure, args, effective, &info), info);
+    return RpcFuture(state);
+  }
+
+  if (world_ != nullptr) {
+    world_->ChargeMs(ControlCostMs(world_->costs(), binding.control));
+  }
+  AsyncCallSpec spec;
+  spec.binding = binding;
+  spec.procedure = procedure;
+  spec.args = args;
+  spec.context = effective;
+  spec.channel = channel;
+  AsyncClientEngine* engine =
+      async_engine_ != nullptr ? async_engine_ : GlobalAsyncClientEngine();
+  engine->StartCall(std::move(spec), state);
+  return RpcFuture(state);
+}
+
+Result<Bytes> RpcClient::CallBlocking(const ControlProtocol& control, const HrpcBinding& binding,
+                                      uint32_t procedure, const Bytes& args,
+                                      const RequestContext& effective, RpcCallInfo* info_out) {
+  RpcCallInfo info;
+  info.trace_id = effective.trace_id;
 
   RpcCall call;
   call.xid = next_xid_.fetch_add(1, std::memory_order_relaxed);

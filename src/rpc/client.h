@@ -13,6 +13,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/result.h"
+#include "src/rpc/async_client.h"  // RpcCallInfo, RpcFuture, AsyncClientEngine
 #include "src/rpc/binding.h"
 #include "src/rpc/context.h"
 #include "src/rpc/control.h"
@@ -20,14 +21,6 @@
 #include "src/sim/world.h"
 
 namespace hcs {
-
-// Per-call telemetry the client runtime reports back to interested callers
-// (benches surface attempts/retries per the retry satellite).
-struct RpcCallInfo {
-  uint32_t attempts = 0;  // transport exchanges performed (>= 1 once sent)
-  uint32_t retries = 0;   // attempts beyond the first
-  uint64_t trace_id = 0;  // trace id the call traveled under (0: untraced)
-};
 
 // The budgeted-call retry policy: attempt budgets and the exponential
 // backoff/jitter schedule RpcClient::Call follows. Exposed as pure
@@ -85,14 +78,40 @@ class RpcClient {
                      const RequestContext& context = RequestContext{},
                      RpcCallInfo* info_out = nullptr);
 
+  // Starts `procedure` without blocking and returns a future for its
+  // result; Call(...) is exactly CallAsync(...).Wait(). When the transport
+  // advertises an async channel (real UDP / TCP), the call runs on the
+  // engine's reactor loop: N CallAsync calls are N requests in flight, with
+  // the same retry/backoff schedule, deadline budget, and ambient-context
+  // semantics as Call. A channel-less transport (sim, loopback, fault
+  // wrappers) completes the future inline via the blocking path, so
+  // existing behavior — virtual-clock charging, fault injection, wire
+  // bytes — is preserved exactly.
+  HCS_NODISCARD RpcFuture CallAsync(const HrpcBinding& binding, uint32_t procedure,
+                                    const Bytes& args,
+                                    const RequestContext& context = RequestContext{});
+
   const std::string& local_host() const { return local_host_; }
   World* world() const { return world_; }
   Transport* transport() const { return transport_; }
 
+  // Test hook: route async calls through `engine` instead of the process
+  // global (e.g. one with tiny pool bounds). Null restores the default.
+  void set_async_engine(AsyncClientEngine* engine) { async_engine_ = engine; }
+
  private:
+  // The seed's synchronous call path (one blocking exchange per attempt);
+  // `effective` is the already-resolved context. CallAsync uses it as the
+  // fallback for channel-less transports.
+  HCS_NODISCARD Result<Bytes> CallBlocking(const ControlProtocol& control,
+                                           const HrpcBinding& binding, uint32_t procedure,
+                                           const Bytes& args, const RequestContext& effective,
+                                           RpcCallInfo* info_out);
+
   World* world_;
   std::string local_host_;
   Transport* transport_;
+  AsyncClientEngine* async_engine_ = nullptr;
   // Atomic: one RpcClient serves concurrent callers on the real-transport
   // path (the Hns's readers and registration writers share it).
   std::atomic<uint32_t> next_xid_{1};

@@ -75,6 +75,21 @@ struct Reactor::Endpoint {
   bool sending HCS_GUARDED_BY(send_mu) = false;
 };
 
+// One registered client fd (async RPC client channel). Loop-thread-only:
+// the handler runs on the loop thread, and registration/removal happen
+// there too, so no lock is needed.
+struct Reactor::ClientFd {
+  ~ClientFd() {
+    if (fd >= 0) {
+      close(fd);
+    }
+  }
+
+  int fd = -1;
+  Handle handle{Handle::Kind::kClient, nullptr};
+  std::function<void(uint32_t)> handler;
+};
+
 // One accepted stream connection. The loop thread owns `inbuf` and frame
 // parsing; workers append replies to `outbuf` under `mu` and arm EPOLLOUT
 // for whatever a direct write could not flush. The fd is closed by the
@@ -142,7 +157,9 @@ Status Reactor::Start() {
   udp_batch_ = ResolveUdpBatchSize(options_.udp_batch);
   udp_slot_bytes_ = options_.udp_slot_bytes != 0 ? options_.udp_slot_bytes : kMaxDatagram;
   int workers = options_.workers;
-  if (workers <= 0) {
+  if (workers < 0) {
+    workers = 0;  // client-only reactor: everything runs on the loop thread
+  } else if (workers == 0) {
     unsigned hw = std::thread::hardware_concurrency();
     workers = static_cast<int>(std::min(8u, std::max(2u, hw)));
   }
@@ -195,6 +212,17 @@ void Reactor::Stop() {
     conn->closed = true;
   }
   conns_.clear();
+  // Client channels, timers, and unrun posted work: the loop is down, so
+  // no handler will fire again. Owners (the async client engine) fail
+  // their outstanding futures before stopping the reactor.
+  client_fds_.clear();  // ~ClientFd closes each fd
+  client_by_fd_.clear();
+  timers_.clear();
+  timer_heap_.clear();
+  {
+    MutexLock lock(posted_mu_);
+    posted_.clear();
+  }
   {
     MutexLock lock(state_mu_);
     for (auto& endpoint : endpoints_) {
@@ -269,10 +297,12 @@ Status Reactor::AddStreamListener(int fd, SimService* service, ReactorEndpointOp
 }
 
 void Reactor::LoopMain() {
+  loop_tid_.store(std::this_thread::get_id(), std::memory_order_release);
   std::vector<epoll_event> events(64);
   std::vector<uint8_t> buffer(kMaxDatagram);
   while (!stopping_.load(std::memory_order_acquire)) {
-    int n = epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()), -1);
+    int n = epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
+                       NextTimerTimeoutMs());
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -288,6 +318,10 @@ void Reactor::LoopMain() {
         case Handle::Kind::kWake: {
           uint64_t value;
           (void)!read(wake_fd_, &value, sizeof(value));
+          // Re-arm wake coalescing. Any Post that skipped its eventfd write
+          // did so before this clear, so its task is already in posted_ and
+          // this iteration's RunPosted picks it up.
+          wake_pending_.store(false, std::memory_order_release);
           break;
         }
         case Handle::Kind::kUdp:
@@ -299,9 +333,150 @@ void Reactor::LoopMain() {
         case Handle::Kind::kConn:
           HandleConnEvent(static_cast<Conn*>(handle->target), events[i].events, buffer);
           break;
+        case Handle::Kind::kClient: {
+          // Removal during this batch is possible (a handler may close a
+          // sibling); look up by identity before trusting the pointer.
+          ClientFd* client = static_cast<ClientFd*>(handle->target);
+          auto it = client_fds_.find(client);
+          if (it != client_fds_.end()) {
+            // Keep the registration alive across the handler: the handler
+            // itself may call RemoveClientFd on this fd.
+            std::shared_ptr<ClientFd> shared = it->second;
+            shared->handler(events[i].events);
+          }
+          break;
+        }
       }
     }
+    RunPosted();
+    RunDueTimers();
   }
+}
+
+bool Reactor::Post(std::function<void()> fn) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  {
+    MutexLock lock(state_mu_);
+    if (!running_) {
+      return false;
+    }
+  }
+  {
+    MutexLock lock(posted_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  // Coalesce wakes: a burst of posts (an async client issuing a window of
+  // calls) pays one eventfd write, not one per task. The loop clears the
+  // flag when it consumes the wake, before draining posted_.
+  if (!wake_pending_.exchange(true, std::memory_order_acq_rel)) {
+    uint64_t one = 1;
+    (void)!write(wake_fd_, &one, sizeof(one));
+  }
+  return true;
+}
+
+bool Reactor::on_loop_thread() const {
+  return loop_tid_.load(std::memory_order_acquire) == std::this_thread::get_id();
+}
+
+void Reactor::RunPosted() {
+  std::deque<std::function<void()>> batch;
+  {
+    MutexLock lock(posted_mu_);
+    batch.swap(posted_);
+  }
+  for (std::function<void()>& fn : batch) {
+    fn();
+  }
+}
+
+uint64_t Reactor::ScheduleAfter(int64_t delay_ms, std::function<void()> fn) {
+  uint64_t id = next_timer_id_++;
+  timers_[id] = std::move(fn);
+  timer_heap_.emplace_back(SteadyNowMs() + std::max<int64_t>(delay_ms, 0), id);
+  std::push_heap(timer_heap_.begin(), timer_heap_.end(), std::greater<>());
+  return id;
+}
+
+void Reactor::CancelTimer(uint64_t id) {
+  // Lazy deletion: the heap entry stays and is skipped when popped.
+  timers_.erase(id);
+}
+
+int Reactor::NextTimerTimeoutMs() {
+  while (!timer_heap_.empty() &&
+         timers_.find(timer_heap_.front().second) == timers_.end()) {
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), std::greater<>());
+    timer_heap_.pop_back();  // cancelled: drop the stale entry
+  }
+  if (timer_heap_.empty()) {
+    return -1;
+  }
+  int64_t delta = timer_heap_.front().first - SteadyNowMs();
+  if (delta <= 0) {
+    return 0;
+  }
+  return static_cast<int>(std::min<int64_t>(delta, 60 * 1000));
+}
+
+void Reactor::RunDueTimers() {
+  const int64_t now = SteadyNowMs();
+  while (!timer_heap_.empty() && timer_heap_.front().first <= now) {
+    uint64_t id = timer_heap_.front().second;
+    std::pop_heap(timer_heap_.begin(), timer_heap_.end(), std::greater<>());
+    timer_heap_.pop_back();
+    auto it = timers_.find(id);
+    if (it == timers_.end()) {
+      continue;  // cancelled
+    }
+    std::function<void()> fn = std::move(it->second);
+    timers_.erase(it);
+    fn();
+  }
+}
+
+Status Reactor::AddClientFd(int fd, uint32_t events, std::function<void(uint32_t)> handler) {
+  auto client = std::make_shared<ClientFd>();
+  client->fd = fd;
+  client->handler = std::move(handler);
+  client->handle = Handle{Handle::Kind::kClient, client.get()};
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = &client->handle;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    int saved = errno;
+    return UnavailableError(StrFormat("epoll_ctl(client add): %s", std::strerror(saved)));
+  }
+  client_by_fd_[fd] = client.get();
+  client_fds_[client.get()] = std::move(client);
+  return Status::Ok();
+}
+
+Status Reactor::ModClientFd(int fd, uint32_t events) {
+  auto it = client_by_fd_.find(fd);
+  if (it == client_by_fd_.end()) {
+    return NotFoundError("client fd not registered");
+  }
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = &it->second->handle;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return UnavailableError(StrFormat("epoll_ctl(client mod): %s", std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+void Reactor::RemoveClientFd(int fd) {
+  auto it = client_by_fd_.find(fd);
+  if (it == client_by_fd_.end()) {
+    return;
+  }
+  ClientFd* client = it->second;
+  (void)epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  client_by_fd_.erase(it);
+  client_fds_.erase(client);  // ~ClientFd closes the fd
 }
 
 void Reactor::DrainUdp(Endpoint* endpoint, std::vector<uint8_t>& buffer) {

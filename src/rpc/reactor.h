@@ -32,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
@@ -49,7 +50,9 @@ struct UdpReply;
 constexpr size_t kMaxStreamFrame = 1 << 20;
 
 struct ReactorOptions {
-  // Worker threads; 0 = min(8, max(2, hardware_concurrency)).
+  // Worker threads; 0 = min(8, max(2, hardware_concurrency)); -1 = no
+  // worker pool at all (a client-only reactor: every callback runs on the
+  // loop thread, which is the async client engine's threading model).
   int workers = 0;
   // Datagrams moved per recvmmsg/sendmmsg on UDP endpoints. 0 = resolve
   // from HCS_UDP_BATCH (default kDefaultUdpBatch); 1 = single-shot
@@ -105,6 +108,38 @@ class Reactor {
   // frame. The reactor takes ownership of `fd`. Requires running().
   HCS_NODISCARD Status AddStreamListener(int fd, SimService* service, ReactorEndpointOptions options = {});
 
+  // --- Client-channel surface (the async RPC client core) ------------------
+  // The engine in src/rpc/async_client.cc registers its nonblocking client
+  // sockets here and drives all per-call state from the loop thread; these
+  // four methods plus the timers below are its entire contract with the
+  // reactor.
+
+  // Runs `fn` on the event-loop thread, FIFO with other posted work. Safe
+  // from any thread, including the loop thread itself. Returns false (and
+  // drops `fn`) when the reactor is not running.
+  bool Post(std::function<void()> fn);
+  // True when called from the event-loop thread (i.e. from a posted task,
+  // timer, or client-fd handler).
+  bool on_loop_thread() const;
+
+  // One-shot timer: runs `fn` on the loop thread once `delay_ms` elapses
+  // (monotonic clock). Loop thread only; returns a nonzero id.
+  uint64_t ScheduleAfter(int64_t delay_ms, std::function<void()> fn);
+  // Cancels a pending timer; a no-op once it fired. Loop thread only.
+  void CancelTimer(uint64_t id);
+
+  // Registers a connected (or connecting) nonblocking fd whose readiness is
+  // delivered to `handler(events)` on the loop thread. The reactor takes
+  // ownership of the fd. Loop thread only (Post the registration).
+  HCS_NODISCARD Status AddClientFd(int fd, uint32_t events,
+                                   std::function<void(uint32_t)> handler);
+  // Changes the interest set of a registered client fd. Loop thread only.
+  HCS_NODISCARD Status ModClientFd(int fd, uint32_t events);
+  // Unregisters and closes a client fd. Safe against events already pulled
+  // into the current epoll batch (lookup by identity, like stream conns).
+  // Loop thread only.
+  void RemoveClientFd(int fd);
+
   // --- Counters (relaxed; for tests and benches) ---------------------------
   uint64_t dispatched() const { return dispatched_.load(std::memory_order_relaxed); }
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
@@ -116,16 +151,22 @@ class Reactor {
  private:
   struct Endpoint;
   struct Conn;
+  struct ClientFd;
 
   // Tag for the pointer stashed in each epoll event.
   struct Handle {
-    enum class Kind { kWake, kUdp, kListener, kConn };
+    enum class Kind { kWake, kUdp, kListener, kConn, kClient };
     Kind kind;
     void* target = nullptr;
   };
 
   void LoopMain();
   void WorkerMain();
+  void RunPosted();
+  // Milliseconds until the earliest pending timer (epoll_wait timeout);
+  // -1 when no timer is pending. Loop thread only.
+  int NextTimerTimeoutMs();
+  void RunDueTimers();
 
   void DrainUdp(Endpoint* endpoint, std::vector<uint8_t>& buffer);
   void DrainUdpBatched(Endpoint* endpoint);
@@ -176,6 +217,26 @@ class Reactor {
   // Live connections; loop-thread-only (workers reach conns via the
   // shared_ptr captured in their task).
   std::map<Conn*, std::shared_ptr<Conn>> conns_;
+
+  // Posted-work queue: drained on the loop thread after each epoll batch.
+  Mutex posted_mu_{"reactor-posted"};
+  std::deque<std::function<void()>> posted_ HCS_GUARDED_BY(posted_mu_);
+  // True while an eventfd wake is in flight; lets Post coalesce a burst of
+  // tasks into one write(wake_fd_).
+  std::atomic<bool> wake_pending_{false};
+
+  // Registered client fds; loop-thread-only, like conns_.
+  std::map<ClientFd*, std::shared_ptr<ClientFd>> client_fds_;
+  std::map<int, ClientFd*> client_by_fd_;
+
+  // Timers; loop-thread-only. The heap may hold stale entries for cancelled
+  // ids (lazy deletion) — timers_ is the source of truth.
+  uint64_t next_timer_id_ = 1;
+  std::unordered_map<uint64_t, std::function<void()>> timers_;
+  std::vector<std::pair<int64_t, uint64_t>> timer_heap_;  // (deadline_ms, id) min-heap
+
+  // The loop thread's id, for on_loop_thread(); set by LoopMain on entry.
+  std::atomic<std::thread::id> loop_tid_{};
 
   std::atomic<uint64_t> dispatched_{0};
   std::atomic<uint64_t> dropped_{0};

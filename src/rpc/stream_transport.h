@@ -72,6 +72,10 @@ class TcpStreamTransport : public Transport {
                                     int64_t budget_ms) override;
   bool SupportsBudget() const override { return true; }
 
+  AsyncChannelSpec async_channel() const override {
+    return AsyncChannelSpec{AsyncChannelKind::kTcpStream, timeout_ms_};
+  }
+
   // Drops every cached connection (process restart).
   void CloseAll();
   // TCP connects performed (reuse means fewer connects than calls).

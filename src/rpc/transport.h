@@ -17,6 +17,25 @@
 
 namespace hcs {
 
+// How (and whether) a transport exposes a nonblocking channel the async
+// client engine (src/rpc/async_client.h) can drive from the reactor loop.
+// kNone means CallAsync falls back to the blocking path and completes
+// inline — the behavior-preserving default for simulated and in-process
+// transports, and for wrappers (fault injection) that interpose on the
+// blocking exchange.
+enum class AsyncChannelKind {
+  kNone,
+  kUdpDatagram,  // one shared nonblocking UDP socket, xid-matched replies
+  kTcpStream,    // pooled pipelined connections, length-prefixed frames
+};
+
+struct AsyncChannelSpec {
+  AsyncChannelKind kind = AsyncChannelKind::kNone;
+  // Per-attempt timeout ceiling the engine applies (the transport's own
+  // default timeout; the retry budget can only shorten it).
+  int default_timeout_ms = 2000;
+};
+
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -42,6 +61,11 @@ class Transport {
   // Simulated transports return false, which keeps sim runs single-attempt
   // and deterministic.
   virtual bool SupportsBudget() const { return false; }
+
+  // The nonblocking channel this transport exposes to the async client
+  // engine. Default: none — CallAsync then completes via the blocking
+  // RoundTrip path, byte-identical to the synchronous client.
+  virtual AsyncChannelSpec async_channel() const { return {}; }
 };
 
 // Transport over the simulated internetwork. Endpoints are the services

@@ -135,6 +135,10 @@ class UdpTransport : public Transport {
 
   bool SupportsBudget() const override { return true; }
 
+  AsyncChannelSpec async_channel() const override {
+    return AsyncChannelSpec{AsyncChannelKind::kUdpDatagram, timeout_ms_};
+  }
+
  private:
   HCS_NODISCARD Result<Bytes> Exchange(uint16_t port, const Bytes& message, int64_t timeout_ms);
 

@@ -1,0 +1,532 @@
+// The async RPC client core over real sockets: CallAsync fan-out on UDP,
+// stream pipelining on a single pooled connection, partial-frame
+// reassembly with pipelined requests behind it, pool exhaustion, idle
+// reaping racing in-flight calls, the sync-fallback channel, and the
+// ResolveMany / PrefetchRecords layers built on top.
+//
+// Delay-bearing servers run on an explicit kReactor host with a fixed
+// worker pool, so the wall-clock assertions are independent of the
+// HCS_REACTOR environment default (a thread-per-endpoint host serializes
+// handlers per endpoint, which would re-serialize the very concurrency
+// under test).
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/bindns/protocol.h"
+#include "src/bindns/record.h"
+#include "src/hns/meta_store.h"
+#include "src/hns/session.h"
+#include "src/hns/wire_protocol.h"
+#include "src/rpc/async_client.h"
+#include "src/rpc/client.h"
+#include "src/rpc/ports.h"
+#include "src/rpc/server.h"
+#include "src/rpc/stream_transport.h"
+#include "src/rpc/udp_transport.h"
+#include "src/wire/xdr.h"
+
+namespace hcs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - start).count();
+}
+
+HrpcBinding UdpBinding(uint16_t port, uint32_t program, ControlKind control) {
+  HrpcBinding b;
+  b.service_name = "async-test";
+  b.host = "localhost";
+  b.port = port;
+  b.program = program;
+  b.version = 2;
+  b.control = control;
+  b.transport = TransportKind::kUdp;
+  return b;
+}
+
+HrpcBinding TcpBinding(uint16_t port, uint32_t program, ControlKind control) {
+  HrpcBinding b = UdpBinding(port, program, control);
+  b.transport = TransportKind::kTcp;
+  return b;
+}
+
+TEST(AsyncClientTest, UdpFanOutCompletesEveryFuture) {
+  UdpServerHost host;
+  RpcServer server(ControlKind::kSunRpc, "async-echo");
+  server.RegisterProcedure(7, 1, [](const Bytes& args) -> Result<Bytes> { return args; });
+  Result<uint16_t> port = host.Serve(&server, 0);
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  UdpTransport transport;
+  RpcClient client(/*world=*/nullptr, "localclient", &transport);
+  AsyncClientEngine engine;
+  client.set_async_engine(&engine);
+
+  constexpr int kCalls = 32;
+  std::vector<RpcFuture> futures;
+  std::vector<Bytes> payloads;
+  futures.reserve(kCalls);
+  for (int i = 0; i < kCalls; ++i) {
+    XdrEncoder enc;
+    enc.PutUint32(static_cast<uint32_t>(i));
+    payloads.push_back(enc.Take());
+    futures.push_back(
+        client.CallAsync(UdpBinding(*port, 7, ControlKind::kSunRpc), 1, payloads.back()));
+  }
+  for (int i = 0; i < kCalls; ++i) {
+    Result<Bytes> reply = futures[i].Wait();
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    EXPECT_EQ(*reply, payloads[i]) << "reply " << i << " matched to the wrong call";
+    EXPECT_GE(futures[i].info().attempts, 1u);
+  }
+  EXPECT_EQ(engine.stats().completed, static_cast<uint64_t>(kCalls));
+  host.StopAll();
+}
+
+TEST(AsyncClientTest, UdpInFlightCallsShareTheWallClock) {
+  constexpr int kCalls = 16;
+  constexpr int kDelayMs = 25;
+  UdpServerHost host(ServeMode::kReactor, /*reactor_workers=*/8);
+  RpcServer server(ControlKind::kRaw, "async-delay");
+  server.RegisterProcedure(7, 1, [kDelayMs](const Bytes& args) -> Result<Bytes> {
+    std::this_thread::sleep_for(std::chrono::milliseconds(kDelayMs));
+    return args;
+  });
+  Result<uint16_t> port = host.ServeConcurrent(&server, 0);
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  UdpTransport transport;
+  RpcClient client(nullptr, "localclient", &transport);
+  AsyncClientEngine engine;
+  client.set_async_engine(&engine);
+
+  Clock::time_point start = Clock::now();
+  std::vector<RpcFuture> futures;
+  for (int i = 0; i < kCalls; ++i) {
+    futures.push_back(client.CallAsync(UdpBinding(*port, 7, ControlKind::kRaw), 1, Bytes{1}));
+  }
+  for (RpcFuture& future : futures) {
+    ASSERT_TRUE(future.Wait().ok());
+  }
+  int64_t elapsed = ElapsedMs(start);
+  // Sequential would cost kCalls * kDelayMs = 400 ms; 16 in flight across 8
+  // server workers cost ~2 delays. The bound leaves a wide scheduling margin
+  // while still being unreachable by a serialized client.
+  EXPECT_LT(elapsed, kCalls * kDelayMs / 2)
+      << "async fan-out did not overlap server-side delays";
+  host.StopAll();
+}
+
+TEST(AsyncClientTest, StreamPipeliningCompletesOutOfOrderOnOneConnection) {
+  UdpServerHost host(ServeMode::kReactor, /*reactor_workers=*/8);
+  RpcServer server(ControlKind::kSunRpc, "pipeline");
+  server.RegisterProcedure(9, 1, [](const Bytes& args) -> Result<Bytes> {
+    // First byte selects the handler latency: the slow call goes out first
+    // and must come back last without stalling the fast ones behind it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(args.empty() || args[0] != 1 ? 5 : 80));
+    return args;
+  });
+  Result<uint16_t> port = host.ServeStreamConcurrent(&server, 0);
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  AsyncEngineOptions options;
+  options.max_conns_per_remote = 1;  // force every call onto one pipe
+  AsyncClientEngine engine(options);
+  TcpStreamTransport transport;
+  RpcClient client(nullptr, "localclient", &transport);
+  client.set_async_engine(&engine);
+
+  constexpr int kCalls = 8;
+  std::mutex order_mu;
+  std::vector<int> completion_order;
+  std::vector<RpcFuture> futures;
+  for (int i = 0; i < kCalls; ++i) {
+    Bytes payload{static_cast<uint8_t>(i == 0 ? 1 : 2), static_cast<uint8_t>(i)};
+    futures.push_back(
+        client.CallAsync(TcpBinding(*port, 9, ControlKind::kSunRpc), 1, payload));
+    futures.back().OnComplete([&order_mu, &completion_order, i](const Result<Bytes>&,
+                                                               const RpcCallInfo&) {
+      std::lock_guard<std::mutex> lock(order_mu);
+      completion_order.push_back(i);
+    });
+  }
+  for (int i = 0; i < kCalls; ++i) {
+    Result<Bytes> reply = futures[i].Wait();
+    ASSERT_TRUE(reply.ok()) << "call " << i << ": " << reply.status();
+    ASSERT_EQ(reply->size(), 2u);
+    EXPECT_EQ((*reply)[1], static_cast<uint8_t>(i)) << "pipelined reply misrouted";
+  }
+  EXPECT_EQ(engine.stats().stream_connects, 1u)
+      << "pipelined calls must share one connection";
+  {
+    std::lock_guard<std::mutex> lock(order_mu);
+    ASSERT_EQ(completion_order.size(), static_cast<size_t>(kCalls));
+    // The slow call was issued first; replies are matched by xid, so the
+    // fast calls pipelined behind it complete before it does.
+    EXPECT_EQ(completion_order.back(), 0) << "slow head-of-line call should finish last";
+  }
+  host.StopAll();
+}
+
+// A hand-rolled stream server: accepts one connection, reads two pipelined
+// requests, then answers with the FIRST reply frame split across two
+// writes (the straddle) and the SECOND reply packed into the same final
+// write. The client must reassemble the partial frame and still match the
+// pipelined reply sitting behind it in the same read.
+TEST(AsyncClientTest, PartialFrameStraddlesTwoReadsWithPipelinedReplyBehind) {
+  int listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(listen(listen_fd, 1), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len), 0);
+  uint16_t port = ntohs(addr.sin_port);
+
+  std::thread server([listen_fd] {
+    const ControlProtocol& control = GetControlProtocol(ControlKind::kRaw);
+    int conn = accept(listen_fd, nullptr, nullptr);
+    ASSERT_GE(conn, 0);
+
+    // Read until two complete length-prefixed frames arrive.
+    std::vector<uint8_t> buf;
+    std::vector<Bytes> requests;
+    while (requests.size() < 2) {
+      uint8_t chunk[4096];
+      ssize_t n = recv(conn, chunk, sizeof(chunk), 0);
+      ASSERT_GT(n, 0);
+      buf.insert(buf.end(), chunk, chunk + n);
+      while (buf.size() >= 4) {
+        uint32_t len = (static_cast<uint32_t>(buf[0]) << 24) |
+                       (static_cast<uint32_t>(buf[1]) << 16) |
+                       (static_cast<uint32_t>(buf[2]) << 8) | buf[3];
+        if (buf.size() < 4 + len) {
+          break;
+        }
+        requests.emplace_back(buf.begin() + 4, buf.begin() + 4 + len);
+        buf.erase(buf.begin(), buf.begin() + 4 + len);
+      }
+    }
+
+    auto frame = [&control](const Bytes& request) {
+      Result<RpcCall> call = control.DecodeCall(request);
+      EXPECT_TRUE(call.ok()) << call.status();
+      RpcReplyMsg reply;
+      reply.xid = call->xid;
+      reply.results = call->args;  // echo
+      Bytes body = control.EncodeReply(reply);
+      Bytes framed;
+      framed.push_back(static_cast<uint8_t>(body.size() >> 24));
+      framed.push_back(static_cast<uint8_t>(body.size() >> 16));
+      framed.push_back(static_cast<uint8_t>(body.size() >> 8));
+      framed.push_back(static_cast<uint8_t>(body.size()));
+      framed.insert(framed.end(), body.begin(), body.end());
+      return framed;
+    };
+    Bytes first = frame(requests[0]);
+    Bytes second = frame(requests[1]);
+
+    // The straddle: header plus half of the first reply's payload, a pause
+    // long enough for the client to drain its socket, then the remainder
+    // with the whole second reply glued on.
+    size_t split = 4 + (first.size() - 4) / 2;
+    ASSERT_EQ(send(conn, first.data(), split, 0), static_cast<ssize_t>(split));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Bytes rest(first.begin() + split, first.end());
+    rest.insert(rest.end(), second.begin(), second.end());
+    ASSERT_EQ(send(conn, rest.data(), rest.size(), 0), static_cast<ssize_t>(rest.size()));
+    // Hold the connection open until the client is done reading.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    close(conn);
+  });
+
+  AsyncEngineOptions options;
+  options.max_conns_per_remote = 1;
+  AsyncClientEngine engine(options);
+  TcpStreamTransport transport;
+  RpcClient client(nullptr, "localclient", &transport);
+  client.set_async_engine(&engine);
+
+  RpcFuture f1 = client.CallAsync(TcpBinding(port, 3, ControlKind::kRaw), 1, Bytes{10, 11, 12});
+  RpcFuture f2 = client.CallAsync(TcpBinding(port, 3, ControlKind::kRaw), 1, Bytes{20, 21});
+  Result<Bytes> r1 = f1.Wait();
+  Result<Bytes> r2 = f2.Wait();
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(*r1, (Bytes{10, 11, 12}));
+  EXPECT_EQ(*r2, (Bytes{20, 21}));
+
+  server.join();
+  close(listen_fd);
+}
+
+TEST(AsyncClientTest, PoolExhaustionQueuesAttemptsAndStillCompletes) {
+  UdpServerHost host(ServeMode::kReactor, /*reactor_workers=*/8);
+  RpcServer server(ControlKind::kSunRpc, "pool");
+  server.RegisterProcedure(9, 1, [](const Bytes& args) -> Result<Bytes> {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return args;
+  });
+  Result<uint16_t> port = host.ServeStreamConcurrent(&server, 0);
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  AsyncEngineOptions options;
+  options.max_conns_per_remote = 1;
+  options.max_inflight_per_conn = 2;  // window of 2 → calls 3..6 must queue
+  AsyncClientEngine engine(options);
+  TcpStreamTransport transport;
+  RpcClient client(nullptr, "localclient", &transport);
+  client.set_async_engine(&engine);
+
+  constexpr int kCalls = 6;
+  std::vector<RpcFuture> futures;
+  for (int i = 0; i < kCalls; ++i) {
+    futures.push_back(client.CallAsync(TcpBinding(*port, 9, ControlKind::kSunRpc), 1,
+                                       Bytes{static_cast<uint8_t>(i)}));
+  }
+  for (int i = 0; i < kCalls; ++i) {
+    Result<Bytes> reply = futures[i].Wait();
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    EXPECT_EQ(*reply, Bytes{static_cast<uint8_t>(i)});
+  }
+  AsyncEngineStats stats = engine.stats();
+  EXPECT_EQ(stats.stream_connects, 1u);
+  EXPECT_GE(stats.pool_waits, 1u) << "6 calls through a window of 2 must queue";
+  host.StopAll();
+}
+
+TEST(AsyncClientTest, IdleConnectionIsReapedAndNextCallRedials) {
+  UdpServerHost host;
+  RpcServer server(ControlKind::kSunRpc, "reap");
+  server.RegisterProcedure(9, 1, [](const Bytes& args) -> Result<Bytes> { return args; });
+  Result<uint16_t> port = host.ServeStream(&server, 0);
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  AsyncEngineOptions options;
+  options.idle_reap_ms = 50;
+  options.reap_interval_ms = 20;
+  AsyncClientEngine engine(options);
+  TcpStreamTransport transport;
+  RpcClient client(nullptr, "localclient", &transport);
+  client.set_async_engine(&engine);
+
+  ASSERT_TRUE(client.CallAsync(TcpBinding(*port, 9, ControlKind::kSunRpc), 1, Bytes{1})
+                  .Wait()
+                  .ok());
+  EXPECT_EQ(engine.stats().stream_connects, 1u);
+
+  Clock::time_point start = Clock::now();
+  while (engine.stats().stream_reaped == 0 && ElapsedMs(start) < 2000) {
+    engine.ReapIdleNow();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(engine.stats().stream_reaped, 1u) << "idle connection was never reaped";
+
+  ASSERT_TRUE(client.CallAsync(TcpBinding(*port, 9, ControlKind::kSunRpc), 1, Bytes{2})
+                  .Wait()
+                  .ok());
+  EXPECT_EQ(engine.stats().stream_connects, 2u) << "post-reap call should redial";
+  host.StopAll();
+}
+
+TEST(AsyncClientTest, AggressiveReapingNeverFailsInFlightCalls) {
+  UdpServerHost host;
+  RpcServer server(ControlKind::kSunRpc, "reap-race");
+  server.RegisterProcedure(9, 1, [](const Bytes& args) -> Result<Bytes> { return args; });
+  Result<uint16_t> port = host.ServeStream(&server, 0);
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  AsyncEngineOptions options;
+  options.idle_reap_ms = 1;
+  options.reap_interval_ms = 1;
+  AsyncClientEngine engine(options);
+  TcpStreamTransport transport;
+  RpcClient client(nullptr, "localclient", &transport);
+  client.set_async_engine(&engine);
+
+  // A connection goes idle (and is eligible for reaping) between every
+  // pair of calls; reaping must only ever hit idle connections, never a
+  // call mid-flight.
+  for (int i = 0; i < 40; ++i) {
+    RpcFuture future = client.CallAsync(TcpBinding(*port, 9, ControlKind::kSunRpc), 1,
+                                        Bytes{static_cast<uint8_t>(i)});
+    engine.ReapIdleNow();
+    Result<Bytes> reply = future.Wait();
+    ASSERT_TRUE(reply.ok()) << "call " << i << ": " << reply.status();
+    EXPECT_EQ(*reply, Bytes{static_cast<uint8_t>(i)});
+    if (i % 8 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+  }
+  EXPECT_GE(engine.stats().stream_reaped, 1u);
+  host.StopAll();
+}
+
+TEST(AsyncClientTest, ChannellessTransportCompletesInline) {
+  LoopbackTransport loopback;
+  RpcServer server(ControlKind::kSunRpc, "loopback-echo");
+  server.RegisterProcedure(7, 1, [](const Bytes& args) -> Result<Bytes> { return args; });
+  ASSERT_TRUE(loopback.Register(9000, &server).ok());
+
+  RpcClient client(nullptr, "localclient", &loopback);
+  HrpcBinding binding = UdpBinding(9000, 7, ControlKind::kSunRpc);
+  RpcFuture future = client.CallAsync(binding, 1, Bytes{5, 6});
+  // No async channel → the call ran to completion inside CallAsync.
+  EXPECT_TRUE(future.ready());
+  Result<Bytes> async_reply = future.Wait();
+  Result<Bytes> sync_reply = client.Call(binding, 1, Bytes{5, 6});
+  ASSERT_TRUE(async_reply.ok());
+  ASSERT_TRUE(sync_reply.ok());
+  EXPECT_EQ(*async_reply, *sync_reply);
+}
+
+TEST(AsyncClientTest, ResolveManyIssuesRemoteFindNsmConcurrently) {
+  constexpr int kUnique = 8;
+  // Large enough that the overlap signal dominates sanitizer slowdown: the
+  // TSan build adds ~100 ms of instrumentation overhead to the batch, which
+  // must stay well under the half-serial-cost bound below.
+  constexpr int kDelayMs = 50;
+  UdpServerHost host(ServeMode::kReactor, /*reactor_workers=*/8);
+  RpcServer hns_server(ControlKind::kRaw, "hns-server");
+  hns_server.RegisterProcedure(
+      kHnsProgram, kHnsProcFindNsm, [kDelayMs](const Bytes& args) -> Result<Bytes> {
+        HCS_ASSIGN_OR_RETURN(FindNsmRequest request, FindNsmRequest::Decode(args));
+        std::this_thread::sleep_for(std::chrono::milliseconds(kDelayMs));
+        FindNsmResponse response;
+        response.nsm_name = "nsm-" + request.context;
+        response.binding.service_name = response.nsm_name;
+        response.binding.host = "server";
+        response.binding.port = kNsmBasePort;
+        response.binding.program = 1;
+        return response.Encode();
+      });
+  // The session dials the well-known HNS port; this test runs as root in
+  // the container, so the sub-1024 bind is available. Skip, not fail, when
+  // another process owns it.
+  Result<uint16_t> port = host.ServeConcurrent(&hns_server, kHnsServerPort);
+  if (!port.ok()) {
+    GTEST_SKIP() << "cannot bind HNS port " << kHnsServerPort << ": " << port.status();
+  }
+
+  UdpTransport transport;
+  SessionOptions options;
+  options.hns_location = HnsLocation::kRemote;
+  options.hns_server_host = "localhost";
+  HnsSession session(/*world=*/nullptr, "localclient", &transport, options);
+
+  // 16 requests over 8 unique (context, class) pairs: duplicates share one
+  // exchange, distinct pairs all go out before any is awaited.
+  std::vector<HnsSession::ResolveRequest> requests;
+  for (int i = 0; i < kUnique * 2; ++i) {
+    HnsSession::ResolveRequest request;
+    request.name.context = "ctx" + std::to_string(i % kUnique);
+    request.name.individual = "host" + std::to_string(i);
+    request.query_class = "HRPCBinding";
+    requests.push_back(request);
+  }
+
+  Clock::time_point start = Clock::now();
+  std::vector<Result<NsmHandle>> results = session.ResolveMany(requests);
+  int64_t elapsed = ElapsedMs(start);
+
+  ASSERT_EQ(results.size(), requests.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "request " << i << ": " << results[i].status();
+    EXPECT_EQ(results[i]->nsm_name, "nsm-ctx" + std::to_string(i % kUnique));
+  }
+  // Sequential: kUnique * kDelayMs = 400 ms. Concurrent across 8 server
+  // workers: ~1 delay. Well under half the serial cost proves the batch was
+  // in flight together.
+  EXPECT_LT(elapsed, kUnique * kDelayMs / 2)
+      << "ResolveMany did not overlap its FindNSM exchanges";
+  host.StopAll();
+}
+
+// A delaying modified-BIND upstream served concurrently, for the meta-store
+// prefetch wall-clock test.
+class DelayedMetaBind {
+ public:
+  explicit DelayedMetaBind(int delay_ms)
+      : host_(ServeMode::kReactor, /*reactor_workers=*/8),
+        server_(ControlKind::kRaw, "delayed-meta-bind") {
+    server_.RegisterProcedure(
+        kBindProgram, kBindProcQuery, [this, delay_ms](const Bytes& args) -> Result<Bytes> {
+          ++queries_;
+          HCS_ASSIGN_OR_RETURN(BindQueryRequest request, BindQueryRequest::Decode(args));
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+          BindQueryResponse response;
+          response.rcode = Rcode::kNoError;
+          response.answers = UnspecRecordsFromValue(
+              request.name, RecordBuilder().Str("ns", "UW-BIND").Build(), 300);
+          return response.Encode();
+        });
+  }
+
+  Result<uint16_t> Serve() { return host_.ServeConcurrent(&server_, 0); }
+  int queries() const { return queries_.load(); }
+  void Stop() { host_.StopAll(); }
+
+ private:
+  UdpServerHost host_;
+  RpcServer server_;
+  std::atomic<int> queries_{0};
+};
+
+TEST(AsyncClientTest, PrefetchRecordsFetchesAWaveConcurrently) {
+  constexpr int kRecords = 6;
+  constexpr int kDelayMs = 40;
+  DelayedMetaBind upstream(kDelayMs);
+  Result<uint16_t> port = upstream.Serve();
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  UdpTransport transport;
+  RpcClient rpc(/*world=*/nullptr, "localclient", &transport);
+  HnsCache cache(/*world=*/nullptr, CacheMode::kDemarshalled);
+  MetaStore meta(&rpc, "localhost", "", &cache);
+  meta.set_meta_port(*port);
+
+  std::vector<std::string> names;
+  std::vector<std::string> contexts;
+  for (int i = 0; i < kRecords; ++i) {
+    contexts.push_back("PrefetchCtx" + std::to_string(i));
+    names.push_back(MetaStore::ContextRecordName(contexts.back()));
+  }
+
+  Clock::time_point start = Clock::now();
+  meta.PrefetchRecords(names);
+  int64_t elapsed = ElapsedMs(start);
+  // Sequential: kRecords * kDelayMs = 240 ms; concurrent: ~1 delay.
+  EXPECT_LT(elapsed, kRecords * kDelayMs / 2)
+      << "prefetch fetched its wave sequentially";
+  EXPECT_EQ(meta.remote_lookups(), static_cast<uint64_t>(kRecords));
+
+  // Every follow-up read is a cache hit off the prefetched wave.
+  for (const std::string& ctx : contexts) {
+    Result<std::string> ns = meta.ContextToNameService(ctx);
+    ASSERT_TRUE(ns.ok()) << ns.status();
+    EXPECT_EQ(*ns, "UW-BIND");
+  }
+  EXPECT_EQ(meta.remote_lookups(), static_cast<uint64_t>(kRecords))
+      << "post-prefetch reads went remote";
+  EXPECT_EQ(upstream.queries(), kRecords);
+  upstream.Stop();
+}
+
+}  // namespace
+}  // namespace hcs

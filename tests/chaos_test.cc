@@ -8,12 +8,18 @@
 // past its min-constituent TTL, and cache structures stay internally
 // consistent (CheckInvariants) after every fault schedule.
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <random>
 #include <set>
 #include <string>
 #include <thread>
@@ -551,6 +557,309 @@ TEST(ChaosTest, CorruptFrameStormOverStreamStaysLive) {
               kCalls - successes);
   EXPECT_GT(successes, 0);
   EXPECT_GT(collected.corruptions, 0u) << "a 40% corruption plan that never fired is not running";
+}
+
+// --- Async pipeline scenarios ----------------------------------------------
+//
+// The async engine does its own socket I/O, so FaultInjectingTransport (a
+// RoundTrip wrapper) cannot touch its traffic. These scenarios instead run
+// seeded chaotic *servers*: every shuffle, duplication, and crash point is
+// drawn from an mt19937_64 keyed by the scenario seed, so a failing run
+// replays byte-identically with HCS_CHAOS_SEED=<seed>.
+
+// Reads length-prefixed frames off `fd` until `want` complete request
+// bodies arrive (or the peer hangs up). Returns the raw bodies.
+std::vector<Bytes> ReadFramedRequests(int fd, size_t want) {
+  std::vector<uint8_t> buf;
+  std::vector<Bytes> requests;
+  while (requests.size() < want) {
+    uint8_t chunk[4096];
+    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      break;
+    }
+    buf.insert(buf.end(), chunk, chunk + n);
+    while (buf.size() >= 4) {
+      uint32_t len = (static_cast<uint32_t>(buf[0]) << 24) |
+                     (static_cast<uint32_t>(buf[1]) << 16) |
+                     (static_cast<uint32_t>(buf[2]) << 8) | buf[3];
+      if (buf.size() < 4 + len) {
+        break;
+      }
+      requests.emplace_back(buf.begin() + 4, buf.begin() + 4 + len);
+      buf.erase(buf.begin(), buf.begin() + 4 + len);
+    }
+  }
+  return requests;
+}
+
+// Frames an echo reply (same xid, args echoed back) for one raw request.
+Bytes FramedEchoReply(const Bytes& request) {
+  const ControlProtocol& control = GetControlProtocol(ControlKind::kRaw);
+  Result<RpcCall> call = control.DecodeCall(request);
+  if (!call.ok()) {
+    return Bytes{};
+  }
+  RpcReplyMsg reply;
+  reply.xid = call->xid;
+  reply.results = call->args;
+  Bytes body = control.EncodeReply(reply);
+  Bytes framed;
+  framed.push_back(static_cast<uint8_t>(body.size() >> 24));
+  framed.push_back(static_cast<uint8_t>(body.size() >> 16));
+  framed.push_back(static_cast<uint8_t>(body.size() >> 8));
+  framed.push_back(static_cast<uint8_t>(body.size()));
+  framed.insert(framed.end(), body.begin(), body.end());
+  return framed;
+}
+
+// Opens a loopback TCP listener on an ephemeral port. Returns {fd, port}.
+std::pair<int, uint16_t> ListenLoopback() {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (fd < 0 || bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, 1) != 0) {
+    return {-1, 0};
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    return {-1, 0};
+  }
+  return {fd, ntohs(addr.sin_port)};
+}
+
+TEST(ChaosTest, AsyncUdpDuplicateReorderStormMatchesEveryReply) {
+  uint64_t seed = AnnounceSeed("AsyncUdpDuplicateReorderStormMatchesEveryReply");
+  constexpr int kCalls = 16;
+
+  // A chaotic echo server: collects every request first, then answers in a
+  // seed-shuffled order, duplicating some replies and re-sending a few
+  // stale ones at the end. The client must still hand every future its own
+  // payload, and account the leftovers as unmatched datagrams.
+  int server_fd = socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(server_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(bind(server_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(getsockname(server_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len), 0);
+  uint16_t server_port = ntohs(addr.sin_port);
+
+  std::atomic<int> duplicates_sent{0};
+  std::thread server([server_fd, seed, &duplicates_sent] {
+    const ControlProtocol& control = GetControlProtocol(ControlKind::kRaw);
+    std::mt19937_64 rng(seed);
+    std::vector<Bytes> replies;
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    while (replies.size() < kCalls) {
+      uint8_t buf[2048];
+      peer_len = sizeof(peer);
+      ssize_t n = recvfrom(server_fd, buf, sizeof(buf), 0,
+                           reinterpret_cast<sockaddr*>(&peer), &peer_len);
+      if (n <= 0) {
+        return;
+      }
+      Bytes request(buf, buf + n);
+      Result<RpcCall> call = control.DecodeCall(request);
+      if (!call.ok()) {
+        continue;
+      }
+      RpcReplyMsg reply;
+      reply.xid = call->xid;
+      reply.results = call->args;
+      replies.push_back(control.EncodeReply(reply));
+    }
+    std::shuffle(replies.begin(), replies.end(), rng);
+    auto send_reply = [&](const Bytes& reply) {
+      (void)sendto(server_fd, reply.data(), reply.size(), 0,
+                   reinterpret_cast<sockaddr*>(&peer),
+                   peer_len);  // hcs:ignore-status(chaos server; a lost reply is the fault under test)
+    };
+    for (const Bytes& reply : replies) {
+      send_reply(reply);
+      if (rng() % 100 < 40) {  // duplicate storm
+        send_reply(reply);
+        ++duplicates_sent;
+      }
+    }
+    for (int i = 0; i < 3; ++i) {  // stale re-sends, long after the originals
+      send_reply(replies[rng() % replies.size()]);
+      ++duplicates_sent;
+    }
+  });
+
+  UdpTransport transport;
+  RpcClient client(/*world=*/nullptr, "localclient", &transport);
+  AsyncClientEngine engine;
+  client.set_async_engine(&engine);
+
+  std::vector<RpcFuture> futures;
+  for (int i = 0; i < kCalls; ++i) {
+    futures.push_back(client.CallAsync(UdpBinding(server_port, 7, ControlKind::kRaw), 1,
+                                       Bytes{static_cast<uint8_t>(i), 0x5a}));
+  }
+  int mismatches = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    Result<Bytes> reply = futures[i].Wait();
+    ASSERT_TRUE(reply.ok()) << "call " << i << ": " << reply.status();
+    if (*reply != (Bytes{static_cast<uint8_t>(i), 0x5a})) {
+      ++mismatches;
+    }
+  }
+  server.join();
+  close(server_fd);
+
+  EXPECT_EQ(mismatches, 0) << "a duplicated or reordered reply crossed calls";
+  EXPECT_GT(duplicates_sent.load(), 0) << "a 40% duplicate storm that never fired";
+  // Every duplicate eventually lands as an unmatched datagram (its call
+  // already completed). Give stragglers a beat to arrive.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(engine.stats().udp_unmatched, static_cast<uint64_t>(duplicates_sent.load()));
+  std::cout << "[chaos] AsyncUdpDuplicateReorderStorm duplicates=" << duplicates_sent.load()
+            << " unmatched=" << engine.stats().udp_unmatched << std::endl;
+}
+
+TEST(ChaosTest, AsyncStreamPipelineSurvivesDuplicateAndReorderedFrames) {
+  uint64_t seed = AnnounceSeed("AsyncStreamPipelineSurvivesDuplicateAndReorderedFrames");
+  constexpr int kCalls = 8;
+
+  auto [listen_fd, port] = ListenLoopback();
+  ASSERT_GE(listen_fd, 0);
+
+  std::atomic<int> duplicates_sent{0};
+  std::atomic<bool> server_ok{true};
+  std::thread server([listen_fd, seed, &duplicates_sent, &server_ok] {
+    int conn = accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      server_ok = false;
+      return;
+    }
+    std::vector<Bytes> requests = ReadFramedRequests(conn, kCalls);
+    if (requests.size() != kCalls) {
+      server_ok = false;
+      close(conn);
+      return;
+    }
+    std::mt19937_64 rng(seed);
+    std::shuffle(requests.begin(), requests.end(), rng);
+    for (const Bytes& request : requests) {
+      Bytes framed = FramedEchoReply(request);
+      (void)send(conn, framed.data(), framed.size(),
+                 0);  // hcs:ignore-status(chaos server; a lost frame is the fault under test)
+      if (rng() % 100 < 40) {  // duplicate the frame, same xid
+        (void)send(conn, framed.data(), framed.size(),
+                   0);  // hcs:ignore-status(chaos server; duplicate frame is the fault under test)
+        ++duplicates_sent;
+      }
+    }
+    // Keep the pipe open until the client has drained everything.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    close(conn);
+  });
+
+  AsyncEngineOptions options;
+  options.max_conns_per_remote = 1;  // every call pipelined on one pipe
+  AsyncClientEngine engine(options);
+  TcpStreamTransport transport;
+  RpcClient client(/*world=*/nullptr, "localclient", &transport);
+  client.set_async_engine(&engine);
+
+  HrpcBinding binding = UdpBinding(port, 7, ControlKind::kRaw);
+  binding.transport = TransportKind::kTcp;
+  std::vector<RpcFuture> futures;
+  for (int i = 0; i < kCalls; ++i) {
+    futures.push_back(client.CallAsync(binding, 1, Bytes{static_cast<uint8_t>(i), 0x77}));
+  }
+  for (int i = 0; i < kCalls; ++i) {
+    Result<Bytes> reply = futures[i].Wait();
+    ASSERT_TRUE(reply.ok()) << "call " << i << ": " << reply.status();
+    EXPECT_EQ(*reply, (Bytes{static_cast<uint8_t>(i), 0x77}))
+        << "a reordered or duplicated frame crossed pipelined calls";
+  }
+  server.join();
+  close(listen_fd);
+  ASSERT_TRUE(server_ok.load());
+
+  EXPECT_EQ(engine.stats().stream_connects, 1u);
+  EXPECT_EQ(engine.stats().stream_unmatched, static_cast<uint64_t>(duplicates_sent.load()))
+      << "every duplicated frame must be counted, never crossed onto a call";
+  std::cout << "[chaos] AsyncStreamPipelineDupReorder duplicates=" << duplicates_sent.load()
+            << std::endl;
+}
+
+TEST(ChaosTest, AsyncServerCrashMidPipelineFailsAllOutstandingFutures) {
+  uint64_t seed = AnnounceSeed("AsyncServerCrashMidPipelineFailsAllOutstandingFutures");
+  constexpr int kCalls = 8;
+
+  auto [listen_fd, port] = ListenLoopback();
+  ASSERT_GE(listen_fd, 0);
+
+  // The seed picks how deep into the pipeline the crash lands and which
+  // calls got answered first.
+  std::mt19937_64 rng(seed);
+  const size_t answered = 2 + rng() % 4;  // 2..5 of 8
+  std::atomic<bool> server_ok{true};
+  std::thread server([listen_fd, answered, &rng, &server_ok] {
+    int conn = accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      server_ok = false;
+      return;
+    }
+    std::vector<Bytes> requests = ReadFramedRequests(conn, kCalls);
+    if (requests.size() != kCalls) {
+      server_ok = false;
+      close(conn);
+      return;
+    }
+    std::shuffle(requests.begin(), requests.end(), rng);
+    for (size_t i = 0; i < answered; ++i) {
+      Bytes framed = FramedEchoReply(requests[i]);
+      (void)send(conn, framed.data(), framed.size(),
+                 0);  // hcs:ignore-status(chaos server; the crash below is the fault under test)
+    }
+    // Crash mid-pipeline: hard close with the rest still outstanding.
+    close(conn);
+  });
+
+  AsyncEngineOptions options;
+  options.max_conns_per_remote = 1;
+  AsyncClientEngine engine(options);
+  TcpStreamTransport transport;
+  RpcClient client(/*world=*/nullptr, "localclient", &transport);
+  client.set_async_engine(&engine);
+
+  HrpcBinding binding = UdpBinding(port, 7, ControlKind::kRaw);
+  binding.transport = TransportKind::kTcp;
+  std::vector<RpcFuture> futures;
+  for (int i = 0; i < kCalls; ++i) {
+    futures.push_back(client.CallAsync(binding, 1, Bytes{static_cast<uint8_t>(i)}));
+  }
+
+  size_t ok_count = 0;
+  size_t unavailable = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    Result<Bytes> reply = futures[i].Wait();
+    if (reply.ok()) {
+      EXPECT_EQ(*reply, Bytes{static_cast<uint8_t>(i)}) << "answered call " << i;
+      ++ok_count;
+    } else {
+      EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable)
+          << "outstanding call " << i << " must fail kUnavailable, got " << reply.status();
+      ++unavailable;
+    }
+  }
+  server.join();
+  close(listen_fd);
+  ASSERT_TRUE(server_ok.load());
+
+  EXPECT_EQ(ok_count, answered);
+  EXPECT_EQ(unavailable, static_cast<size_t>(kCalls) - answered);
+  std::cout << "[chaos] AsyncServerCrashMidPipeline answered=" << answered
+            << " failed_unavailable=" << unavailable << std::endl;
 }
 
 // --- Name-service scenarios over real sockets ------------------------------

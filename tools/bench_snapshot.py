@@ -15,7 +15,7 @@ trajectory is validated by CI arithmetic, not by prose in EXPERIMENTS.md.
 
   bench_snapshot.py --run [--build-dir DIR] [--out FILE] [--quick]
       Drive the built bench/bench_runner, write FILE (default
-      BENCH_6.json), then --check it. Run on a quiet machine.
+      BENCH_8.json), then --check it. Run on a quiet machine.
 """
 
 import glob
@@ -167,7 +167,7 @@ def main(argv):
         return run_check(argv)
     if "--run" in argv:
         argv.remove("--run")
-        build_dir, out, quick = "build", "BENCH_6.json", False
+        build_dir, out, quick = "build", "BENCH_8.json", False
         while argv:
             arg = argv.pop(0)
             if arg == "--build-dir" and argv:

@@ -51,6 +51,16 @@ the patterns a compiler cannot judge, and this lint closes them tree-wide:
      bare-statement or (void)-cast call of any of these must bind the
      count, or carry an ignore tag explaining why the shortfall is safe.
 
+  7. CallAsync futures must be consumed. A discarded RpcFuture is a
+     fired-and-forgotten RPC: the call still goes on the wire, but its
+     result — including the error that explains the outage you are
+     debugging — evaporates, and nothing observes completion. The class is
+     HCS_NODISCARD, so a naked discard fails to compile; this rule closes
+     the escape hatches: a bare-statement CallAsync(...) call, a
+     (void)-cast of the call, and a (void)-cast of an RpcFuture variable
+     all require an ignore tag (Wait(), WaitFor(), ready(), or OnComplete()
+     are the intended consumers).
+
 Exit status 0 = clean; 1 = violations (one per line); 2 = usage.
 
 Usage: lint_failpaths.py [repo_root]
@@ -409,6 +419,68 @@ def check_mmsg_completions(root, errors):
                     f"// hcs:ignore-status(reason) tag")
 
 
+def check_async_futures(root, errors):
+    """Rule 7: CallAsync futures must be consumed (see module docstring)."""
+    bare = re.compile(r"^\s*[\w\[\]().\->]*(?:\.|->|::)?\s*CallAsync\s*\(",
+                      re.MULTILINE)
+    voided = re.compile(r"\(void\)\s*[\w\[\]().\->]*(?:\.|->|::)?\s*CallAsync\s*\(")
+    void_ident = re.compile(r"\(void\)\s*(\w+)\s*;")
+
+    for path in iter_files(root, VOID_DIRS):
+        rel = os.path.relpath(path, root)
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        raw_lines = raw.splitlines()
+        text = strip_comments_and_strings(raw)
+
+        for m in bare.finditer(text):
+            # Bare statement: the call's closing paren runs straight into
+            # ';'. Anything else (')', '.', an operator) hands the future to
+            # the surrounding expression, which is consumption.
+            open_paren = text.find("(", text.find("CallAsync", m.start()))
+            depth, i = 0, open_paren
+            while i < len(text):
+                if text[i] == "(":
+                    depth += 1
+                elif text[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            tail = text[i + 1 : i + 16].lstrip()
+            if not tail.startswith(";"):
+                continue
+            lineno = line_of(text, m.start())
+            if not has_tag(raw_lines, lineno):
+                errors.append(
+                    f"{rel}:{lineno}: CallAsync() future discarded — a "
+                    f"fired-and-forgotten RPC whose outcome nobody observes "
+                    f"(Wait()/OnComplete() it or add an "
+                    f"// hcs:ignore-status(reason) tag)")
+
+        for m in voided.finditer(text):
+            lineno = line_of(text, m.start())
+            if not has_tag(raw_lines, lineno):
+                errors.append(
+                    f"{rel}:{lineno}: (void)-cast discards the RpcFuture "
+                    f"from CallAsync() without an "
+                    f"// hcs:ignore-status(reason) tag")
+
+        for m in void_ident.finditer(text):
+            ident = m.group(1)
+            decl = re.compile(rf"\bRpcFuture\s+{re.escape(ident)}\s*[=;({{]")
+            window = text[max(0, m.start() - 4000) : m.start()]
+            if not decl.search(window):
+                continue
+            lineno = line_of(text, m.start())
+            if not has_tag(raw_lines, lineno):
+                errors.append(
+                    f"{rel}:{lineno}: (void)-cast discards RpcFuture "
+                    f"'{ident}' — the async completion is never consumed "
+                    f"(Wait()/OnComplete() it or add an "
+                    f"// hcs:ignore-status(reason) tag)")
+
+
 def check_empty_tags(root, errors):
     for path in iter_files(root, VOID_DIRS, exts=(".h", ".cc", ".py", ".sh")):
         if os.path.basename(path) == "lint_failpaths.py":
@@ -433,6 +505,7 @@ def run(root):
     check_rpc_handlers(root, errors)
     check_fault_decisions(root, errors)
     check_mmsg_completions(root, errors)
+    check_async_futures(root, errors)
     check_empty_tags(root, errors)
 
     if errors:
@@ -521,6 +594,27 @@ SELF_TEST_CASES = [
      "void f() {\n  // hcs:ignore-status(fire-and-forget wake datagram)\n"
      "  SendReplies(fd, replies);\n}\n",
      None),
+    ("bare-callasync-discard",
+     "void f() {\n  client.CallAsync(binding, 1, args);\n}\n",
+     "CallAsync() future discarded"),
+    ("void-callasync-discard",
+     "void f() {\n  (void)client.CallAsync(binding, 1, args);\n}\n",
+     "discards the RpcFuture from CallAsync()"),
+    ("void-future-var-discard",
+     "void f() {\n  RpcFuture fut = client.CallAsync(binding, 1, args);\n"
+     "  (void)fut;\n}\n",
+     "async completion is never consumed"),
+    ("callasync-waited-ok",
+     "void f() {\n  RpcFuture fut = client.CallAsync(binding, 1, args);\n"
+     "  use(fut.Wait());\n}\n",
+     None),
+    ("callasync-in-expression-ok",
+     "void f() {\n  futures.push_back(client.CallAsync(binding, 1, args));\n}\n",
+     None),
+    ("callasync-tagged-ok",
+     "void f() {\n  // hcs:ignore-status(probe call; outcome measured by the drop counter)\n"
+     "  client.CallAsync(binding, 1, args);\n}\n",
+     None),
 ]
 
 
@@ -540,6 +634,7 @@ def self_test():
             check_rpc_handlers(root, errors)
             check_fault_decisions(root, errors)
             check_mmsg_completions(root, errors)
+            check_async_futures(root, errors)
             check_empty_tags(root, errors)
             if want is None:
                 if errors:
