@@ -364,7 +364,10 @@ void AsyncClientEngine::UnregisterResidences(PendingCall* call) {
     call->conn = nullptr;
     conn->inflight.erase(MaskedXid(call));
     conn->last_active_ms = SteadyNowMs();
-    DrainWaiters(conn->port);
+    // Deferred, not inline: a drain here can re-enter the very connection a
+    // caller (ReadStream's frame loop, OnStreamEvent) is still touching and
+    // destroy it under them. The posted task runs with nothing on the stack.
+    ScheduleDrainWaiters(conn->port);
   }
   if (call->waiting) {
     call->waiting = false;
@@ -426,6 +429,16 @@ void AsyncClientEngine::SendUdpAttempt(PendingCall* call) {
   // reply would be ambiguous; redraw on collision (16-bit Courier space).
   for (int i = 0; bucket.count(MaskedXid(call)) != 0 && i < 1 << 17; ++i) {
     call->xid = next_xid_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (bucket.count(MaskedXid(call)) != 0) {
+    // Redraw exhausted: the whole masked space is pending to this port
+    // (~64k Courier calls). Registering anyway would orphan the incumbent
+    // and cross-complete its reply; fail the attempt instead — budgeted
+    // calls back off and retry into whatever space frees up.
+    HandleAttemptError(call, UnavailableError(StrFormat(
+                                 "xid space exhausted: %zu calls pending to port %u",
+                                 bucket.size(), port)));
+    return;
   }
   EncodeAttempt(call);
   // Stage rather than sendto: every attempt issued during this reactor
@@ -598,6 +611,13 @@ void AsyncClientEngine::AssignToConn(PendingCall* call, StreamConn* conn) {
   for (int i = 0; conn->inflight.count(MaskedXid(call)) != 0 && i < 1 << 17; ++i) {
     call->xid = next_xid_.fetch_add(1, std::memory_order_relaxed);
   }
+  if (conn->inflight.count(MaskedXid(call)) != 0) {
+    // Same rule as the UDP registry: never overwrite a registered xid.
+    HandleAttemptError(call, UnavailableError(StrFormat(
+                                 "xid space exhausted: %zu calls in flight on 127.0.0.1:%u",
+                                 conn->inflight.size(), conn->port)));
+    return;
+  }
   EncodeAttempt(call);
   AppendFrameHeader(conn->outbuf, call->wire.size());
   conn->outbuf.insert(conn->outbuf.end(), call->wire.begin(), call->wire.end());
@@ -765,7 +785,7 @@ void AsyncClientEngine::FailStreamConn(StreamConn* conn, const Status& error) {
   for (PendingCall* call : victims) {
     HandleAttemptError(call, error);
   }
-  DrainWaiters(port);
+  ScheduleDrainWaiters(port);
 }
 
 void AsyncClientEngine::RemoveStreamConn(StreamConn* conn) {
@@ -776,6 +796,28 @@ void AsyncClientEngine::RemoveStreamConn(StreamConn* conn) {
   }
   reactor_.RemoveClientFd(conn->fd);  // closes the fd
   stream_conns_.erase(conn);
+}
+
+void AsyncClientEngine::ScheduleDrainWaiters(uint16_t port) {
+  if (stopping_) {
+    return;  // the destructor's fail-all completes any queued waiters
+  }
+  if (std::find(drain_ports_.begin(), drain_ports_.end(), port) == drain_ports_.end()) {
+    drain_ports_.push_back(port);
+  }
+  if (!drain_scheduled_) {
+    drain_scheduled_ = true;
+    (void)reactor_.Post([this] { RunScheduledDrains(); });
+  }
+}
+
+void AsyncClientEngine::RunScheduledDrains() {
+  drain_scheduled_ = false;
+  std::vector<uint16_t> ports;
+  ports.swap(drain_ports_);
+  for (uint16_t port : ports) {
+    DrainWaiters(port);
+  }
 }
 
 void AsyncClientEngine::DrainWaiters(uint16_t port) {
@@ -796,7 +838,11 @@ void AsyncClientEngine::DrainWaiters(uint16_t port) {
     }
     call->waiting = false;
     TryAssignStream(call);
-    if (call->waiting) {
+    // TryAssignStream can fail the attempt synchronously (dial or send
+    // error) and complete a non-retryable call, freeing it — re-look the
+    // call up by id instead of dereferencing the possibly-dead pointer.
+    PendingCall* again = FindCall(id);
+    if (again != nullptr && again->waiting) {
       return;  // no capacity after all: it re-queued, stop draining
     }
   }

@@ -262,6 +262,11 @@ class AsyncClientEngine {
   void DispatchStreamFrame(StreamConn* conn, const Bytes& frame);
   void FailStreamConn(StreamConn* conn, const Status& error);
   void RemoveStreamConn(StreamConn* conn);
+  // Waiter drains run only as posted tasks, never inline from a completion:
+  // an inline drain can assign a waiter to — and then tear down — the very
+  // connection the caller is still reading (use-after-free).
+  void ScheduleDrainWaiters(uint16_t port);
+  void RunScheduledDrains();
   void DrainWaiters(uint16_t port);
   void ScheduleReap();
   void ReapIdle();
@@ -290,6 +295,9 @@ class AsyncClientEngine {
   std::unique_ptr<UdpRecvBatch> udp_rx_;
   std::vector<UdpReply> udp_outbox_;
   bool udp_flush_scheduled_ = false;
+  // Ports with pool waiters to drain; one posted task sweeps them all.
+  std::vector<uint16_t> drain_ports_;
+  bool drain_scheduled_ = false;
   // Flushed datagram buffers come back here; EncodeAttempt reuses them so
   // the steady-state hot path allocates nothing per call for wire bytes.
   std::vector<Bytes> wire_pool_;
