@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sys/epoll.h>
 
@@ -46,6 +48,27 @@ ReactorOptions ClientReactorOptions() {
   return options;
 }
 
+#if HCS_LOOP_DEBUG_ENABLED
+// Aborts when a guarded region re-enters itself. Waiter drains and conn
+// teardown are written to run with nothing of their own on the stack —
+// the PR 8 review bugs were exactly these paths nesting (inline drain
+// tearing down the connection its caller was reading). DESIGN.md §15.
+struct ReentryGuard {
+  int& depth;
+  const char* what;
+  ReentryGuard(int& d, const char* w) : depth(d), what(w) {
+    if (++depth > 1) {
+      std::fprintf(stderr,
+                   "hcs loop-affinity: %s re-entered (depth %d) — this nesting "
+                   "is the use-after-free shape the threading rules forbid\n",
+                   what, depth);
+      std::abort();
+    }
+  }
+  ~ReentryGuard() { --depth; }
+};
+#endif
+
 }  // namespace
 
 // One in-flight CallAsync. Loop-thread-only after StartOnLoop; the future
@@ -84,13 +107,13 @@ struct AsyncClientEngine::StreamConn {
   Bytes outbuf;
   size_t out_off = 0;
   Bytes inbuf;
-  std::map<uint32_t, PendingCall*> inflight;  // masked xid → call
+  std::map<uint32_t, PendingCall*> inflight;  // hcs:loop-only; masked xid → call
   int64_t last_active_ms = 0;
 };
 
 struct AsyncClientEngine::Pool {
-  std::vector<StreamConn*> conns;
-  std::deque<uint64_t> waiters;  // call ids awaiting a connection slot
+  std::vector<StreamConn*> conns;  // hcs:loop-only
+  std::deque<uint64_t> waiters;    // hcs:loop-only; call ids awaiting a connection slot
 };
 
 AsyncClientEngine::AsyncClientEngine(AsyncEngineOptions options)
@@ -185,6 +208,7 @@ void AsyncClientEngine::StartCall(AsyncCallSpec spec, std::shared_ptr<RpcFutureS
 }
 
 void AsyncClientEngine::DrainIncoming() {
+  HCS_ASSERT_LOOP(&reactor_);
   std::vector<std::shared_ptr<PendingCall>> batch;
   {
     MutexLock lock(incoming_mu_);
@@ -240,6 +264,7 @@ void AsyncClientEngine::StartOnLoop(std::shared_ptr<PendingCall> call) {
 }
 
 void AsyncClientEngine::StartAttempt(PendingCall* call) {
+  HCS_ASSERT_LOOP(&reactor_);
   if (stopping_) {
     CompleteCall(call, UnavailableError("async client engine shutting down"));
     return;
@@ -276,6 +301,7 @@ void AsyncClientEngine::StartAttempt(PendingCall* call) {
 }
 
 void AsyncClientEngine::OnAttemptTimeout(uint64_t call_id) {
+  HCS_ASSERT_LOOP(&reactor_);
   PendingCall* call = FindCall(call_id);
   if (call == nullptr) {
     return;
@@ -326,6 +352,7 @@ void AsyncClientEngine::HandleAttemptError(PendingCall* call, const Status& erro
 }
 
 void AsyncClientEngine::CompleteCall(PendingCall* call, Result<Bytes> result) {
+  HCS_ASSERT_LOOP(&reactor_);
   if (call->attempt_timer != 0) {
     reactor_.CancelTimer(call->attempt_timer);
     call->attempt_timer = 0;
@@ -459,6 +486,7 @@ void AsyncClientEngine::SendUdpAttempt(PendingCall* call) {
 }
 
 void AsyncClientEngine::FlushUdpOutbox() {
+  HCS_ASSERT_LOOP(&reactor_);
   udp_flush_scheduled_ = false;
   if (udp_outbox_.empty() || udp_fd_ < 0) {
     udp_outbox_.clear();
@@ -482,6 +510,7 @@ void AsyncClientEngine::FlushUdpOutbox() {
 }
 
 void AsyncClientEngine::OnUdpReadable() {
+  HCS_ASSERT_LOOP(&reactor_);
   while (true) {
     int count = udp_rx_->Recv(udp_fd_, /*wait_for_one=*/false);
     if (count <= 0) {
@@ -630,6 +659,7 @@ void AsyncClientEngine::AssignToConn(PendingCall* call, StreamConn* conn) {
 }
 
 void AsyncClientEngine::OnStreamEvent(StreamConn* conn, uint32_t events) {
+  HCS_ASSERT_LOOP(&reactor_);
   if (conn->connecting) {
     if ((events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) == 0) {
       return;
@@ -763,6 +793,8 @@ void AsyncClientEngine::DispatchStreamFrame(StreamConn* conn, const Bytes& frame
                                 : reply->xid;
     auto hit = conn->inflight.find(masked);
     if (hit != conn->inflight.end() && hit->second->control == pending->control) {
+      // The iteration never resumes after the erase inside CompleteCall:
+      // hcs:on-loop(completes exactly one call and returns immediately)
       CompleteFromReply(hit->second, std::move(*reply));
       return;
     }
@@ -773,6 +805,10 @@ void AsyncClientEngine::DispatchStreamFrame(StreamConn* conn, const Bytes& frame
 }
 
 void AsyncClientEngine::FailStreamConn(StreamConn* conn, const Status& error) {
+  HCS_ASSERT_LOOP(&reactor_);
+#if HCS_LOOP_DEBUG_ENABLED
+  ReentryGuard reentry(teardown_depth_, "FailStreamConn");
+#endif
   std::vector<PendingCall*> victims;
   victims.reserve(conn->inflight.size());
   for (const auto& [xid, call] : conn->inflight) {
@@ -812,6 +848,7 @@ void AsyncClientEngine::ScheduleDrainWaiters(uint16_t port) {
 }
 
 void AsyncClientEngine::RunScheduledDrains() {
+  HCS_ASSERT_LOOP(&reactor_);
   drain_scheduled_ = false;
   std::vector<uint16_t> ports;
   ports.swap(drain_ports_);
@@ -821,6 +858,10 @@ void AsyncClientEngine::RunScheduledDrains() {
 }
 
 void AsyncClientEngine::DrainWaiters(uint16_t port) {
+  HCS_ASSERT_LOOP(&reactor_);
+#if HCS_LOOP_DEBUG_ENABLED
+  ReentryGuard reentry(drain_depth_, "DrainWaiters");
+#endif
   if (stopping_) {
     return;
   }
@@ -863,6 +904,7 @@ void AsyncClientEngine::ScheduleReap() {
 }
 
 void AsyncClientEngine::ReapIdle() {
+  HCS_ASSERT_LOOP(&reactor_);
   const int64_t now = SteadyNowMs();
   std::vector<StreamConn*> idle;
   for (const auto& [conn, owned] : stream_conns_) {

@@ -12,6 +12,10 @@
 // sresolv/event-loop resolver shape: no locks on the per-call state because
 // exactly one thread ever touches it.
 //
+// The model is machine-checked: the loop-only tags below feed
+// tools/lint_loop.py (rules T1–T4, DESIGN.md §15), and debug builds add
+// HCS_ASSERT_LOOP affinity aborts plus a Wait-on-loop-thread detector.
+//
 // Retry semantics mirror RpcClient's synchronous loop (RetryPolicy): a call
 // whose effective context has a deadline runs budgeted attempts (per-attempt
 // budget doubling from kAttemptBaseMs, capped by the remaining budget and
@@ -64,6 +68,16 @@ class RpcFutureState {
  public:
   using CompletionFn = std::function<void(const Result<Bytes>&, const RpcCallInfo&)>;
 
+#if HCS_LOOP_DEBUG_ENABLED
+  // Debug birth-site stamp: where CallAsync minted this future. The
+  // Wait-on-loop-thread detector reports it so the abort names the caller
+  // that must move its wait off the loop.
+  void set_birth_site(const char* file, int line) {
+    birth_file_ = file;
+    birth_line_ = line;
+  }
+#endif
+
   void Complete(Result<Bytes> result, const RpcCallInfo& info) {
     CompletionFn callback;
     {
@@ -84,6 +98,14 @@ class RpcFutureState {
   }
 
   HCS_NODISCARD Result<Bytes> Wait() {
+#if HCS_LOOP_DEBUG_ENABLED
+    // Waiting on an event-loop thread can never be satisfied — the loop is
+    // the only thread that delivers completions — so abort with the birth
+    // site instead of deadlocking silently. Deliberately unconditional
+    // (even when already ready) so the misuse is caught deterministically,
+    // not only when the race loses.
+    AbortIfWaitOnLoopThread("RpcFuture::Wait()", birth_file_, birth_line_);
+#endif
     MutexLock lock(mu_);
     cv_.Wait(mu_, [&] { return ready_; });
     return result_;
@@ -91,6 +113,11 @@ class RpcFutureState {
 
   // True when the call completed within `timeout_ms`.
   bool WaitFor(int64_t timeout_ms) {
+#if HCS_LOOP_DEBUG_ENABLED
+    // A timed wait on the loop thread always burns the full timeout with
+    // the loop stalled — same discipline violation, same abort.
+    AbortIfWaitOnLoopThread("RpcFuture::WaitFor()", birth_file_, birth_line_);
+#endif
     MutexLock lock(mu_);
     return cv_.WaitFor(mu_, timeout_ms, [&] { return ready_; });
   }
@@ -130,6 +157,10 @@ class RpcFutureState {
 
   mutable Mutex mu_{"rpc-future"};
   CondVar cv_;
+#if HCS_LOOP_DEBUG_ENABLED
+  const char* birth_file_ = nullptr;  // set once before the future escapes
+  int birth_line_ = 0;
+#endif
   bool ready_ HCS_GUARDED_BY(mu_) = false;
   Result<Bytes> result_ HCS_GUARDED_BY(mu_) = Result<Bytes>(UnavailableError("call pending"));
   RpcCallInfo info_ HCS_GUARDED_BY(mu_);
@@ -229,47 +260,49 @@ class AsyncClientEngine {
   struct StreamConn;
   struct Pool;
 
-  // --- Loop-thread-only machinery ------------------------------------------
-  void DrainIncoming();
-  void StartOnLoop(std::shared_ptr<PendingCall> call);
-  void StartAttempt(PendingCall* call);
-  void OnAttemptTimeout(uint64_t call_id);
-  void HandleAttemptError(PendingCall* call, const Status& error);
-  void CompleteCall(PendingCall* call, Result<Bytes> result);
-  void CompleteFromReply(PendingCall* call, RpcReplyMsg reply);
-  void UnregisterResidences(PendingCall* call);
-  PendingCall* FindCall(uint64_t call_id);
-  void EncodeAttempt(PendingCall* call);
-  uint32_t MaskedXid(const PendingCall* call) const;
+  // --- Loop-thread-only machinery (every decl carries hcs:loop-only; the
+  // tag feeds tools/lint_loop.py's producer DB and rule T1 rejects calls
+  // from off-loop bodies) ---------------------------------------------------
+  void DrainIncoming();                                    // hcs:loop-only
+  void StartOnLoop(std::shared_ptr<PendingCall> call);     // hcs:loop-only
+  void StartAttempt(PendingCall* call);                    // hcs:loop-only
+  void OnAttemptTimeout(uint64_t call_id);                 // hcs:loop-only
+  void HandleAttemptError(PendingCall* call, const Status& error);  // hcs:loop-only
+  void CompleteCall(PendingCall* call, Result<Bytes> result);       // hcs:loop-only
+  void CompleteFromReply(PendingCall* call, RpcReplyMsg reply);     // hcs:loop-only
+  void UnregisterResidences(PendingCall* call);            // hcs:loop-only
+  PendingCall* FindCall(uint64_t call_id);                 // hcs:loop-only
+  void EncodeAttempt(PendingCall* call);                   // hcs:loop-only
+  uint32_t MaskedXid(const PendingCall* call) const;       // hcs:loop-only
 
   // UDP channel. Sends are staged per reactor iteration and flushed with
   // one sendmmsg; receives drain through a recvmmsg batch — the client
   // mirrors the serving runtime's batched-syscall hot path (DESIGN.md §12).
-  HCS_NODISCARD Status EnsureUdpChannel();
-  void SendUdpAttempt(PendingCall* call);
-  void FlushUdpOutbox();
-  void OnUdpReadable();
-  void DispatchUdpDatagram(uint16_t port, const Bytes& datagram);
+  HCS_NODISCARD Status EnsureUdpChannel();                 // hcs:loop-only
+  void SendUdpAttempt(PendingCall* call);                  // hcs:loop-only
+  void FlushUdpOutbox();                                   // hcs:loop-only
+  void OnUdpReadable();                                    // hcs:loop-only
+  void DispatchUdpDatagram(uint16_t port, const Bytes& datagram);  // hcs:loop-only
 
   // Stream pool.
-  void StartStreamAttempt(PendingCall* call);
-  void TryAssignStream(PendingCall* call);
-  HCS_NODISCARD Result<StreamConn*> DialStream(uint16_t port);
-  void AssignToConn(PendingCall* call, StreamConn* conn);
-  void OnStreamEvent(StreamConn* conn, uint32_t events);
-  bool FlushStream(StreamConn* conn);  // false: conn failed and was removed
-  bool ReadStream(StreamConn* conn);   // false: conn failed and was removed
-  void DispatchStreamFrame(StreamConn* conn, const Bytes& frame);
-  void FailStreamConn(StreamConn* conn, const Status& error);
-  void RemoveStreamConn(StreamConn* conn);
+  void StartStreamAttempt(PendingCall* call);              // hcs:loop-only
+  void TryAssignStream(PendingCall* call);                 // hcs:loop-only
+  HCS_NODISCARD Result<StreamConn*> DialStream(uint16_t port);     // hcs:loop-only
+  void AssignToConn(PendingCall* call, StreamConn* conn);  // hcs:loop-only
+  void OnStreamEvent(StreamConn* conn, uint32_t events);   // hcs:loop-only
+  bool FlushStream(StreamConn* conn);  // hcs:loop-only; false: conn failed and was removed
+  bool ReadStream(StreamConn* conn);   // hcs:loop-only; false: conn failed and was removed
+  void DispatchStreamFrame(StreamConn* conn, const Bytes& frame);  // hcs:loop-only
+  void FailStreamConn(StreamConn* conn, const Status& error);      // hcs:loop-only
+  void RemoveStreamConn(StreamConn* conn);                 // hcs:loop-only
   // Waiter drains run only as posted tasks, never inline from a completion:
   // an inline drain can assign a waiter to — and then tear down — the very
   // connection the caller is still reading (use-after-free).
-  void ScheduleDrainWaiters(uint16_t port);
-  void RunScheduledDrains();
-  void DrainWaiters(uint16_t port);
-  void ScheduleReap();
-  void ReapIdle();
+  void ScheduleDrainWaiters(uint16_t port);                // hcs:loop-only
+  void RunScheduledDrains();                               // hcs:loop-only
+  void DrainWaiters(uint16_t port);                        // hcs:loop-only
+  void ScheduleReap();                                     // hcs:loop-only
+  void ReapIdle();                                         // hcs:loop-only
 
   AsyncEngineOptions options_;
   Reactor reactor_;
@@ -281,26 +314,35 @@ class AsyncClientEngine {
   bool incoming_drain_scheduled_ HCS_GUARDED_BY(incoming_mu_) = false;
 
   // Everything below is loop-thread-only (see the threading model above).
-  bool stopping_ = false;
-  bool reap_scheduled_ = false;
-  std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> calls_;
-  int udp_fd_ = -1;
+  bool stopping_ = false;       // hcs:loop-only
+  bool reap_scheduled_ = false; // hcs:loop-only
+  std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> calls_;  // hcs:loop-only
+  int udp_fd_ = -1;             // hcs:loop-only
   // port → masked xid → pending call awaiting a datagram from that port.
-  std::unordered_map<uint16_t, std::unordered_map<uint32_t, PendingCall*>> udp_pending_;
-  std::map<uint16_t, Pool> pools_;
-  std::map<StreamConn*, std::unique_ptr<StreamConn>> stream_conns_;
-  std::vector<uint8_t> read_buffer_;  // stream recv() scratch
+  std::unordered_map<uint16_t, std::unordered_map<uint32_t, PendingCall*>> udp_pending_;  // hcs:loop-only
+  std::map<uint16_t, Pool> pools_;                          // hcs:loop-only
+  std::map<StreamConn*, std::unique_ptr<StreamConn>> stream_conns_;  // hcs:loop-only
+  std::vector<uint8_t> read_buffer_;  // hcs:loop-only; stream recv() scratch
   // Batched UDP I/O: datagrams staged here drain with one sendmmsg per
   // reactor iteration; the receive batch lands a recvmmsg burst per call.
-  std::unique_ptr<UdpRecvBatch> udp_rx_;
-  std::vector<UdpReply> udp_outbox_;
-  bool udp_flush_scheduled_ = false;
+  std::unique_ptr<UdpRecvBatch> udp_rx_;                    // hcs:loop-only
+  std::vector<UdpReply> udp_outbox_;                        // hcs:loop-only
+  bool udp_flush_scheduled_ = false;                        // hcs:loop-only
   // Ports with pool waiters to drain; one posted task sweeps them all.
-  std::vector<uint16_t> drain_ports_;
-  bool drain_scheduled_ = false;
+  std::vector<uint16_t> drain_ports_;                       // hcs:loop-only
+  bool drain_scheduled_ = false;                            // hcs:loop-only
   // Flushed datagram buffers come back here; EncodeAttempt reuses them so
   // the steady-state hot path allocates nothing per call for wire bytes.
-  std::vector<Bytes> wire_pool_;
+  std::vector<Bytes> wire_pool_;                            // hcs:loop-only
+
+#if HCS_LOOP_DEBUG_ENABLED
+  // Reentrancy depth guards: waiter drains and conn teardown must never
+  // nest — the PR 8 review bugs were exactly inline-drain and
+  // complete-under-iteration reentrancy (DESIGN.md §15). Checked by
+  // ReentryGuard in async_client.cc; aborts on depth > 1.
+  int drain_depth_ = 0;     // hcs:loop-only
+  int teardown_depth_ = 0;  // hcs:loop-only
+#endif
 
   std::atomic<uint64_t> next_call_id_{1};
   std::atomic<uint32_t> next_xid_{1};

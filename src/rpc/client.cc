@@ -110,7 +110,7 @@ Result<Bytes> RpcClient::Call(const HrpcBinding& binding, uint32_t procedure, co
 }
 
 RpcFuture RpcClient::CallAsync(const HrpcBinding& binding, uint32_t procedure, const Bytes& args,
-                               const RequestContext& context) {
+                               const RequestContext& context, std::source_location birth) {
   const ControlProtocol& control = GetControlProtocol(binding.control);
 
   // Explicit context wins; otherwise inherit whatever the serving runtime
@@ -121,6 +121,11 @@ RpcFuture RpcClient::CallAsync(const HrpcBinding& binding, uint32_t procedure, c
   }
 
   auto state = std::make_shared<RpcFutureState>();
+#if HCS_LOOP_DEBUG_ENABLED
+  state->set_birth_site(birth.file_name(), static_cast<int>(birth.line()));
+#else
+  (void)birth;
+#endif
   RpcCallInfo info;
   info.trace_id = effective.trace_id;
 

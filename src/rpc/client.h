@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <source_location>
 #include <string>
 
 #include "src/common/bytes.h"
@@ -86,10 +87,13 @@ class RpcClient {
   // semantics as Call. A channel-less transport (sim, loopback, fault
   // wrappers) completes the future inline via the blocking path, so
   // existing behavior — virtual-clock charging, fault injection, wire
-  // bytes — is preserved exactly.
-  HCS_NODISCARD RpcFuture CallAsync(const HrpcBinding& binding, uint32_t procedure,
-                                    const Bytes& args,
-                                    const RequestContext& context = RequestContext{});
+  // bytes — is preserved exactly. The defaulted source_location captures
+  // the caller as the future's birth site: debug builds report it when the
+  // future is Wait()ed on an event-loop thread (DESIGN.md §15).
+  HCS_NODISCARD RpcFuture CallAsync(
+      const HrpcBinding& binding, uint32_t procedure, const Bytes& args,
+      const RequestContext& context = RequestContext{},
+      std::source_location birth = std::source_location::current());
 
   const std::string& local_host() const { return local_host_; }
   World* world() const { return world_; }

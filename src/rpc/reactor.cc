@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "src/common/logging.h"
@@ -22,6 +24,11 @@ namespace hcs {
 namespace {
 
 constexpr size_t kMaxDatagram = 64 * 1024;
+
+// Which reactor's event loop is the current thread running, if any. Set for
+// the whole lifetime of LoopMain and cleared on every exit path; backs both
+// CurrentLoopReactor() and the Wait-on-loop-thread detector.
+thread_local const Reactor* t_loop_reactor = nullptr;
 
 // Big-endian 4-byte frame length prefix (network order, like the rest of
 // the wire formats in this tree).
@@ -166,7 +173,7 @@ Status Reactor::Start() {
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerMain(); });
   }
-  loop_thread_ = std::thread([this] { LoopMain(); });
+  loop_thread_ = std::thread([this] { LoopMain(); });  // hcs:on-loop(this lambda IS the loop thread's entry point)
   running_ = true;
   return Status::Ok();
 }
@@ -199,6 +206,8 @@ void Reactor::Stop() {
   }
   workers_.clear();
   // Phase 3: flush pending stream writes best-effort, then release fds.
+  // hcs:on-loop(loop thread joined above — the reactor is single-threaded
+  // again, so touching loop-owned state here is sanctioned)
   for (auto& [ptr, conn] : conns_) {
     MutexLock lock(conn->mu);
     while (conn->out_offset < conn->outbuf.size()) {
@@ -297,7 +306,21 @@ Status Reactor::AddStreamListener(int fd, SimService* service, ReactorEndpointOp
 }
 
 void Reactor::LoopMain() {
-  loop_tid_.store(std::this_thread::get_id(), std::memory_order_release);
+  // Mark this thread as the loop for the whole body, and un-mark it on every
+  // exit path (there are early returns below). Clearing loop_tid_ makes
+  // "loop not running" observable to AssertLoopAffinity, so the post-join
+  // cleanup in Stop() passes the affinity checks legitimately.
+  struct LoopMark {
+    Reactor* self;
+    explicit LoopMark(Reactor* r) : self(r) {
+      self->loop_tid_.store(std::this_thread::get_id(), std::memory_order_release);
+      t_loop_reactor = self;
+    }
+    ~LoopMark() {
+      t_loop_reactor = nullptr;
+      self->loop_tid_.store(std::thread::id{}, std::memory_order_release);
+    }
+  } mark(this);
   std::vector<epoll_event> events(64);
   std::vector<uint8_t> buffer(kMaxDatagram);
   while (!stopping_.load(std::memory_order_acquire)) {
@@ -377,8 +400,39 @@ bool Reactor::Post(std::function<void()> fn) {
   return true;
 }
 
+// hcs:on-loop(sanctioned any-thread reader: only loads the loop_tid_ atomic)
 bool Reactor::on_loop_thread() const {
   return loop_tid_.load(std::memory_order_acquire) == std::this_thread::get_id();
+}
+
+void Reactor::AssertLoopAffinity(const char* func, const char* file, int line) const {
+  std::thread::id loop = loop_tid_.load(std::memory_order_acquire);
+  if (loop == std::thread::id{} || loop == std::this_thread::get_id()) {
+    return;  // loop not running (single-threaded setup/teardown), or on it
+  }
+  std::fprintf(stderr,
+               "HCS_ASSERT_LOOP: %s (%s:%d) touched loop-owned state of reactor %p "
+               "from off the loop thread while its loop is running; Post/ScheduleAfter "
+               "the work onto the loop instead\n",
+               func, file, line, static_cast<const void*>(this));
+  std::abort();
+}
+
+const Reactor* CurrentLoopReactor() { return t_loop_reactor; }
+
+void AbortIfWaitOnLoopThread(const char* what, const char* birth_file, int birth_line) {
+  const Reactor* loop = t_loop_reactor;
+  if (loop == nullptr) {
+    return;
+  }
+  std::fprintf(stderr,
+               "hcs loop-affinity: %s on the event-loop thread of reactor %p "
+               "self-deadlocks: the loop is the only thread that can deliver the "
+               "completion it is waiting for (future born at %s:%d). Use "
+               "OnComplete, or move the wait off the loop thread.\n",
+               what, static_cast<const void*>(loop),
+               birth_file != nullptr ? birth_file : "<unknown>", birth_line);
+  std::abort();
 }
 
 void Reactor::RunPosted() {
@@ -393,6 +447,7 @@ void Reactor::RunPosted() {
 }
 
 uint64_t Reactor::ScheduleAfter(int64_t delay_ms, std::function<void()> fn) {
+  HCS_ASSERT_LOOP(this);
   uint64_t id = next_timer_id_++;
   timers_[id] = std::move(fn);
   timer_heap_.emplace_back(SteadyNowMs() + std::max<int64_t>(delay_ms, 0), id);
@@ -401,6 +456,7 @@ uint64_t Reactor::ScheduleAfter(int64_t delay_ms, std::function<void()> fn) {
 }
 
 void Reactor::CancelTimer(uint64_t id) {
+  HCS_ASSERT_LOOP(this);
   // Lazy deletion: the heap entry stays and is skipped when popped.
   timers_.erase(id);
 }
@@ -438,6 +494,7 @@ void Reactor::RunDueTimers() {
 }
 
 Status Reactor::AddClientFd(int fd, uint32_t events, std::function<void(uint32_t)> handler) {
+  HCS_ASSERT_LOOP(this);
   auto client = std::make_shared<ClientFd>();
   client->fd = fd;
   client->handler = std::move(handler);
@@ -455,6 +512,7 @@ Status Reactor::AddClientFd(int fd, uint32_t events, std::function<void(uint32_t
 }
 
 Status Reactor::ModClientFd(int fd, uint32_t events) {
+  HCS_ASSERT_LOOP(this);
   auto it = client_by_fd_.find(fd);
   if (it == client_by_fd_.end()) {
     return NotFoundError("client fd not registered");
@@ -469,6 +527,7 @@ Status Reactor::ModClientFd(int fd, uint32_t events) {
 }
 
 void Reactor::RemoveClientFd(int fd) {
+  HCS_ASSERT_LOOP(this);
   auto it = client_by_fd_.find(fd);
   if (it == client_by_fd_.end()) {
     return;

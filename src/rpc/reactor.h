@@ -39,6 +39,18 @@
 #include "src/common/sync.h"
 #include "src/sim/world.h"
 
+// Debug loop-affinity enforcement (DESIGN.md §15): on under sanitizer and
+// plain Debug builds (or an explicit -DHCS_DEBUG_LOOP=1), compiled out of
+// release — bench_smoke holds the floor on the release side, lint_loop.py
+// holds the static side of the same contract.
+#if !defined(HCS_LOOP_DEBUG_ENABLED)
+#if defined(HCS_DEBUG_LOOP) || !defined(NDEBUG)
+#define HCS_LOOP_DEBUG_ENABLED 1
+#else
+#define HCS_LOOP_DEBUG_ENABLED 0
+#endif
+#endif
+
 namespace hcs {
 
 class UdpRecvBatch;
@@ -123,22 +135,32 @@ class Reactor {
   bool on_loop_thread() const;
 
   // One-shot timer: runs `fn` on the loop thread once `delay_ms` elapses
-  // (monotonic clock). Loop thread only; returns a nonzero id.
+  // (monotonic clock); returns a nonzero id.
+  // hcs:loop-only
   uint64_t ScheduleAfter(int64_t delay_ms, std::function<void()> fn);
-  // Cancels a pending timer; a no-op once it fired. Loop thread only.
+  // Cancels a pending timer; a no-op once it fired.
+  // hcs:loop-only
   void CancelTimer(uint64_t id);
 
   // Registers a connected (or connecting) nonblocking fd whose readiness is
   // delivered to `handler(events)` on the loop thread. The reactor takes
-  // ownership of the fd. Loop thread only (Post the registration).
+  // ownership of the fd. Post the registration onto the loop.
+  // hcs:loop-only
   HCS_NODISCARD Status AddClientFd(int fd, uint32_t events,
                                    std::function<void(uint32_t)> handler);
-  // Changes the interest set of a registered client fd. Loop thread only.
+  // Changes the interest set of a registered client fd.
+  // hcs:loop-only
   HCS_NODISCARD Status ModClientFd(int fd, uint32_t events);
   // Unregisters and closes a client fd. Safe against events already pulled
   // into the current epoll batch (lookup by identity, like stream conns).
-  // Loop thread only.
+  // hcs:loop-only
   void RemoveClientFd(int fd);
+
+  // Debug (HCS_LOOP_DEBUG_ENABLED): aborts — naming the violating call
+  // site and this reactor — when called off the loop thread while the loop
+  // is running. Passes when the loop is not running: single-threaded
+  // setup and post-join teardown are sanctioned. Use via HCS_ASSERT_LOOP.
+  void AssertLoopAffinity(const char* func, const char* file, int line) const;
 
   // --- Counters (relaxed; for tests and benches) ---------------------------
   uint64_t dispatched() const { return dispatched_.load(std::memory_order_relaxed); }
@@ -160,15 +182,21 @@ class Reactor {
     void* target = nullptr;
   };
 
+  // hcs:loop-only
   void LoopMain();
   void WorkerMain();
+  // hcs:loop-only
   void RunPosted();
   // Milliseconds until the earliest pending timer (epoll_wait timeout);
-  // -1 when no timer is pending. Loop thread only.
+  // -1 when no timer is pending.
+  // hcs:loop-only
   int NextTimerTimeoutMs();
+  // hcs:loop-only
   void RunDueTimers();
 
+  // hcs:loop-only
   void DrainUdp(Endpoint* endpoint, std::vector<uint8_t>& buffer);
+  // hcs:loop-only
   void DrainUdpBatched(Endpoint* endpoint);
   // Checks out a pooled receive batch; the returned shared_ptr keeps the
   // batch (and every frame view into its arena) alive until the last
@@ -179,8 +207,11 @@ class Reactor {
   // endpoint's combining sender (concurrent path).
   void ProcessUdpFrame(Endpoint* endpoint, UdpFrame& frame, std::vector<UdpReply>* staged);
   void SubmitUdpReply(Endpoint* endpoint, UdpReply reply);
+  // hcs:loop-only
   void DrainAccept(Endpoint* endpoint);
+  // hcs:loop-only
   void HandleConnEvent(Conn* conn, uint32_t events, std::vector<uint8_t>& buffer);
+  // hcs:loop-only
   void CloseConn(Conn* conn);
 
   // Queues `task` honoring the endpoint's serial/concurrent mode.
@@ -214,9 +245,9 @@ class Reactor {
   std::deque<std::function<void()>> work_ HCS_GUARDED_BY(work_mu_);
   bool draining_ HCS_GUARDED_BY(work_mu_) = false;
 
-  // Live connections; loop-thread-only (workers reach conns via the
-  // shared_ptr captured in their task).
-  std::map<Conn*, std::shared_ptr<Conn>> conns_;
+  // Live connections (workers reach conns via the shared_ptr captured in
+  // their task; Stop() sweeps them after the loop thread is joined).
+  std::map<Conn*, std::shared_ptr<Conn>> conns_;  // hcs:loop-only
 
   // Posted-work queue: drained on the loop thread after each epoll batch.
   Mutex posted_mu_{"reactor-posted"};
@@ -225,17 +256,20 @@ class Reactor {
   // tasks into one write(wake_fd_).
   std::atomic<bool> wake_pending_{false};
 
-  // Registered client fds; loop-thread-only, like conns_.
-  std::map<ClientFd*, std::shared_ptr<ClientFd>> client_fds_;
-  std::map<int, ClientFd*> client_by_fd_;
+  // Registered client fds; loop-owned, like conns_.
+  std::map<ClientFd*, std::shared_ptr<ClientFd>> client_fds_;  // hcs:loop-only
+  std::map<int, ClientFd*> client_by_fd_;  // hcs:loop-only
 
-  // Timers; loop-thread-only. The heap may hold stale entries for cancelled
+  // Timers; loop-owned. The heap may hold stale entries for cancelled
   // ids (lazy deletion) — timers_ is the source of truth.
-  uint64_t next_timer_id_ = 1;
-  std::unordered_map<uint64_t, std::function<void()>> timers_;
-  std::vector<std::pair<int64_t, uint64_t>> timer_heap_;  // (deadline_ms, id) min-heap
+  uint64_t next_timer_id_ = 1;  // hcs:loop-only
+  std::unordered_map<uint64_t, std::function<void()>> timers_;  // hcs:loop-only
+  // (deadline_ms, id) min-heap
+  std::vector<std::pair<int64_t, uint64_t>> timer_heap_;  // hcs:loop-only
 
-  // The loop thread's id, for on_loop_thread(); set by LoopMain on entry.
+  // The loop thread's id, for on_loop_thread() and the debug affinity
+  // asserts; set by LoopMain on entry, cleared (to the default id) on
+  // exit so "loop not running" is observable.
   std::atomic<std::thread::id> loop_tid_{};
 
   std::atomic<uint64_t> dispatched_{0};
@@ -246,6 +280,29 @@ class Reactor {
 // Makes `fd` nonblocking (O_NONBLOCK); shared by the reactor and the
 // real-socket transports.
 HCS_NODISCARD Status SetNonBlocking(int fd);
+
+// Debug: the reactor whose event loop is the calling thread, or nullptr
+// when this thread is no reactor's loop. Thread-local, set for the
+// duration of LoopMain; the Wait-on-loop-thread detector keys on it.
+const Reactor* CurrentLoopReactor();
+
+// Debug: aborts with a diagnostic when the calling thread is a reactor
+// loop thread. A blocking wait there is a silent self-deadlock — the loop
+// is the only thread that could deliver the completion being waited on —
+// so the detector turns it into a loud abort naming the operation and the
+// waited-on future's birth site. No-op off the loop.
+void AbortIfWaitOnLoopThread(const char* what, const char* birth_file,
+                             int birth_line);
+
+// Debug assertion for loop-only entry points: aborts (naming the call
+// site and the owning reactor) when invoked off `reactor`'s loop thread
+// while its loop runs. Compiled out of release builds entirely.
+#if HCS_LOOP_DEBUG_ENABLED
+#define HCS_ASSERT_LOOP(reactor) \
+  (reactor)->AssertLoopAffinity(__func__, __FILE__, __LINE__)
+#else
+#define HCS_ASSERT_LOOP(reactor) ((void)0)
+#endif
 
 }  // namespace hcs
 

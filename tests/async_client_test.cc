@@ -528,5 +528,199 @@ TEST(AsyncClientTest, PrefetchRecordsFetchesAWaveConcurrently) {
   upstream.Stop();
 }
 
+// --- Completion-exactly-once under contention (DESIGN.md §15) ---------------
+
+// Binds a UDP socket nobody ever reads: calls to it spend their full
+// deadline budget and complete (kTimeout) on the engine's loop thread.
+int BindBlackHole(uint16_t* port_out) {
+  int fd = socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  socklen_t len = sizeof(addr);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    close(fd);
+    return -1;
+  }
+  *port_out = ntohs(addr.sin_port);
+  return fd;
+}
+
+// 1k futures across four contention classes — plain success, tight deadline
+// racing the reply, guaranteed timeout, and a final wave destroyed mid-
+// flight with the engine — each counting its OnComplete firings. Every
+// future must complete, and every callback must fire exactly once, no
+// matter which of completion/timeout/engine-stop wins the race.
+void OnCompleteFiresExactlyOnceUnderRaces(ServeMode mode) {
+  UdpServerHost host(mode, /*reactor_workers=*/8);
+  RpcServer server(ControlKind::kSunRpc, "stress-echo");
+  server.RegisterProcedure(7, 1, [](const Bytes& args) -> Result<Bytes> { return args; });
+  Result<uint16_t> port = host.Serve(&server, 0);
+  ASSERT_TRUE(port.ok()) << port.status();
+  uint16_t hole_port = 0;
+  int hole_fd = BindBlackHole(&hole_port);
+  ASSERT_GE(hole_fd, 0);
+
+  constexpr int kFutures = 1000;
+  std::vector<std::atomic<int>> fired(kFutures);
+  std::vector<RpcFuture> futures(kFutures);
+  UdpTransport transport;
+  RpcClient client(nullptr, "localclient", &transport);
+  HrpcBinding live = UdpBinding(*port, 7, ControlKind::kSunRpc);
+  HrpcBinding hole = UdpBinding(hole_port, 7, ControlKind::kSunRpc);
+  {
+    AsyncClientEngine engine;
+    client.set_async_engine(&engine);
+    auto issue = [&](int i, const HrpcBinding& binding, const RequestContext& context) {
+      futures[i] = client.CallAsync(binding, 1, Bytes{static_cast<uint8_t>(i & 0xff)}, context);
+      futures[i].OnComplete([&fired, i](const Result<Bytes>&, const RpcCallInfo&) {
+        fired[i].fetch_add(1, std::memory_order_relaxed);
+      });
+    };
+    for (int i = 0; i < 250; ++i) {
+      issue(i, live, RequestContext{});  // completes with the echo reply
+    }
+    for (int i = 250; i < 500; ++i) {
+      // Deadline in the same band as the loopback RTT: the reply and the
+      // attempt-timeout timer race for the one completion.
+      issue(i, live, RequestContext::WithTimeout(1 + i % 3));
+    }
+    for (int i = 500; i < 750; ++i) {
+      issue(i, hole, RequestContext::WithTimeout(20));  // guaranteed timeout
+    }
+    for (int i = 0; i < 750; ++i) {
+      // hcs:ignore-status(outcome is class-dependent by design; the firing count is the assertion)
+      (void)futures[i].Wait();
+    }
+    // The final wave is still in flight when the engine is destroyed: its
+    // fail-all races any replies that beat the shutdown to the loop.
+    for (int i = 750; i < kFutures; ++i) {
+      issue(i, live, RequestContext{});
+    }
+  }
+  for (int i = 0; i < kFutures; ++i) {
+    ASSERT_TRUE(futures[i].ready()) << "future " << i << " never completed";
+    EXPECT_EQ(fired[i].load(), 1)
+        << "OnComplete fired " << fired[i].load() << " times for future " << i;
+  }
+  close(hole_fd);
+  host.StopAll();
+  client.set_async_engine(nullptr);
+}
+
+TEST(AsyncClientTest, OnCompleteFiresExactlyOnceUnderRacesThreadPerEndpoint) {
+  OnCompleteFiresExactlyOnceUnderRaces(ServeMode::kThreadPerEndpoint);
+}
+
+TEST(AsyncClientTest, OnCompleteFiresExactlyOnceUnderRacesReactor) {
+  OnCompleteFiresExactlyOnceUnderRaces(ServeMode::kReactor);
+}
+
+// --- Loop-affinity runtime enforcement (DESIGN.md §15) ----------------------
+//
+// The static half of the threading rules is tools/lint_loop.py; these death
+// tests pin the runtime half: HCS_ASSERT_LOOP aborts on off-loop access to
+// loop-owned state, and the Wait-on-loop-thread detector turns a silent
+// self-deadlock into a diagnostic abort naming the future's birth site.
+
+#if !HCS_LOOP_DEBUG_ENABLED
+
+TEST(LoopAffinityDeathTest, DebugModeCompiledOut) {
+  GTEST_SKIP() << "HCS_LOOP_DEBUG_ENABLED is 0 (NDEBUG without HCS_DEBUG_LOOP): "
+                  "the loop-affinity aborts are compiled out of this build";
+}
+
+#else
+
+// Waiting on a future from the engine's own loop thread (here: inside an
+// OnComplete callback, which runs on the loop) would self-deadlock — the
+// loop is the only thread that can complete the awaited future. The
+// detector must abort instead, naming this file as the birth site.
+void WaitOnLoopThread(ServeMode mode) {
+  UdpServerHost host(mode, /*reactor_workers=*/4);
+  RpcServer server(ControlKind::kSunRpc, "wait-on-loop");
+  server.RegisterProcedure(7, 1, [](const Bytes& args) -> Result<Bytes> { return args; });
+  Result<uint16_t> port = host.Serve(&server, 0);
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  UdpTransport transport;
+  RpcClient client(nullptr, "localclient", &transport);
+  AsyncClientEngine engine;
+  client.set_async_engine(&engine);
+  // Prove the serving mode works before committing the violation.
+  ASSERT_TRUE(client.CallAsync(UdpBinding(*port, 7, ControlKind::kSunRpc), 1, Bytes{1})
+                  .Wait()
+                  .ok());
+
+  uint16_t hole_port = 0;
+  int hole_fd = BindBlackHole(&hole_port);
+  ASSERT_GE(hole_fd, 0);
+  HrpcBinding hole = UdpBinding(hole_port, 7, ControlKind::kSunRpc);
+  RpcFuture pending = client.CallAsync(hole, 1, Bytes{2}, RequestContext::WithTimeout(2000));
+  RpcFuture doomed = client.CallAsync(hole, 1, Bytes{3}, RequestContext::WithTimeout(50));
+  doomed.OnComplete([&pending](const Result<Bytes>&, const RpcCallInfo&) {
+    // hcs:ignore-status(deliberate violation: the detector aborts inside this Wait)
+    (void)pending.Wait();  // on the loop thread: the detector aborts here
+  });
+  // hcs:ignore-status(never returns — the child process aborts ~50 ms in)
+  (void)pending.Wait();
+  close(hole_fd);
+}
+
+// Touching a running reactor's loop-owned state (the timer wheel) from off
+// the loop thread must abort, naming the violating entry point.
+void TouchLoopOwnedStateOffLoop(ServeMode mode) {
+  UdpServerHost host(mode, /*reactor_workers=*/4);
+  RpcServer server(ControlKind::kSunRpc, "assert-loop");
+  server.RegisterProcedure(7, 1, [](const Bytes& args) -> Result<Bytes> { return args; });
+  ASSERT_TRUE(host.Serve(&server, 0).ok());
+
+  ReactorOptions options;
+  options.workers = -1;  // client-only: the loop owns everything
+  Reactor reactor(options);
+  ASSERT_TRUE(reactor.Start().ok());
+  // Wait until the loop thread has marked itself live: Start() returns as
+  // soon as the thread is spawned, and HCS_ASSERT_LOOP deliberately passes
+  // while the loop is not yet running (single-threaded setup is sanctioned).
+  std::atomic<bool> loop_live{false};
+  ASSERT_TRUE(reactor.Post([&loop_live] { loop_live.store(true); }));
+  while (!loop_live.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // hcs:on-loop(deliberate violation: this death test proves HCS_ASSERT_LOOP aborts)
+  (void)reactor.ScheduleAfter(1000, [] {});
+  reactor.Stop();
+}
+
+TEST(LoopAffinityDeathTest, WaitOnLoopThreadAbortsWithBirthSiteThreadPerEndpoint) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(WaitOnLoopThread(ServeMode::kThreadPerEndpoint),
+               "self-deadlocks.*async_client_test");
+}
+
+TEST(LoopAffinityDeathTest, WaitOnLoopThreadAbortsWithBirthSiteReactor) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(WaitOnLoopThread(ServeMode::kReactor), "self-deadlocks.*async_client_test");
+}
+
+TEST(LoopAffinityDeathTest, OffLoopTimerAccessAbortsThreadPerEndpoint) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(TouchLoopOwnedStateOffLoop(ServeMode::kThreadPerEndpoint),
+               "HCS_ASSERT_LOOP: ScheduleAfter");
+}
+
+TEST(LoopAffinityDeathTest, OffLoopTimerAccessAbortsReactor) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(TouchLoopOwnedStateOffLoop(ServeMode::kReactor),
+               "HCS_ASSERT_LOOP: ScheduleAfter");
+}
+
+#endif  // HCS_LOOP_DEBUG_ENABLED
+
 }  // namespace
 }  // namespace hcs

@@ -12,6 +12,7 @@
 #   lint-wire    tools/lint_wire.py encode/decode symmetry
 #   lint-failpaths   tools/lint_failpaths.py error-discipline lint + self-test
 #   lint-views   tools/lint_views.py view-escape lint + self-test
+#   lint-loop    tools/lint_loop.py loop-affinity lint + self-test
 #   views-asan   view_lifetime_test + fuzz_test under the asan-ubsan build in
 #                both serve modes: the poisoned debug arena and generation
 #                stamps made fatal (HCS_SANITIZE compiles them in)
@@ -33,16 +34,82 @@
 # where clang exists (developer machines, CI images with clang).
 #
 # Usage: tools/check.sh [build-root]   (default: <repo>/check-builds)
+#        tools/check.sh --lints        (quick mode: the four static lints and
+#                                       their self-tests only — no compiles)
 
 set -u
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
+LINTS_ONLY=0
+if [[ "${1:-}" == "--lints" ]]; then
+  LINTS_ONLY=1
+  shift
+fi
 BUILD_ROOT="${1:-${REPO}/check-builds}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 declare -a NAMES RESULTS
 note() { printf '\n=== check.sh: %s ===\n' "$*"; }
 record() { NAMES+=("$1"); RESULTS+=("$2"); }
+
+run_lints() {
+  # 6. Wire encode/decode symmetry lint (also runs as the lint_wire ctest).
+  note "lint-wire: tools/lint_wire.py"
+  if python3 "${REPO}/tools/lint_wire.py" "${REPO}"; then
+    record lint-wire PASS
+  else
+    record lint-wire FAIL
+  fi
+
+  # 7. Failure-path discipline lint: tagged discards, decode-before-ok, RPC
+  # handlers that swallow errors. The self-test proves every rule still fires.
+  note "lint-failpaths: tools/lint_failpaths.py (+ --self-test)"
+  if python3 "${REPO}/tools/lint_failpaths.py" --self-test &&
+     python3 "${REPO}/tools/lint_failpaths.py" "${REPO}"; then
+    record lint-failpaths PASS
+  else
+    record lint-failpaths FAIL
+  fi
+
+  # 7b. View-escape discipline lint: untagged view members, lambda escapes,
+  # returns of locally-backed views, views used across an arena recycle. The
+  # self-test proves every rule still fires.
+  note "lint-views: tools/lint_views.py (+ --self-test)"
+  if python3 "${REPO}/tools/lint_views.py" --self-test &&
+     python3 "${REPO}/tools/lint_views.py" "${REPO}"; then
+    record lint-views PASS
+  else
+    record lint-views FAIL
+  fi
+
+  # 7c. Loop-affinity discipline lint: loop-only functions called off the
+  # loop thread, blocking waits inside loop bodies and posted callbacks,
+  # completions invoked under a lock or mid-iteration, empty on-loop
+  # reasons. The self-test seeds every rule — including reduced
+  # reproductions of the PR 8 review bugs — and checks it fires.
+  note "lint-loop: tools/lint_loop.py (+ --self-test)"
+  if python3 "${REPO}/tools/lint_loop.py" --self-test &&
+     python3 "${REPO}/tools/lint_loop.py" "${REPO}"; then
+    record lint-loop PASS
+  else
+    record lint-loop FAIL
+  fi
+}
+
+print_summary() {
+  printf '\n=== check.sh summary ===\n'
+  local failed=0
+  for i in "${!NAMES[@]}"; do
+    printf '  %-14s %s\n' "${NAMES[$i]}" "${RESULTS[$i]}"
+    [[ "${RESULTS[$i]}" == FAIL ]] && failed=1
+  done
+  exit "${failed}"
+}
+
+if [[ ${LINTS_ONLY} -eq 1 ]]; then
+  run_lints
+  print_summary
+fi
 
 configure_build_test() {
   # configure_build_test <name> <src-flags...> -- <ctest-args...>
@@ -125,34 +192,8 @@ else
   record clang-tidy SKIP
 fi
 
-# 6. Wire encode/decode symmetry lint (also runs as the lint_wire ctest).
-note "lint-wire: tools/lint_wire.py"
-if python3 "${REPO}/tools/lint_wire.py" "${REPO}"; then
-  record lint-wire PASS
-else
-  record lint-wire FAIL
-fi
-
-# 7. Failure-path discipline lint: tagged discards, decode-before-ok, RPC
-# handlers that swallow errors. The self-test proves every rule still fires.
-note "lint-failpaths: tools/lint_failpaths.py (+ --self-test)"
-if python3 "${REPO}/tools/lint_failpaths.py" --self-test &&
-   python3 "${REPO}/tools/lint_failpaths.py" "${REPO}"; then
-  record lint-failpaths PASS
-else
-  record lint-failpaths FAIL
-fi
-
-# 7b. View-escape discipline lint: untagged view members, lambda escapes,
-# returns of locally-backed views, views used across an arena recycle. The
-# self-test proves every rule still fires.
-note "lint-views: tools/lint_views.py (+ --self-test)"
-if python3 "${REPO}/tools/lint_views.py" --self-test &&
-   python3 "${REPO}/tools/lint_views.py" "${REPO}"; then
-  record lint-views PASS
-else
-  record lint-views FAIL
-fi
+# 6–7c. The four static lints and their self-tests (shared with --lints mode).
+run_lints
 
 # 7c. The runtime half of the view-lifetime gate: under the asan-ubsan build
 # (which compiles in HCS_DEBUG_ARENA/HCS_DEBUG_VIEW) the arena poisons
@@ -252,10 +293,4 @@ else
   record bench-smoke FAIL
 fi
 
-printf '\n=== check.sh summary ===\n'
-failed=0
-for i in "${!NAMES[@]}"; do
-  printf '  %-14s %s\n' "${NAMES[$i]}" "${RESULTS[$i]}"
-  [[ "${RESULTS[$i]}" == FAIL ]] && failed=1
-done
-exit "${failed}"
+print_summary

@@ -65,12 +65,18 @@ Exit status 0 = clean; 1 = violations (one per line); 2 = usage.
 
 Usage: lint_failpaths.py [repo_root]
        lint_failpaths.py --self-test   (seeds violations, checks they fire)
+
+The stripping / brace-matching / self-test plumbing lives in lintlib.py,
+shared by every lint in tools/.
 """
 
 import os
 import re
 import sys
-import tempfile
+
+import lintlib
+from lintlib import (call_is_bare_statement, iter_files, line_of,
+                     match_brace_block, strip_comments_and_strings)
 
 SRC_DIRS = ["src"]
 # (void)-cast and empty-reason checks also cover the test/bench/example
@@ -102,52 +108,6 @@ VOID_CALL = re.compile(r"\(void\)\s*([\w.\->:()\[\]]*?)(\w+)\s*\(")
 VOID_IDENT = re.compile(r"\(void\)\s*(\w+)\s*;")
 
 
-def strip_comments_and_strings(text):
-    """Blanks comments/strings, preserving newlines (lint_wire's routine)."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        if c == "/" and i + 1 < n and text[i + 1] == "/":
-            j = text.find("\n", i)
-            j = n if j < 0 else j
-            i = j
-        elif c == "/" and i + 1 < n and text[i + 1] == "*":
-            j = text.find("*/", i + 2)
-            j = n - 2 if j < 0 else j
-            out.extend(ch if ch == "\n" else " " for ch in text[i : j + 2])
-            i = j + 2
-        elif c in "\"'":
-            quote = c
-            out.append(quote)
-            i += 1
-            while i < n and text[i] != quote:
-                if text[i] == "\\":
-                    out.append("  ")
-                    i += 2
-                else:
-                    out.append(" " if text[i] != "\n" else "\n")
-                    i += 1
-            out.append(quote)
-            i += 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def iter_files(root, rel_dirs, exts=(".h", ".cc")):
-    for rel in rel_dirs:
-        base = os.path.join(root, rel)
-        if os.path.isfile(base):
-            yield base
-            continue
-        for dirpath, _, files in os.walk(base):
-            for name in sorted(files):
-                if name.endswith(exts):
-                    yield os.path.join(dirpath, name)
-
-
 def build_sr_database(root):
     """Names of functions/methods returning Status or Result, tree-wide."""
     names = set()
@@ -159,32 +119,8 @@ def build_sr_database(root):
     return names
 
 
-def line_of(text, pos):
-    return text.count("\n", 0, pos) + 1
-
-
 def has_tag(raw_lines, lineno):
-    """Tag on the same line or the line above (tags live in comments, which
-    the stripped text blanks — so consult the raw source)."""
-    for ln in (lineno, lineno - 1):
-        if 1 <= ln <= len(raw_lines) and IGNORE_TAG.search(raw_lines[ln - 1]):
-            return True
-    return False
-
-
-def match_brace_block(text, open_pos):
-    """Returns the end index (past '}') of the block opening at open_pos."""
-    depth = 0
-    i = open_pos
-    while i < len(text):
-        if text[i] == "{":
-            depth += 1
-        elif text[i] == "}":
-            depth -= 1
-            if depth == 0:
-                return i + 1
-        i += 1
-    return len(text)
+    return lintlib.has_tag(raw_lines, lineno, IGNORE_TAG)
 
 
 def check_void_casts(root, sr_names, errors):
@@ -219,14 +155,6 @@ def check_void_casts(root, sr_names, errors):
                     f"{rel}:{lineno}: (void)-cast discards Status/Result "
                     f"variable '{ident}' without an "
                     f"// hcs:ignore-status(reason) tag")
-
-
-def function_bodies(text):
-    """Yields (start, end) spans of top-level function bodies ('{' opened by
-    a line ending in ')' or '{' at brace depth 0, closed at '^}')."""
-    for m in re.finditer(r"^\{|\)\s*(?:const)?\s*\{", text, re.MULTILINE):
-        open_pos = text.find("{", m.start())
-        yield open_pos, match_brace_block(text, open_pos)
 
 
 def check_decode_before_ok(root, sr_names, errors):
@@ -336,21 +264,9 @@ def check_fault_decisions(root, errors):
         text = strip_comments_and_strings(raw)
 
         for m in bare.finditer(text):
-            # A bare statement: the call's closing paren is followed by ';'
-            # (anything else — '.', ')', an operator — means the decision is
-            # consumed by the surrounding expression).
-            open_paren = text.find("(", text.find("Decide", m.start()))
-            depth, i = 0, open_paren
-            while i < len(text):
-                if text[i] == "(":
-                    depth += 1
-                elif text[i] == ")":
-                    depth -= 1
-                    if depth == 0:
-                        break
-                i += 1
-            tail = text[i + 1 : i + 16].lstrip()
-            if not tail.startswith(";"):
+            # A bare statement draws from the fault stream without acting
+            # on it; a call consumed by the surrounding expression passes.
+            if not call_is_bare_statement(text, m.start(), "Decide"):
                 continue
             lineno = line_of(text, m.start())
             if not has_tag(raw_lines, lineno):
@@ -386,21 +302,9 @@ def check_mmsg_completions(root, errors):
         text = strip_comments_and_strings(raw)
 
         for m in bare.finditer(text):
-            # Same bare-statement test as Decide: a statement-level call
-            # whose closing paren runs straight into ';' discards the count;
-            # anything else consumes it in the surrounding expression.
-            open_paren = text.find("(", text.find(m.group(1), m.start()))
-            depth, i = 0, open_paren
-            while i < len(text):
-                if text[i] == "(":
-                    depth += 1
-                elif text[i] == ")":
-                    depth -= 1
-                    if depth == 0:
-                        break
-                i += 1
-            tail = text[i + 1 : i + 16].lstrip()
-            if not tail.startswith(";"):
+            # Same bare-statement test as Decide: a discarded count is a
+            # silently truncated batch.
+            if not call_is_bare_statement(text, m.start(), m.group(1)):
                 continue
             lineno = line_of(text, m.start())
             if not has_tag(raw_lines, lineno):
@@ -434,21 +338,8 @@ def check_async_futures(root, errors):
         text = strip_comments_and_strings(raw)
 
         for m in bare.finditer(text):
-            # Bare statement: the call's closing paren runs straight into
-            # ';'. Anything else (')', '.', an operator) hands the future to
-            # the surrounding expression, which is consumption.
-            open_paren = text.find("(", text.find("CallAsync", m.start()))
-            depth, i = 0, open_paren
-            while i < len(text):
-                if text[i] == "(":
-                    depth += 1
-                elif text[i] == ")":
-                    depth -= 1
-                    if depth == 0:
-                        break
-                i += 1
-            tail = text[i + 1 : i + 16].lstrip()
-            if not tail.startswith(";"):
+            # Bare statement: nothing observes the future's completion.
+            if not call_is_bare_statement(text, m.start(), "CallAsync"):
                 continue
             lineno = line_of(text, m.start())
             if not has_tag(raw_lines, lineno):
@@ -618,40 +509,23 @@ SELF_TEST_CASES = [
 ]
 
 
+def run_checks_for_self_test(root):
+    errors = []
+    sr_names = build_sr_database(root)
+    check_void_casts(root, sr_names, errors)
+    check_decode_before_ok(root, sr_names, errors)
+    check_rpc_handlers(root, errors)
+    check_fault_decisions(root, errors)
+    check_mmsg_completions(root, errors)
+    check_async_futures(root, errors)
+    check_empty_tags(root, errors)
+    return errors
+
+
 def self_test():
-    failures = []
-    for name, body, want in SELF_TEST_CASES:
-        with tempfile.TemporaryDirectory() as root:
-            os.makedirs(os.path.join(root, "src"))
-            with open(os.path.join(root, "src", "seed.h"), "w") as f:
-                f.write(SELF_TEST_HEADER)
-            with open(os.path.join(root, "src", "seed.cc"), "w") as f:
-                f.write(body)
-            errors = []
-            sr_names = build_sr_database(root)
-            check_void_casts(root, sr_names, errors)
-            check_decode_before_ok(root, sr_names, errors)
-            check_rpc_handlers(root, errors)
-            check_fault_decisions(root, errors)
-            check_mmsg_completions(root, errors)
-            check_async_futures(root, errors)
-            check_empty_tags(root, errors)
-            if want is None:
-                if errors:
-                    failures.append(f"{name}: expected clean, got {errors}")
-            else:
-                if not any(want in e for e in errors):
-                    failures.append(
-                        f"{name}: expected a violation containing {want!r}, "
-                        f"got {errors}")
-    if failures:
-        print(f"lint_failpaths --self-test: {len(failures)} failure(s):")
-        for f in failures:
-            print(f"  {f}")
-        return 1
-    print(f"lint_failpaths --self-test: all {len(SELF_TEST_CASES)} seeded "
-          f"cases behave")
-    return 0
+    return lintlib.run_self_test_cases(
+        "lint_failpaths", SELF_TEST_HEADER, SELF_TEST_CASES,
+        run_checks_for_self_test)
 
 
 def main():

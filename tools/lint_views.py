@@ -45,7 +45,8 @@ on paths a test exercises. This lint closes the gap statically, tree-wide:
 The scan is textual and per-function like lint_failpaths: a view use and a
 kill in mutually exclusive branches still count as crossing. The tag is the
 escape hatch, and the tag is greppable — `git grep hcs:owns-view` is the
-audit of every sanctioned view escape in the tree.
+audit of every sanctioned view escape in the tree. The stripping / body
+walking / self-test plumbing lives in lintlib.py, shared by every lint.
 
 Exit status 0 = clean; 1 = violations (one per line); 2 = usage.
 
@@ -56,7 +57,11 @@ Usage: lint_views.py [repo_root]
 import os
 import re
 import sys
-import tempfile
+
+import lintlib
+from lintlib import (blank_function_bodies, function_bodies, iter_files,
+                     lambda_after, line_of, match_brace_block,
+                     strip_comments_and_strings)
 
 SRC_DIRS = ["src"]
 # Storage/escape checks cover the test and bench trees too: a dangling view
@@ -117,106 +122,8 @@ ARENA_DECL = re.compile(r"\b(?:Arena|UdpRecvBatch)[&*]?\s+(\w+)\s*[;({=]")
 ARENAISH_NAME = re.compile(r"arena|batch", re.IGNORECASE)
 
 
-def strip_comments_and_strings(text):
-    """Blanks comments/strings, preserving newlines (lint_wire's routine)."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        if c == "/" and i + 1 < n and text[i + 1] == "/":
-            j = text.find("\n", i)
-            j = n if j < 0 else j
-            i = j
-        elif c == "/" and i + 1 < n and text[i + 1] == "*":
-            j = text.find("*/", i + 2)
-            j = n - 2 if j < 0 else j
-            out.extend(ch if ch == "\n" else " " for ch in text[i : j + 2])
-            i = j + 2
-        elif c in "\"'":
-            quote = c
-            out.append(quote)
-            i += 1
-            while i < n and text[i] != quote:
-                if text[i] == "\\":
-                    out.append("  ")
-                    i += 2
-                else:
-                    out.append(" " if text[i] != "\n" else "\n")
-                    i += 1
-            out.append(quote)
-            i += 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def iter_files(root, rel_dirs, exts=(".h", ".cc")):
-    for rel in rel_dirs:
-        base = os.path.join(root, rel)
-        if os.path.isfile(base):
-            yield base
-            continue
-        for dirpath, _, files in os.walk(base):
-            for name in sorted(files):
-                if name.endswith(exts):
-                    yield os.path.join(dirpath, name)
-
-
-def line_of(text, pos):
-    return text.count("\n", 0, pos) + 1
-
-
 def has_tag(raw_lines, lineno):
-    """Tag on the same line or the line above (tags live in comments, which
-    the stripped text blanks — so consult the raw source)."""
-    for ln in (lineno, lineno - 1):
-        if 1 <= ln <= len(raw_lines) and OWNS_TAG.search(raw_lines[ln - 1]):
-            return True
-    return False
-
-
-def match_brace_block(text, open_pos):
-    """Returns the end index (past '}') of the block opening at open_pos."""
-    depth = 0
-    i = open_pos
-    while i < len(text):
-        if text[i] == "{":
-            depth += 1
-        elif text[i] == "}":
-            depth -= 1
-            if depth == 0:
-                return i + 1
-        i += 1
-    return len(text)
-
-
-def function_bodies(text):
-    """Yields (start, end) spans of function bodies: '{' preceded by a
-    parameter list ')' (with optional const/noexcept/trailing return) or a
-    brace at column zero."""
-    seen_end = 0
-    for m in re.finditer(
-            r"\)\s*(?:const\s*)?(?:noexcept\s*)?(?:->\s*[\w:<>,&*\s]+?)?\s*\{"
-            r"|^\{|\]\s*\{",
-            text, re.MULTILINE):
-        open_pos = text.find("{", m.start())
-        if open_pos < seen_end:
-            continue  # nested inside a body already yielded
-        end = match_brace_block(text, open_pos)
-        seen_end = end
-        yield open_pos, end
-
-
-def blank_function_bodies(text):
-    """Replaces the interior of every function body with spaces (newlines
-    kept) so class-body scans see member declarations only."""
-    out = list(text)
-    for start, end in function_bodies(text):
-        for i in range(start + 1, end - 1):
-            if out[i] != "\n":
-                out[i] = " "
-    return "".join(out)
+    return lintlib.has_tag(raw_lines, lineno, OWNS_TAG)
 
 
 def build_view_producer_db(root):
@@ -270,17 +177,6 @@ def check_view_members(root, errors):
                         f"non-owning view past its statement — tag it with "
                         f"// hcs:owns-view(why the backing outlives this) "
                         f"or own the bytes")
-
-
-def lambda_after(text, pos, limit=240):
-    """Finds the first lambda capture list at/after pos (within limit).
-    Returns (capture_list, body_open) or None."""
-    m = re.search(r"\[([^\]\[]*)\]\s*(?:\([^)]*\)\s*)?(?:mutable\s*)?"
-                  r"(?:->\s*[\w:<>,&*\s]+?)?\s*\{",
-                  text[pos : pos + limit])
-    if m is None:
-        return None
-    return m.group(1), pos + m.end() - 1
 
 
 def lambda_escapes_view(captures, body, views):
@@ -575,38 +471,21 @@ SELF_TEST_CASES = [
 ]
 
 
+def run_checks_for_self_test(root):
+    errors = []
+    producers = build_view_producer_db(root)
+    check_view_members(root, errors)
+    check_lambda_escapes(root, producers, errors)
+    check_return_of_local(root, producers, errors)
+    check_use_across_reset(root, producers, errors)
+    check_empty_tags(root, errors)
+    return errors
+
+
 def self_test():
-    failures = []
-    for name, body, want in SELF_TEST_CASES:
-        with tempfile.TemporaryDirectory() as root:
-            os.makedirs(os.path.join(root, "src"))
-            with open(os.path.join(root, "src", "seed.h"), "w") as f:
-                f.write(SELF_TEST_HEADER)
-            with open(os.path.join(root, "src", "seed.cc"), "w") as f:
-                f.write(body)
-            errors = []
-            producers = build_view_producer_db(root)
-            check_view_members(root, errors)
-            check_lambda_escapes(root, producers, errors)
-            check_return_of_local(root, producers, errors)
-            check_use_across_reset(root, producers, errors)
-            check_empty_tags(root, errors)
-            if want is None:
-                if errors:
-                    failures.append(f"{name}: expected clean, got {errors}")
-            else:
-                if not any(want in e for e in errors):
-                    failures.append(
-                        f"{name}: expected a violation containing {want!r}, "
-                        f"got {errors}")
-    if failures:
-        print(f"lint_views --self-test: {len(failures)} failure(s):")
-        for f in failures:
-            print(f"  {f}")
-        return 1
-    print(f"lint_views --self-test: all {len(SELF_TEST_CASES)} seeded cases "
-          f"behave")
-    return 0
+    return lintlib.run_self_test_cases(
+        "lint_views", SELF_TEST_HEADER, SELF_TEST_CASES,
+        run_checks_for_self_test)
 
 
 def main():

@@ -36,11 +36,16 @@ Exit status 0 = clean; 1 = violations (printed one per line); 2 = usage.
 
 Usage: lint_wire.py [repo_root]
        lint_wire.py --list-pairs [repo_root]   (print the discovered pairs)
+
+The stripping / brace-matching plumbing lives in lintlib.py, shared by
+every lint in tools/.
 """
 
 import os
 import re
 import sys
+
+from lintlib import line_of, match_brace_block, strip_comments_and_strings
 
 # Files whose Encode/Decode pairs are checked. xdr.cc defines the primitive
 # layer itself and is deliberately excluded.
@@ -72,62 +77,15 @@ KIND_ALIASES = {
 }
 
 
-def strip_comments_and_strings(text):
-    """Blanks out comments and string/char literals, preserving newlines."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        if c == "/" and i + 1 < n and text[i + 1] == "/":
-            j = text.find("\n", i)
-            j = n if j < 0 else j
-            i = j
-        elif c == "/" and i + 1 < n and text[i + 1] == "*":
-            j = text.find("*/", i + 2)
-            j = n - 2 if j < 0 else j
-            out.append(" " * 0)
-            out.extend(ch if ch == "\n" else " " for ch in text[i : j + 2])
-            i = j + 2
-        elif c in "\"'":
-            quote = c
-            out.append(quote)
-            i += 1
-            while i < n and text[i] != quote:
-                if text[i] == "\\":
-                    out.append("  ")
-                    i += 2
-                else:
-                    out.append(" " if text[i] != "\n" else "\n")
-                    i += 1
-            out.append(quote)
-            i += 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
 def extract_functions(text):
     """Yields (class, method, body, line) for Encode/Decode definitions."""
     pattern = re.compile(
         r"\b(\w+)::(Encode|EncodeTo|Decode|DecodeFrom)\s*\([^)]*\)[^{;]*\{"
     )
     for m in pattern.finditer(text):
-        # Brace-match from the opening brace.
-        depth = 0
         start = m.end() - 1
-        i = start
-        while i < len(text):
-            if text[i] == "{":
-                depth += 1
-            elif text[i] == "}":
-                depth -= 1
-                if depth == 0:
-                    break
-            i += 1
-        body = text[start : i + 1]
-        line = text.count("\n", 0, m.start()) + 1
-        yield m.group(1), m.group(2), body, line
+        body = text[start:match_brace_block(text, start)]
+        yield m.group(1), m.group(2), body, line_of(text, m.start())
 
 
 OP_PATTERNS = [

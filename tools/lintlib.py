@@ -1,0 +1,243 @@
+"""Shared plumbing for the tree's cross-TU textual lints.
+
+Every lint in tools/ (lint_wire, lint_failpaths, lint_views, lint_loop)
+follows the same architecture: build a producer database from declarations
+tree-wide, strip comments/strings from each TU, walk brace-matched function
+bodies, and consult greppable `hcs:<tag>(reason)` escape hatches in the raw
+source. Until lint_loop the plumbing for that was triplicated — three
+near-identical strippers, two brace matchers, two body walkers — and the
+copies had already begun to drift (lint_failpaths carried a dead, divergent
+`function_bodies`). This module is the single copy.
+
+Behavioral contract: the helpers here are byte-for-byte the lint_views
+versions (the superset implementations), and the existing lint self-tests
+pin that behavior — refactors of this file must keep
+`lint_failpaths.py --self-test` and `lint_views.py --self-test` green
+unchanged.
+
+What lives here:
+
+  * strip_comments_and_strings — blanks comments and string/char literals,
+    preserving newlines so line numbers survive.
+  * iter_files — walk repo-relative directory lists for .h/.cc (or any
+    extension set).
+  * line_of — position -> 1-based line number.
+  * has_tag — tag on the same or the preceding RAW line (tags live in
+    comments, which the stripped text blanks). Parameterized by the tag
+    regex so each lint brings its own `hcs:*` family.
+  * match_brace_block / function_bodies / blank_function_bodies — the body
+    walker (handles const/noexcept/trailing-return signatures, lambdas,
+    and skips bodies nested inside one already yielded).
+  * function_defs — named-definition walker (adds the callee name and
+    optional Class:: qualifier); used by lints that must attribute a body
+    to a function in the producer database.
+  * lambda_after — find a lambda introducer at/after a sink call.
+  * call_is_bare_statement — the "closing paren runs straight into ';'"
+    test for discarded call results (was repeated three times inside
+    lint_failpaths).
+  * run_self_test_cases — the seeded-tempdir self-test harness: write
+    src/seed.h + src/seed.cc, run the lint's checks, assert each expected
+    violation substring fires (or that the case is clean).
+"""
+
+import os
+import re
+import tempfile
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literals, preserving newlines."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            out.extend(ch if ch == "\n" else " " for ch in text[i : j + 2])
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                else:
+                    out.append(" " if text[i] != "\n" else "\n")
+                    i += 1
+            out.append(quote)
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_files(root, rel_dirs, exts=(".h", ".cc")):
+    for rel in rel_dirs:
+        base = os.path.join(root, rel)
+        if os.path.isfile(base):
+            yield base
+            continue
+        for dirpath, _, files in os.walk(base):
+            for name in sorted(files):
+                if name.endswith(exts):
+                    yield os.path.join(dirpath, name)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def has_tag(raw_lines, lineno, tag_re):
+    """Tag on the same line or the line above (tags live in comments, which
+    the stripped text blanks — so consult the raw source)."""
+    for ln in (lineno, lineno - 1):
+        if 1 <= ln <= len(raw_lines) and tag_re.search(raw_lines[ln - 1]):
+            return True
+    return False
+
+
+def match_brace_block(text, open_pos):
+    """Returns the end index (past '}') of the block opening at open_pos."""
+    depth = 0
+    i = open_pos
+    while i < len(text):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return len(text)
+
+
+def function_bodies(text):
+    """Yields (start, end) spans of function bodies: '{' preceded by a
+    parameter list ')' (with optional const/noexcept/trailing return) or a
+    brace at column zero."""
+    seen_end = 0
+    for m in re.finditer(
+            r"\)\s*(?:const\s*)?(?:noexcept\s*)?(?:->\s*[\w:<>,&*\s]+?)?\s*\{"
+            r"|^\{|\]\s*\{",
+            text, re.MULTILINE):
+        open_pos = text.find("{", m.start())
+        if open_pos < seen_end:
+            continue  # nested inside a body already yielded
+        end = match_brace_block(text, open_pos)
+        seen_end = end
+        yield open_pos, end
+
+
+def blank_function_bodies(text):
+    """Replaces the interior of every function body with spaces (newlines
+    kept) so class-body scans see member declarations only."""
+    out = list(text)
+    for start, end in function_bodies(text):
+        for i in range(start + 1, end - 1):
+            if out[i] != "\n":
+                out[i] = " "
+    return "".join(out)
+
+
+# Control keywords whose `kw (...) {` shape mimics a function definition.
+_NON_FUNCTION_NAMES = frozenset(
+    {"if", "for", "while", "switch", "catch", "return", "sizeof", "do"})
+
+# A named function definition: `Name(params) [const] [noexcept] [: init] {`
+# with one nesting level allowed inside the parameter list (e.g.
+# std::function<void(uint32_t)> parameters).
+_FUNCTION_DEF = re.compile(
+    r"\b(?:([\w~]+)\s*::\s*)?([\w~]+)\s*"
+    r"\(([^;{}()]*(?:\([^()]*\)[^;{}()]*)*)\)\s*"
+    r"(?:const\s*)?(?:noexcept\s*)?(?:->\s*[\w:<>,&*\s]+?)?\s*"
+    r"(?::[^;{}]*)?\{")
+
+
+def function_defs(text):
+    """Yields (qualifier, name, body_start, body_end, sig_pos) for named
+    function definitions, skipping control-flow keywords and definitions
+    nested inside a body already yielded. `qualifier` is the Class in
+    `Class::Name` or None for free/in-class definitions."""
+    seen_end = 0
+    for m in _FUNCTION_DEF.finditer(text):
+        name = m.group(2)
+        if name in _NON_FUNCTION_NAMES:
+            continue
+        open_pos = text.find("{", m.end() - 1)
+        if open_pos < seen_end or m.start() < seen_end:
+            continue
+        end = match_brace_block(text, open_pos)
+        seen_end = end
+        yield m.group(1), name, open_pos, end, m.start()
+
+
+def lambda_after(text, pos, limit=240):
+    """Finds the first lambda capture list at/after pos (within limit).
+    Returns (capture_list, body_open) or None."""
+    m = re.search(r"\[([^\]\[]*)\]\s*(?:\([^)]*\)\s*)?(?:mutable\s*)?"
+                  r"(?:->\s*[\w:<>,&*\s]+?)?\s*\{",
+                  text[pos : pos + limit])
+    if m is None:
+        return None
+    return m.group(1), pos + m.end() - 1
+
+
+def call_is_bare_statement(text, start, name):
+    """True when the call to `name` found at/after `start` is a bare
+    statement: its closing paren runs straight into ';'. Anything else —
+    '.', ')', an operator — hands the result to the surrounding
+    expression, which is consumption."""
+    open_paren = text.find("(", text.find(name, start))
+    depth, i = 0, open_paren
+    while i < len(text):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        i += 1
+    tail = text[i + 1 : i + 16].lstrip()
+    return tail.startswith(";")
+
+
+def run_self_test_cases(lint_name, seed_header, cases, run_checks):
+    """The seeded-tempdir self-test harness shared by every lint.
+
+    `cases` is a list of (name, seed_cc_body, want) where `want` is a
+    substring some violation must contain, or None for a must-be-clean
+    case. `run_checks(root)` returns the lint's error list for that root.
+    Prints a summary and returns a process exit status (0 ok, 1 failures).
+    """
+    failures = []
+    for name, body, want in cases:
+        with tempfile.TemporaryDirectory() as root:
+            os.makedirs(os.path.join(root, "src"))
+            with open(os.path.join(root, "src", "seed.h"), "w") as f:
+                f.write(seed_header)
+            with open(os.path.join(root, "src", "seed.cc"), "w") as f:
+                f.write(body)
+            errors = run_checks(root)
+            if want is None:
+                if errors:
+                    failures.append(f"{name}: expected clean, got {errors}")
+            else:
+                if not any(want in e for e in errors):
+                    failures.append(
+                        f"{name}: expected a violation containing {want!r}, "
+                        f"got {errors}")
+    if failures:
+        print(f"{lint_name} --self-test: {len(failures)} failure(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"{lint_name} --self-test: all {len(cases)} seeded cases behave")
+    return 0
