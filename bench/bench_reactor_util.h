@@ -2,215 +2,23 @@
 // bench_workload: the same RPC service is hosted once under the seed's
 // thread-per-endpoint model and once on the shared epoll reactor
 // (concurrent dispatch), then driven by N client threads with one request
-// in flight each. Unlike the sim harnesses, these numbers are wall-clock —
-// the point is the serving runtime, not the name-service model.
+// in flight each. The client drivers themselves (thread-per-call and the
+// async burst-refill window driver) live in src/workload/driver.h, shared
+// with the workload scenario suite; this header keeps only the
+// bench-specific hosting and table-printing wrappers.
 
 #ifndef HCS_BENCH_BENCH_REACTOR_UTIL_H_
 #define HCS_BENCH_BENCH_REACTOR_UTIL_H_
 
 #include <algorithm>
-#include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <cstdio>
-#include <mutex>
-#include <thread>
 #include <vector>
 
-#include "src/rpc/async_client.h"
-#include "src/rpc/client.h"
-#include "src/rpc/context.h"
-#include "src/rpc/control.h"
 #include "src/rpc/server.h"
-#include "src/rpc/udp_transport.h"
 #include "src/sim/world.h"
+#include "src/workload/driver.h"
 
 namespace hcs {
-
-struct SweepPoint {
-  int clients = 0;
-  double throughput_qps = 0;
-  double p50_ms = 0;
-  double p99_ms = 0;
-  uint64_t attempts = 0;
-  uint64_t retries = 0;
-};
-
-// Drives `requests_per_client` sequential budgeted calls from each of
-// `clients` threads against the served endpoint and reports aggregate
-// throughput plus the latency distribution tails. Every call carries a
-// RequestContext deadline so the per-attempt retry loop is live; the
-// attempt/retry totals from RpcCallInfo are surfaced in the row.
-inline HrpcBinding SweepBinding(uint16_t port) {
-  HrpcBinding binding;
-  binding.service_name = "runtime-sweep";
-  binding.host = "localhost";
-  binding.port = port;
-  binding.program = 7;
-  binding.version = 2;
-  binding.control = ControlKind::kRaw;
-  binding.transport = TransportKind::kUdp;
-  return binding;
-}
-
-inline SweepPoint DriveClients(uint16_t port, int clients, int requests_per_client) {
-  HrpcBinding binding = SweepBinding(port);
-  const Bytes payload{1, 2, 3, 4};
-
-  std::vector<std::vector<double>> latencies(clients);
-  std::vector<std::thread> threads;
-  std::atomic<uint64_t> attempts{0};
-  std::atomic<uint64_t> retries{0};
-  std::atomic<int> failures{0};
-
-  auto start = std::chrono::steady_clock::now();
-  threads.reserve(clients);
-  for (int c = 0; c < clients; ++c) {
-    threads.emplace_back([&, c] {
-      UdpTransport transport(/*timeout_ms=*/2000);
-      RpcClient client(/*world=*/nullptr, "benchclient", &transport);
-      latencies[c].reserve(requests_per_client);
-      for (int i = 0; i < requests_per_client; ++i) {
-        RpcCallInfo info;
-        auto t0 = std::chrono::steady_clock::now();
-        Result<Bytes> reply = client.Call(binding, 1, payload,
-                                          RequestContext::WithTimeout(5000), &info);
-        auto t1 = std::chrono::steady_clock::now();
-        if (!reply.ok()) {
-          failures.fetch_add(1, std::memory_order_relaxed);
-          continue;
-        }
-        latencies[c].push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
-        attempts.fetch_add(info.attempts, std::memory_order_relaxed);
-        retries.fetch_add(info.retries, std::memory_order_relaxed);
-      }
-    });
-  }
-  for (std::thread& t : threads) {
-    t.join();
-  }
-  double elapsed_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-                         .count();
-
-  std::vector<double> all;
-  for (const std::vector<double>& per_client : latencies) {
-    all.insert(all.end(), per_client.begin(), per_client.end());
-  }
-  std::sort(all.begin(), all.end());
-
-  SweepPoint point;
-  point.clients = clients;
-  if (!all.empty() && elapsed_s > 0) {
-    point.throughput_qps = static_cast<double>(all.size()) / elapsed_s;
-    point.p50_ms = all[all.size() / 2];
-    point.p99_ms = all[std::min(all.size() - 1, (all.size() * 99) / 100)];
-  }
-  point.attempts = attempts.load(std::memory_order_relaxed);
-  point.retries = retries.load(std::memory_order_relaxed);
-  if (failures.load(std::memory_order_relaxed) != 0) {
-    std::printf("  WARNING: %d calls failed at %d clients\n",
-                failures.load(std::memory_order_relaxed), clients);
-  }
-  return point;
-}
-
-// The single-process async counterpart of DriveClients: ONE client on ONE
-// thread keeps `window` CallAsync requests in flight (refilled from the
-// issuing loop as completions free slots) until `total_requests` have
-// completed. No thread per call: the engine's loop thread carries every
-// send, reply match, and completion callback. `clients` in the returned
-// point is the window, so rows line up with a thread-per-call sweep at the
-// same concurrency.
-inline SweepPoint DriveClientsAsync(uint16_t port, int window, int total_requests) {
-  HrpcBinding binding = SweepBinding(port);
-  const Bytes payload{1, 2, 3, 4};
-  UdpTransport transport(/*timeout_ms=*/2000);
-  RpcClient client(/*world=*/nullptr, "benchclient", &transport);
-  AsyncClientEngine engine;
-  client.set_async_engine(&engine);
-
-  // Shared between the issuing thread and the engine's completion
-  // callbacks. One pointer to this keeps the per-call closure at two words,
-  // small enough for std::function's inline storage — no allocation per
-  // completion handler.
-  struct AsyncSweepState {
-    std::mutex mu;
-    std::condition_variable cv;
-    int outstanding = 0;
-    int completed = 0;
-    int failures = 0;
-    int total = 0;
-    int low_water = 0;
-    std::vector<double> all;
-    uint64_t attempts = 0;
-    uint64_t retries = 0;
-  };
-  AsyncSweepState st;
-  st.total = total_requests;
-  // Burst refill: sleep until an eighth of the window drains, then top it
-  // back up. Waking the issuer per completion would cost a futex round-trip
-  // per call — the thread-per-call context-switch tax this driver exists to
-  // avoid — while draining too far would under-fill the pipeline (the
-  // closed-loop comparison holds ~`window` calls in flight, like `window`
-  // blocking threads do).
-  st.low_water = window - std::max(1, window / 8);
-  st.all.reserve(total_requests);
-
-  auto start = std::chrono::steady_clock::now();
-  int issued = 0;
-  while (issued < total_requests) {
-    int burst;
-    {
-      std::unique_lock<std::mutex> lock(st.mu);
-      st.cv.wait(lock, [&] { return st.outstanding <= st.low_water; });
-      burst = std::min(window - st.outstanding, total_requests - issued);
-      st.outstanding += burst;
-    }
-    for (int b = 0; b < burst; ++b, ++issued) {
-      auto t0 = std::chrono::steady_clock::now();
-      RpcFuture future = client.CallAsync(binding, 1, payload,
-                                          RequestContext::WithTimeout(5000));
-      AsyncSweepState* s = &st;
-      future.OnComplete([s, t0](const Result<Bytes>& result, const RpcCallInfo& info) {
-        auto t1 = std::chrono::steady_clock::now();
-        std::lock_guard<std::mutex> lock(s->mu);
-        --s->outstanding;
-        ++s->completed;
-        if (result.ok()) {
-          s->all.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
-        } else {
-          ++s->failures;
-        }
-        s->attempts += info.attempts;
-        s->retries += info.retries;
-        if (s->outstanding == s->low_water || s->completed == s->total) {
-          s->cv.notify_one();
-        }
-      });
-    }
-  }
-  {
-    std::unique_lock<std::mutex> lock(st.mu);
-    st.cv.wait(lock, [&] { return st.completed == total_requests; });
-  }
-  double elapsed_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-                         .count();
-
-  std::sort(st.all.begin(), st.all.end());
-  SweepPoint point;
-  point.clients = window;
-  if (!st.all.empty() && elapsed_s > 0) {
-    point.throughput_qps = static_cast<double>(st.all.size()) / elapsed_s;
-    point.p50_ms = st.all[st.all.size() / 2];
-    point.p99_ms = st.all[std::min(st.all.size() - 1, (st.all.size() * 99) / 100)];
-  }
-  point.attempts = st.attempts;
-  point.retries = st.retries;
-  if (st.failures != 0) {
-    std::printf("  WARNING: %d async calls failed at window %d\n", st.failures, window);
-  }
-  return point;
-}
 
 // Hosts `server` under `mode` (reactor hosts use concurrent dispatch — the
 // handler must be thread-safe) and runs the client sweep against it. The

@@ -30,6 +30,7 @@
 #include "src/hns/wire_protocol.h"
 #include "src/rpc/async_client.h"
 #include "src/rpc/client.h"
+#include "src/rpc/fault.h"
 #include "src/rpc/ports.h"
 #include "src/rpc/server.h"
 #include "src/rpc/stream_transport.h"
@@ -455,6 +456,97 @@ TEST(AsyncClientTest, ResolveManyIssuesRemoteFindNsmConcurrently) {
   // in flight together.
   EXPECT_LT(elapsed, kUnique * kDelayMs / 2)
       << "ResolveMany did not overlap its FindNSM exchanges";
+  host.StopAll();
+}
+
+// Partial failure inside one batch: a FaultPlan lets the first few FindNSM
+// exchanges through and then drops everything. The injector's phase clock is
+// driven by a counting time function — one tick per decision — so which
+// pairs resolve and which time out is a pure function of the plan, not of
+// machine speed: per-name Statuses must map exactly, with no cross-talk
+// between the names that resolved and the names that didn't.
+TEST(AsyncClientTest, ResolveManyReportsPartialFailurePerName) {
+  constexpr int kUnique = 8;
+  constexpr int kHealthyCalls = 3;  // pairs 0..2 resolve; pairs 3..7 time out
+  UdpServerHost host;
+  RpcServer hns_server(ControlKind::kRaw, "hns-server");
+  hns_server.RegisterProcedure(
+      kHnsProgram, kHnsProcFindNsm, [](const Bytes& args) -> Result<Bytes> {
+        HCS_ASSIGN_OR_RETURN(FindNsmRequest request, FindNsmRequest::Decode(args));
+        FindNsmResponse response;
+        response.nsm_name = "nsm-" + request.context;
+        response.binding.service_name = response.nsm_name;
+        response.binding.host = "server";
+        response.binding.port = kNsmBasePort;
+        response.binding.program = 1;
+        return response.Encode();
+      });
+  Result<uint16_t> port = host.Serve(&hns_server, kHnsServerPort);
+  if (!port.ok()) {
+    GTEST_SKIP() << "cannot bind HNS port " << kHnsServerPort << ": " << port.status();
+  }
+
+  // The fault wrapper exposes no async channel, so each unique pair's
+  // exchange runs inline in first-occurrence order — decision k belongs to
+  // unique pair k. Every Decide reads the phase clock exactly once; ticking
+  // it 100 "ms" per read puts decisions 0..2 in the healthy phase and every
+  // later decision (first attempts and retries alike) in the terminal
+  // drop-everything phase.
+  FaultInjector injector(FaultConfig{/*seed=*/7, {}});
+  std::atomic<int64_t> ticks{0};
+  injector.SetTimeFn([&ticks] { return 100 * ticks.fetch_add(1); });
+  FaultSpec drop_all;
+  drop_all.drop = 1.0;
+  injector.SetPlan(FaultPlan{
+      "localhost",
+      {FaultPhase{/*duration_ms=*/kHealthyCalls * 100 + 50, FaultSpec{}},
+       FaultPhase{0, drop_all}}});
+
+  UdpTransport transport(/*timeout_ms=*/500);
+  FaultInjectingTransport faulty(&transport, &injector);
+  SessionOptions options;
+  options.hns_location = HnsLocation::kRemote;
+  options.hns_server_host = "localhost";
+  HnsSession session(/*world=*/nullptr, "localclient", &faulty, options);
+
+  // 16 names over 8 unique (context, class) pairs, so every outcome — ok
+  // and timeout — also has a memoized duplicate to check for cross-talk.
+  std::vector<HnsSession::ResolveRequest> requests;
+  for (int i = 0; i < kUnique * 2; ++i) {
+    HnsSession::ResolveRequest request;
+    request.name.context = "ctx" + std::to_string(i % kUnique);
+    request.name.individual = "host" + std::to_string(i);
+    request.query_class = "HRPCBinding";
+    requests.push_back(request);
+  }
+
+  std::vector<Result<NsmHandle>> results =
+      session.ResolveMany(requests, RequestContext::WithTimeout(1000));
+
+  ASSERT_EQ(results.size(), requests.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    size_t pair = i % kUnique;
+    if (pair < kHealthyCalls) {
+      ASSERT_TRUE(results[i].ok())
+          << "healthy-phase pair " << pair << " failed: " << results[i].status();
+      EXPECT_EQ(results[i]->nsm_name, "nsm-ctx" + std::to_string(pair))
+          << "request " << i << " mapped to the wrong pair's result";
+    } else {
+      ASSERT_FALSE(results[i].ok())
+          << "drop-phase pair " << pair << " resolved anyway (request " << i << ")";
+      EXPECT_EQ(results[i].status().code(), StatusCode::kTimeout)
+          << "request " << i << ": " << results[i].status();
+    }
+    // Memoized duplicates of one pair must agree exactly — a timed-out
+    // name must never borrow another name's resolution.
+    if (i >= static_cast<size_t>(kUnique)) {
+      EXPECT_EQ(results[i].ok(), results[pair].ok());
+      if (results[i].ok()) {
+        EXPECT_EQ(results[i]->nsm_name, results[pair]->nsm_name);
+      }
+    }
+  }
+  EXPECT_GT(injector.stats().drops, 0u) << "the drop phase never fired";
   host.StopAll();
 }
 

@@ -8,6 +8,7 @@
 #include "src/hns/meta_store.h"
 #include "src/hns/name.h"
 #include "src/testbed/testbed.h"
+#include "src/workload/engine.h"
 
 namespace hcs {
 namespace {
@@ -584,6 +585,74 @@ TEST(CacheFaultTest, EvictionStormUnderInjectedLossKeepsCacheConsistent) {
   EXPECT_GT(injector.stats().drops, 0u) << "the loss plan never fired";
   Status invariants = client.hns_cache->CheckInvariants();
   EXPECT_TRUE(invariants.ok()) << invariants;
+}
+
+// --- Cache behaviour under skewed load --------------------------------------
+
+// A byte-budgeted record cache under Zipf traffic: the more the popularity
+// concentrates (larger s), the more of the working set fits, so the hit rate
+// must rise monotonically with the skew at a fixed budget. Driven by the
+// workload engine so the traffic is exactly the paper-style FindNSM mix.
+TEST(CacheSkewTest, HitRateRisesMonotonicallyWithZipfSkew) {
+  const std::vector<double> skews = {0.2, 0.8, 1.4};
+  std::vector<double> hit_rates;
+  for (double s : skews) {
+    TestbedOptions bed_options;
+    bed_options.hns_cache.max_bytes = 8 * 1024;  // far below the full working set
+    bed_options.hns_cache.shards = 1;
+    Testbed bed(bed_options);
+    ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+
+    WorkloadOptions options;
+    options.seed = 0x5eedcafe;
+    options.population = 1'500;
+    options.contexts = 96;
+    options.zipf_s = s;
+    options.arrivals_per_second = 5'000;
+    options.mean_queries_per_client = 3.0;
+    options.mean_think_ms = 100;
+    options.name_services = {kNsBind, kNsCh};
+    WorkloadEngine engine(&bed.world(), client.session.get(),
+                          client.session->local_hns(), options);
+    ASSERT_TRUE(engine.Setup().ok());
+    WorkloadReport report = engine.Run();
+    ASSERT_EQ(report.counters.queries_failed, 0u);
+    ASSERT_GT(report.record_cache.Probes(), 0u);
+    hit_rates.push_back(report.record_cache.HitFraction());
+  }
+  for (size_t i = 1; i < hit_rates.size(); ++i) {
+    EXPECT_GT(hit_rates[i], hit_rates[i - 1])
+        << "hit rate fell when skew rose from s=" << skews[i - 1] << " to s="
+        << skews[i];
+  }
+}
+
+// A cached NotFound must never outlive a Register of the same name: the
+// meta store's WriteRecord purges the record's cache entry (negative
+// entries included), so a registration becomes visible immediately instead
+// of after the negative TTL.
+TEST(CacheSkewTest, NegativeCacheEntryNeverOutlivesARegister) {
+  Testbed bed;
+  ClientSetup client = bed.MakeClient(Arrangement::kAllLinked);
+  Hns* hns = client.session->local_hns();
+  HnsName name = HnsName::Parse("late-ctx!x").value();
+
+  // Miss, then negative hit: the NotFound is being served from the cache.
+  EXPECT_EQ(hns->FindNsm(name, kQueryClassHrpcBinding).status().code(),
+            StatusCode::kNotFound);
+  uint64_t negative_before = client.hns_cache->stats().negative_hits;
+  EXPECT_EQ(hns->FindNsm(name, kQueryClassHrpcBinding).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_GT(client.hns_cache->stats().negative_hits, negative_before)
+      << "the second lookup was not answered by the negative cache";
+
+  // Register the context and re-query at the same virtual instant — far
+  // inside the negative TTL. The registration must win.
+  ASSERT_TRUE(hns->RegisterContext("late-ctx", kNsBind).ok());
+  Result<NsmHandle> handle = hns->FindNsm(name, kQueryClassHrpcBinding);
+  ASSERT_TRUE(handle.ok())
+      << "a stale negative entry outlived the registration: " << handle.status();
+  EXPECT_EQ(handle->nsm_name, kNsmBindingBind);
 }
 
 }  // namespace

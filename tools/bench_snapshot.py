@@ -16,6 +16,12 @@ trajectory is validated by CI arithmetic, not by prose in EXPERIMENTS.md.
   bench_snapshot.py --run [--build-dir DIR] [--out FILE] [--quick]
       Drive the built bench/bench_runner, write FILE (default
       BENCH_8.json), then --check it. Run on a quiet machine.
+
+Two scenario shapes share schema v1: the original wall-clock shape
+(bench/bench_runner) and "kind": "workload" sim-clock scenarios
+(bench/bench_workload_engine -> BENCH_10.json) with virtual-time tails,
+a hit-rate-vs-population curve point, and meta-store load. Sim-clock
+numbers are deterministic, so their floors are exact.
 """
 
 import glob
@@ -48,6 +54,36 @@ BASELINE_FIELDS = {
     "min_speedup": ((int, float), False),
 }
 
+# Sim-clock workload scenarios (bench/bench_workload_engine -> BENCH_10.json)
+# carry "kind": "workload" and a different shape: virtual-time tails in ms,
+# a cache hit-rate point on the population curve, and the meta-store load.
+# Scenarios without "kind" keep the original wall-clock shape above.
+WORKLOAD_SCENARIO_FIELDS = {
+    "name": (str, False),
+    "kind": (str, False),
+    "population": (int, False),
+    "contexts": (int, False),
+    "zipf_s": ((int, float), False),
+    "queries": (int, False),
+    "sim_qps": ((int, float), False),
+    "p50_ms": ((int, float), False),
+    "p99_ms": ((int, float), False),
+    "p999_ms": ((int, float), False),
+    "record_hit_rate": ((int, float), False),
+    "composite_hit_rate": ((int, float), True),
+    "meta_remote_lookups": (int, False),
+    "fingerprint": (str, False),
+    "baseline": (dict, True),
+}
+
+# Workload floors are on sim_qps: the virtual clock makes the number a
+# deterministic property of the code path, so the floor is exact, not noisy.
+WORKLOAD_BASELINE_FIELDS = {
+    "label": (str, False),
+    "sim_qps": ((int, float), False),
+    "min_speedup": ((int, float), False),
+}
+
 
 def check_fields(obj, spec, where, errors):
     for field, (types, nullable) in spec.items():
@@ -66,6 +102,43 @@ def check_fields(obj, spec, where, errors):
     for field in obj:
         if field not in spec:
             errors.append(f"{where}: unknown field '{field}'")
+
+
+def check_workload_values(s, where, errors):
+    for field in ("population", "contexts", "queries", "sim_qps",
+                  "p50_ms", "p99_ms", "p999_ms"):
+        v = s.get(field)
+        if isinstance(v, (int, float)) and v <= 0:
+            errors.append(f"{where}: {field} = {v} is not positive")
+    p50, p99, p999 = (s.get(f) for f in ("p50_ms", "p99_ms", "p999_ms"))
+    if all(isinstance(v, (int, float)) for v in (p50, p99, p999)):
+        if not p50 <= p99 <= p999:
+            errors.append(f"{where}: tail inversion — want "
+                          f"p50_ms <= p99_ms <= p999_ms, got "
+                          f"{p50} / {p99} / {p999}")
+    for field in ("record_hit_rate", "composite_hit_rate"):
+        v = s.get(field)
+        if isinstance(v, (int, float)) and not 0.0 <= v <= 1.0:
+            errors.append(f"{where}: {field} = {v} outside [0, 1]")
+    mrl = s.get("meta_remote_lookups")
+    if isinstance(mrl, int) and mrl < 0:
+        errors.append(f"{where}: meta_remote_lookups = {mrl} is negative")
+
+    baseline = s.get("baseline")
+    if isinstance(baseline, dict):
+        check_fields(baseline, WORKLOAD_BASELINE_FIELDS, f"{where}: baseline",
+                     errors)
+        qps = s.get("sim_qps")
+        base_qps = baseline.get("sim_qps")
+        speedup = baseline.get("min_speedup")
+        if (isinstance(qps, (int, float)) and isinstance(base_qps, (int, float))
+                and isinstance(speedup, (int, float)) and base_qps > 0):
+            floor = base_qps * speedup
+            if qps < floor:
+                errors.append(
+                    f"{where}: TRAJECTORY REGRESSION — sim_qps {qps:.0f} is "
+                    f"below the floor {floor:.0f} "
+                    f"({speedup}x of {baseline.get('label')})")
 
 
 def check_file(path):
@@ -93,13 +166,19 @@ def check_file(path):
         if not isinstance(s, dict):
             errors.append(f"{where}: not an object")
             continue
-        check_fields(s, SCENARIO_FIELDS, where, errors)
+        workload = s.get("kind") == "workload"
+        check_fields(s, WORKLOAD_SCENARIO_FIELDS if workload else SCENARIO_FIELDS,
+                     where, errors)
         name = s.get("name")
         if isinstance(name, str):
             where = f"{path}: scenario '{name}'"
             if name in names:
                 errors.append(f"{where}: duplicate scenario name")
             names.add(name)
+
+        if workload:
+            check_workload_values(s, where, errors)
+            continue
 
         for field in ("qps", "p50_us", "p99_us"):
             v = s.get(field)

@@ -20,6 +20,10 @@
 #                the truncation/bit-flip sweep with over-reads made fatal
 #   chaos-asan   `ctest -L chaos` under the asan-ubsan build: the seeded
 #                fault-injection scenarios with memory errors made fatal
+#   workload-asan  `ctest -L workload` under the asan-ubsan build at three
+#                fixed seeds, HCS_WORKLOAD_POPULATION scaled to sanitizer
+#                speed: the million-client engine's determinism claims with
+#                memory errors made fatal
 #   chaos-tsan   `ctest -L chaos` under the tsan build, in both serve modes
 #                (plain, then HCS_REACTOR=1)
 #   async-tsan   async_client_test under the tsan build in both serve
@@ -245,6 +249,32 @@ if [[ -x "${BUILD_ROOT}/asan-ubsan/tests/chaos_test" ]]; then
 else
   note "chaos-asan: SKIP (asan-ubsan build unavailable)"
   record chaos-asan SKIP
+fi
+
+# 9b. The workload scenario suite under ASan+UBSan at several fixed seeds:
+# the million-client engine's determinism claims (same-seed fingerprints,
+# trace replay) re-checked with memory errors fatal. HCS_WORKLOAD_POPULATION
+# scales the tentpole scenario to sanitizer speed; the seeds are fixed so a
+# failure names its replay command.
+if [[ -x "${BUILD_ROOT}/asan-ubsan/tests/workload_test" ]]; then
+  note "workload-asan: ctest -L workload under address,undefined (3 seeds)"
+  workload_ok=1
+  for seed in 0x5eedf00d 0x0ddba11 0xc0ffee42; do
+    note "workload-asan: HCS_WORKLOAD_SEED=${seed}"
+    if ! (cd "${BUILD_ROOT}/asan-ubsan" &&
+          HCS_WORKLOAD_SEED="${seed}" HCS_WORKLOAD_POPULATION=100000 \
+          ctest --output-on-failure -L workload); then
+      workload_ok=0
+    fi
+  done
+  if [[ ${workload_ok} -eq 1 ]]; then
+    record workload-asan PASS
+  else
+    record workload-asan FAIL
+  fi
+else
+  note "workload-asan: SKIP (asan-ubsan build unavailable)"
+  record workload-asan SKIP
 fi
 
 # 10. The same scenarios under TSan, in both serve modes: the injector's
